@@ -1,0 +1,206 @@
+package edram_test
+
+import (
+	"testing"
+
+	"edram/internal/bist"
+	"edram/internal/cache"
+	"edram/internal/core"
+	"edram/internal/dram"
+	"edram/internal/edram"
+	"edram/internal/experiments"
+	"edram/internal/tech"
+)
+
+// Each BenchmarkE* regenerates one experiment of the paper (see
+// DESIGN.md §3 for the claim index and EXPERIMENTS.md for the recorded
+// results). The headline finding of each experiment is attached to the
+// benchmark output as a custom metric.
+
+func benchExperiment(b *testing.B, run func() (experiments.Experiment, error), metric string) {
+	b.Helper()
+	var e experiments.Experiment
+	var err error
+	for i := 0; i < b.N; i++ {
+		e, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, err := e.Finding(metric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, metric)
+}
+
+func BenchmarkE1IOPower(b *testing.B) {
+	benchExperiment(b, experiments.E1IOPower, "power-ratio@4GBps")
+}
+
+func BenchmarkE2FillFrequency(b *testing.B) {
+	benchExperiment(b, experiments.E2FillFrequency, "fill-ratio@4Mbit")
+}
+
+func BenchmarkE3Granularity(b *testing.B) {
+	benchExperiment(b, experiments.E3Granularity, "waste@256bit")
+}
+
+func BenchmarkE4WireDelay(b *testing.B) {
+	benchExperiment(b, experiments.E4WireDelay, "delay-ratio-80mm-vs-5mm")
+}
+
+func BenchmarkE5MPEG2(b *testing.B) {
+	benchExperiment(b, experiments.E5MPEG2, "frame-decode-ms")
+}
+
+func BenchmarkE6MemoryGap(b *testing.B) {
+	benchExperiment(b, experiments.E6MemoryGap, "iram-latency-ratio")
+}
+
+func BenchmarkE7SiemensConcept(b *testing.B) {
+	benchExperiment(b, experiments.E7SiemensConcept, "efficiency@16Mbit")
+}
+
+func BenchmarkE8Sustained(b *testing.B) {
+	benchExperiment(b, experiments.E8Sustained, "recovery")
+}
+
+func BenchmarkE9FIFODepth(b *testing.B) {
+	benchExperiment(b, experiments.E9FIFODepth, "fifo-round-robin")
+}
+
+func BenchmarkE10TestCost(b *testing.B) {
+	benchExperiment(b, experiments.E10TestCost, "bist-saving")
+}
+
+func BenchmarkE11Yield(b *testing.B) {
+	benchExperiment(b, experiments.E11Yield, "std-yield@1.2")
+}
+
+func BenchmarkE12Process(b *testing.B) {
+	benchExperiment(b, experiments.E12Process, "logic-vs-dram-area")
+}
+
+// Micro-benchmarks of the substrates, for performance tracking.
+
+func BenchmarkDeviceAccess(b *testing.B) {
+	d, err := dram.New(dram.Config{
+		Banks: 4, RowsPerBank: 2048, PageBits: 2048, DataBits: 64,
+		Timing: tech.PC100(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Access(now, i%4, (i/7)%2048, i%2 == 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = res.StartNs
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i*64)%(1<<20), i%4 == 0)
+	}
+}
+
+func BenchmarkMarchCMinus64Kbit(b *testing.B) {
+	ru := bist.Runner{CycleNs: 10, ParallelBits: 256}
+	alg := bist.MarchCMinus()
+	for i := 0; i < b.N; i++ {
+		a, err := dram.NewArray(256, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ru.RunMarch(a, alg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMacroBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := edram.Build(edram.Spec{CapacityMbit: 64, InterfaceBits: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignSpaceExplore(b *testing.B) {
+	req := core.Requirements{CapacityMbit: 16, BandwidthGBps: 2, HitRate: 0.8, DefectsPerCm2: 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Explore(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13SRAMPartition(b *testing.B) {
+	benchExperiment(b, experiments.E13SRAMPartition, "crossover-mbit")
+}
+
+func BenchmarkE14QualityGrades(b *testing.B) {
+	benchExperiment(b, experiments.E14QualityGrades, "grade-gain@3")
+}
+
+func BenchmarkE15ThermalFeedback(b *testing.B) {
+	benchExperiment(b, experiments.E15ThermalFeedback, "retention-collapse")
+}
+
+func BenchmarkA1PagePolicy(b *testing.B) {
+	benchExperiment(b, experiments.A1PagePolicy, "stream-open-over-closed")
+}
+
+func BenchmarkE16Markets(b *testing.B) {
+	benchExperiment(b, experiments.E16Markets, "net-switch-cost-ratio")
+}
+
+func BenchmarkA2Reorder(b *testing.B) {
+	benchExperiment(b, experiments.A2Reorder, "window16-over-inorder")
+}
+
+func BenchmarkE17Generations(b *testing.B) {
+	benchExperiment(b, experiments.E17Generations, "bandwidth-growth")
+}
+
+func BenchmarkE18Standby(b *testing.B) {
+	benchExperiment(b, experiments.E18Standby, "standby-ratio@16Mbit")
+}
+
+func BenchmarkA3ModelVsSim(b *testing.B) {
+	benchExperiment(b, experiments.A3ModelVsSim, "worst-agreement")
+}
+
+func BenchmarkA4RefreshTax(b *testing.B) {
+	benchExperiment(b, experiments.A4RefreshTax, "refresh-tax@3W")
+}
+
+func BenchmarkA5Prefetch(b *testing.B) {
+	benchExperiment(b, experiments.A5Prefetch, "iram-advantage")
+}
+
+func BenchmarkE19SustainedHeadToHead(b *testing.B) {
+	benchExperiment(b, experiments.E19SustainedHeadToHead, "sustained-advantage")
+}
+
+func BenchmarkE20Feasibility(b *testing.B) {
+	benchExperiment(b, experiments.E20Feasibility, "die-128mbit-500k")
+}
+
+func BenchmarkE21Volume(b *testing.B) {
+	benchExperiment(b, experiments.E21Volume, "graphics-breakeven")
+}
+
+func BenchmarkE22ScanConverter(b *testing.B) {
+	benchExperiment(b, experiments.E22ScanConverter, "realtime-margin")
+}

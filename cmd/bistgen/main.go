@@ -1,0 +1,108 @@
+// Command bistgen exercises the DRAM test substrate (paper §6): it
+// injects a random defect map into a cell array, runs the march suite
+// and retention test, reports detection and repairability, and estimates
+// production test time and cost on the three tester paths (memory
+// tester, logic tester, on-chip BIST).
+//
+// Usage:
+//
+//	bistgen [-rows 256] [-cols 256] [-defects 6] [-spares 4] [-size 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"edram/internal/bist"
+	"edram/internal/dram"
+	"edram/internal/report"
+	"edram/internal/units"
+	"edram/internal/yield"
+)
+
+func main() {
+	rows := flag.Int("rows", 256, "array rows")
+	cols := flag.Int("cols", 256, "array columns")
+	defects := flag.Float64("defects", 6, "mean injected defects")
+	spares := flag.Int("spares", 4, "spare rows and columns")
+	sizeMbit := flag.Int("size", 16, "macro size for the economics estimate, Mbit")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	a, err := dram.NewArray(*rows, *cols)
+	if err != nil {
+		fail(err)
+	}
+	faults, err := yield.GenerateDefects(rng, *rows, *cols, *defects, yield.DefaultMix())
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range faults {
+		if err := a.Inject(f); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("injected %d defects into a %dx%d array\n\n", len(faults), *rows, *cols)
+
+	ru := bist.Runner{CycleNs: 10, ParallelBits: 256}
+	t := report.New("test campaign", "test", "ops", "time ms", "failing cells")
+	seenCells := map[[2]int]bool{}
+	tMs := 0.0
+	for _, alg := range bist.Algorithms() {
+		res, err := ru.RunMarch(a, alg, tMs)
+		if err != nil {
+			fail(err)
+		}
+		tMs += res.TestTimeNs / 1e6
+		for _, c := range res.FailingCells() {
+			seenCells[c] = true
+		}
+		t.AddRow(alg.Name, res.Ops, res.TestTimeNs/1e6, len(res.FailingCells()))
+	}
+	ret, err := ru.RunRetention(a, 64, tMs)
+	if err != nil {
+		fail(err)
+	}
+	for _, c := range ret.FailingCells() {
+		seenCells[c] = true
+	}
+	t.AddRow(ret.Algorithm, ret.Ops, ret.TestTimeNs/1e6, len(ret.FailingCells()))
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	var cells [][2]int
+	for c := range seenCells {
+		cells = append(cells, c)
+	}
+	rep := yield.Repair(cells, *spares, *spares)
+	fmt.Printf("\ndistinct failing cells: %d\n", len(cells))
+	if rep.Repaired {
+		fmt.Printf("repairable with %d spare rows + %d spare columns used\n", rep.UsedRows, rep.UsedCols)
+	} else {
+		fmt.Printf("NOT repairable with %d+%d spares (%d cells uncovered)\n", *spares, *spares, rep.Unrepaired)
+	}
+
+	// Economics.
+	fmt.Println()
+	e := report.New(fmt.Sprintf("production test economics, %d-Mbit macro", *sizeMbit),
+		"path", "total s", "cost $")
+	for _, tester := range []bist.Tester{bist.MemoryTester(), bist.LogicTester(), bist.BISTOnTester(256, 7)} {
+		r, err := bist.Estimate(int64(*sizeMbit)*units.Mbit, tester, bist.DefaultFlow())
+		if err != nil {
+			fail(err)
+		}
+		e.AddRow(tester.Name, r.TotalS, r.CostUSD)
+	}
+	if err := e.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bistgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command edramgen is the "memory compiler" front end of the §5
+// concept: it builds a macro from a specification and writes all its
+// views — behavioural Verilog, floorplan, liberty-style timing/power,
+// test programs and the datasheet — the way an eDRAM supplier would
+// deliver a first-time-right module.
+//
+// Usage:
+//
+//	edramgen -capacity 16 -iface 256 -redundancy std -out ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"edram/internal/edram"
+	"edram/internal/views"
+)
+
+func main() {
+	capacity := flag.Int("capacity", 16, "macro capacity in Mbit")
+	iface := flag.Int("iface", 256, "interface width in bits")
+	banks := flag.Int("banks", 0, "bank count (0 = auto)")
+	page := flag.Int("page", 0, "page length in bits (0 = auto)")
+	redundancy := flag.String("redundancy", "std", "redundancy level: none, low, std, high")
+	out := flag.String("out", "", "output directory (empty = print to stdout)")
+	flag.Parse()
+
+	var red edram.RedundancyLevel
+	switch *redundancy {
+	case "none":
+		red = edram.RedundancyNone
+	case "low":
+		red = edram.RedundancyLow
+	case "std":
+		red = edram.RedundancyStd
+	case "high":
+		red = edram.RedundancyHigh
+	default:
+		fail(fmt.Errorf("unknown redundancy level %q", *redundancy))
+	}
+
+	m, err := edram.Build(edram.Spec{
+		CapacityMbit:  *capacity,
+		InterfaceBits: *iface,
+		Banks:         *banks,
+		PageBits:      *page,
+		Redundancy:    red,
+	})
+	if err != nil {
+		fail(err)
+	}
+	b, err := views.New(m)
+	if err != nil {
+		fail(err)
+	}
+	files, err := b.All()
+	if err != nil {
+		fail(err)
+	}
+
+	if *out == "" {
+		for _, f := range files {
+			fmt.Printf("===== %s =====\n%s\n", f.Name, f.Content)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	for _, f := range files {
+		path := filepath.Join(*out, f.Name)
+		if err := os.WriteFile(path, []byte(f.Content), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edramgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command edramx is the embedded-DRAM design-space explorer: given the
+// application's capacity, sustained-bandwidth and constraint
+// requirements, it enumerates the paper §3 design space (interface
+// width, banks, page length, building block, redundancy), prints the
+// feasible Pareto frontier and the quantized recommendations, and emits
+// the datasheet of the chosen configuration.
+//
+// Usage:
+//
+//	edramx -capacity 16 -bandwidth 2.5 -hitrate 0.8 [-maxarea 20] [-maxpower 800] [-role min-area]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edram/internal/core"
+	"edram/internal/report"
+)
+
+func main() {
+	capacity := flag.Int("capacity", 16, "required capacity in Mbit")
+	bandwidth := flag.Float64("bandwidth", 2.0, "required sustained bandwidth in GB/s")
+	hitrate := flag.Float64("hitrate", 0.8, "expected page-hit rate of the workload")
+	maxArea := flag.Float64("maxarea", 0, "macro area cap in mm² (0 = none)")
+	maxPower := flag.Float64("maxpower", 0, "macro busy-power cap in mW (0 = none)")
+	defects := flag.Float64("defects", 0.8, "defect density in defects/cm²")
+	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
+	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
+	flag.Parse()
+
+	req := core.Requirements{
+		CapacityMbit:  *capacity,
+		BandwidthGBps: *bandwidth,
+		HitRate:       *hitrate,
+		MaxAreaMm2:    *maxArea,
+		MaxPowerMW:    *maxPower,
+		DefectsPerCm2: *defects,
+	}
+	recs, err := core.Recommend(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edramx:", err)
+		os.Exit(1)
+	}
+
+	t := report.New(fmt.Sprintf("recommendations for %d Mbit @ %.1f GB/s sustained", *capacity, *bandwidth),
+		"role", "macros", "iface", "banks", "page", "block Kbit", "redundancy",
+		"area mm2", "power mW", "sustained GB/s", "die $")
+	for _, r := range recs {
+		t.AddRow(r.Role, r.Macros, r.Spec.InterfaceBits, r.Macro.Geometry.Banks,
+			r.Macro.Geometry.PageBits, r.Spec.BlockBits/1024, r.Spec.Redundancy.String(),
+			r.AreaMm2, r.PowerMW, r.SustainedGBps, r.CostUSD)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edramx:", err)
+		os.Exit(1)
+	}
+
+	if *pareto {
+		cands, err := core.Explore(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edramx:", err)
+			os.Exit(1)
+		}
+		front := core.Pareto(core.Feasible(cands))
+		fmt.Println()
+		pt := report.New(fmt.Sprintf("feasible Pareto frontier (%d points)", len(front)),
+			"macros", "iface", "banks", "page", "block Kbit", "redundancy",
+			"area mm2", "power mW", "sustained GB/s", "die $")
+		for _, c := range front {
+			pt.AddRow(c.Macros, c.Spec.InterfaceBits, c.Spec.Banks, c.Spec.PageBits,
+				c.Spec.BlockBits/1024, c.Spec.Redundancy.String(),
+				c.AreaMm2, c.PowerMW, c.SustainedGBps, c.CostUSD)
+		}
+		if err := pt.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "edramx:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *role != "" {
+		for _, r := range recs {
+			if r.Role == *role {
+				fmt.Println()
+				fmt.Print(r.Macro.Datasheet())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "edramx: no recommendation with role %q\n", *role)
+		os.Exit(1)
+	}
+}

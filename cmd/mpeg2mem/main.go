@@ -1,0 +1,110 @@
+// Command mpeg2mem runs the paper §4.1 MPEG2 decoder memory case study:
+// budget and bandwidth for PAL/NTSC in both output-buffer modes, the
+// commodity-vs-eDRAM fit, and a simulated one-frame decode on an
+// embedded macro.
+//
+// Usage:
+//
+//	mpeg2mem [-format PAL] [-mode full] [-frames 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/mpeg2"
+	"edram/internal/report"
+	"edram/internal/sched"
+)
+
+func main() {
+	formatName := flag.String("format", "PAL", "video format: PAL or NTSC")
+	modeName := flag.String("mode", "full", "output buffer mode: full or reduced")
+	frames := flag.Int("frames", 1, "frames of traffic to simulate")
+	iface := flag.Int("iface", 64, "macro interface width in bits")
+	flag.Parse()
+
+	var f mpeg2.Format
+	switch *formatName {
+	case "PAL":
+		f = mpeg2.PAL()
+	case "NTSC":
+		f = mpeg2.NTSC()
+	default:
+		fail(fmt.Errorf("unknown format %q", *formatName))
+	}
+	mode := mpeg2.FullOutput
+	if *modeName == "reduced" {
+		mode = mpeg2.ReducedOutput
+	} else if *modeName != "full" {
+		fail(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	b, err := mpeg2.BudgetFor(f, mode)
+	if err != nil {
+		fail(err)
+	}
+	bw, err := mpeg2.Bandwidth(f, mode)
+	if err != nil {
+		fail(err)
+	}
+
+	t := report.New(fmt.Sprintf("%s decoder, %s", f.Name, mode), "buffer", "Mbit")
+	t.AddRow("input (VBV)", b.InputMbit)
+	t.AddRow("reference frames", b.RefMbit)
+	t.AddRow("output", b.OutputMbit)
+	t.AddRow("total", b.TotalMbit)
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncommodity fit: %d Mbit   eDRAM fit: %d Mbit\n",
+		mpeg2.CommodityFitMbit(b), mpeg2.EDRAMFitMbit(b))
+	saving, err := mpeg2.SavingMbit(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("reduced-output saving: %.2f Mbit (costs 2x pipeline + MC bandwidth)\n\n", saving)
+
+	bt := report.New("bandwidth requirement", "path", "GB/s")
+	bt.AddRow("input", bw.InputGBps)
+	bt.AddRow("motion compensation", bw.MCGBps)
+	bt.AddRow("reconstruction", bw.ReconGBps)
+	bt.AddRow("display", bw.DisplayGBps)
+	bt.AddRow("total", bw.TotalGBps)
+	if err := bt.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	// Simulate the decode on the exact-fit macro.
+	capMbit := mpeg2.EDRAMFitMbit(b)
+	m, err := edram.Build(edram.Spec{CapacityMbit: capMbit, InterfaceBits: *iface})
+	if err != nil {
+		fail(err)
+	}
+	cfg := m.DeviceConfig()
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		fail(err)
+	}
+	clients, err := mpeg2.Clients(f, mode, *frames, 7)
+	if err != nil {
+		fail(err)
+	}
+	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	if err != nil {
+		fail(err)
+	}
+	budgetMs := float64(*frames) * 1e3 / float64(f.FPS)
+	fmt.Printf("\nsimulated %d frame(s) on a %d-Mbit/%d-bit macro: %.2f ms (budget %.1f ms), "+
+		"%.0f%% of macro peak used\n",
+		*frames, capMbit, *iface, res.DurationNs/1e6, budgetMs, 100*res.SustainedFraction)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpeg2mem:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command papertables regenerates every experiment of the reproduction
+// (E1–E12, the paper's quantitative claims; see DESIGN.md §3) and prints
+// the tables and headline findings. EXPERIMENTS.md is written from this
+// output.
+//
+// Usage:
+//
+//	papertables [-only E5] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edram/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. E5)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	md := flag.Bool("md", false, "emit markdown tables")
+	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
+	flag.Parse()
+
+	exps, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "papertables:", err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	for _, e := range exps {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		fmt.Printf("%s — %s\n", e.ID, e.Title)
+		var rerr error
+		switch {
+		case *csv:
+			rerr = e.Table.RenderCSV(os.Stdout)
+		case *md:
+			rerr = e.Table.RenderMarkdown(os.Stdout)
+		default:
+			rerr = e.Table.Render(os.Stdout)
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "papertables:", rerr)
+			os.Exit(1)
+		}
+		for _, f := range e.Findings {
+			fmt.Printf("  finding: %-28s %10.3f %s\n", f.Name, f.Value, f.Unit)
+		}
+		fmt.Println()
+	}
+}

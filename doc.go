@@ -1,0 +1,11 @@
+// Package edram is a reproduction of "Embedded DRAM Architectural
+// Trade-Offs" (Wehn & Hein, DATE 1998): a CACTI-style analytical model
+// suite plus an event-driven memory-system simulator for embedded DRAM,
+// with a design-space explorer as its primary deliverable.
+//
+// The public surface lives in the internal packages (this module is the
+// application); see README.md for the map, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record. The
+// root package exists to carry the module documentation and the
+// experiment benchmarks (bench_test.go).
+package edram

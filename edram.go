@@ -1,0 +1,159 @@
+package edram
+
+// This file is the public facade of the module: the stable entry points
+// a downstream user needs, re-exported from the internal packages (which
+// are not importable outside this module). The facade covers the three
+// workflows the paper's reproduction supports:
+//
+//  1. Build an embedded macro and read its views (BuildMacro, Views).
+//  2. Explore the design space and get quantized recommendations
+//     (Explore, Recommend).
+//  3. Simulate a multi-client memory system on a macro (Simulate).
+
+import (
+	"edram/internal/core"
+	iedram "edram/internal/edram"
+	"edram/internal/experiments"
+	"edram/internal/mapping"
+	"edram/internal/mpeg2"
+	"edram/internal/scanconv"
+	"edram/internal/sched"
+	"edram/internal/traffic"
+	"edram/internal/views"
+)
+
+// MacroSpec specifies an embedded DRAM macro (capacity, interface width,
+// banks, page length, building block, redundancy). Zero-valued optional
+// fields are auto-derived.
+type MacroSpec = iedram.Spec
+
+// Macro is a constructed embedded memory module with area, timing,
+// bandwidth and power views.
+type Macro = iedram.Macro
+
+// Redundancy levels for MacroSpec.Redundancy.
+const (
+	RedundancyNone = iedram.RedundancyNone
+	RedundancyLow  = iedram.RedundancyLow
+	RedundancyStd  = iedram.RedundancyStd
+	RedundancyHigh = iedram.RedundancyHigh
+)
+
+// BuildMacro validates the spec and constructs the macro.
+func BuildMacro(spec MacroSpec) (*Macro, error) { return iedram.Build(spec) }
+
+// ViewFile is one generated deliverable (HDL, floorplan, .lib, test
+// program or datasheet).
+type ViewFile = views.File
+
+// Views renders the §5 "all views" bundle of a macro.
+func Views(m *Macro) ([]ViewFile, error) {
+	b, err := views.New(m)
+	if err != nil {
+		return nil, err
+	}
+	return b.All()
+}
+
+// Requirements captures what an application needs from its embedded
+// memory: capacity, sustained bandwidth at an expected page-hit rate,
+// and optional area/power/clock constraints.
+type Requirements = core.Requirements
+
+// Candidate is one evaluated design point; Recommendation a quantized,
+// named pick from the Pareto frontier.
+type (
+	Candidate      = core.Candidate
+	Recommendation = core.Recommendation
+)
+
+// Explore enumerates and evaluates the full design space for the
+// requirements.
+func Explore(req Requirements) ([]Candidate, error) { return core.Explore(req) }
+
+// Recommend quantizes the feasible Pareto frontier into at most four
+// named configurations (min-area, min-power, max-bandwidth, min-cost).
+func Recommend(req Requirements) ([]Recommendation, error) { return core.Recommend(req) }
+
+// Client is one memory client (a request generator plus an optional
+// latency budget for the deadline arbiter).
+type Client = sched.Client
+
+// Request generators for Client.Gen.
+type (
+	Sequential  = traffic.Sequential
+	Strided     = traffic.Strided
+	Random      = traffic.Random
+	Block2D     = traffic.Block2D
+	Alternating = traffic.Alternating
+)
+
+// SimOptions configures the memory controller (arbitration policy, page
+// policy, FR-FCFS reorder window, tracing).
+type SimOptions = sched.Options
+
+// Arbitration policies for SimOptions.Policy.
+const (
+	RoundRobin    = sched.RoundRobin
+	FixedPriority = sched.FixedPriority
+	OldestFirst   = sched.OldestFirst
+	OpenPageFirst = sched.OpenPageFirst
+	Deadline      = sched.Deadline
+)
+
+// SimResult is the outcome of a controller run: sustained bandwidth,
+// hit rate, per-client latency statistics and FIFO depths.
+type SimResult = sched.Result
+
+// Simulate runs the clients against the macro through a bank-interleaved
+// mapping with the given controller options.
+func Simulate(m *Macro, opt SimOptions, clients []Client) (SimResult, error) {
+	cfg := m.DeviceConfig()
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sched.RunWithOptions(cfg, mp, opt, clients)
+}
+
+// Experiment is one regenerated table of the paper; Experiments runs the
+// full E1–E22 + ablation (A1–A5) suite (what cmd/papertables prints).
+type Experiment = experiments.Experiment
+
+// Experiments regenerates every experiment.
+func Experiments() ([]Experiment, error) { return experiments.All() }
+
+// Application models (the paper's case studies), re-exported for
+// downstream sizing studies.
+
+// MPEG2 decoder memory model (§4.1).
+type (
+	MPEG2Format = mpeg2.Format
+	MPEG2Budget = mpeg2.Budget
+)
+
+// MPEG2PAL and MPEG2NTSC return the standard 4:2:0 formats.
+func MPEG2PAL() MPEG2Format  { return mpeg2.PAL() }
+func MPEG2NTSC() MPEG2Format { return mpeg2.NTSC() }
+
+// MPEG2BudgetFor computes the decoder's memory budget (full output
+// buffer mode).
+func MPEG2BudgetFor(f MPEG2Format) (MPEG2Budget, error) {
+	return mpeg2.BudgetFor(f, mpeg2.FullOutput)
+}
+
+// Scan-rate converter memory model (§5 application list).
+type (
+	ScanStandard = scanconv.Standard
+	ScanBudget   = scanconv.Budget
+)
+
+// ScanPAL50 returns the 625-line 50-Hz source standard.
+func ScanPAL50() ScanStandard { return scanconv.PAL50() }
+
+// ScanBudgetFor computes the field-store budget of an n-field
+// motion-adaptive converter.
+func ScanBudgetFor(s ScanStandard, fields int) (ScanBudget, error) {
+	return scanconv.BudgetFor(s, fields)
+}

@@ -1,0 +1,111 @@
+package edram_test
+
+import (
+	"strings"
+	"testing"
+
+	"edram"
+)
+
+// The facade test exercises the three public workflows end to end, the
+// way a downstream user would.
+func TestFacadeBuildAndViews(t *testing.T) {
+	m, err := edram.BuildMacro(edram.MacroSpec{
+		CapacityMbit:  16,
+		InterfaceBits: 256,
+		Redundancy:    edram.RedundancyStd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakBandwidthGBps() <= 0 {
+		t.Fatal("macro has no bandwidth")
+	}
+	files, err := edram.Views(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("views = %d", len(files))
+	}
+	foundHDL := false
+	for _, f := range files {
+		if strings.HasSuffix(f.Name, ".v") {
+			foundHDL = true
+		}
+	}
+	if !foundHDL {
+		t.Error("HDL view missing")
+	}
+}
+
+func TestFacadeExploreAndRecommend(t *testing.T) {
+	req := edram.Requirements{
+		CapacityMbit:  16,
+		BandwidthGBps: 2,
+		HitRate:       0.8,
+		DefectsPerCm2: 0.8,
+	}
+	cands, err := edram.Explore(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 100 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	recs, err := edram.Recommend(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	m, err := edram.BuildMacro(edram.MacroSpec{CapacityMbit: 16, InterfaceBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := edram.Simulate(m, edram.SimOptions{Policy: edram.OpenPageFirst}, []edram.Client{
+		{Name: "stream", Gen: &edram.Sequential{Bits: 64, RateGB: 2, Count: 500}},
+		{Name: "rt", LatencyBudgetNs: 500, Gen: &edram.Strided{
+			StartB: 1 << 20, StrideB: 256, LimitB: 1 << 20, Bits: 64, RateGB: 0.5, Count: 250}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SustainedGBps <= 0 || len(res.Clients) != 2 {
+		t.Fatalf("broken simulation result: %+v", res)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	exps, err := edram.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) < 20 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+}
+
+func TestFacadeApplicationModels(t *testing.T) {
+	b, err := edram.MPEG2BudgetFor(edram.MPEG2PAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalMbit < 15 || b.TotalMbit > 16 {
+		t.Errorf("PAL budget %.2f Mbit", b.TotalMbit)
+	}
+	sb, err := edram.ScanBudgetFor(edram.ScanPAL50(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.EDRAMMbit != 10 {
+		t.Errorf("scan budget fit %d Mbit", sb.EDRAMMbit)
+	}
+}

@@ -1,0 +1,54 @@
+// Diskcontroller: the paper's embedded-processor market (§2) — a
+// hard-disk controller whose CPU keeps program, cache tables and sector
+// buffers in memory. Compares the conventional build (CPU + caches +
+// external SDRAM) against the merged processor-eDRAM build (§4.2) on
+// the same firmware-like workload: CPI, memory latency, bandwidth and
+// energy.
+//
+//	go run ./examples/diskcontroller
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"edram/internal/edram"
+	"edram/internal/iram"
+	"edram/internal/report"
+)
+
+func main() {
+	// The controller needs ~20 Mbit (firmware + cache tables + sector
+	// buffers): an exact-fit embedded macro.
+	m, err := edram.Build(edram.Spec{CapacityMbit: 20, InterfaceBits: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Datasheet())
+	fmt.Println()
+
+	metrics, err := iram.Compare(300000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conv, merged := iram.Conventional(), iram.Merged()
+	t := report.New("conventional vs merged controller", "metric", "conventional", "merged", "ratio")
+	t.AddRow("cpu clock MHz", conv.CPU.ClockMHz, merged.CPU.ClockMHz,
+		conv.CPU.ClockMHz/merged.CPU.ClockMHz)
+	t.AddRow("memory latency ns", conv.MemLatencyNs, merged.MemLatencyNs, metrics.LatencyRatio)
+	t.AddRow("memory peak GB/s", conv.MemPeakGBps, merged.MemPeakGBps, metrics.BandwidthRatio)
+	t.AddRow("CPI", metrics.ConvCPI, metrics.IRAMCPI, metrics.ConvCPI/metrics.IRAMCPI)
+	t.AddRow("MIPS", metrics.Conventional.CPU.MIPS, metrics.IRAM.CPU.MIPS,
+		metrics.IRAM.CPU.MIPS/metrics.Conventional.CPU.MIPS)
+	t.AddRow("mem energy pJ/ref", metrics.Conventional.EnergyPJPerMemRef,
+		metrics.IRAM.EnergyPJPerMemRef, metrics.EnergyRatio)
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npaper §4.2 expectation: latency 5-10x, bandwidth 50-100x, energy 2-4x\n")
+	fmt.Printf("measured:               latency %.1fx, bandwidth %.0fx, energy %.1fx\n",
+		metrics.LatencyRatio, metrics.BandwidthRatio, metrics.EnergyRatio)
+}

@@ -1,0 +1,103 @@
+// Networkswitch: the paper's high-end eDRAM market (§2) — a shared
+// packet buffer for a multi-port switch. Builds a 128-Mbit macro with a
+// 512-bit interface, drives it with per-port enqueue/dequeue streams,
+// and reports whether the sustained bandwidth covers the aggregate line
+// rate; then shows the discrete alternative's cost in chips and pins.
+//
+//	go run ./examples/networkswitch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/report"
+	"edram/internal/sched"
+	"edram/internal/sdram"
+	"edram/internal/traffic"
+	"edram/internal/units"
+)
+
+func main() {
+	const ports = 8
+	const lineRateGBps = 0.3 // ~2.4 Gbit/s per port, full duplex
+
+	// The shared buffer: paper §2 quotes up to 128 Mbit and 512-bit
+	// interfaces for switches.
+	m, err := edram.Build(edram.Spec{
+		CapacityMbit:  128,
+		InterfaceBits: 512,
+		Banks:         8,
+		Redundancy:    edram.RedundancyStd,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Datasheet())
+
+	aggregate := 2 * ports * lineRateGBps // in + out per port
+	fmt.Printf("\naggregate line rate: %.1f GB/s over %d full-duplex ports\n", aggregate, ports)
+	if m.PeakBandwidthGBps() < aggregate {
+		fmt.Println("WARNING: peak below aggregate line rate")
+	}
+
+	// Per-port clients: enqueue writes a cell-sized burst to the port's
+	// region; dequeue reads from a random queued position (head drops
+	// land anywhere after scheduling).
+	cfg := m.DeviceConfig()
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := int64(128) * units.Mbit / 8 / ports
+	var clients []sched.Client
+	const cellBits = 512 // one 64-byte cell per access on the 512-bit bus
+	for p := 0; p < ports; p++ {
+		base := region * int64(p)
+		clients = append(clients,
+			sched.Client{Name: fmt.Sprintf("in-%d", p), Gen: &traffic.Sequential{
+				ClientID: 2 * p, StartB: base, LimitB: region, Bits: cellBits,
+				Write: true, RateGB: lineRateGBps, Count: 400,
+			}},
+			sched.Client{Name: fmt.Sprintf("out-%d", p), Gen: &traffic.Random{
+				ClientID: 2*p + 1, StartB: base, WindowB: region, Bits: cellBits,
+				RateGB: lineRateGBps, Count: 400,
+				Rng: rand.New(rand.NewSource(int64(100 + p))),
+			}},
+		)
+	}
+	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: sustained %.2f GB/s (%.0f%% of peak), hit rate %.2f\n",
+		res.SustainedGBps, 100*res.SustainedFraction, res.HitRate)
+	worstP99 := 0.0
+	for _, c := range res.Clients {
+		if c.Stats.P99Ns > worstP99 {
+			worstP99 = c.Stats.P99Ns
+		}
+	}
+	fmt.Printf("worst port p99 latency: %.0f ns => FIFO depth %d cells\n\n",
+		worstP99, traffic.FIFODepthFor(worstP99, cellBits, lineRateGBps))
+
+	// The discrete alternative.
+	t := report.New("discrete alternative (64-Mbit x16 parts)",
+		"metric", "discrete", "embedded")
+	sys, err := sdram.BestSystem(sdram.Requirement{CapacityMbit: 128, WidthBits: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("memory chips", sys.TotalChips(), 0)
+	t.AddRow("installed Mbit", sys.InstalledMbit(), m.CapacityMbit())
+	t.AddRow("board signal pins", sys.SignalPins(), 0)
+	t.AddRow("peak GB/s", sys.PeakBandwidthGBps(), m.PeakBandwidthGBps())
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build an embedded DRAM macro, print its datasheet and
+// power report, and run a short two-client traffic simulation on it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/power"
+	"edram/internal/sched"
+	"edram/internal/tech"
+	"edram/internal/traffic"
+)
+
+func main() {
+	// 1. Specify and build the macro: 16 Mbit, 256-bit interface,
+	//    standard redundancy. Everything else is derived.
+	m, err := edram.Build(edram.Spec{
+		CapacityMbit:  16,
+		InterfaceBits: 256,
+		Redundancy:    edram.RedundancyStd,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Datasheet())
+
+	// 2. Power at a realistic operating point.
+	pr := m.Power(tech.DefaultElectrical(), power.DefaultCoreEnergy(), 0.5, 0.8)
+	fmt.Printf("\npower @ 50%% utilization, 80%% hit rate: %.0f mW "+
+		"(interface %.0f, activate %.0f, column %.0f, refresh %.2f, standby %.1f)\n",
+		pr.TotalMW, pr.InterfaceMW, pr.ActivateMW, pr.ColumnMW, pr.RefreshMW, pr.StandbyMW)
+
+	// 3. Simulate a streaming client plus a random client.
+	cfg := m.DeviceConfig()
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, []sched.Client{
+		{Name: "stream", Gen: &traffic.Sequential{ClientID: 0, Bits: 256, RateGB: 2, Count: 2000}},
+		{Name: "random", Gen: &traffic.Random{ClientID: 1, StartB: 1 << 20, WindowB: 1 << 20,
+			Bits: 256, RateGB: 1, Count: 1000, Rng: rand.New(rand.NewSource(1))}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraffic sim: sustained %.2f GB/s of %.2f peak (%.0f%%), hit rate %.2f\n",
+		res.SustainedGBps, res.PeakGBps, 100*res.SustainedFraction, res.HitRate)
+	for _, c := range res.Clients {
+		fmt.Printf("  %-7s %s\n", c.Name, c.Stats)
+	}
+}

@@ -1,0 +1,96 @@
+// Videoframestore: the paper's graphics/video motivation. Sizes a frame
+// store for PAL and NTSC, shows the commodity granularity waste against
+// an exact-fit eDRAM macro, and compares linear versus tiled 2-D frame
+// mappings under motion-compensation traffic.
+//
+//	go run ./examples/videoframestore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/mpeg2"
+	"edram/internal/report"
+	"edram/internal/sched"
+	"edram/internal/sdram"
+	"edram/internal/traffic"
+)
+
+func main() {
+	// Frame-store sizing: three frames (double buffer + composition).
+	t := report.New("frame store sizing (3 frames, 4:2:0)",
+		"format", "frame Mbit", "need Mbit", "commodity Mbit", "edram Mbit", "waste saved")
+	for _, f := range []mpeg2.Format{mpeg2.PAL(), mpeg2.NTSC()} {
+		need := 3 * f.FrameMbit()
+		commodity := 0
+		for _, s := range mpeg2.CommoditySizesMbit() {
+			if float64(s) >= need {
+				commodity = s
+				break
+			}
+		}
+		edramFit := int(need)
+		if float64(edramFit) < need {
+			edramFit++
+		}
+		t.AddRow(f.Name, f.FrameMbit(), need, commodity, edramFit, float64(commodity-edramFit))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The discrete alternative would also pay the width problem:
+	part := sdram.Catalog()[0]
+	sys, err := sdram.Compose(part, sdram.Requirement{CapacityMbit: 15, WidthBits: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiscrete 128-bit frame store: %d chips, %d Mbit installed, %d board pins\n",
+		sys.TotalChips(), sys.InstalledMbit(), sys.SignalPins())
+
+	// Mapping study: motion-compensation blocks on a 16-Mbit macro,
+	// linear vs tiled 2-D mapping.
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, PageBits: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	pal := mpeg2.PAL()
+
+	lin, err := mapping.NewLinear(gm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiled, err := mapping.NewTiled2D(gm, int64(pal.Width), 16) // 16-byte x 16-line tiles
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mc := func(seed int64) []sched.Client {
+		return []sched.Client{{Name: "mc", Gen: &traffic.Block2D{
+			ClientID: 0, PitchB: int64(pal.Width), Lines: pal.Height,
+			BlockW: 16, BlockH: 16, RateGB: 0.5, Blocks: 1500,
+			Rng: rand.New(rand.NewSource(seed)),
+		}}}
+	}
+	fmt.Println()
+	mt := report.New("motion-compensation traffic vs frame mapping",
+		"mapping", "hit rate", "sustained GB/s", "p99 ns")
+	for _, mp := range []mapping.Mapping{lin, tiled} {
+		res, err := sched.Run(cfg, mp, sched.RoundRobin, mc(9))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mt.AddRow(mp.Name(), res.HitRate, res.SustainedGBps, res.Clients[0].Stats.P99Ns)
+	}
+	if err := mt.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package edram_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun compiles and executes every example main — the
+// quickest guarantee that the documented entry points stay runnable.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples in -short mode")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least 5 examples, found %d", len(dirs))
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module edram
+
+go 1.22

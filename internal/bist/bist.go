@@ -1,0 +1,292 @@
+// Package bist implements DRAM test: classic march algorithms (MATS+,
+// March C−, March B), checkerboard and retention tests, a test runner
+// over the fault-injectable cell array of internal/dram, and the
+// test-time and test-cost models behind the paper's §6 observations —
+// DRAM test patterns are rich and slow, test cost is a significant cost
+// fraction, and embedded DRAM therefore needs on-chip parallelism (BIST)
+// plus a pre-fuse / repair / post-fuse flow.
+package bist
+
+import (
+	"fmt"
+
+	"edram/internal/dram"
+)
+
+// Op is one march operation: read-and-expect or write.
+type Op struct {
+	Read  bool
+	Value bool // expected value for reads, written value for writes
+}
+
+// r returns a read-expect op, w a write op.
+func r(v bool) Op { return Op{Read: true, Value: v} }
+func w(v bool) Op { return Op{Read: false, Value: v} }
+
+// Element is one march element: an address sweep with a fixed op
+// sequence per cell.
+type Element struct {
+	// Descending reverses the address order (⇓ instead of ⇑).
+	Descending bool
+	Ops        []Op
+}
+
+// Algorithm is a complete march test.
+type Algorithm struct {
+	Name     string
+	Elements []Element
+}
+
+// OpsPerCell returns the number of operations the algorithm applies per
+// cell.
+func (a Algorithm) OpsPerCell() int {
+	n := 0
+	for _, e := range a.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// MATSPlus returns MATS+ — {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)} — the minimal
+// test covering stuck-at faults and address decoder faults (5N).
+func MATSPlus() Algorithm {
+	return Algorithm{
+		Name: "MATS+",
+		Elements: []Element{
+			{Ops: []Op{w(false)}},
+			{Ops: []Op{r(false), w(true)}},
+			{Descending: true, Ops: []Op{r(true), w(false)}},
+		},
+	}
+}
+
+// MarchCMinus returns March C− —
+// {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)} —
+// covering stuck-at, transition, address-decoder and unlinked coupling
+// faults (10N).
+func MarchCMinus() Algorithm {
+	return Algorithm{
+		Name: "March C-",
+		Elements: []Element{
+			{Ops: []Op{w(false)}},
+			{Ops: []Op{r(false), w(true)}},
+			{Ops: []Op{r(true), w(false)}},
+			{Descending: true, Ops: []Op{r(false), w(true)}},
+			{Descending: true, Ops: []Op{r(true), w(false)}},
+			{Descending: true, Ops: []Op{r(false)}},
+		},
+	}
+}
+
+// MarchB returns March B —
+// {⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}
+// — a 17N test additionally covering linked faults.
+func MarchB() Algorithm {
+	return Algorithm{
+		Name: "March B",
+		Elements: []Element{
+			{Ops: []Op{w(false)}},
+			{Ops: []Op{r(false), w(true), r(true), w(false), r(false), w(true)}},
+			{Ops: []Op{r(true), w(false), w(true)}},
+			{Descending: true, Ops: []Op{r(true), w(false), w(true), w(false)}},
+			{Descending: true, Ops: []Op{r(false), w(true), w(false)}},
+		},
+	}
+}
+
+// Algorithms returns the built-in march suite in increasing strength.
+func Algorithms() []Algorithm {
+	return []Algorithm{MATSPlus(), MarchCMinus(), MarchB()}
+}
+
+// Failure records one mismatching read.
+type Failure struct {
+	Row, Col int
+	Element  int
+	Expected bool
+	Got      bool
+}
+
+// Result reports one test run.
+type Result struct {
+	Algorithm string
+	Failures  []Failure
+	Ops       int64
+	// TestTimeNs is the tester/BIST time consumed, including pauses.
+	TestTimeNs float64
+}
+
+// FailingCells returns the distinct failing cell coordinates.
+func (res Result) FailingCells() [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, f := range res.Failures {
+		k := [2]int{f.Row, f.Col}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Pass reports whether the run saw no failures.
+func (res Result) Pass() bool { return len(res.Failures) == 0 }
+
+// Runner executes march tests on a cell array.
+type Runner struct {
+	// CycleNs is the time per memory operation.
+	CycleNs float64
+	// ParallelBits is the number of cells tested per cycle (the
+	// interface width of the tester path; the on-chip BIST datapath is
+	// much wider than the external tester's — paper §6: "a high degree
+	// of parallelism is required in order to reduce test costs").
+	ParallelBits int
+}
+
+// Validate checks the runner configuration.
+func (ru Runner) Validate() error {
+	if ru.CycleNs <= 0 {
+		return fmt.Errorf("bist: cycle time must be positive")
+	}
+	if ru.ParallelBits < 1 {
+		return fmt.Errorf("bist: parallelism must be >= 1")
+	}
+	return nil
+}
+
+// RunMarch executes the algorithm over the array starting at startMs
+// (array time, for retention bookkeeping) and returns the result.
+func (ru Runner) RunMarch(a *dram.Array, alg Algorithm, startMs float64) (Result, error) {
+	if err := ru.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Algorithm: alg.Name}
+	n := a.Rows() * a.Cols()
+	tMs := startMs
+	opMs := ru.CycleNs / 1e6 / float64(ru.ParallelBits) // amortized per-cell op time
+	for ei, el := range alg.Elements {
+		for i := 0; i < n; i++ {
+			idx := i
+			if el.Descending {
+				idx = n - 1 - i
+			}
+			row, col := idx/a.Cols(), idx%a.Cols()
+			for _, op := range el.Ops {
+				if op.Read {
+					got, err := a.Read(tMs, row, col)
+					if err != nil {
+						return Result{}, err
+					}
+					if got != op.Value {
+						res.Failures = append(res.Failures, Failure{
+							Row: row, Col: col, Element: ei,
+							Expected: op.Value, Got: got,
+						})
+					}
+				} else if err := a.Write(tMs, row, col, op.Value); err != nil {
+					return Result{}, err
+				}
+				res.Ops++
+				tMs += opMs
+			}
+		}
+	}
+	res.TestTimeNs = (tMs - startMs) * 1e6
+	return res, nil
+}
+
+// RunRetention writes an all-ones background, pauses for pauseMs without
+// refresh, then reads everything back — the retention-time test whose
+// "lot of waiting" makes DRAM test times high (paper §6).
+func (ru Runner) RunRetention(a *dram.Array, pauseMs, startMs float64) (Result, error) {
+	if err := ru.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pauseMs <= 0 {
+		return Result{}, fmt.Errorf("bist: retention pause must be positive, got %g", pauseMs)
+	}
+	res := Result{Algorithm: fmt.Sprintf("retention-%.0fms", pauseMs)}
+	opMs := ru.CycleNs / 1e6 / float64(ru.ParallelBits)
+	tMs := startMs
+	for row := 0; row < a.Rows(); row++ {
+		for col := 0; col < a.Cols(); col++ {
+			if err := a.Write(tMs, row, col, true); err != nil {
+				return Result{}, err
+			}
+			res.Ops++
+			tMs += opMs
+		}
+	}
+	tMs += pauseMs // the wait, with refresh disabled
+	for row := 0; row < a.Rows(); row++ {
+		for col := 0; col < a.Cols(); col++ {
+			got, err := a.Read(tMs, row, col)
+			if err != nil {
+				return Result{}, err
+			}
+			if !got {
+				res.Failures = append(res.Failures, Failure{Row: row, Col: col, Expected: true, Got: false})
+			}
+			res.Ops++
+			tMs += opMs
+		}
+	}
+	res.TestTimeNs = (tMs - startMs) * 1e6
+	return res, nil
+}
+
+// RunCheckerboard writes a checkerboard, reads it, then the inverse —
+// targeting cell-to-cell leakage (4N plus an optional pause).
+func (ru Runner) RunCheckerboard(a *dram.Array, pauseMs, startMs float64) (Result, error) {
+	if err := ru.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Algorithm: "checkerboard"}
+	opMs := ru.CycleNs / 1e6 / float64(ru.ParallelBits)
+	tMs := startMs
+	pass := func(invert bool) error {
+		for row := 0; row < a.Rows(); row++ {
+			for col := 0; col < a.Cols(); col++ {
+				v := (row+col)%2 == 0
+				if invert {
+					v = !v
+				}
+				if err := a.Write(tMs, row, col, v); err != nil {
+					return err
+				}
+				res.Ops++
+				tMs += opMs
+			}
+		}
+		if pauseMs > 0 {
+			tMs += pauseMs
+		}
+		for row := 0; row < a.Rows(); row++ {
+			for col := 0; col < a.Cols(); col++ {
+				want := (row+col)%2 == 0
+				if invert {
+					want = !want
+				}
+				got, err := a.Read(tMs, row, col)
+				if err != nil {
+					return err
+				}
+				if got != want {
+					res.Failures = append(res.Failures, Failure{Row: row, Col: col, Expected: want, Got: got})
+				}
+				res.Ops++
+				tMs += opMs
+			}
+		}
+		return nil
+	}
+	if err := pass(false); err != nil {
+		return Result{}, err
+	}
+	if err := pass(true); err != nil {
+		return Result{}, err
+	}
+	res.TestTimeNs = (tMs - startMs) * 1e6
+	return res, nil
+}

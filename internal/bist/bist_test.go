@@ -1,0 +1,310 @@
+package bist
+
+import (
+	"math"
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func arr(t *testing.T, rows, cols int) *dram.Array {
+	t.Helper()
+	a, err := dram.NewArray(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func runner() Runner { return Runner{CycleNs: 10, ParallelBits: 1} }
+
+func TestAlgorithmsOps(t *testing.T) {
+	if got := MATSPlus().OpsPerCell(); got != 5 {
+		t.Errorf("MATS+ is 5N, got %dN", got)
+	}
+	if got := MarchCMinus().OpsPerCell(); got != 10 {
+		t.Errorf("March C- is 10N, got %dN", got)
+	}
+	if got := MarchB().OpsPerCell(); got != 17 {
+		t.Errorf("March B is 17N, got %dN", got)
+	}
+}
+
+func TestCleanArrayPasses(t *testing.T) {
+	for _, alg := range Algorithms() {
+		a := arr(t, 16, 16)
+		res, err := runner().RunMarch(a, alg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Pass() {
+			t.Errorf("%s: clean array must pass, got %d failures", alg.Name, len(res.Failures))
+		}
+		if res.Ops != int64(alg.OpsPerCell())*16*16 {
+			t.Errorf("%s: ops = %d", alg.Name, res.Ops)
+		}
+		if res.TestTimeNs <= 0 {
+			t.Errorf("%s: test time must be positive", alg.Name)
+		}
+	}
+}
+
+func TestMarchDetectsStuckAt(t *testing.T) {
+	for _, alg := range Algorithms() {
+		for _, kind := range []dram.FaultKind{dram.StuckAt0, dram.StuckAt1} {
+			a := arr(t, 16, 16)
+			if err := a.Inject(dram.Fault{Kind: kind, Row: 3, Col: 7}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := runner().RunMarch(a, alg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Pass() {
+				t.Errorf("%s must detect %v", alg.Name, kind)
+				continue
+			}
+			cells := res.FailingCells()
+			if len(cells) != 1 || cells[0] != [2]int{3, 7} {
+				t.Errorf("%s: %v localized to %v, want [[3 7]]", alg.Name, kind, cells)
+			}
+		}
+	}
+}
+
+func TestMarchDetectsTransitionFaults(t *testing.T) {
+	// March C- and March B catch transition faults; MATS+ catches
+	// TF-up (it reads after the 0->1 write) but not all TFs.
+	for _, alg := range []Algorithm{MarchCMinus(), MarchB()} {
+		for _, kind := range []dram.FaultKind{dram.TransitionUp, dram.TransitionDown} {
+			a := arr(t, 16, 16)
+			a.Inject(dram.Fault{Kind: kind, Row: 5, Col: 5})
+			res, err := runner().RunMarch(a, alg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Pass() {
+				t.Errorf("%s must detect %v", alg.Name, kind)
+			}
+		}
+	}
+}
+
+func TestMarchCDetectsCoupling(t *testing.T) {
+	// Victim before aggressor in address order.
+	a := arr(t, 16, 16)
+	a.Inject(dram.Fault{Kind: dram.CouplingInvert, Row: 2, Col: 2, AggRow: 10, AggCol: 10})
+	res, err := runner().RunMarch(a, MarchCMinus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Error("March C- must detect coupling (victim < aggressor)")
+	}
+	// Victim after aggressor.
+	a2 := arr(t, 16, 16)
+	a2.Inject(dram.Fault{Kind: dram.CouplingInvert, Row: 10, Col: 10, AggRow: 2, AggCol: 2})
+	res2, err := runner().RunMarch(a2, MarchCMinus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pass() {
+		t.Error("March C- must detect coupling (victim > aggressor)")
+	}
+}
+
+func TestMarchDetectsLineFaults(t *testing.T) {
+	a := arr(t, 16, 16)
+	a.Inject(dram.Fault{Kind: dram.BitlineStuck0, Col: 4})
+	a.Inject(dram.Fault{Kind: dram.WordlineStuck0, Row: 9})
+	res, err := runner().RunMarch(a, MATSPlus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole column and row must show up.
+	cells := res.FailingCells()
+	colHits, rowHits := 0, 0
+	for _, c := range cells {
+		if c[1] == 4 {
+			colHits++
+		}
+		if c[0] == 9 {
+			rowHits++
+		}
+	}
+	if colHits < 16 || rowHits < 16 {
+		t.Errorf("line faults under-detected: col hits %d, row hits %d", colHits, rowHits)
+	}
+}
+
+func TestMarchMissesRetentionButPauseTestCatches(t *testing.T) {
+	// A march test back-to-back is too fast to see a 10-ms retention
+	// fault (the paper's point: retention tests need waiting).
+	a := arr(t, 16, 16)
+	a.Inject(dram.Fault{Kind: dram.Retention, Row: 1, Col: 1, RetentionMs: 10})
+	res, err := runner().RunMarch(a, MarchCMinus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Error("back-to-back march should not see a 10-ms retention fault")
+	}
+	a2 := arr(t, 16, 16)
+	a2.Inject(dram.Fault{Kind: dram.Retention, Row: 1, Col: 1, RetentionMs: 10})
+	ret, err := runner().RunRetention(a2, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Pass() {
+		t.Fatal("retention test with 64-ms pause must catch the weak cell")
+	}
+	if cells := ret.FailingCells(); len(cells) != 1 || cells[0] != [2]int{1, 1} {
+		t.Errorf("retention failure localized to %v", cells)
+	}
+	// The pause dominates test time.
+	if ret.TestTimeNs < 64e6 {
+		t.Error("retention test time must include the pause")
+	}
+}
+
+func TestCheckerboard(t *testing.T) {
+	a := arr(t, 8, 8)
+	res, err := runner().RunCheckerboard(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Error("clean array must pass checkerboard")
+	}
+	if res.Ops != 4*8*8 {
+		t.Errorf("checkerboard is 4N, got %d ops for 64 cells", res.Ops)
+	}
+	a2 := arr(t, 8, 8)
+	a2.Inject(dram.Fault{Kind: dram.StuckAt1, Row: 0, Col: 0})
+	res2, err := runner().RunCheckerboard(a2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pass() {
+		t.Error("checkerboard must catch SA1")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	a := arr(t, 4, 4)
+	if _, err := (Runner{CycleNs: 0, ParallelBits: 1}).RunMarch(a, MATSPlus(), 0); err == nil {
+		t.Error("zero cycle must error")
+	}
+	if _, err := (Runner{CycleNs: 10, ParallelBits: 0}).RunMarch(a, MATSPlus(), 0); err == nil {
+		t.Error("zero parallelism must error")
+	}
+	if _, err := runner().RunRetention(a, 0, 0); err == nil {
+		t.Error("zero pause must error")
+	}
+}
+
+func TestParallelismShrinksTestTime(t *testing.T) {
+	a1 := arr(t, 32, 32)
+	narrow, err := (Runner{CycleNs: 10, ParallelBits: 1}).RunMarch(a1, MarchCMinus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := arr(t, 32, 32)
+	wide, err := (Runner{CycleNs: 10, ParallelBits: 256}).RunMarch(a2, MarchCMinus(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := narrow.TestTimeNs / wide.TestTimeNs
+	if math.Abs(ratio-256) > 1 {
+		t.Errorf("256x parallelism must shrink time ~256x, got %.1fx", ratio)
+	}
+}
+
+func TestEstimateFlow(t *testing.T) {
+	// A 16-Mbit macro on the three test paths.
+	bits := int64(16 << 20)
+	flow := DefaultFlow()
+
+	mem, err := Estimate(bits, MemoryTester(), flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic, err := Estimate(bits, LogicTester(), flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bist, err := Estimate(bits, BISTOnTester(256, 7), flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §6: external test of an embedded macro is slow; BIST's
+	// internal parallelism collapses test time.
+	if !(bist.TotalS < mem.TotalS && mem.TotalS < logic.TotalS) {
+		t.Fatalf("test time ordering violated: bist %.1fs mem %.1fs logic %.1fs",
+			bist.TotalS, mem.TotalS, logic.TotalS)
+	}
+	if bist.CostUSD >= logic.CostUSD {
+		t.Errorf("BIST cost %.3f must undercut external logic-tester cost %.3f",
+			bist.CostUSD, logic.CostUSD)
+	}
+	// With BIST, the irreducible retention pause dominates.
+	if bist.RetentionS < 0.7*bist.TotalS-1e-9 {
+		t.Errorf("retention pause should dominate BIST time: %.2f of %.2f s",
+			bist.RetentionS, bist.TotalS)
+	}
+	// Report must sum.
+	for _, r := range []Report{mem, logic, bist} {
+		if math.Abs(r.PreFuseS+r.PostFuseS+r.RetentionS-r.TotalS) > 1e-9 {
+			t.Error("report must sum")
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(0, MemoryTester(), DefaultFlow()); err == nil {
+		t.Error("zero bits must error")
+	}
+	bad := MemoryTester()
+	bad.InterfaceBits = 0
+	if _, err := Estimate(1<<20, bad, DefaultFlow()); err == nil {
+		t.Error("bad tester must error")
+	}
+}
+
+func TestCostShare(t *testing.T) {
+	if CostShare(2, 8) != 0.2 {
+		t.Error("cost share math wrong")
+	}
+	if CostShare(0, 8) != 0 || CostShare(-1, 8) != 0 {
+		t.Error("degenerate shares must be 0")
+	}
+	// Paper §6: test costs are a significant fraction of total cost.
+	// A 64-Mbit part on a memory tester vs a $4 die (mature yield).
+	r, err := Estimate(64<<20, MemoryTester(), DefaultFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := CostShare(r.CostUSD, 4)
+	if share < 0.1 {
+		t.Errorf("test cost share %.2f should be significant", share)
+	}
+}
+
+func TestMarchDetectsAddressDecoderFault(t *testing.T) {
+	// MATS+ exists to catch decoder faults: two addresses sharing one
+	// cell fail the ascending r0,w1 sweep (the later address reads the
+	// earlier address's 1).
+	for _, alg := range Algorithms() {
+		a := arr(t, 16, 16)
+		if err := a.Inject(dram.Fault{Kind: dram.AddressDecoder, Row: 12, Col: 12, AggRow: 2, AggCol: 2}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner().RunMarch(a, alg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pass() {
+			t.Errorf("%s must detect the address-decoder fault", alg.Name)
+		}
+	}
+}

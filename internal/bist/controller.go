@@ -1,0 +1,210 @@
+package bist
+
+import (
+	"fmt"
+
+	"edram/internal/dram"
+)
+
+// Background is a data pattern the march operations are applied
+// relative to — the "algorithmic test pattern generation" of the
+// paper's §6 BIST controller. A march `w0` writes the background value
+// of the cell, `w1` its inverse.
+type Background int
+
+const (
+	// Solid: all cells share one value.
+	Solid Background = iota
+	// Checkerboard: (row+col) parity.
+	Checkerboard
+	// RowStripes: row parity (adjacent wordlines differ).
+	RowStripes
+	// ColStripes: column parity (adjacent bitlines differ).
+	ColStripes
+)
+
+// String implements fmt.Stringer.
+func (b Background) String() string {
+	switch b {
+	case Solid:
+		return "solid"
+	case Checkerboard:
+		return "checkerboard"
+	case RowStripes:
+		return "row-stripes"
+	case ColStripes:
+		return "col-stripes"
+	default:
+		return fmt.Sprintf("Background(%d)", int(b))
+	}
+}
+
+// Backgrounds returns the standard set.
+func Backgrounds() []Background {
+	return []Background{Solid, Checkerboard, RowStripes, ColStripes}
+}
+
+// at returns the background value of a cell.
+func (b Background) at(row, col int) bool {
+	switch b {
+	case Checkerboard:
+		return (row+col)%2 == 1
+	case RowStripes:
+		return row%2 == 1
+	case ColStripes:
+		return col%2 == 1
+	default:
+		return false
+	}
+}
+
+// Signature is a 32-bit MISR (multiple-input signature register) that
+// compresses the read-data stream so only a go/no-go word crosses the
+// chip boundary — the paper's "on-chip manipulation and compression of
+// test data in order to reduce the off-chip interface width".
+type Signature struct {
+	state uint32
+}
+
+// misrPoly is the CRC-32/IEEE feedback polynomial.
+const misrPoly = 0xEDB88320
+
+// Update folds one read bit into the signature.
+func (s *Signature) Update(bit bool) {
+	in := uint32(0)
+	if bit {
+		in = 1
+	}
+	fb := (s.state ^ in) & 1
+	s.state >>= 1
+	if fb == 1 {
+		s.state ^= misrPoly
+	}
+}
+
+// Value returns the signature word.
+func (s *Signature) Value() uint32 { return s.state }
+
+// Session is the on-chip BIST controller: it runs a march algorithm
+// against a background and compresses all reads into a signature. A
+// device passes when its signature equals the golden signature of a
+// fault-free array of the same geometry.
+type Session struct {
+	Runner     Runner
+	Algorithm  Algorithm
+	Background Background
+}
+
+// SessionResult reports one BIST session.
+type SessionResult struct {
+	Signature  uint32
+	Ops        int64
+	TestTimeNs float64
+}
+
+// Run executes the session on the array.
+func (se Session) Run(a *dram.Array, startMs float64) (SessionResult, error) {
+	if err := se.Runner.Validate(); err != nil {
+		return SessionResult{}, err
+	}
+	var res SessionResult
+	var sig Signature
+	n := a.Rows() * a.Cols()
+	tMs := startMs
+	opMs := se.Runner.CycleNs / 1e6 / float64(se.Runner.ParallelBits)
+	for _, el := range se.Algorithm.Elements {
+		for i := 0; i < n; i++ {
+			idx := i
+			if el.Descending {
+				idx = n - 1 - i
+			}
+			row, col := idx/a.Cols(), idx%a.Cols()
+			bg := se.Background.at(row, col)
+			for _, op := range el.Ops {
+				v := op.Value != bg // XOR: w1/r1 means inverse background
+				if op.Read {
+					got, err := a.Read(tMs, row, col)
+					if err != nil {
+						return SessionResult{}, err
+					}
+					// The MISR compresses the *miscompare* stream so
+					// the signature of a clean device is geometry-
+					// independent of the background.
+					sig.Update(got != v)
+				} else if err := a.Write(tMs, row, col, v); err != nil {
+					return SessionResult{}, err
+				}
+				res.Ops++
+				tMs += opMs
+			}
+		}
+	}
+	res.Signature = sig.Value()
+	res.TestTimeNs = (tMs - startMs) * 1e6
+	return res, nil
+}
+
+// GoldenSignature computes the pass signature for the session on a
+// fault-free array of the given geometry.
+func (se Session) GoldenSignature(rows, cols int) (uint32, error) {
+	a, err := dram.NewArray(rows, cols)
+	if err != nil {
+		return 0, err
+	}
+	res, err := se.Run(a, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Signature, nil
+}
+
+// MacroResult reports a whole-macro BIST run: every building block is
+// tested by its own slice of the parallel datapath, so wall time is one
+// block's time, not the sum.
+type MacroResult struct {
+	Blocks     int
+	Signatures []uint32
+	// FailingBlocks lists block indices whose signature missed golden.
+	FailingBlocks []int
+	TestTimeNs    float64
+	Ops           int64
+}
+
+// Pass reports whether every block matched the golden signature.
+func (mr MacroResult) Pass() bool { return len(mr.FailingBlocks) == 0 }
+
+// RunMacro executes the session on a whole macro: arrays[i] is building
+// block i (all must share one geometry). Blocks run concurrently on the
+// BIST datapath; the go/no-go compares each block's signature with the
+// common golden value.
+func (se Session) RunMacro(arrays []*dram.Array, startMs float64) (MacroResult, error) {
+	if len(arrays) == 0 {
+		return MacroResult{}, fmt.Errorf("bist: no blocks")
+	}
+	rows, cols := arrays[0].Rows(), arrays[0].Cols()
+	golden, err := se.GoldenSignature(rows, cols)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	var mr MacroResult
+	mr.Blocks = len(arrays)
+	for i, a := range arrays {
+		if a.Rows() != rows || a.Cols() != cols {
+			return MacroResult{}, fmt.Errorf("bist: block %d geometry %dx%d differs from %dx%d",
+				i, a.Rows(), a.Cols(), rows, cols)
+		}
+		res, err := se.Run(a, startMs)
+		if err != nil {
+			return MacroResult{}, err
+		}
+		mr.Signatures = append(mr.Signatures, res.Signature)
+		mr.Ops += res.Ops
+		if res.TestTimeNs > mr.TestTimeNs {
+			mr.TestTimeNs = res.TestTimeNs // blocks test in parallel
+		}
+		if res.Signature != golden {
+			mr.FailingBlocks = append(mr.FailingBlocks, i)
+		}
+	}
+	return mr, nil
+}

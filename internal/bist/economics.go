@@ -1,0 +1,124 @@
+package bist
+
+import (
+	"fmt"
+)
+
+// Tester describes a piece of test equipment (paper §6: the hybrid chip
+// could be tested "on a memory or logic tester, or on both"; test
+// concepts should support either).
+type Tester struct {
+	Name       string
+	USDPerHour float64
+	// InterfaceBits is how many memory bits the tester can drive per
+	// cycle through the chip's external interface.
+	InterfaceBits int
+	// CycleNs is the tester's effective per-op cycle.
+	CycleNs float64
+}
+
+// MemoryTester returns a specialized memory tester: massively parallel
+// pin electronics, expensive.
+func MemoryTester() Tester {
+	// March patterns activate a row per op, so the effective op cycle
+	// is row-cycle-limited, not interface-limited.
+	return Tester{Name: "memory-tester", USDPerHour: 420, InterfaceBits: 64, CycleNs: 60}
+}
+
+// LogicTester returns a logic tester pressed into memory testing: fewer
+// usable memory pins, cheaper per hour.
+func LogicTester() Tester {
+	return Tester{Name: "logic-tester", USDPerHour: 260, InterfaceBits: 16, CycleNs: 80}
+}
+
+// BISTOnTester models a chip with on-chip BIST: the tester only starts
+// the controller and reads the go/no-go result, so the internal
+// parallelism (the macro interface width) applies and the cheap tester
+// suffices.
+func BISTOnTester(internalBits int, coreCycleNs float64) Tester {
+	return Tester{Name: "bist", USDPerHour: 260, InterfaceBits: internalBits, CycleNs: coreCycleNs}
+}
+
+// Flow describes the two-wafer-pass test flow of a DRAM (paper §6:
+// "(1) pre-fuse testing, (2) fuse blowing, (3) post-fuse testing").
+type Flow struct {
+	// PreFuse is the full characterization suite run before repair.
+	PreFuse []Algorithm
+	// PostFuse is the (shorter) verification suite after fuse blowing.
+	PostFuse []Algorithm
+	// RetentionPauseMs is the retention-test wait, applied once per
+	// pass; it does not shrink with parallelism.
+	RetentionPauseMs float64
+	// VddCorners is the number of supply corners the pre-fuse suite is
+	// repeated at (production DRAM test characterizes margin).
+	VddCorners int
+}
+
+// DefaultFlow returns the standard flow: full suite pre-fuse at two
+// supply corners, March C− post-fuse, 2 x 64 ms retention pauses.
+func DefaultFlow() Flow {
+	return Flow{
+		PreFuse:          Algorithms(),
+		PostFuse:         []Algorithm{MarchCMinus()},
+		RetentionPauseMs: 64,
+		VddCorners:       2,
+	}
+}
+
+// Report is the time/cost outcome of one flow on one device.
+type Report struct {
+	Tester     Tester
+	PreFuseS   float64
+	PostFuseS  float64
+	RetentionS float64
+	TotalS     float64
+	CostUSD    float64
+}
+
+// suiteOps returns total operations per cell of a suite.
+func suiteOps(suite []Algorithm) int {
+	n := 0
+	for _, a := range suite {
+		n += a.OpsPerCell()
+	}
+	return n
+}
+
+// Estimate computes the flow's time and cost for a memory of totalBits
+// tested on the given tester.
+func Estimate(totalBits int64, t Tester, f Flow) (Report, error) {
+	if totalBits <= 0 {
+		return Report{}, fmt.Errorf("bist: memory size must be positive")
+	}
+	if t.InterfaceBits < 1 || t.CycleNs <= 0 || t.USDPerHour <= 0 {
+		return Report{}, fmt.Errorf("bist: invalid tester %+v", t)
+	}
+	opsSeconds := func(suite []Algorithm) float64 {
+		cellOps := float64(suiteOps(suite))
+		return cellOps * float64(totalBits) / float64(t.InterfaceBits) * t.CycleNs / 1e9
+	}
+	corners := f.VddCorners
+	if corners < 1 {
+		corners = 1
+	}
+	var r Report
+	r.Tester = t
+	r.PreFuseS = opsSeconds(f.PreFuse) * float64(corners)
+	r.PostFuseS = opsSeconds(f.PostFuse)
+	// One retention pause per wafer pass plus the background write/read
+	// (4N ops total, already cheap — folded into the pause constant).
+	r.RetentionS = 2 * f.RetentionPauseMs / 1e3
+	r.TotalS = r.PreFuseS + r.PostFuseS + r.RetentionS
+	r.CostUSD = r.TotalS / 3600 * t.USDPerHour
+	return r, nil
+}
+
+// CostShare returns test cost as a fraction of total unit cost (die +
+// test), the "test costs are a significant fraction of total cost"
+// quantity of paper §6.
+func CostShare(testUSD, dieUSD float64) float64 {
+	if testUSD <= 0 || dieUSD < 0 {
+		return 0
+	}
+	return testUSD / (testUSD + dieUSD)
+}

@@ -1,0 +1,229 @@
+// Package cache implements a set-associative cache simulator with LRU
+// replacement and write-back/write-allocate semantics. It is the
+// substrate of the paper's §4.2 processor-memory-gap study: "deep cache
+// structures are used to alleviate this problem, albeit at the cost of
+// increased latency".
+package cache
+
+import (
+	"fmt"
+
+	"edram/internal/units"
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// HitNs is the access time of this level.
+	HitNs float64
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	if c.LineBytes <= 0 || c.Ways <= 0 {
+		return 0
+	}
+	return c.SizeBytes / c.LineBytes / c.Ways
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: all dimensions must be positive: %+v", c)
+	case !units.IsPow2(c.LineBytes):
+		return fmt.Errorf("cache: line size %d must be a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*line", c.SizeBytes)
+	case !units.IsPow2(c.Sets()):
+		return fmt.Errorf("cache: set count %d must be a power of two", c.Sets())
+	case c.HitNs < 0:
+		return fmt.Errorf("cache: hit time must be non-negative")
+	}
+	return nil
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	age   uint64 // global LRU counter
+}
+
+// Stats accumulates cache activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Outcome reports one access.
+type Outcome struct {
+	Hit bool
+	// Writeback is true when a dirty victim was evicted; its address
+	// is VictimAddr.
+	Writeback  bool
+	VictimAddr int64
+}
+
+// Access looks up addr (byte address), allocating on miss
+// (write-allocate) and marking dirty on write (write-back).
+func (c *Cache) Access(addr int64, write bool) Outcome {
+	if addr < 0 {
+		addr = -addr
+	}
+	c.stats.Accesses++
+	c.tick++
+	lineAddr := addr / int64(c.cfg.LineBytes)
+	set := int(lineAddr % int64(len(c.sets)))
+	tag := lineAddr / int64(len(c.sets))
+
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].age = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			return Outcome{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].age < ways[victim].age {
+			victim = i
+		}
+	}
+	var out Outcome
+	if ways[victim].valid && ways[victim].dirty {
+		c.stats.Writebacks++
+		out.Writeback = true
+		victimLine := ways[victim].tag*int64(len(c.sets)) + int64(set)
+		out.VictimAddr = victimLine * int64(c.cfg.LineBytes)
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, age: c.tick}
+	return out
+}
+
+// Flush invalidates every line, returning the number of dirty lines that
+// would be written back.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				dirty++
+			}
+			c.sets[s][w] = line{}
+		}
+	}
+	return dirty
+}
+
+// Hierarchy chains an L1 and an optional L2 in front of a memory whose
+// access time is MemoryNs. It produces per-access latencies for the CPU
+// model.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache // may be nil (the IRAM case: DRAM close enough to skip L2)
+	// MemoryNs is the latency of a memory access (line fill) behind the
+	// last cache level.
+	MemoryNs float64
+	// WritebackNs is the extra cost of writing back a dirty victim.
+	WritebackNs float64
+	// PrefetchNext, when true, also fills the next sequential line on a
+	// last-level miss. On a wide memory interface the neighbour line
+	// rides along (almost) free — the IRAM wide-interface argument;
+	// PrefetchNs is its added latency cost (0 for a bus at least two
+	// lines wide).
+	PrefetchNext bool
+	PrefetchNs   float64
+}
+
+// AccessNs runs one access through the hierarchy and returns its latency.
+func (h *Hierarchy) AccessNs(addr int64, write bool) float64 {
+	lat := h.L1.cfg.HitNs
+	o1 := h.L1.Access(addr, write)
+	if o1.Hit {
+		return lat
+	}
+	if o1.Writeback {
+		lat += h.writebackCost(o1.VictimAddr)
+	}
+	if h.L2 != nil {
+		lat += h.L2.cfg.HitNs
+		o2 := h.L2.Access(addr, write)
+		if o2.Hit {
+			return lat
+		}
+		if o2.Writeback {
+			lat += h.WritebackNs
+		}
+	}
+	lat += h.MemoryNs
+	if h.PrefetchNext {
+		lat += h.PrefetchNs
+		next := addr + int64(h.L1.cfg.LineBytes)
+		h.L1.Access(next, false)
+		if h.L2 != nil {
+			h.L2.Access(next, false)
+		}
+	}
+	return lat
+}
+
+func (h *Hierarchy) writebackCost(victimAddr int64) float64 {
+	if h.L2 != nil {
+		// Victim lands in L2; only its own victim may reach memory.
+		o := h.L2.Access(victimAddr, true)
+		if o.Writeback {
+			return h.WritebackNs
+		}
+		return 0
+	}
+	return h.WritebackNs
+}

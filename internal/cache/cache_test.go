@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg16K() Config {
+	return Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2, HitNs: 2}
+}
+
+func mustNew(t *testing.T, c Config) *Cache {
+	t.Helper()
+	ch, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestConfigValidate(t *testing.T) {
+	if cfg16K().Validate() != nil {
+		t.Fatal("good config rejected")
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Ways: 2},
+		{SizeBytes: 16 << 10, LineBytes: 33, Ways: 2},
+		{SizeBytes: 16<<10 + 5, LineBytes: 32, Ways: 2},
+		{SizeBytes: 16 << 10, LineBytes: 32, Ways: 0},
+		{SizeBytes: 16 << 10, LineBytes: 32, Ways: 2, HitNs: -1},
+		{SizeBytes: 96, LineBytes: 32, Ways: 1}, // 3 sets, not pow2
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+	if cfg16K().Sets() != 256 {
+		t.Errorf("sets = %d, want 256", cfg16K().Sets())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, cfg16K())
+	if o := c.Access(0x1000, false); o.Hit {
+		t.Error("cold access must miss")
+	}
+	if o := c.Access(0x1000, false); !o.Hit {
+		t.Error("second access must hit")
+	}
+	// Same line, different byte: still a hit.
+	if o := c.Access(0x101F, false); !o.Hit {
+		t.Error("same-line access must hit")
+	}
+	// Next line: miss.
+	if o := c.Access(0x1020, false); o.Hit {
+		t.Error("next line must miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way: fill a set with A and B, touch A, insert C -> B evicted.
+	c := mustNew(t, cfg16K())
+	setStride := int64(256 * 32) // sets * line
+	a, b, x := int64(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // A most recent
+	c.Access(x, false) // evicts B
+	if o := c.Access(a, false); !o.Hit {
+		t.Error("A must survive")
+	}
+	if o := c.Access(b, false); o.Hit {
+		t.Error("B must have been evicted")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := mustNew(t, cfg16K())
+	setStride := int64(256 * 32)
+	c.Access(0, true) // dirty
+	c.Access(setStride, false)
+	o := c.Access(2*setStride, false) // evicts line 0 (LRU, dirty)
+	if !o.Writeback {
+		t.Fatal("evicting a dirty line must write back")
+	}
+	if o.VictimAddr != 0 {
+		t.Errorf("victim addr = %#x, want 0", o.VictimAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Error("writeback counter wrong")
+	}
+	// Clean eviction: no writeback.
+	o = c.Access(3*setStride, false)
+	if o.Writeback {
+		t.Error("clean eviction must not write back")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, cfg16K())
+	c.Access(0, true)
+	c.Access(32, true)
+	c.Access(64, false)
+	if d := c.Flush(); d != 2 {
+		t.Errorf("flush reported %d dirty lines, want 2", d)
+	}
+	if o := c.Access(0, false); o.Hit {
+		t.Error("flush must invalidate")
+	}
+}
+
+func TestNegativeAddress(t *testing.T) {
+	c := mustNew(t, cfg16K())
+	c.Access(-64, false)
+	if o := c.Access(-64, false); !o.Hit {
+		t.Error("negative addresses must be stable")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("idle hit rate must be 0")
+	}
+	c := mustNew(t, cfg16K())
+	c.Access(0, false)
+	c.Access(0, false)
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	l1 := mustNew(t, Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+	l2 := mustNew(t, Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 4, HitNs: 10})
+	h := &Hierarchy{L1: l1, L2: l2, MemoryNs: 120, WritebackNs: 60}
+
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := h.AccessNs(0, false); lat != 2+10+120 {
+		t.Errorf("cold latency = %v, want 132", lat)
+	}
+	// Now in both: L1 hit.
+	if lat := h.AccessNs(0, false); lat != 2 {
+		t.Errorf("hot latency = %v, want 2", lat)
+	}
+	// Evict line 0 from L1 only (two new lines in its 2-way L1 set,
+	// which land in different L2 sets): next access is an L2 hit.
+	h.AccessNs(1024, false)
+	h.AccessNs(2048, false)
+	lat := h.AccessNs(0, false)
+	if lat != 2+10 {
+		t.Errorf("L2-hit latency = %v, want 12", lat)
+	}
+}
+
+func TestHierarchyWithoutL2(t *testing.T) {
+	l1 := mustNew(t, Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+	h := &Hierarchy{L1: l1, MemoryNs: 25, WritebackNs: 10}
+	if lat := h.AccessNs(0, false); lat != 27 {
+		t.Errorf("cold latency = %v, want 27", lat)
+	}
+	if lat := h.AccessNs(0, false); lat != 2 {
+		t.Errorf("hot latency = %v, want 2", lat)
+	}
+	// Dirty eviction without L2 pays the writeback directly: line 0 is
+	// dirty and LRU once 1024 fills the other way, so 2048 evicts it.
+	h.AccessNs(0, true)
+	h.AccessNs(1024, false)
+	lat := h.AccessNs(2*1024, false) // evicts dirty line 0
+	if lat != 2+10+25 {
+		t.Errorf("dirty-eviction latency = %v, want 37", lat)
+	}
+}
+
+func TestCachingHelps(t *testing.T) {
+	// A small working set accessed repeatedly must be dominated by
+	// cache hits; a huge random sweep must not.
+	l1 := mustNew(t, cfg16K())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		l1.Access(int64(rng.Intn(8<<10)), false) // 8 KB set, fits
+	}
+	if hr := l1.Stats().HitRate(); hr < 0.9 {
+		t.Errorf("resident working set hit rate %.2f too low", hr)
+	}
+	l2 := mustNew(t, cfg16K())
+	for i := 0; i < 10000; i++ {
+		l2.Access(int64(rng.Intn(64<<20)), false) // 64 MB sweep
+	}
+	if hr := l2.Stats().HitRate(); hr > 0.1 {
+		t.Errorf("streaming sweep hit rate %.2f too high", hr)
+	}
+}
+
+// Property: accesses = hits + misses, and repeating any address
+// immediately is always a hit.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(addrs []int32) bool {
+		c, err := New(cfg16K())
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(int64(a), a%2 == 0)
+			if o := c.Access(int64(a), false); !o.Hit {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Accesses == s.Hits+s.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefetchNextLine(t *testing.T) {
+	l1 := mustNew(t, Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+	h := &Hierarchy{L1: l1, MemoryNs: 25, PrefetchNext: true}
+	// Miss on line 0 prefetches line 1: the next sequential access hits.
+	h.AccessNs(0, false)
+	if lat := h.AccessNs(32, false); lat != 2 {
+		t.Errorf("prefetched line must hit L1: latency %v", lat)
+	}
+	// A non-sequential access still misses.
+	if lat := h.AccessNs(4096, false); lat != 27 {
+		t.Errorf("random access latency %v, want 27", lat)
+	}
+}
+
+func TestPrefetchCostsLatencyWhenNarrow(t *testing.T) {
+	l1 := mustNew(t, Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+	h := &Hierarchy{L1: l1, MemoryNs: 25, PrefetchNext: true, PrefetchNs: 10}
+	if lat := h.AccessNs(0, false); lat != 2+25+10 {
+		t.Errorf("narrow-bus prefetch must pay its cost: %v", lat)
+	}
+}
+
+func TestPrefetchHelpsStreams(t *testing.T) {
+	run := func(prefetch bool) float64 {
+		l1 := mustNew(t, Config{SizeBytes: 1 << 10, LineBytes: 32, Ways: 2, HitNs: 2})
+		h := &Hierarchy{L1: l1, MemoryNs: 25, PrefetchNext: prefetch}
+		total := 0.0
+		for a := int64(0); a < 64*1024; a += 32 {
+			total += h.AccessNs(a, false)
+		}
+		return total
+	}
+	if p, n := run(true), run(false); p >= n {
+		t.Errorf("free prefetch must speed streams: %v vs %v", p, n)
+	}
+}

@@ -1,0 +1,391 @@
+// Package core implements the paper's primary contribution as a usable
+// tool: systematic exploration of the embedded-memory design space. The
+// paper's §3 lists the free dimensions — number of banks, page length,
+// word/interface width, building-block size, redundancy level, base
+// process — and argues that "it is incumbent upon eDRAM suppliers to
+// make the trade-offs transparent and to quantize the design space into
+// a set of understandable if slightly sub-optimal solutions". Explore
+// enumerates the space, evaluates every candidate through the area,
+// timing, power, yield and cost models, filters by the application's
+// constraints, extracts the Pareto frontier, and quantizes it into named
+// recommendations.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edram/internal/cost"
+	"edram/internal/edram"
+	"edram/internal/geom"
+	"edram/internal/power"
+	"edram/internal/tech"
+	"edram/internal/units"
+)
+
+// Requirements captures what the application needs from the memory.
+type Requirements struct {
+	// CapacityMbit of usable storage.
+	CapacityMbit int
+	// BandwidthGBps of *sustained* bandwidth under the expected access
+	// mix.
+	BandwidthGBps float64
+	// HitRate is the expected page-hit rate of the workload (used by
+	// the closed-form sustained-bandwidth estimate).
+	HitRate float64
+	// MaxAreaMm2 caps the macro area (0 = unconstrained).
+	MaxAreaMm2 float64
+	// MaxPowerMW caps the macro's busy power (0 = unconstrained).
+	MaxPowerMW float64
+	// MinClockMHz requires the macro interface to reach at least this
+	// clock (0 = unconstrained).
+	MinClockMHz float64
+	// Processes optionally widens the exploration to several base
+	// processes (§3's DRAM-based / logic-based / merged choice); empty
+	// means the default DRAM-based eDRAM process.
+	Processes []tech.Process
+	// DefectsPerCm2 parameterizes the yield/cost model.
+	DefectsPerCm2 float64
+}
+
+// Validate checks the requirements.
+func (r Requirements) Validate() error {
+	if r.CapacityMbit <= 0 {
+		return fmt.Errorf("core: capacity must be positive")
+	}
+	if r.BandwidthGBps <= 0 {
+		return fmt.Errorf("core: bandwidth must be positive")
+	}
+	if r.HitRate < 0 || r.HitRate > 1 {
+		return fmt.Errorf("core: hit rate %g out of [0,1]", r.HitRate)
+	}
+	if r.MinClockMHz < 0 {
+		return fmt.Errorf("core: min clock must be non-negative")
+	}
+	if r.MaxAreaMm2 < 0 || r.MaxPowerMW < 0 || r.DefectsPerCm2 < 0 {
+		return fmt.Errorf("core: constraints must be non-negative")
+	}
+	return nil
+}
+
+// Candidate is one evaluated point of the design space.
+type Candidate struct {
+	Spec  edram.Spec
+	Macro *edram.Macro
+	// Macros is the number of identical macros the capacity is split
+	// across (each with its own independent interface) — the
+	// "interface organization" dimension of paper §3.
+	Macros int
+	// Evaluated metrics.
+	AreaMm2       float64
+	PowerMW       float64
+	PeakGBps      float64
+	SustainedGBps float64
+	DieYield      float64
+	CostUSD       float64 // macro die-cost share per good die
+	// Feasible is true when every requirement is met; Reasons lists
+	// the violated constraints otherwise.
+	Feasible bool
+	Reasons  []string
+}
+
+// SustainedEstimate is the closed-form sustained-bandwidth model: a hit
+// proceeds at the interface cycle; a miss pays the row cycle amortized
+// over the banks that can overlap their activations, but never less
+// than the activation path (tRCD) the in-order controller serializes,
+// plus the transfer cycle. Validated against the event-driven simulator
+// in ablation A3.
+func SustainedEstimate(m *edram.Macro, hitRate float64) float64 {
+	hitRate = units.Clamp(hitRate, 0, 1)
+	tm := m.Timing
+	banks := float64(m.Geometry.Banks)
+	perHit := tm.TCKns
+	rowShare := tm.TRCns / banks
+	if rowShare < tm.TRCDns {
+		rowShare = tm.TRCDns
+	}
+	missPenalty := rowShare + tm.TCKns
+	avg := hitRate*perHit + (1-hitRate)*missPenalty
+	if avg <= 0 {
+		return 0
+	}
+	return m.PeakBandwidthGBps() * perHit / avg
+}
+
+// repairFractionFor maps redundancy level to the fraction of
+// memory-defective dies the spares recover (calibrated against the
+// yield package's Monte-Carlo results for typical defect clusters).
+func repairFractionFor(level edram.RedundancyLevel) float64 {
+	switch level {
+	case edram.RedundancyLow:
+		return 0.70
+	case edram.RedundancyStd:
+		return 0.90
+	case edram.RedundancyHigh:
+		return 0.97
+	default:
+		return 0
+	}
+}
+
+// evaluate builds and scores one spec, replicated over `macros`
+// identical instances that share the load.
+func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, ce power.CoreEnergy) (Candidate, error) {
+	if macros < 1 {
+		macros = 1
+	}
+	m, err := edram.Build(spec)
+	if err != nil {
+		return Candidate{}, err
+	}
+	n := float64(macros)
+	c := Candidate{Spec: spec, Macro: m, Macros: macros}
+	c.AreaMm2 = n * m.Area.TotalMm2
+	c.PeakGBps = n * m.PeakBandwidthGBps()
+	c.SustainedGBps = n * SustainedEstimate(m, req.HitRate)
+	pr := m.Power(e, ce, 1.0, req.HitRate)
+	c.PowerMW = n * pr.TotalMW
+
+	proc := m.Geometry.Process
+	dieCost, yieldEff, err := cost.MacroDieCost(proc, 0, c.AreaMm2, req.DefectsPerCm2, repairFractionFor(spec.Redundancy))
+	if err != nil {
+		return Candidate{}, err
+	}
+	c.CostUSD = dieCost
+	c.DieYield = yieldEff
+
+	c.Feasible = true
+	fail := func(format string, args ...interface{}) {
+		c.Feasible = false
+		c.Reasons = append(c.Reasons, fmt.Sprintf(format, args...))
+	}
+	if c.SustainedGBps < req.BandwidthGBps {
+		fail("sustained %.2f GB/s < required %.2f", c.SustainedGBps, req.BandwidthGBps)
+	}
+	if req.MaxAreaMm2 > 0 && c.AreaMm2 > req.MaxAreaMm2 {
+		fail("area %.1f mm² > cap %.1f", c.AreaMm2, req.MaxAreaMm2)
+	}
+	if req.MaxPowerMW > 0 && c.PowerMW > req.MaxPowerMW {
+		fail("power %.0f mW > cap %.0f", c.PowerMW, req.MaxPowerMW)
+	}
+	if req.MinClockMHz > 0 && m.ClockMHz < req.MinClockMHz {
+		fail("clock %.0f MHz < required %.0f", m.ClockMHz, req.MinClockMHz)
+	}
+	return c, nil
+}
+
+// Explore enumerates the §3 design space for the requirements: interface
+// widths 16..512, bank counts 1..8, page lengths (4x..16x interface),
+// both building blocks and all redundancy levels. It returns every
+// buildable candidate, feasible or not.
+func Explore(req Requirements) ([]Candidate, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	procs := req.Processes
+	if len(procs) == 0 {
+		procs = []tech.Process{tech.Siemens024()}
+	}
+	var out []Candidate
+	for _, macros := range []int{1, 2} {
+		if req.CapacityMbit%macros != 0 {
+			continue
+		}
+		for iface := 16; iface <= 512; iface *= 2 {
+			for banks := 1; banks <= 8; banks *= 2 {
+				for _, pageMult := range []int{4, 8, 16} {
+					for _, block := range []int{geom.Block256K, geom.Block1M} {
+						for _, red := range []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh} {
+							for pi := range procs {
+								spec := edram.Spec{
+									CapacityMbit:  req.CapacityMbit / macros,
+									InterfaceBits: iface,
+									Banks:         banks,
+									PageBits:      iface * pageMult,
+									BlockBits:     block,
+									Redundancy:    red,
+									Process:       &procs[pi],
+								}
+								cand, err := evaluate(spec, macros, req, e, ce)
+								if err != nil {
+									continue // unbuildable corner of the space
+								}
+								out = append(out, cand)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no buildable configuration for %+v", req)
+	}
+	return out, nil
+}
+
+// Feasible filters to the candidates meeting every requirement.
+func Feasible(cands []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range cands {
+		if c.Feasible {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dominates reports whether a is at least as good as b on (area, power,
+// cost, -sustained) and strictly better somewhere.
+func dominates(a, b Candidate) bool {
+	ge := a.AreaMm2 <= b.AreaMm2 && a.PowerMW <= b.PowerMW &&
+		a.CostUSD <= b.CostUSD && a.SustainedGBps >= b.SustainedGBps
+	gt := a.AreaMm2 < b.AreaMm2 || a.PowerMW < b.PowerMW ||
+		a.CostUSD < b.CostUSD || a.SustainedGBps > b.SustainedGBps
+	return ge && gt
+}
+
+// Pareto extracts the non-dominated candidates (objectives: minimize
+// area, power and cost; maximize sustained bandwidth), sorted by area.
+func Pareto(cands []Candidate) []Candidate {
+	var front []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i != j && dominates(d, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].AreaMm2 < front[j].AreaMm2 })
+	return front
+}
+
+// Recommendation is one quantized solution with a role label — the
+// paper's "set of understandable if slightly sub-optimal solutions".
+type Recommendation struct {
+	Role string
+	Candidate
+}
+
+// Recommend explores the space and quantizes the feasible Pareto
+// frontier into at most four named configurations.
+func Recommend(req Requirements) ([]Recommendation, error) {
+	cands, err := Explore(req)
+	if err != nil {
+		return nil, err
+	}
+	feas := Feasible(cands)
+	if len(feas) == 0 {
+		return nil, fmt.Errorf("core: no feasible configuration; closest misses: %v", nearestMiss(cands))
+	}
+	front := Pareto(feas)
+
+	pick := func(better func(a, b Candidate) bool) Candidate {
+		best := front[0]
+		for _, c := range front[1:] {
+			if better(c, best) {
+				best = c
+			}
+		}
+		return best
+	}
+	minArea := pick(func(a, b Candidate) bool { return a.AreaMm2 < b.AreaMm2 })
+	minPower := pick(func(a, b Candidate) bool { return a.PowerMW < b.PowerMW })
+	maxBW := pick(func(a, b Candidate) bool { return a.SustainedGBps > b.SustainedGBps })
+	minCost := pick(func(a, b Candidate) bool { return a.CostUSD < b.CostUSD })
+
+	recs := []Recommendation{
+		{Role: "min-area", Candidate: minArea},
+		{Role: "min-power", Candidate: minPower},
+		{Role: "max-bandwidth", Candidate: maxBW},
+		{Role: "min-cost", Candidate: minCost},
+	}
+	// Deduplicate identical picks, keeping the first role.
+	var out []Recommendation
+	seen := map[string]bool{}
+	for _, r := range recs {
+		k := fmt.Sprintf("%d/%d/%d/%d/%d/%v", r.Macros, r.Spec.InterfaceBits, r.Spec.Banks, r.Spec.PageBits, r.Spec.BlockBits, r.Spec.Redundancy)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// nearestMiss summarizes why the best infeasible candidate failed.
+func nearestMiss(cands []Candidate) []string {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || len(c.Reasons) < len(cands[best].Reasons) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return cands[best].Reasons
+}
+
+// Validation is the outcome of checking a candidate against the
+// event-driven simulator (the A3 ablation applied to one design point).
+type Validation struct {
+	ModelGBps     float64
+	SimulatedGBps float64
+	SimHitRate    float64
+	// Agreement = min(model,sim)/max(model,sim).
+	Agreement float64
+	// MeetsRequirement is true when the simulated sustained bandwidth
+	// (per macro, scaled by the macro count) covers the requirement.
+	MeetsRequirement bool
+}
+
+// ValidateBySimulation replays a standard three-client contention mix on
+// the candidate's device configuration and compares the measured
+// sustained bandwidth with the closed-form estimate the explorer used.
+// The simulation hook is injected (internal/sched provides it) to keep
+// the package dependency-light; see Experiments A3 for the calibration.
+type SimulateFunc func(devTotalGBpsDemand float64, c Candidate) (sustainedGBps, hitRate float64, err error)
+
+// ValidateBySimulation runs the injected simulator against the candidate.
+func ValidateBySimulation(c Candidate, req Requirements, sim SimulateFunc) (Validation, error) {
+	if sim == nil {
+		return Validation{}, fmt.Errorf("core: nil simulator")
+	}
+	if err := req.Validate(); err != nil {
+		return Validation{}, err
+	}
+	perMacroDemand := req.BandwidthGBps / float64(maxInt(1, c.Macros))
+	simGB, hit, err := sim(perMacroDemand, c)
+	if err != nil {
+		return Validation{}, err
+	}
+	v := Validation{
+		ModelGBps:     SustainedEstimate(c.Macro, hit) * float64(maxInt(1, c.Macros)),
+		SimulatedGBps: simGB * float64(maxInt(1, c.Macros)),
+		SimHitRate:    hit,
+	}
+	lo, hi := v.ModelGBps, v.SimulatedGBps
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 0 {
+		v.Agreement = lo / hi
+	}
+	v.MeetsRequirement = v.SimulatedGBps >= req.BandwidthGBps
+	return v, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

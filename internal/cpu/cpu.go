@@ -1,0 +1,157 @@
+// Package cpu models a simple in-order processor executing a synthetic
+// instruction mix over a memory system. It provides the CPI/IPC metric
+// for the paper's §4.2 processor-memory-gap experiment: the same core,
+// once behind a conventional cache + external-DRAM path and once merged
+// with on-chip DRAM (internal/iram), shows how much performance the
+// memory system costs.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Memory is the interface the core loads from and stores to. AccessNs
+// returns the latency of the access; the core stalls for it.
+type Memory interface {
+	AccessNs(addr int64, write bool) float64
+}
+
+// Config describes the core.
+type Config struct {
+	ClockMHz float64
+	// LoadFrac / StoreFrac are the fractions of instructions that are
+	// loads and stores (the rest execute in one cycle).
+	LoadFrac  float64
+	StoreFrac float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ClockMHz <= 0 {
+		return fmt.Errorf("cpu: clock must be positive")
+	}
+	if c.LoadFrac < 0 || c.StoreFrac < 0 || c.LoadFrac+c.StoreFrac > 1 {
+		return fmt.Errorf("cpu: memory-op fractions invalid: load %.2f store %.2f", c.LoadFrac, c.StoreFrac)
+	}
+	return nil
+}
+
+// CycleNs returns the core cycle time.
+func (c Config) CycleNs() float64 { return 1e3 / c.ClockMHz }
+
+// Workload generates the data addresses of the instruction stream: a
+// resident working set (stack/locals) mixed with a larger heap region
+// and a streaming component — enough structure for caches to matter
+// without modelling an ISA.
+type Workload struct {
+	// HotBytes is the resident working-set size; HotFrac the fraction
+	// of memory ops that land in it.
+	HotBytes int64
+	HotFrac  float64
+	// HeapBytes is the large region the rest of the accesses hit.
+	HeapBytes int64
+	// StreamFrac of the heap accesses walk sequentially.
+	StreamFrac float64
+	// WarmFrac of the remaining heap accesses land in the first
+	// WarmBytes of the heap (a Zipf-like warm/cold split; 0 = uniform).
+	WarmFrac  float64
+	WarmBytes int64
+	Rng       *rand.Rand
+
+	streamPos int64
+}
+
+// Validate checks the workload.
+func (w *Workload) Validate() error {
+	if w.HotBytes <= 0 || w.HeapBytes <= 0 {
+		return fmt.Errorf("cpu: workload regions must be positive")
+	}
+	if w.HotFrac < 0 || w.HotFrac > 1 || w.StreamFrac < 0 || w.StreamFrac > 1 || w.WarmFrac < 0 || w.WarmFrac > 1 {
+		return fmt.Errorf("cpu: workload fractions out of range")
+	}
+	if w.WarmFrac > 0 && (w.WarmBytes <= 0 || w.WarmBytes > w.HeapBytes) {
+		return fmt.Errorf("cpu: warm region must be positive and within the heap")
+	}
+	return nil
+}
+
+// NextAddr returns the next data address.
+func (w *Workload) NextAddr() int64 {
+	if w.Rng == nil {
+		w.Rng = rand.New(rand.NewSource(1))
+	}
+	if w.Rng.Float64() < w.HotFrac {
+		return w.Rng.Int63n(w.HotBytes)
+	}
+	if w.Rng.Float64() < w.StreamFrac {
+		w.streamPos = (w.streamPos + 32) % w.HeapBytes
+		return w.HotBytes + w.streamPos
+	}
+	if w.WarmFrac > 0 && w.Rng.Float64() < w.WarmFrac {
+		return w.HotBytes + w.Rng.Int63n(w.WarmBytes)
+	}
+	return w.HotBytes + w.Rng.Int63n(w.HeapBytes)
+}
+
+// Result reports one run.
+type Result struct {
+	Instructions int64
+	MemOps       int64
+	// TotalNs is the execution time.
+	TotalNs float64
+	// MemStallNs is the time spent waiting on memory beyond one cycle
+	// per memory op.
+	MemStallNs float64
+	CPI        float64
+	// MIPS is the achieved instruction rate.
+	MIPS float64
+}
+
+// Run executes n instructions of the workload against mem.
+func Run(cfg Config, w *Workload, mem Memory, n int64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("cpu: instruction count must be positive, got %d", n)
+	}
+	if w.Rng == nil {
+		w.Rng = rand.New(rand.NewSource(1))
+	}
+	cyc := cfg.CycleNs()
+	var res Result
+	res.Instructions = n
+	for i := int64(0); i < n; i++ {
+		res.TotalNs += cyc // every instruction costs one issue cycle
+		r := w.Rng.Float64()
+		var write bool
+		switch {
+		case r < cfg.LoadFrac:
+			write = false
+		case r < cfg.LoadFrac+cfg.StoreFrac:
+			write = true
+		default:
+			continue
+		}
+		res.MemOps++
+		lat := mem.AccessNs(w.NextAddr(), write)
+		if lat > cyc {
+			res.MemStallNs += lat - cyc
+			res.TotalNs += lat - cyc
+		}
+	}
+	res.CPI = res.TotalNs / cyc / float64(n)
+	res.MIPS = float64(n) / res.TotalNs * 1e3
+	return res, nil
+}
+
+// FlatMemory is a fixed-latency memory, useful as a baseline and in
+// tests.
+type FlatMemory struct{ LatencyNs float64 }
+
+// AccessNs implements Memory.
+func (f FlatMemory) AccessNs(int64, bool) float64 { return f.LatencyNs }

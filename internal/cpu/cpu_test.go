@@ -1,0 +1,145 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func goodCfg() Config {
+	return Config{ClockMHz: 300, LoadFrac: 0.22, StoreFrac: 0.10}
+}
+
+func goodWorkload(seed int64) *Workload {
+	return &Workload{
+		HotBytes: 8 << 10, HotFrac: 0.6,
+		HeapBytes: 8 << 20, StreamFrac: 0.3,
+		Rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if goodCfg().Validate() != nil {
+		t.Fatal("good config rejected")
+	}
+	bad := []Config{
+		{ClockMHz: 0, LoadFrac: 0.2, StoreFrac: 0.1},
+		{ClockMHz: 100, LoadFrac: -0.1, StoreFrac: 0.1},
+		{ClockMHz: 100, LoadFrac: 0.7, StoreFrac: 0.5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if math.Abs(goodCfg().CycleNs()-1e3/300) > 1e-12 {
+		t.Error("cycle time wrong")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if goodWorkload(1).Validate() != nil {
+		t.Fatal("good workload rejected")
+	}
+	bad := []*Workload{
+		{HotBytes: 0, HeapBytes: 1 << 20},
+		{HotBytes: 1 << 10, HeapBytes: 0},
+		{HotBytes: 1 << 10, HeapBytes: 1 << 20, HotFrac: 1.5},
+		{HotBytes: 1 << 10, HeapBytes: 1 << 20, StreamFrac: -0.1},
+	}
+	for i, w := range bad {
+		if w.Validate() == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+}
+
+func TestWorkloadAddressRanges(t *testing.T) {
+	w := goodWorkload(2)
+	for i := 0; i < 10000; i++ {
+		a := w.NextAddr()
+		if a < 0 || a >= w.HotBytes+w.HeapBytes {
+			t.Fatalf("address %d out of range", a)
+		}
+	}
+	// Default RNG path.
+	w2 := &Workload{HotBytes: 1 << 10, HotFrac: 0.5, HeapBytes: 1 << 20}
+	if w2.NextAddr() < 0 {
+		t.Error("default-rng address negative")
+	}
+}
+
+func TestRunIdealMemoryCPIOne(t *testing.T) {
+	// With zero-latency memory, CPI must be exactly 1.
+	res, err := Run(goodCfg(), goodWorkload(3), FlatMemory{LatencyNs: 0}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CPI-1) > 1e-9 {
+		t.Errorf("ideal CPI = %v, want 1", res.CPI)
+	}
+	if res.MemStallNs != 0 {
+		t.Error("no stalls expected with ideal memory")
+	}
+}
+
+func TestRunSlowMemoryRaisesCPI(t *testing.T) {
+	fast, err := Run(goodCfg(), goodWorkload(4), FlatMemory{LatencyNs: 10}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(goodCfg(), goodWorkload(4), FlatMemory{LatencyNs: 200}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CPI <= fast.CPI {
+		t.Fatalf("slower memory must raise CPI: %.2f vs %.2f", slow.CPI, fast.CPI)
+	}
+	if slow.MIPS >= fast.MIPS {
+		t.Error("slower memory must lower MIPS")
+	}
+	// Expected CPI with flat latency L ns: 1 + memFrac*(L-cyc)/cyc.
+	cyc := goodCfg().CycleNs()
+	memFrac := float64(slow.MemOps) / float64(slow.Instructions)
+	want := 1 + memFrac*(200-cyc)/cyc
+	if math.Abs(slow.CPI-want) > 0.05*want {
+		t.Errorf("CPI = %.2f, analytic %.2f", slow.CPI, want)
+	}
+}
+
+func TestRunMemOpFraction(t *testing.T) {
+	res, err := Run(goodCfg(), goodWorkload(5), FlatMemory{}, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.MemOps) / float64(res.Instructions)
+	if math.Abs(frac-0.32) > 0.02 {
+		t.Errorf("memory-op fraction %.3f, want ~0.32", frac)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}, goodWorkload(1), FlatMemory{}, 100); err == nil {
+		t.Error("bad config must error")
+	}
+	if _, err := Run(goodCfg(), &Workload{}, FlatMemory{}, 100); err == nil {
+		t.Error("bad workload must error")
+	}
+	if _, err := Run(goodCfg(), goodWorkload(1), FlatMemory{}, 0); err == nil {
+		t.Error("zero instructions must error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(goodCfg(), goodWorkload(7), FlatMemory{LatencyNs: 50}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(goodCfg(), goodWorkload(7), FlatMemory{LatencyNs: 50}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed must reproduce the run")
+	}
+}

@@ -1,0 +1,326 @@
+// Package dram implements an event-driven multi-bank DRAM core model.
+// It is the simulation substrate beneath the memory-controller and
+// application studies: banks with open rows, the classic timing
+// constraints (tRCD, tRP, tRAS, tRC, tRFC), a shared data bus, and
+// distributed refresh.
+//
+// Time is modelled in nanoseconds as float64; the device quantizes
+// command issue to its interface clock. The model is deliberately a
+// *core* model: the arbitration and page policies that turn peak
+// bandwidth into sustained bandwidth live in internal/sched.
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/tech"
+)
+
+// Config describes one DRAM device or embedded macro core.
+type Config struct {
+	Banks       int
+	RowsPerBank int
+	// PageBits is the row (page) length in bits.
+	PageBits int
+	// DataBits is the data-interface width; one column access moves
+	// DataBits bits in one clock.
+	DataBits int
+	Timing   tech.SDRAMTiming
+	// AutoRefresh enables distributed refresh: every TRefIns one row is
+	// refreshed (rotating over banks), stealing tRFC from the bank.
+	AutoRefresh bool
+}
+
+// ColumnsPerRow returns the number of column accesses one page holds.
+func (c Config) ColumnsPerRow() int {
+	if c.DataBits <= 0 {
+		return 0
+	}
+	return c.PageBits / c.DataBits
+}
+
+// TotalBits returns the device capacity.
+func (c Config) TotalBits() int64 {
+	return int64(c.Banks) * int64(c.RowsPerBank) * int64(c.PageBits)
+}
+
+// PeakBandwidthGBps is the theoretical interface bandwidth: DataBits per
+// clock, no gaps.
+func (c Config) PeakBandwidthGBps() float64 {
+	if c.Timing.TCKns <= 0 {
+		return 0
+	}
+	return float64(c.DataBits) / 8 / c.Timing.TCKns // bits/8 per ns = GB/s
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks < 1:
+		return fmt.Errorf("dram: banks must be >= 1, got %d", c.Banks)
+	case c.RowsPerBank < 1:
+		return fmt.Errorf("dram: rows per bank must be >= 1, got %d", c.RowsPerBank)
+	case c.PageBits < 1:
+		return fmt.Errorf("dram: page bits must be >= 1, got %d", c.PageBits)
+	case c.DataBits < 1 || c.DataBits > c.PageBits:
+		return fmt.Errorf("dram: data width %d must be in [1, page=%d]", c.DataBits, c.PageBits)
+	case c.PageBits%c.DataBits != 0:
+		return fmt.Errorf("dram: page %d not a multiple of data width %d", c.PageBits, c.DataBits)
+	case c.Timing.TCKns <= 0 || c.Timing.TRCDns <= 0 || c.Timing.TRPns <= 0 || c.Timing.TRCns <= 0:
+		return fmt.Errorf("dram: timing parameters must be positive: %+v", c.Timing)
+	}
+	return nil
+}
+
+// Stats accumulates device activity.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	PageHits    int64
+	PageMisses  int64 // row conflict: had to precharge first
+	PageEmpties int64 // bank was idle: activate without precharge
+	Refreshes   int64
+	// DataBusBusyNs is the total time the data bus carried transfers.
+	DataBusBusyNs float64
+	// LastDoneNs is the completion time of the latest access.
+	LastDoneNs float64
+}
+
+// Accesses returns total read+write count.
+func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// HitRate returns the fraction of accesses that hit an open page.
+func (s Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.PageHits) / float64(s.Accesses())
+}
+
+type bankState struct {
+	openRow   int     // -1 when precharged
+	canActAt  float64 // earliest next ACT (tRC / tRP from precharge)
+	canPreAt  float64 // earliest next PRE (tRAS from last ACT)
+	canColAt  float64 // earliest next column command (tRCD from ACT)
+	refOwedAt float64 // next scheduled refresh time for this bank slice
+}
+
+// Device is an event-driven DRAM core.
+type Device struct {
+	cfg       Config
+	banks     []bankState
+	busFreeAt float64
+	nextRefAt float64
+	refBank   int
+	stats     Stats
+	// lastWriteEnd supports the write-to-read turnaround penalty.
+	lastWriteEnd float64
+	// actTimes is a ring of the last four activate times (tFAW).
+	actTimes [4]float64
+	actIdx   int
+}
+
+// New creates a device from a validated config.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg, banks: make([]bankState, cfg.Banks)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	if cfg.Timing.TFAWns > 0 {
+		for i := range d.actTimes {
+			d.actTimes[i] = math.Inf(-1)
+		}
+	}
+	if cfg.AutoRefresh && cfg.Timing.TRefIns > 0 {
+		d.nextRefAt = cfg.Timing.TRefIns
+	} else {
+		d.nextRefAt = math.Inf(1)
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears the statistics without touching bank state.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// clockAlign rounds t up to the next interface clock edge.
+func (d *Device) clockAlign(t float64) float64 {
+	tck := d.cfg.Timing.TCKns
+	return math.Ceil(t/tck-1e-9) * tck
+}
+
+// serveRefresh performs any refreshes due at or before time t.
+func (d *Device) serveRefresh(t float64) {
+	for d.nextRefAt <= t {
+		b := &d.banks[d.refBank]
+		start := math.Max(d.nextRefAt, b.canActAt)
+		// Refresh needs the bank precharged.
+		if b.openRow >= 0 {
+			preAt := math.Max(start, b.canPreAt)
+			b.openRow = -1
+			start = preAt + d.cfg.Timing.TRPns
+		}
+		end := start + d.cfg.Timing.TRFCns
+		b.canActAt = end
+		b.canPreAt = end
+		b.canColAt = end
+		d.stats.Refreshes++
+		d.refBank = (d.refBank + 1) % d.cfg.Banks
+		d.nextRefAt += d.cfg.Timing.TRefIns
+	}
+}
+
+// AccessResult reports one access.
+type AccessResult struct {
+	StartNs float64 // when the column command issued
+	DoneNs  float64 // when the data transfer completed
+	Hit     bool    // open-page hit
+	Empty   bool    // bank was precharged (neither hit nor conflict)
+}
+
+// Access performs one column access (DataBits bits) at the given bank and
+// row, issuing precharge/activate as needed (open-page policy). now is
+// the earliest time the controller presents the request. It returns the
+// timing of the access.
+func (d *Device) Access(now float64, bank, row int, write bool) (AccessResult, error) {
+	if bank < 0 || bank >= d.cfg.Banks {
+		return AccessResult{}, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, d.cfg.Banks)
+	}
+	if row < 0 || row >= d.cfg.RowsPerBank {
+		return AccessResult{}, fmt.Errorf("dram: row %d out of range [0,%d)", row, d.cfg.RowsPerBank)
+	}
+	if now < 0 {
+		now = 0
+	}
+	d.serveRefresh(now)
+
+	tm := d.cfg.Timing
+	b := &d.banks[bank]
+	t := d.clockAlign(now)
+	var res AccessResult
+
+	activate := func(earliest float64) float64 {
+		act := math.Max(earliest, b.canActAt)
+		if tm.TFAWns > 0 {
+			// The oldest of the last four ACTs bounds this one.
+			if w := d.actTimes[d.actIdx] + tm.TFAWns; w > act {
+				act = w
+			}
+		}
+		act = d.clockAlign(act)
+		if tm.TFAWns > 0 {
+			d.actTimes[d.actIdx] = act
+			d.actIdx = (d.actIdx + 1) % len(d.actTimes)
+		}
+		b.openRow = row
+		b.canPreAt = act + tm.TRASns
+		b.canColAt = act + tm.TRCDns
+		b.canActAt = act + tm.TRCns
+		return act
+	}
+
+	switch {
+	case b.openRow == row:
+		res.Hit = true
+		d.stats.PageHits++
+	case b.openRow < 0:
+		res.Empty = true
+		d.stats.PageEmpties++
+		activate(t)
+	default:
+		d.stats.PageMisses++
+		pre := math.Max(t, b.canPreAt)
+		pre = d.clockAlign(pre)
+		activate(pre + tm.TRPns)
+	}
+
+	col := math.Max(math.Max(t, b.canColAt), d.busFreeAt)
+	// Write-to-read turnaround: a read after a write waits tWTR.
+	if !write && tm.TWTRns > 0 && col < d.lastWriteEnd+tm.TWTRns {
+		col = d.lastWriteEnd + tm.TWTRns
+	}
+	col = d.clockAlign(col)
+	res.StartNs = col
+	// Data appears tCAS after a read command; writes complete after the
+	// transfer cycle. Either way the bus is occupied for one clock.
+	if write {
+		res.DoneNs = col + tm.TCKns
+		d.lastWriteEnd = res.DoneNs
+		d.stats.Writes++
+	} else {
+		res.DoneNs = col + tm.TCASns
+		d.stats.Reads++
+	}
+	d.busFreeAt = col + tm.TCKns
+	d.stats.DataBusBusyNs += tm.TCKns
+	if res.DoneNs > d.stats.LastDoneNs {
+		d.stats.LastDoneNs = res.DoneNs
+	}
+	return res, nil
+}
+
+// Burst performs n consecutive column accesses to the same row (a burst)
+// and returns the completion time of the last beat.
+func (d *Device) Burst(now float64, bank, row, n int, write bool) (AccessResult, error) {
+	if n < 1 {
+		return AccessResult{}, fmt.Errorf("dram: burst length must be >= 1, got %d", n)
+	}
+	var first, last AccessResult
+	var err error
+	t := now
+	for i := 0; i < n; i++ {
+		last, err = d.Access(t, bank, row, write)
+		if err != nil {
+			return AccessResult{}, err
+		}
+		if i == 0 {
+			first = last
+		}
+		t = last.StartNs // next beat may pipeline right behind
+	}
+	return AccessResult{StartNs: first.StartNs, DoneNs: last.DoneNs, Hit: first.Hit, Empty: first.Empty}, nil
+}
+
+// Precharge closes one bank at the earliest legal time at or after now
+// (a controller-issued PRE, e.g. auto-precharge in a closed-page
+// policy).
+func (d *Device) Precharge(now float64, bank int) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	b := &d.banks[bank]
+	if b.openRow < 0 {
+		return nil
+	}
+	pre := math.Max(now, b.canPreAt)
+	b.openRow = -1
+	if pre+d.cfg.Timing.TRPns > b.canActAt {
+		b.canActAt = pre + d.cfg.Timing.TRPns
+	}
+	return nil
+}
+
+// PrechargeAll closes every bank (e.g. before power-down or a policy
+// switch). Completion is not modelled beyond the per-bank timers.
+func (d *Device) PrechargeAll(now float64) {
+	for i := range d.banks {
+		d.Precharge(now, i) // in-range by construction
+	}
+}
+
+// OpenRow returns the currently open row of a bank, or -1.
+func (d *Device) OpenRow(bank int) int {
+	if bank < 0 || bank >= len(d.banks) {
+		return -1
+	}
+	return d.banks[bank].openRow
+}

@@ -1,0 +1,292 @@
+// Package edram implements the paper's §5 flexible embedded-DRAM
+// concept: application-specific memory macros constructed from 256-Kbit
+// and 1-Mbit building blocks, with the memory size, interface width
+// (16–512 bits), bank count, page length and redundancy level as free
+// design parameters.
+//
+// Build checks a specification against the concept's constraints,
+// derives the physical organization, and returns a Macro with area,
+// timing, bandwidth and power views plus a dram.Config for event-driven
+// simulation — the "first-time-right designs accompanied by all views"
+// the paper promises.
+package edram
+
+import (
+	"fmt"
+	"strings"
+
+	"edram/internal/dram"
+	"edram/internal/geom"
+	"edram/internal/power"
+	"edram/internal/tech"
+	"edram/internal/timing"
+	"edram/internal/units"
+)
+
+// RedundancyLevel selects the number of spare rows/columns per building
+// block ("different redundancy levels, in order to optimize the yield of
+// the memory module to the specific chip", §5).
+type RedundancyLevel int
+
+const (
+	RedundancyNone RedundancyLevel = iota
+	RedundancyLow                  // 2 spare rows + 2 spare columns per block
+	RedundancyStd                  // 4 + 4
+	RedundancyHigh                 // 8 + 8
+)
+
+// Spares returns the per-block spare row and column counts.
+func (r RedundancyLevel) Spares() (rows, cols int) {
+	switch r {
+	case RedundancyLow:
+		return 2, 2
+	case RedundancyStd:
+		return 4, 4
+	case RedundancyHigh:
+		return 8, 8
+	default:
+		return 0, 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (r RedundancyLevel) String() string {
+	switch r {
+	case RedundancyNone:
+		return "none"
+	case RedundancyLow:
+		return "low"
+	case RedundancyStd:
+		return "std"
+	case RedundancyHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("RedundancyLevel(%d)", int(r))
+	}
+}
+
+// Spec is the designer-facing macro specification. Zero-valued optional
+// fields are auto-derived by Build.
+type Spec struct {
+	// CapacityMbit is the usable macro capacity. Must be a multiple of
+	// the building-block size.
+	CapacityMbit int
+	// InterfaceBits is the data interface width, 16..512, power of two.
+	InterfaceBits int
+	// Banks (optional) is the number of independent banks; default 4
+	// (or fewer for tiny macros).
+	Banks int
+	// PageBits (optional) is the activated page length; default
+	// 8x the interface width, capped by the bank's column span.
+	PageBits int
+	// BlockBits (optional) selects the building block: geom.Block256K
+	// or geom.Block1M. Default: 1 Mbit for macros >= 8 Mbit, else
+	// 256 Kbit.
+	BlockBits int
+	// Redundancy selects spare rows/columns per block.
+	Redundancy RedundancyLevel
+	// Process (optional) defaults to tech.Siemens024().
+	Process *tech.Process
+	// TargetClockMHz (optional) caps the interface clock below the
+	// array's maximum.
+	TargetClockMHz float64
+	// WithBIST includes the synthesizable BIST controller (default on
+	// via Build; set SkipBIST to omit).
+	SkipBIST bool
+}
+
+// Macro is a constructed embedded memory module with all views.
+type Macro struct {
+	Spec     Spec
+	Geometry geom.MacroGeometry
+	Area     geom.AreaBreakdown
+	Timing   tech.SDRAMTiming
+	// ClockMHz is the operating interface clock.
+	ClockMHz float64
+}
+
+// ConceptMaxCapacityMbit is the concept's published upper bound
+// ("embedded memory sizes up to at least 128 Mbits"); Build allows up to
+// twice that to model the "at least".
+const ConceptMaxCapacityMbit = 256
+
+// Build validates the spec, derives the organization and returns the
+// macro.
+func Build(spec Spec) (*Macro, error) {
+	proc := tech.Siemens024()
+	if spec.Process != nil {
+		proc = *spec.Process
+	}
+	if spec.CapacityMbit <= 0 {
+		return nil, fmt.Errorf("edram: capacity must be positive, got %d Mbit", spec.CapacityMbit)
+	}
+	if spec.CapacityMbit > ConceptMaxCapacityMbit {
+		return nil, fmt.Errorf("edram: capacity %d Mbit exceeds the concept's %d Mbit ceiling",
+			spec.CapacityMbit, ConceptMaxCapacityMbit)
+	}
+
+	// Building block.
+	blockBits := spec.BlockBits
+	if blockBits == 0 {
+		if spec.CapacityMbit >= 8 {
+			blockBits = geom.Block1M
+		} else {
+			blockBits = geom.Block256K
+		}
+	}
+	if blockBits != geom.Block256K && blockBits != geom.Block1M {
+		return nil, fmt.Errorf("edram: block size %d bits not offered (256 Kbit or 1 Mbit)", blockBits)
+	}
+	capBits := spec.CapacityMbit * units.Mbit
+	if capBits%blockBits != 0 {
+		return nil, fmt.Errorf("edram: capacity %d Mbit is not a multiple of the %s building block",
+			spec.CapacityMbit, units.FormatMbit(units.BitsToMbit(int64(blockBits))))
+	}
+	blocks := capBits / blockBits
+
+	// Banks: default to the largest count <= 4 that divides the block
+	// count (capacities like 13 Mbit have odd block counts).
+	banks := spec.Banks
+	if banks == 0 {
+		for banks = 4; banks > 1; banks-- {
+			if banks <= blocks && blocks%banks == 0 {
+				break
+			}
+		}
+	}
+	if banks < 1 || blocks%banks != 0 {
+		return nil, fmt.Errorf("edram: %d banks do not divide %d blocks", banks, blocks)
+	}
+
+	g := geom.MacroGeometry{
+		Process:       proc,
+		BlockBits:     blockBits,
+		Blocks:        blocks,
+		Banks:         banks,
+		InterfaceBits: spec.InterfaceBits,
+		WithBIST:      !spec.SkipBIST,
+	}
+	g.SpareRowsPerBlock, g.SpareColsPerBlock = spec.Redundancy.Spares()
+
+	// Page length.
+	page := spec.PageBits
+	maxPage := g.BlockColumns() * (blocks / banks)
+	if page == 0 {
+		page = spec.InterfaceBits * 8
+		if page > maxPage {
+			page = maxPage
+		}
+	}
+	g.PageBits = page
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Timing follows the physical building block (wordline and bitline
+	// lengths are per block; blocks fire in parallel to form the page).
+	org := timing.Organization{PageBits: g.BlockColumns(), RowsPerBank: g.BlockRows()}
+	tm, err := timing.ArrayTiming(tech.PC100(), org)
+	if err != nil {
+		return nil, err
+	}
+	clock := timing.MaxClockMHz(tm)
+	if spec.TargetClockMHz > 0 && spec.TargetClockMHz < clock {
+		clock = spec.TargetClockMHz
+		tm.TCKns = 1e3 / clock
+	}
+
+	area, err := g.Area()
+	if err != nil {
+		return nil, err
+	}
+	return &Macro{Spec: spec, Geometry: g, Area: area, Timing: tm, ClockMHz: clock}, nil
+}
+
+// CapacityMbit returns the usable capacity.
+func (m *Macro) CapacityMbit() int { return m.Spec.CapacityMbit }
+
+// PeakBandwidthGBps is the macro's interface peak bandwidth.
+func (m *Macro) PeakBandwidthGBps() float64 {
+	return units.BandwidthGBps(m.Geometry.InterfaceBits, m.ClockMHz)
+}
+
+// FillFrequencyHz is the paper's fill-frequency metric for the macro.
+func (m *Macro) FillFrequencyHz() float64 {
+	return units.FillFrequencyHz(m.PeakBandwidthGBps(), float64(m.CapacityMbit()))
+}
+
+// RowsPerBank returns the logical bank depth in pages.
+func (m *Macro) RowsPerBank() int {
+	return m.CapacityMbit() * units.Mbit / m.Geometry.Banks / m.Geometry.PageBits
+}
+
+// DeviceConfig returns the dram.Config for event-driven simulation.
+func (m *Macro) DeviceConfig() dram.Config {
+	return dram.Config{
+		Banks:       m.Geometry.Banks,
+		RowsPerBank: m.RowsPerBank(),
+		PageBits:    m.Geometry.PageBits,
+		DataBits:    m.Geometry.InterfaceBits,
+		Timing:      m.Timing,
+		AutoRefresh: true,
+	}
+}
+
+// PowerReport breaks down macro power at an operating point.
+type PowerReport struct {
+	InterfaceMW float64
+	ActivateMW  float64
+	ColumnMW    float64
+	RefreshMW   float64
+	StandbyMW   float64
+	TotalMW     float64
+}
+
+// Power evaluates the macro at the given utilization (fraction of clocks
+// carrying transfers) and page-hit rate.
+func (m *Macro) Power(e tech.Electrical, ce power.CoreEnergy, utilization, hitRate float64) PowerReport {
+	utilization = units.Clamp(utilization, 0, 1)
+	hitRate = units.Clamp(hitRate, 0, 1)
+
+	var r PowerReport
+	r.InterfaceMW = power.OnChipBus(e, m.Geometry.InterfaceBits, m.ClockMHz*utilization, m.Geometry.Process.VddDRAMV).PowerMW
+
+	accessesPerSec := m.ClockMHz * 1e6 * utilization
+	activatesPerSec := accessesPerSec * (1 - hitRate)
+	r.ActivateMW = activatesPerSec * ce.ActivateEnergyPJ(m.Geometry.PageBits) * 1e-9 // pJ/s -> mW
+	bitsPerSec := accessesPerSec * float64(m.Geometry.InterfaceBits)
+	r.ColumnMW = bitsPerSec * ce.ColumnPJPerBit * 1e-9
+
+	totalBits := m.CapacityMbit() * units.Mbit
+	r.RefreshMW = ce.RefreshPowerMW(totalBits, m.Geometry.PageBits, m.Geometry.Process.RetentionMs)
+	r.StandbyMW = ce.StandbyPowerMW(totalBits)
+	r.TotalMW = r.InterfaceMW + r.ActivateMW + r.ColumnMW + r.RefreshMW + r.StandbyMW
+	return r
+}
+
+// Datasheet renders the macro's views as a human-readable block.
+func (m *Macro) Datasheet() string {
+	var b strings.Builder
+	g := m.Geometry
+	fmt.Fprintf(&b, "Embedded DRAM macro (%s)\n", g.Process.Name)
+	fmt.Fprintf(&b, "  capacity        : %s (%d x %s blocks)\n",
+		units.FormatMbit(float64(m.CapacityMbit())), g.Blocks,
+		units.FormatMbit(units.BitsToMbit(int64(g.BlockBits))))
+	fmt.Fprintf(&b, "  organization    : %d banks x %d pages x %d bits/page\n",
+		g.Banks, m.RowsPerBank(), g.PageBits)
+	fmt.Fprintf(&b, "  interface       : %d bits @ %.0f MHz\n", g.InterfaceBits, m.ClockMHz)
+	fmt.Fprintf(&b, "  peak bandwidth  : %s\n", units.FormatGBps(m.PeakBandwidthGBps()))
+	fmt.Fprintf(&b, "  fill frequency  : %.0f /s\n", m.FillFrequencyHz())
+	fmt.Fprintf(&b, "  area            : %.2f mm2 (%.2f Mbit/mm2)\n", m.Area.TotalMm2, m.Area.EfficiencyMbitPerMm2)
+	if fp, err := g.Floorplan(); err == nil {
+		fmt.Fprintf(&b, "  floorplan       : %.2f x %.2f mm, %dx%d blocks, %.2f mm interface wire\n",
+			fp.WidthMm, fp.HeightMm, fp.GridCols, fp.GridRows, fp.InterfaceWireMm)
+	}
+	fmt.Fprintf(&b, "  cycle time      : %.2f ns (tRCD %.1f, tRP %.1f, tRC %.1f)\n",
+		m.Timing.TCKns, m.Timing.TRCDns, m.Timing.TRPns, m.Timing.TRCns)
+	fmt.Fprintf(&b, "  redundancy      : %s (%d+%d spares/block)\n",
+		m.Spec.Redundancy, g.SpareRowsPerBlock, g.SpareColsPerBlock)
+	fmt.Fprintf(&b, "  BIST            : %v\n", g.WithBIST)
+	return b.String()
+}

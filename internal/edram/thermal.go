@@ -1,0 +1,71 @@
+package edram
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/power"
+	"edram/internal/tech"
+	"edram/internal/units"
+)
+
+// ThermalReport is the self-consistent operating point of a macro on a
+// hybrid die: paper §1 warns that "although the power consumption per
+// system decreases, the power consumption per chip may increase.
+// Therefore junction temperature may increase and DRAM retention time
+// may decrease" — which in turn raises refresh power. ThermalReport is
+// the fixed point of that loop.
+type ThermalReport struct {
+	Power       PowerReport
+	JunctionC   float64
+	RetentionMs float64
+	// RefreshPenalty is refresh power at the equilibrium over refresh
+	// power at nominal retention.
+	RefreshPenalty float64
+	// Converged is false when the loop hit its iteration cap (thermal
+	// runaway regime).
+	Converged bool
+}
+
+// PowerAtThermalEquilibrium solves the power→junction-temperature→
+// retention→refresh-power loop for the macro, with logicPowerMW of
+// co-integrated logic dissipating into the same package.
+func (m *Macro) PowerAtThermalEquilibrium(e tech.Electrical, ce power.CoreEnergy, th power.Thermal, utilization, hitRate, logicPowerMW float64) (ThermalReport, error) {
+	if logicPowerMW < 0 {
+		return ThermalReport{}, fmt.Errorf("edram: logic power must be non-negative")
+	}
+	proc := m.Geometry.Process
+	totalBits := m.CapacityMbit() * units.Mbit
+
+	nominal := ce.RefreshPowerMW(totalBits, m.Geometry.PageBits, proc.RetentionMs)
+
+	retention := proc.RetentionMs
+	var rep ThermalReport
+	const maxIter = 100
+	for i := 0; i < maxIter; i++ {
+		pr := m.Power(e, ce, utilization, hitRate)
+		// Replace the nominal refresh term with the retention-derated
+		// one.
+		pr.TotalMW -= pr.RefreshMW
+		pr.RefreshMW = ce.RefreshPowerMW(totalBits, m.Geometry.PageBits, retention)
+		pr.TotalMW += pr.RefreshMW
+
+		tj := th.JunctionC(pr.TotalMW + logicPowerMW)
+		newRet, err := power.RetentionAtJunction(proc, tj)
+		if err != nil {
+			return ThermalReport{}, err
+		}
+		rep.Power = pr
+		rep.JunctionC = tj
+		rep.RetentionMs = newRet
+		if math.Abs(newRet-retention) < 1e-6*retention {
+			rep.Converged = true
+			break
+		}
+		retention = newRet
+	}
+	if nominal > 0 {
+		rep.RefreshPenalty = rep.Power.RefreshMW / nominal
+	}
+	return rep, nil
+}

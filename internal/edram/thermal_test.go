@@ -1,0 +1,79 @@
+package edram
+
+import (
+	"testing"
+
+	"edram/internal/power"
+	"edram/internal/tech"
+)
+
+func TestThermalEquilibriumBasics(t *testing.T) {
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	th := power.DefaultThermal()
+	m := build(t, Spec{CapacityMbit: 16, InterfaceBits: 256})
+
+	cool, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.2, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cool.Converged {
+		t.Fatal("low-power point must converge")
+	}
+	if cool.JunctionC <= th.AmbientC {
+		t.Error("junction must sit above ambient")
+	}
+	if cool.RetentionMs <= 0 {
+		t.Error("retention must be positive")
+	}
+}
+
+func TestThermalFeedbackDirection(t *testing.T) {
+	// Paper §1: more per-chip power (here: 3 W of co-integrated logic)
+	// raises junction temperature, cuts retention and raises refresh
+	// power.
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	th := power.DefaultThermal()
+	m := build(t, Spec{CapacityMbit: 16, InterfaceBits: 256})
+
+	alone, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.5, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.5, 0.8, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alone.Converged || !hybrid.Converged {
+		t.Fatal("both operating points must converge")
+	}
+	if hybrid.JunctionC <= alone.JunctionC {
+		t.Error("logic power must heat the junction")
+	}
+	if hybrid.RetentionMs >= alone.RetentionMs {
+		t.Error("hotter junction must cut retention")
+	}
+	if hybrid.Power.RefreshMW <= alone.Power.RefreshMW {
+		t.Error("shorter retention must cost refresh power")
+	}
+	if hybrid.RefreshPenalty <= alone.RefreshPenalty {
+		t.Error("refresh penalty must grow with co-integrated power")
+	}
+	// 3 W through 35 °C/W is ~105 °C of heating: retention collapses
+	// by more than an order of magnitude.
+	if alone.RetentionMs/hybrid.RetentionMs < 10 {
+		t.Errorf("expected >10x retention collapse, got %.1fx",
+			alone.RetentionMs/hybrid.RetentionMs)
+	}
+}
+
+func TestThermalEquilibriumErrors(t *testing.T) {
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	th := power.DefaultThermal()
+	m := build(t, Spec{CapacityMbit: 16, InterfaceBits: 256})
+	if _, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.5, 0.8, -1); err == nil {
+		t.Error("negative logic power must error")
+	}
+}

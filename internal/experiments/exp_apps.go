@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"edram/internal/edram"
+	"edram/internal/iram"
+	"edram/internal/mapping"
+	"edram/internal/mpeg2"
+	"edram/internal/report"
+	"edram/internal/scanconv"
+	"edram/internal/sched"
+	"edram/internal/trend"
+)
+
+// E5MPEG2 regenerates the §4.1 case study: the 16-Mbit decoder budget
+// for PAL and NTSC, the ~3-Mbit output-buffer saving that costs 2x
+// pipeline/MC bandwidth, the commodity-granularity fit, and a one-frame
+// decode simulated on a 16-Mbit eDRAM macro.
+func E5MPEG2() (Experiment, error) {
+	t := report.New("E5: MPEG2 decoder memory budget and bandwidth",
+		"format", "mode", "input Mbit", "refs Mbit", "out Mbit", "total Mbit",
+		"commodity Mbit", "edram Mbit", "BW GB/s")
+	var palSaving, palFullTotal float64
+	for _, f := range []mpeg2.Format{mpeg2.PAL(), mpeg2.NTSC()} {
+		for _, mode := range []mpeg2.OutputMode{mpeg2.FullOutput, mpeg2.ReducedOutput} {
+			b, err := mpeg2.BudgetFor(f, mode)
+			if err != nil {
+				return Experiment{}, err
+			}
+			bw, err := mpeg2.Bandwidth(f, mode)
+			if err != nil {
+				return Experiment{}, err
+			}
+			t.AddRow(f.Name, mode.String(), b.InputMbit, b.RefMbit, b.OutputMbit,
+				b.TotalMbit, mpeg2.CommodityFitMbit(b), mpeg2.EDRAMFitMbit(b), bw.TotalGBps)
+			if f.Name == "PAL" && mode == mpeg2.FullOutput {
+				palFullTotal = b.TotalMbit
+			}
+		}
+		if f.Name == "PAL" {
+			s, err := mpeg2.SavingMbit(f)
+			if err != nil {
+				return Experiment{}, err
+			}
+			palSaving = s
+		}
+	}
+
+	// One-frame decode on a 16-Mbit / 64-bit macro.
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return Experiment{}, err
+	}
+	clients, err := mpeg2.Clients(mpeg2.PAL(), mpeg2.FullOutput, 1, 7)
+	if err != nil {
+		return Experiment{}, err
+	}
+	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	if err != nil {
+		return Experiment{}, err
+	}
+
+	return Experiment{
+		ID:    "E5",
+		Title: "MPEG2 decoder (paper §4.1: 16-Mbit budget, ~3-Mbit saving at 2x bandwidth)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "pal-full-total", Value: palFullTotal, Unit: "Mbit"},
+			{Name: "pal-saving", Value: palSaving, Unit: "Mbit"},
+			{Name: "frame-decode-ms", Value: res.DurationNs / 1e6, Unit: "ms"},
+			{Name: "macro-utilization", Value: res.SustainedFraction, Unit: "frac"},
+		},
+	}, nil
+}
+
+// E6MemoryGap regenerates §4.2: the 60%-vs-10% divergence over the
+// years, and the IRAM merge ratios (latency 5-10x, bandwidth 50-100x,
+// energy 2-4x).
+func E6MemoryGap() (Experiment, error) {
+	t := report.New("E6: processor-memory gap and IRAM merge",
+		"year", "cpu perf", "dram ns", "gap", "device Mbit", "chips/system")
+	rows, err := trend.Table(1980, 2005, 5)
+	if err != nil {
+		return Experiment{}, err
+	}
+	for _, r := range rows {
+		t.AddRow(r.Year, r.CPUPerf, r.DRAMAccessNs, r.Gap, r.DeviceMbit, r.DevicesPer)
+	}
+	m, err := iram.Compare(200000, 1)
+	if err != nil {
+		return Experiment{}, err
+	}
+	return Experiment{
+		ID:    "E6",
+		Title: "Processor-memory gap (paper §4.2: IRAM 5-10x latency, 50-100x BW, 2-4x energy)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "gap-1998", Value: trend.Gap(1998), Unit: "x"},
+			{Name: "iram-latency-ratio", Value: m.LatencyRatio, Unit: "x"},
+			{Name: "iram-bandwidth-ratio", Value: m.BandwidthRatio, Unit: "x"},
+			{Name: "iram-energy-ratio", Value: m.EnergyRatio, Unit: "x"},
+			{Name: "conv-cpi", Value: m.ConvCPI, Unit: "cpi"},
+			{Name: "iram-cpi", Value: m.IRAMCPI, Unit: "cpi"},
+		},
+	}, nil
+}
+
+// E22ScanConverter regenerates the first §5 application: a TV scan-rate
+// converter (50 Hz interlaced -> 100 Hz) whose field stores are an
+// awkward non-power-of-two size — the granularity argument applied to a
+// real product — plus a real-time simulation on the exact-fit macro.
+func E22ScanConverter() (Experiment, error) {
+	t := report.New("E22: scan-rate converter memory (3-field motion adaptive)",
+		"standard", "field Mbit", "total Mbit", "edram Mbit", "acquire GB/s",
+		"interp GB/s", "display GB/s", "total GB/s")
+	var palTotal float64
+	for _, s := range []scanconv.Standard{scanconv.PAL50(), scanconv.NTSC60()} {
+		b, err := scanconv.BudgetFor(s, 3)
+		if err != nil {
+			return Experiment{}, err
+		}
+		bw, err := scanconv.Bandwidth(s, 3)
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(s.Name, s.FieldMbit(), b.TotalMbit, b.EDRAMMbit,
+			bw.AcquireGBps, bw.InterpGBps, bw.DisplayGBps, bw.TotalGBps)
+		if s.Name == "PAL-50" {
+			palTotal = b.TotalMbit
+		}
+	}
+
+	// Real-time check on the exact-fit macro.
+	b, err := scanconv.BudgetFor(scanconv.PAL50(), 3)
+	if err != nil {
+		return Experiment{}, err
+	}
+	m, err := edram.Build(edram.Spec{CapacityMbit: b.EDRAMMbit, InterfaceBits: 64})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return Experiment{}, err
+	}
+	clients, err := scanconv.Clients(scanconv.PAL50(), 3, 2, 5)
+	if err != nil {
+		return Experiment{}, err
+	}
+	res, err := sched.Run(cfg, mp, sched.Deadline, clients)
+	if err != nil {
+		return Experiment{}, err
+	}
+	budgetNs := 2 * 1e9 / float64(scanconv.PAL50().FieldRateHz*scanconv.PAL50().OutputFactor)
+	return Experiment{
+		ID:    "E22",
+		Title: "Scan-rate converter (paper §5: first listed application)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "pal-total-mbit", Value: palTotal, Unit: "Mbit"},
+			{Name: "realtime-margin", Value: budgetNs / res.DurationNs, Unit: "x"},
+		},
+	}, nil
+}

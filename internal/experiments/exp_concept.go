@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/report"
+	"edram/internal/sched"
+	"edram/internal/traffic"
+)
+
+// E7SiemensConcept regenerates the §5 concept corner points across the
+// capacity range: ~1 Mbit/mm² from 8-16 Mbit up, cycle < 7 ns
+// (>= 143 MHz), up to ~9 GB/s per module at 512 bits.
+func E7SiemensConcept() (Experiment, error) {
+	t := report.New("E7: flexible eDRAM concept sweep",
+		"Mbit", "iface", "area mm2", "Mbit/mm2", "tCK ns", "MHz", "peak GB/s")
+	var eff16, bw512, tck16 float64
+	for _, mbit := range []int{1, 4, 8, 16, 32, 64, 128} {
+		iface := 256
+		if mbit < 4 {
+			iface = 64
+		}
+		m, err := edram.Build(edram.Spec{CapacityMbit: mbit, InterfaceBits: iface})
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(mbit, iface, m.Area.TotalMm2, m.Area.EfficiencyMbitPerMm2,
+			m.Timing.TCKns, m.ClockMHz, m.PeakBandwidthGBps())
+		if mbit == 16 {
+			eff16 = m.Area.EfficiencyMbitPerMm2
+			tck16 = m.Timing.TCKns
+		}
+	}
+	wide, err := edram.Build(edram.Spec{CapacityMbit: 128, InterfaceBits: 512})
+	if err != nil {
+		return Experiment{}, err
+	}
+	bw512 = wide.PeakBandwidthGBps()
+	t.AddRow(128, 512, wide.Area.TotalMm2, wide.Area.EfficiencyMbitPerMm2,
+		wide.Timing.TCKns, wide.ClockMHz, bw512)
+	return Experiment{
+		ID:    "E7",
+		Title: "Siemens concept (paper §5: ~1 Mbit/mm², <7 ns, ~9 GB/s @ 512 bits)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "efficiency@16Mbit", Value: eff16, Unit: "Mbit/mm2"},
+			{Name: "tck@16Mbit", Value: tck16, Unit: "ns"},
+			{Name: "peak@512bit", Value: bw512, Unit: "GB/s"},
+		},
+	}, nil
+}
+
+// gapClients builds the standard three-client contention mix used by E8
+// and E9: a latency-sensitive stream, a page-strided walker (column
+// accesses of a 2-D structure — the client whose behaviour the address
+// mapping decides), and a random bulk client.
+func gapClients(seed int64) []sched.Client {
+	return []sched.Client{
+		{Name: "stream", Gen: &traffic.Sequential{ClientID: 0, StartB: 0, Bits: 64, RateGB: 0.6, Count: 1200}},
+		{Name: "stride", Gen: &traffic.Strided{ClientID: 1, StartB: 4 << 20, StrideB: 256, LimitB: 4 << 20, Bits: 64, RateGB: 0.6, Count: 1200}},
+		{Name: "random", Gen: &traffic.Random{ClientID: 2, StartB: 8 << 20, WindowB: 4 << 20, Bits: 64, RateGB: 0.6, Count: 1200, Rng: rand.New(rand.NewSource(seed))}},
+	}
+}
+
+// E8Sustained regenerates the §4 sustained-vs-peak argument: with
+// several clients, sustained bandwidth falls well below peak; banks and
+// mapping recover much of it.
+func E8Sustained() (Experiment, error) {
+	t := report.New("E8: sustained vs peak bandwidth",
+		"banks", "mapping", "peak GB/s", "sustained GB/s", "fraction", "hit rate")
+	var worst, best float64 = 1, 0
+	for _, banks := range []int{1, 2, 4, 8} {
+		m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: banks, PageBits: 2048})
+		if err != nil {
+			return Experiment{}, err
+		}
+		cfg := m.DeviceConfig()
+		cfg.AutoRefresh = false
+		gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+		lin, err := mapping.NewLinear(gm)
+		if err != nil {
+			return Experiment{}, err
+		}
+		il, err := mapping.NewBankInterleaved(gm)
+		if err != nil {
+			return Experiment{}, err
+		}
+		for _, mp := range []mapping.Mapping{lin, il} {
+			res, err := sched.Run(cfg, mp, sched.RoundRobin, gapClients(42))
+			if err != nil {
+				return Experiment{}, err
+			}
+			t.AddRow(banks, mp.Name(), res.PeakGBps, res.SustainedGBps,
+				res.SustainedFraction, res.HitRate)
+			if res.SustainedFraction < worst {
+				worst = res.SustainedFraction
+			}
+			if res.SustainedFraction > best {
+				best = res.SustainedFraction
+			}
+		}
+	}
+	// Finally the access-scheme lever (paper §3): the best organization
+	// plus an open-page-aware arbiter.
+	m8, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: 8, PageBits: 2048})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg8 := m8.DeviceConfig()
+	cfg8.AutoRefresh = false
+	gm8 := mapping.Geometry{Banks: cfg8.Banks, RowsBank: cfg8.RowsPerBank, PageBytes: cfg8.PageBits / 8}
+	il8, err := mapping.NewBankInterleaved(gm8)
+	if err != nil {
+		return Experiment{}, err
+	}
+	resOP, err := sched.Run(cfg8, il8, sched.OpenPageFirst, gapClients(42))
+	if err != nil {
+		return Experiment{}, err
+	}
+	t.AddRow(8, "interleaved+open-page", resOP.PeakGBps, resOP.SustainedGBps,
+		resOP.SustainedFraction, resOP.HitRate)
+	if resOP.SustainedFraction > best {
+		best = resOP.SustainedFraction
+	}
+	if best <= worst {
+		return Experiment{}, fmt.Errorf("sweep produced no spread")
+	}
+	return Experiment{
+		ID:    "E8",
+		Title: "Sustained vs peak (paper §4: sustained can be much lower than peak)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "worst-fraction", Value: worst, Unit: "frac"},
+			{Name: "best-fraction", Value: best, Unit: "frac"},
+			{Name: "recovery", Value: best / worst, Unit: "x"},
+		},
+	}, nil
+}
+
+// E9FIFODepth regenerates the §3 access-scheme argument: the arbiter
+// determines client latency and hence the FIFO depth each client needs.
+func E9FIFODepth() (Experiment, error) {
+	t := report.New("E9: arbitration policy vs stream-client latency and FIFO depth",
+		"policy", "p50 ns", "p99 ns", "max ns", "fifo depth", "sustained GB/s")
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: 4, PageBits: 2048})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return Experiment{}, err
+	}
+	depths := map[sched.Policy]int{}
+	for _, pol := range []sched.Policy{sched.RoundRobin, sched.FixedPriority, sched.OldestFirst, sched.OpenPageFirst} {
+		res, err := sched.Run(cfg, mp, pol, gapClients(42))
+		if err != nil {
+			return Experiment{}, err
+		}
+		st := res.Clients[0].Stats // the latency-sensitive stream
+		depth := traffic.FIFODepthFor(st.MaxNs, 64, 0.6)
+		depths[pol] = depth
+		t.AddRow(pol.String(), st.P50Ns, st.P99Ns, st.MaxNs, depth, res.SustainedGBps)
+	}
+	return Experiment{
+		ID:    "E9",
+		Title: "FIFO depth (paper §3: access scheme minimizes latency and FIFO depth)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "fifo-round-robin", Value: float64(depths[sched.RoundRobin]), Unit: "slots"},
+			{Name: "fifo-priority", Value: float64(depths[sched.FixedPriority]), Unit: "slots"},
+		},
+	}, nil
+}

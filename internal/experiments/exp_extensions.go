@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/core"
+	"edram/internal/cpu"
+	"edram/internal/edram"
+	"edram/internal/geom"
+	"edram/internal/iram"
+	"edram/internal/mapping"
+	"edram/internal/power"
+	"edram/internal/report"
+	"edram/internal/sched"
+	"edram/internal/sdram"
+	"edram/internal/sram"
+	"edram/internal/tech"
+	"edram/internal/timing"
+	"edram/internal/traffic"
+	"edram/internal/trend"
+	"edram/internal/units"
+	"edram/internal/yield"
+)
+
+// E13SRAMPartition regenerates the §3 on-chip partitioning decision:
+// "since eDRAM allows to integrate SRAMs and DRAMs, decisions on the …
+// SRAM/DRAM-partitioning have to be made." Below the crossover the 6T
+// SRAM's zero fixed overhead wins; above it the DRAM cell's density
+// does.
+func E13SRAMPartition() (Experiment, error) {
+	proc := tech.Siemens024()
+	// eDRAM area model: built from 256-Kbit blocks (the granularity
+	// floor), one bank, 64-bit interface.
+	dramModel := func(mbit float64) (float64, float64, error) {
+		bits := int(mbit * units.Mbit)
+		blocks := units.CeilDiv(bits, geom.Block256K)
+		g := geom.MacroGeometry{
+			Process:       proc,
+			BlockBits:     geom.Block256K,
+			Blocks:        blocks,
+			Banks:         1,
+			PageBits:      512,
+			InterfaceBits: 64,
+			WithBIST:      true,
+		}
+		a, err := g.Area()
+		if err != nil {
+			return 0, 0, err
+		}
+		tm, err := timing.ArrayTiming(tech.PC100(), timing.Organization{PageBits: 512, RowsPerBank: 512})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Random access: row + column.
+		return a.TotalMm2, tm.TRCDns + tm.TCASns, nil
+	}
+	caps := []float64{0.0625, 0.125, 0.25, 0.5, 1, 2, 4, 8}
+	rows, crossover, err := sram.Partition(proc, caps, dramModel)
+	if err != nil {
+		return Experiment{}, err
+	}
+	t := report.New("E13: SRAM vs eDRAM on-chip partitioning",
+		"Mbit", "sram mm2", "edram mm2", "sram ns", "edram ns", "winner")
+	for _, r := range rows {
+		winner := "edram"
+		if r.SRAMWins {
+			winner = "sram"
+		}
+		t.AddRow(r.CapacityMbit, r.SRAMAreaMm2, r.DRAMAreaMm2, r.SRAMAccessNs, r.DRAMAccessNs, winner)
+	}
+	if crossover == 0 {
+		return Experiment{}, fmt.Errorf("no SRAM/eDRAM crossover in the swept range")
+	}
+	return Experiment{
+		ID:    "E13",
+		Title: "SRAM/DRAM partitioning (paper §3: a free on-chip decision)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "crossover-mbit", Value: crossover, Unit: "Mbit"},
+		},
+	}, nil
+}
+
+// E14QualityGrades regenerates the §6 quality-target argument:
+// "occasional soft problems, such as too short retention times of a few
+// cells, are much more acceptable [for graphics] than if eDRAM is used
+// for program data. The test concept should take this cost-reduction
+// potential into account, ideally in conjunction with the redundancy
+// concept."
+func E14QualityGrades() (Experiment, error) {
+	t := report.New("E14: graded yield (graphics tolerates weak cells)",
+		"defects/block", "spares", "program yield", "graphics yield", "gain")
+	var progAt3, gfxAt3 float64
+	mix := yield.DefectMix{CellFrac: 0.25, RowFrac: 0.05, ColFrac: 0.05, RetentionFrac: 0.65}
+	for _, mean := range []float64{1.5, 3.0, 5.0} {
+		for _, spares := range []int{1, 2, 4} {
+			mc := yield.MonteCarlo{
+				Rows: 512, Cols: 512,
+				MeanDefectsPerBlock: mean,
+				SpareRows:           spares, SpareCols: spares,
+				Mix: mix,
+			}
+			res, err := mc.RunGraded(300, 29, 8)
+			if err != nil {
+				return Experiment{}, err
+			}
+			t.AddRow(mean, spares, res.ProgramYield, res.GraphicsYield,
+				units.Ratio(res.GraphicsYield, res.ProgramYield))
+			if mean == 3.0 && spares == 1 {
+				progAt3, gfxAt3 = res.ProgramYield, res.GraphicsYield
+			}
+		}
+	}
+	return Experiment{
+		ID:    "E14",
+		Title: "Quality grades (paper §6: graphics-grade cost reduction)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "program-yield@3", Value: progAt3, Unit: "frac"},
+			{Name: "graphics-yield@3", Value: gfxAt3, Unit: "frac"},
+			{Name: "grade-gain@3", Value: units.Ratio(gfxAt3, progAt3), Unit: "x"},
+		},
+	}, nil
+}
+
+// E15ThermalFeedback regenerates the §1 thermal warning: per-chip power
+// rises when logic joins the die, junction temperature climbs, retention
+// falls, and refresh power rises — a feedback loop solved to its fixed
+// point for increasing amounts of co-integrated logic power.
+func E15ThermalFeedback() (Experiment, error) {
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	th := power.DefaultThermal()
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 256})
+	if err != nil {
+		return Experiment{}, err
+	}
+	t := report.New("E15: thermal feedback on a hybrid die (16-Mbit macro)",
+		"logic W", "junction C", "retention ms", "refresh mW", "refresh penalty")
+	var retAlone, retHot float64
+	for _, logicW := range []float64{0, 0.5, 1, 2, 3} {
+		rep, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.5, 0.8, logicW*1000)
+		if err != nil {
+			return Experiment{}, err
+		}
+		if !rep.Converged {
+			return Experiment{}, fmt.Errorf("thermal loop diverged at %g W", logicW)
+		}
+		t.AddRow(logicW, rep.JunctionC, rep.RetentionMs, rep.Power.RefreshMW, rep.RefreshPenalty)
+		switch logicW {
+		case 0:
+			retAlone = rep.RetentionMs
+		case 3:
+			retHot = rep.RetentionMs
+		}
+	}
+	return Experiment{
+		ID:    "E15",
+		Title: "Thermal feedback (paper §1: junction temperature cuts retention)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "retention-alone", Value: retAlone, Unit: "ms"},
+			{Name: "retention-3W", Value: retHot, Unit: "ms"},
+			{Name: "retention-collapse", Value: units.Ratio(retAlone, retHot), Unit: "x"},
+		},
+	}, nil
+}
+
+// A1PagePolicy is the closed-vs-open page-policy ablation called out in
+// DESIGN.md §4: streams live on open pages, no-locality mixes prefer
+// eager precharge.
+func A1PagePolicy() (Experiment, error) {
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: 4, PageBits: 2048})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return Experiment{}, err
+	}
+	stream := func() []sched.Client {
+		return []sched.Client{{Name: "stream", Gen: &traffic.Sequential{Bits: 64, RateGB: 5, Count: 1500}}}
+	}
+	random := func() []sched.Client {
+		return []sched.Client{
+			{Name: "r0", Gen: &traffic.Random{ClientID: 0, WindowB: 4 << 20, Bits: 64, RateGB: 2, Count: 1200, Rng: rand.New(rand.NewSource(31))}},
+			{Name: "r1", Gen: &traffic.Random{ClientID: 1, StartB: 4 << 20, WindowB: 4 << 20, Bits: 64, RateGB: 2, Count: 1200, Rng: rand.New(rand.NewSource(32))}},
+		}
+	}
+	t := report.New("A1: page-policy ablation", "workload", "policy", "sustained GB/s", "hit rate")
+	var streamOpen, streamClosed, randOpen, randClosed float64
+	for _, w := range []struct {
+		name    string
+		clients func() []sched.Client
+	}{{"stream", stream}, {"random", random}} {
+		for _, closed := range []bool{false, true} {
+			res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.RoundRobin, ClosedPage: closed}, w.clients())
+			if err != nil {
+				return Experiment{}, err
+			}
+			name := "open-page"
+			if closed {
+				name = "closed-page"
+			}
+			t.AddRow(w.name, name, res.SustainedGBps, res.HitRate)
+			switch {
+			case w.name == "stream" && !closed:
+				streamOpen = res.SustainedGBps
+			case w.name == "stream" && closed:
+				streamClosed = res.SustainedGBps
+			case w.name == "random" && !closed:
+				randOpen = res.SustainedGBps
+			case w.name == "random" && closed:
+				randClosed = res.SustainedGBps
+			}
+		}
+	}
+	return Experiment{
+		ID:    "A1",
+		Title: "Ablation: open vs closed page policy",
+		Table: t,
+		Findings: []Finding{
+			{Name: "stream-open-over-closed", Value: units.Ratio(streamOpen, streamClosed), Unit: "x"},
+			{Name: "random-closed-over-open", Value: units.Ratio(randClosed, randOpen), Unit: "x"},
+		},
+	}, nil
+}
+
+// A2Reorder is the access-scheme depth ablation: how far the FR-FCFS
+// reorder window recovers sustained bandwidth and hit rate over strict
+// in-order service (paper §3's "optimizing the access scheme", one level
+// deeper than the A1/E9 policy choice).
+func A2Reorder() (Experiment, error) {
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: 4, PageBits: 2048})
+	if err != nil {
+		return Experiment{}, err
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return Experiment{}, err
+	}
+	// One client interleaves fetches from two buffers that share banks
+	// under the interleaved mapping (different rows): strict in-order
+	// service conflicts on every request.
+	mix := func() []sched.Client {
+		return []sched.Client{{Name: "bidir", Gen: &traffic.Alternating{
+			ClientID: 0, BaseA: 0, BaseB: 1 << 20, Bits: 64, RateGB: 3, Count: 3000}}}
+	}
+	t := report.New("A2: FR-FCFS reorder-window ablation",
+		"window", "sustained GB/s", "hit rate")
+	var w1, w16 float64
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst, ReorderWindow: w}, mix())
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(w, res.SustainedGBps, res.HitRate)
+		switch w {
+		case 1:
+			w1 = res.SustainedGBps
+		case 16:
+			w16 = res.SustainedGBps
+		}
+	}
+	return Experiment{
+		ID:    "A2",
+		Title: "Ablation: controller reorder window (FR-FCFS depth)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "window16-over-inorder", Value: units.Ratio(w16, w1), Unit: "x"},
+		},
+	}, nil
+}
+
+// E17Generations regenerates the §4 observation that "the peak device
+// memory bandwidth has increased over the last couple of years by two
+// orders of magnitude" through interface techniques while the core
+// improved only ~10 %/yr — and its price: growing minimum burst lengths.
+func E17Generations() (Experiment, error) {
+	t := report.New("E17: commodity interface generations",
+		"gen", "year", "width", "MT/s", "banks", "min burst", "peak GB/s", "random ns")
+	for _, g := range trend.Generations() {
+		t.AddRow(g.Name, g.Year, g.WidthBits, g.TransferMHz, g.Banks, g.MinBurst,
+			g.PeakGBps(), g.RandomAccessNs)
+	}
+	return Experiment{
+		ID:    "E17",
+		Title: "Interface generations (paper §4: two orders of magnitude peak BW)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "bandwidth-growth", Value: trend.BandwidthGrowth(), Unit: "x"},
+			{Name: "core-improvement", Value: trend.CoreImprovement(), Unit: "x"},
+		},
+	}, nil
+}
+
+// E18Standby regenerates the §2 portable argument: "other things being
+// equal, eDRAM will find its way first into portable applications" —
+// every discrete chip burns self-refresh standby power, the macro only
+// its own leakage and refresh.
+func E18Standby() (Experiment, error) {
+	ce := power.DefaultCoreEnergy()
+	t := report.New("E18: standby power, discrete system vs embedded macro",
+		"Mbit", "width", "chips", "discrete mW", "embedded mW", "ratio")
+	var anchor float64
+	for _, mbit := range []int{8, 16, 64, 128} {
+		width := 128
+		sys, err := sdram.BestSystem(sdram.Requirement{CapacityMbit: mbit, WidthBits: width})
+		if err != nil {
+			return Experiment{}, err
+		}
+		m, err := edram.Build(edram.Spec{CapacityMbit: mbit, InterfaceBits: width})
+		if err != nil {
+			return Experiment{}, err
+		}
+		bits := mbit * units.Mbit
+		embMW := ce.StandbyPowerMW(bits) +
+			ce.RefreshPowerMW(bits, m.Geometry.PageBits, m.Geometry.Process.RetentionMs)
+		ratio := units.Ratio(sys.StandbyPowerMW(), embMW)
+		t.AddRow(mbit, width, sys.TotalChips(), sys.StandbyPowerMW(), embMW, ratio)
+		if mbit == 16 {
+			anchor = ratio
+		}
+	}
+	return Experiment{
+		ID:    "E18",
+		Title: "Portable standby (paper §2: eDRAM reaches portables first)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "standby-ratio@16Mbit", Value: anchor, Unit: "x"},
+		},
+	}, nil
+}
+
+// A3ModelVsSim validates the explorer's closed-form sustained-bandwidth
+// model against the event-driven simulator (the DESIGN.md §4 "analytical
+// + event-driven split" ablation): the model, fed the simulator's
+// measured hit rate, must track simulated sustained bandwidth.
+func A3ModelVsSim() (Experiment, error) {
+	t := report.New("A3: closed-form model vs event-driven simulation",
+		"banks", "sim hit", "sim GB/s", "model GB/s", "ratio")
+	worst := 1.0
+	for _, banks := range []int{1, 2, 4, 8} {
+		m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: banks, PageBits: 2048})
+		if err != nil {
+			return Experiment{}, err
+		}
+		cfg := m.DeviceConfig()
+		cfg.AutoRefresh = false
+		gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+		mp, err := mapping.NewBankInterleaved(gm)
+		if err != nil {
+			return Experiment{}, err
+		}
+		res, err := sched.Run(cfg, mp, sched.RoundRobin, gapClients(42))
+		if err != nil {
+			return Experiment{}, err
+		}
+		model := core.SustainedEstimate(m, res.HitRate)
+		ratio := units.Ratio(model, res.SustainedGBps)
+		t.AddRow(banks, res.HitRate, res.SustainedGBps, model, ratio)
+		if r := ratio; r > 1 {
+			if 1/r < worst {
+				// invert so worst tracks the most pessimistic side
+			}
+		}
+		inv := ratio
+		if inv > 1 {
+			inv = 1 / inv
+		}
+		if inv < worst {
+			worst = inv
+		}
+	}
+	return Experiment{
+		ID:    "A3",
+		Title: "Ablation: analytical model vs simulator agreement",
+		Table: t,
+		Findings: []Finding{
+			{Name: "worst-agreement", Value: worst, Unit: "frac"},
+		},
+	}, nil
+}
+
+// A4RefreshTax closes the loop between the thermal model and the
+// simulator: the §1 retention collapse on a hot hybrid die shortens the
+// refresh interval, and the refresh traffic taxes the bandwidth the
+// clients see.
+func A4RefreshTax() (Experiment, error) {
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	th := power.DefaultThermal()
+	m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64, Banks: 4, PageBits: 2048})
+	if err != nil {
+		return Experiment{}, err
+	}
+	totalRows := m.Geometry.Banks * m.RowsPerBank()
+
+	t := report.New("A4: refresh tax vs co-integrated logic power",
+		"logic W", "retention ms", "refresh interval ns", "refreshes", "sustained GB/s")
+	var cold, hot float64
+	for _, logicW := range []float64{0, 1, 2, 3} {
+		rep, err := m.PowerAtThermalEquilibrium(e, ce, th, 0.5, 0.8, logicW*1000)
+		if err != nil {
+			return Experiment{}, err
+		}
+		cfg := m.DeviceConfig()
+		cfg.AutoRefresh = true
+		cfg.Timing.TRefIns = rep.RetentionMs * 1e6 / float64(totalRows)
+		gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+		mp, err := mapping.NewBankInterleaved(gm)
+		if err != nil {
+			return Experiment{}, err
+		}
+		res, err := sched.Run(cfg, mp, sched.RoundRobin, []sched.Client{
+			{Name: "stream", Gen: &traffic.Sequential{Bits: 64, RateGB: 5, Count: 3000}},
+		})
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(logicW, rep.RetentionMs, cfg.Timing.TRefIns, res.Device.Refreshes, res.SustainedGBps)
+		switch logicW {
+		case 0:
+			cold = res.SustainedGBps
+		case 3:
+			hot = res.SustainedGBps
+		}
+	}
+	tax := 0.0
+	if cold > 0 {
+		tax = 1 - hot/cold
+	}
+	return Experiment{
+		ID:    "A4",
+		Title: "Ablation: thermal retention collapse taxes bandwidth via refresh",
+		Table: t,
+		Findings: []Finding{
+			{Name: "refresh-tax@3W", Value: tax, Unit: "frac"},
+		},
+	}, nil
+}
+
+// A5Prefetch quantifies the IRAM wide-interface prefetch argument: on
+// the merged system the 512-bit internal bus delivers the neighbour
+// line for free, while the conventional 64-bit channel must pay another
+// burst for it. Next-line prefetch therefore helps the IRAM system more.
+func A5Prefetch() (Experiment, error) {
+	const n = 150000
+	t := report.New("A5: next-line prefetch on wide vs narrow memory interfaces",
+		"system", "prefetch", "CPI", "MIPS")
+	// Prefetch pays off on streaming code; use a stream-heavy workload
+	// (media processing, the IRAM target domain).
+	streamWorkload := func(seed int64) cpu.Workload {
+		return cpu.Workload{
+			HotBytes: 8 << 10, HotFrac: 0.3,
+			HeapBytes: 8 << 20, StreamFrac: 0.8,
+			Rng: rand.New(rand.NewSource(seed)),
+		}
+	}
+	type point struct{ base, pf float64 }
+	var conv, ir point
+	for _, withPf := range []bool{false, true} {
+		c := iram.Conventional()
+		if withPf {
+			c.Prefetch = true
+			// A 64-byte line over a 64-bit 100-MHz channel: 80 ns extra.
+			c.PrefetchNs = 80
+		}
+		cr, err := c.RunCustom(n, streamWorkload(9))
+		if err != nil {
+			return Experiment{}, err
+		}
+		m := iram.Merged()
+		if withPf {
+			m.Prefetch = true
+			m.PrefetchNs = m.MemLatencyNs * 0.1 // rides the wide bus
+		}
+		mr, err := m.RunCustom(n, streamWorkload(9))
+		if err != nil {
+			return Experiment{}, err
+		}
+		label := "off"
+		if withPf {
+			label = "on"
+		}
+		t.AddRow("conventional", label, cr.CPU.CPI, cr.CPU.MIPS)
+		t.AddRow("iram", label, mr.CPU.CPI, mr.CPU.MIPS)
+		if withPf {
+			conv.pf, ir.pf = cr.CPU.CPI, mr.CPU.CPI
+		} else {
+			conv.base, ir.base = cr.CPU.CPI, mr.CPU.CPI
+		}
+	}
+	convGain := units.Ratio(conv.base, conv.pf)
+	irGain := units.Ratio(ir.base, ir.pf)
+	return Experiment{
+		ID:    "A5",
+		Title: "Ablation: prefetch pays off on the wide internal interface",
+		Table: t,
+		Findings: []Finding{
+			{Name: "conv-prefetch-gain", Value: convGain, Unit: "x"},
+			{Name: "iram-prefetch-gain", Value: irGain, Unit: "x"},
+			{Name: "iram-advantage", Value: units.Ratio(irGain, convGain), Unit: "x"},
+		},
+	}, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edram/internal/edram"
+	"edram/internal/power"
+	"edram/internal/report"
+	"edram/internal/sdram"
+	"edram/internal/tech"
+	"edram/internal/timing"
+	"edram/internal/units"
+)
+
+// E1IOPower regenerates the paper's §1 interface-power example: a
+// system needing 4 GB/s with a 256-bit bus, built from discrete 16-bit
+// 100-MHz SDRAMs versus an eDRAM with an internal 256-bit interface,
+// "would require about ten times the power". Swept over bandwidth
+// targets.
+func E1IOPower() (Experiment, error) {
+	e := tech.DefaultElectrical()
+	t := report.New("E1: interface power, discrete SDRAM system vs eDRAM",
+		"target GB/s", "emb width", "chips", "discrete mW", "embedded mW", "ratio")
+	var anchor float64
+	for _, bw := range []float64{1, 2, 4, 8} {
+		cmp, err := power.CompareInterfaces(e, bw, 256, 2.5, 16, 100, 3.3)
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(bw, 256, cmp.DiscreteChips, cmp.Discrete.PowerMW, cmp.Embedded.PowerMW, cmp.PowerRatio)
+		if bw == 4 {
+			anchor = cmp.PowerRatio
+		}
+	}
+	return Experiment{
+		ID:    "E1",
+		Title: "Interface power (paper §1: ~10x at 4 GB/s, 256 bits)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "power-ratio@4GBps", Value: anchor, Unit: "x"},
+		},
+	}, nil
+}
+
+// E2FillFrequency regenerates §1 footnote 2 and the fill-frequency
+// argument: an eDRAM's wide interface fills a small memory orders of
+// magnitude faster than a discrete system, whose minimum size is
+// inflated by granularity.
+func E2FillFrequency() (Experiment, error) {
+	t := report.New("E2: fill frequency vs memory size",
+		"size Mbit", "discrete GB/s", "discrete fill/s", "edram GB/s", "edram fill/s", "ratio")
+	part := sdram.Catalog()[0] // 4-Mbit x16
+	var anchor float64
+	for _, mbit := range []int{4, 8, 16, 32, 64, 128} {
+		sys, err := sdram.Compose(part, sdram.Requirement{CapacityMbit: mbit, WidthBits: 16})
+		if err != nil {
+			return Experiment{}, err
+		}
+		m, err := edram.Build(edram.Spec{CapacityMbit: mbit, InterfaceBits: 256})
+		if err != nil {
+			return Experiment{}, err
+		}
+		ratio := units.Ratio(m.FillFrequencyHz(), sys.FillFrequencyHz())
+		t.AddRow(mbit, sys.PeakBandwidthGBps(), sys.FillFrequencyHz(),
+			m.PeakBandwidthGBps(), m.FillFrequencyHz(), ratio)
+		if mbit == 4 {
+			anchor = ratio
+		}
+	}
+	return Experiment{
+		ID:    "E2",
+		Title: "Fill frequency (paper §1: eDRAM achieves much higher fill frequencies)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "fill-ratio@4Mbit", Value: anchor, Unit: "x"},
+		},
+	}, nil
+}
+
+// E3Granularity regenerates the §1 granularity example: reaching a
+// 256-bit bus from 16-bit discrete parts forces 16 chips and a 64-Mbit
+// floor although the application may need only 8 Mbit.
+func E3Granularity() (Experiment, error) {
+	const neededMbit = 8
+	t := report.New("E3: granularity floor for an 8-Mbit application",
+		"bus bits", "chips", "installed Mbit", "waste", "edram Mbit", "edram waste")
+	part := sdram.Catalog()[0]
+	var anchorWaste float64
+	for width := 16; width <= 512; width *= 2 {
+		req := sdram.Requirement{CapacityMbit: neededMbit, WidthBits: width}
+		sys, err := sdram.Compose(part, req)
+		if err != nil {
+			return Experiment{}, err
+		}
+		waste := sdram.WasteFactor(sys, req)
+		m, err := edram.Build(edram.Spec{CapacityMbit: neededMbit, InterfaceBits: width})
+		if err != nil {
+			return Experiment{}, err
+		}
+		t.AddRow(width, sys.TotalChips(), sys.InstalledMbit(), waste, m.CapacityMbit(), 1.0)
+		if width == 256 {
+			anchorWaste = waste
+		}
+	}
+	return Experiment{
+		ID:    "E3",
+		Title: "Granularity (paper §1: 256-bit bus => 64-Mbit floor for an 8-Mbit need)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "waste@256bit", Value: anchorWaste, Unit: "x"},
+		},
+	}, nil
+}
+
+// E4WireDelay regenerates the §1 interface-wire argument: shorter
+// on-chip wires mean lower propagation times and better noise immunity
+// than board traces.
+func E4WireDelay() (Experiment, error) {
+	e := tech.DefaultElectrical()
+	t := report.New("E4: interface wire delay and coupled noise",
+		"path", "length mm", "delay ns", "noise frac")
+	type path struct {
+		name    string
+		lengths []float64
+		delay   func(float64) float64
+		noise   float64
+	}
+	paths := []path{
+		{"on-chip", []float64{1, 2, 5, 10}, func(l float64) float64 { return timing.OnChipInterfaceDelayNs(e, l) }, e.OnChipNoiseCouplingPerMm},
+		{"board", []float64{20, 50, 80, 150}, func(l float64) float64 { return timing.BoardInterfaceDelayNs(e, l) }, e.BoardNoiseCouplingPerMm},
+	}
+	for _, p := range paths {
+		for _, l := range p.lengths {
+			t.AddRow(p.name, l, p.delay(l), timing.NoiseFraction(p.noise, l))
+		}
+	}
+	on := timing.OnChipInterfaceDelayNs(e, 5)
+	off := timing.BoardInterfaceDelayNs(e, 80)
+	if on <= 0 {
+		return Experiment{}, fmt.Errorf("degenerate on-chip delay")
+	}
+	return Experiment{
+		ID:    "E4",
+		Title: "Wire delay (paper §1: on-chip wires are faster and quieter)",
+		Table: t,
+		Findings: []Finding{
+			{Name: "delay-ratio-80mm-vs-5mm", Value: off / on, Unit: "x"},
+		},
+	}, nil
+}

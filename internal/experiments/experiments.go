@@ -1,0 +1,81 @@
+// Package experiments implements the reproduction harness: one function
+// per quantitative claim of the paper (E1–E12, indexed in DESIGN.md),
+// each regenerating the corresponding "table" as structured findings
+// plus a rendered report. cmd/papertables prints them; the root
+// bench_test.go benchmarks them; EXPERIMENTS.md records paper-vs-
+// measured from their output.
+package experiments
+
+import (
+	"fmt"
+
+	"edram/internal/report"
+)
+
+// Finding is one headline number of an experiment.
+type Finding struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Experiment couples an identifier with its regenerated table and
+// headline findings.
+type Experiment struct {
+	ID       string
+	Title    string
+	Table    *report.Table
+	Findings []Finding
+}
+
+// Finding returns the named finding's value, or an error.
+func (e Experiment) Finding(name string) (float64, error) {
+	for _, f := range e.Findings {
+		if f.Name == name {
+			return f.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: %s has no finding %q", e.ID, name)
+}
+
+// All runs every experiment in order.
+func All() ([]Experiment, error) {
+	runs := []func() (Experiment, error){
+		E1IOPower,
+		E2FillFrequency,
+		E3Granularity,
+		E4WireDelay,
+		E5MPEG2,
+		E6MemoryGap,
+		E7SiemensConcept,
+		E8Sustained,
+		E9FIFODepth,
+		E10TestCost,
+		E11Yield,
+		E12Process,
+		E13SRAMPartition,
+		E14QualityGrades,
+		E15ThermalFeedback,
+		E16Markets,
+		E17Generations,
+		E18Standby,
+		E19SustainedHeadToHead,
+		E20Feasibility,
+		E21Volume,
+		E22ScanConverter,
+		A1PagePolicy,
+		A2Reorder,
+		A3ModelVsSim,
+		A4RefreshTax,
+		A5Prefetch,
+	}
+	out := make([]Experiment, 0, len(runs))
+	for _, run := range runs {
+		e, err := run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s failed: %w", e.ID, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

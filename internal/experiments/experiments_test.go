@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"edram/internal/core"
+)
+
+// band asserts a finding sits inside [lo, hi].
+func band(t *testing.T, e Experiment, name string, lo, hi float64) {
+	t.Helper()
+	v, err := e.Finding(name)
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
+	if v < lo || v > hi {
+		t.Errorf("%s %s = %.3f outside [%g, %g]", e.ID, name, v, lo, hi)
+	}
+}
+
+func TestE1Band(t *testing.T) {
+	e, err := E1IOPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "about ten times the power".
+	band(t, e, "power-ratio@4GBps", 5, 25)
+	if e.Table.RowCount() != 4 {
+		t.Error("E1 should sweep 4 bandwidth targets")
+	}
+}
+
+func TestE2Band(t *testing.T) {
+	e, err := E2FillFrequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4-Mbit 256-bit eDRAM against a single discrete 4-Mbit x16 part:
+	// 16x width times faster clock.
+	band(t, e, "fill-ratio@4Mbit", 15, 50)
+}
+
+func TestE3Band(t *testing.T) {
+	e, err := E3Granularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 64-Mbit floor for an 8-Mbit need = 8x waste.
+	band(t, e, "waste@256bit", 8, 8)
+}
+
+func TestE4Band(t *testing.T) {
+	e, err := E4WireDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "delay-ratio-80mm-vs-5mm", 2, 100)
+}
+
+func TestE5Band(t *testing.T) {
+	e, err := E5MPEG2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "pal-full-total", 14.5, 16)  // fits 16 Mbit, barely
+	band(t, e, "pal-saving", 2.5, 3.5)      // "about 3 Mbit"
+	band(t, e, "frame-decode-ms", 0, 42)    // real-time with margin
+	band(t, e, "macro-utilization", 0, 0.5) // ample headroom
+}
+
+func TestE6Band(t *testing.T) {
+	e, err := E6MemoryGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "iram-latency-ratio", 4, 12)
+	band(t, e, "iram-bandwidth-ratio", 40, 130)
+	band(t, e, "iram-energy-ratio", 1.5, 5)
+	band(t, e, "gap-1998", 500, 1200)
+}
+
+func TestE7Band(t *testing.T) {
+	e, err := E7SiemensConcept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "efficiency@16Mbit", 0.85, 1.6)
+	band(t, e, "tck@16Mbit", 0, 7.01)
+	band(t, e, "peak@512bit", 8, 12.5)
+}
+
+func TestE8Band(t *testing.T) {
+	e, err := E8Sustained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst configuration must sit well below peak, and the best
+	// organization must recover a large factor.
+	band(t, e, "worst-fraction", 0, 0.7)
+	band(t, e, "recovery", 1.2, 20)
+}
+
+func TestE9Band(t *testing.T) {
+	e, err := E9FIFODepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := e.Finding("fifo-round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := e.Finding("fifo-priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp > rr {
+		t.Errorf("priority FIFO depth %v must not exceed round-robin %v", fp, rr)
+	}
+}
+
+func TestE10Band(t *testing.T) {
+	e, err := E10TestCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "bist-saving", 3, 1000)
+}
+
+func TestE11Band(t *testing.T) {
+	e, err := E11Yield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "raw-yield@1.2", 0.2, 0.42) // ~exp(-1.2)
+	band(t, e, "std-yield@1.2", 0.9, 1.0)
+}
+
+func TestE12Band(t *testing.T) {
+	e, err := E12Process()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "logic-vs-dram-area", 1.5, 4)
+	band(t, e, "merged-vs-dram-cost", 1.01, 3)
+}
+
+func TestAllRunAndRender(t *testing.T) {
+	exps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 27 {
+		t.Fatalf("got %d experiments, want 27", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Table == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Table.RowCount() == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		var sb strings.Builder
+		if err := e.Table.Render(&sb); err != nil {
+			t.Errorf("%s: render: %v", e.ID, err)
+		}
+		if len(sb.String()) == 0 {
+			t.Errorf("%s: empty render", e.ID)
+		}
+		if len(e.Findings) == 0 {
+			t.Errorf("%s: no findings", e.ID)
+		}
+	}
+}
+
+func TestFindingLookupError(t *testing.T) {
+	e := Experiment{ID: "X"}
+	if _, err := e.Finding("nope"); err == nil {
+		t.Error("missing finding must error")
+	}
+}
+
+func TestE13Band(t *testing.T) {
+	e, err := E13SRAMPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The late-90s rule of thumb: SRAM below a few hundred Kbit, eDRAM
+	// above ~0.5-2 Mbit.
+	band(t, e, "crossover-mbit", 0.1, 2)
+}
+
+func TestE14Band(t *testing.T) {
+	e, err := E14QualityGrades()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := e.Finding("program-yield@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfx, err := e.Finding("graphics-yield@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gfx <= prog {
+		t.Errorf("graphics grade must out-yield program grade: %.2f vs %.2f", gfx, prog)
+	}
+	band(t, e, "grade-gain@3", 1.1, 10)
+}
+
+func TestE15Band(t *testing.T) {
+	e, err := E15ThermalFeedback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 W through ~35 C/W is ~105 C: retention collapses hard.
+	band(t, e, "retention-collapse", 10, 100000)
+}
+
+func TestA1Band(t *testing.T) {
+	e, err := A1PagePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "stream-open-over-closed", 1.1, 10)
+	band(t, e, "random-closed-over-open", 1.0, 3)
+}
+
+func TestE16Band(t *testing.T) {
+	e, err := E16Markets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every market must save interface power by roughly the paper's
+	// order of magnitude; the cost story is market-dependent but the
+	// switch (many chips, many pins) must favour embedding.
+	for _, market := range []string{"graphics", "hdd-controller", "net-switch"} {
+		band(t, e, market+"-power-ratio", 3, 30)
+	}
+	band(t, e, "net-switch-cost-ratio", 1.0, 20)
+}
+
+func TestA2Band(t *testing.T) {
+	e, err := A2Reorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "window16-over-inorder", 1.0, 5)
+}
+
+func TestE17Band(t *testing.T) {
+	e, err := E17Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "bandwidth-growth", 30, 150)
+	band(t, e, "core-improvement", 1.1, 3)
+}
+
+func TestE18Band(t *testing.T) {
+	e, err := E18Standby()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several discrete chips in self-refresh vs one macro's leakage +
+	// refresh: a clear portable-power win.
+	band(t, e, "standby-ratio@16Mbit", 3, 100)
+}
+
+func TestA3Band(t *testing.T) {
+	e, err := A3ModelVsSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closed form must agree with the simulator within ~2.5x in the
+	// worst corner (it ignores arrival gaps and bus serialization).
+	band(t, e, "worst-agreement", 0.4, 1.0)
+}
+
+func TestA4Band(t *testing.T) {
+	e, err := A4RefreshTax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot die pays a visible refresh tax, escalating toward a
+	// cliff at 3 W (retention collapses to sub-ms).
+	band(t, e, "refresh-tax@3W", 0.05, 0.9)
+}
+
+func TestA5Band(t *testing.T) {
+	e, err := A5Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch must help the wide-interface system more.
+	band(t, e, "iram-advantage", 1.0, 3)
+	band(t, e, "iram-prefetch-gain", 1.0, 2)
+}
+
+func TestE19Band(t *testing.T) {
+	e, err := E19SustainedHeadToHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band(t, e, "sustained-advantage", 1.05, 5)
+	band(t, e, "capacity-waste-avoided", 1.0, 4)
+}
+
+func TestE20Band(t *testing.T) {
+	e, err := E20Feasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both corner configurations must land in the large-die regime the
+	// paper's intro calls feasible (well under ~200 mm²).
+	band(t, e, "die-128mbit-500k", 60, 200)
+	band(t, e, "die-64mbit-1M", 60, 200)
+}
+
+func TestValidateRecommendationBySimulation(t *testing.T) {
+	req := core.Requirements{CapacityMbit: 16, BandwidthGBps: 1.0, HitRate: 0.7, DefectsPerCm2: 0.8}
+	recs, err := core.Recommend(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := Simulator(5)
+	for _, rec := range recs {
+		v, err := core.ValidateBySimulation(rec.Candidate, req, sim)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Role, err)
+		}
+		if v.Agreement < 0.3 {
+			t.Errorf("%s: model/sim agreement %.2f too weak (model %.2f sim %.2f)",
+				rec.Role, v.Agreement, v.ModelGBps, v.SimulatedGBps)
+		}
+	}
+	if _, err := core.ValidateBySimulation(recs[0].Candidate, req, nil); err == nil {
+		t.Error("nil simulator must error")
+	}
+}
+
+func TestE21Band(t *testing.T) {
+	e, err := E21Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every market breaks even in the thousands-to-hundreds-of-
+	//-thousands range — the "volumes are usually high" rule of thumb.
+	for _, market := range []string{"graphics", "hdd-controller", "net-switch"} {
+		band(t, e, market+"-breakeven", 1000, 500000)
+	}
+}
+
+func TestE22Band(t *testing.T) {
+	e, err := E22ScanConverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three PAL fields ≈ 9.5 Mbit — an eDRAM-friendly, commodity-
+	// hostile size.
+	band(t, e, "pal-total-mbit", 9, 10)
+	// The exact-fit macro must hold real time with margin.
+	band(t, e, "realtime-margin", 0.95, 100)
+}

@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"math"
+
+	"edram/internal/units"
+)
+
+// Floorplan is the physical arrangement of a macro: building blocks in
+// a near-square grid with the control/interface strip along one edge.
+// It supplies the quantities the interface models need — macro
+// dimensions and the internal interface wire length.
+type Floorplan struct {
+	// GridCols x GridRows of building blocks (GridCols*GridRows >= Blocks;
+	// the last row may be partial).
+	GridCols, GridRows int
+	// BlockWmm / BlockHmm are one building block's physical dimensions
+	// including its decoder and sense-amp strips.
+	BlockWmm, BlockHmm float64
+	// WidthMm / HeightMm are the macro's outer dimensions (control
+	// strip included).
+	WidthMm, HeightMm float64
+	// ControlStripMm is the height of the control/interface strip.
+	ControlStripMm float64
+	// InterfaceWireMm is the average wire length from the interface
+	// strip to a block (the on-chip load the power model sees).
+	InterfaceWireMm float64
+}
+
+// AspectRatio returns width/height (>= values near 1 are routable).
+func (fp Floorplan) AspectRatio() float64 {
+	return units.Ratio(fp.WidthMm, fp.HeightMm)
+}
+
+// Floorplan computes the physical plan of the macro.
+func (g MacroGeometry) Floorplan() (Floorplan, error) {
+	if err := g.Validate(); err != nil {
+		return Floorplan{}, err
+	}
+	f := g.Process.FeatureUm // µm
+	cellW := 2 * f           // 8F² cell: 2F x 4F
+	cellH := 4 * f
+
+	cols := float64(g.BlockColumns())
+	rows := float64(g.BlockRows())
+	// Strip dimensions follow the area constants: the sense-amp strip
+	// spans the block width, the decoder strip the block height.
+	saStripH := senseAmpF2PerColumn * f * f / cellW // µm
+	decStripW := rowDecF2PerRow * f * f / cellH     // µm
+	blockW := (cols*cellW + decStripW) / 1000       // mm
+	blockH := (rows*cellH + saStripH) / 1000        // mm
+
+	gridCols := int(math.Ceil(math.Sqrt(float64(g.Blocks) * blockH / blockW)))
+	if gridCols < 1 {
+		gridCols = 1
+	}
+	if gridCols > g.Blocks {
+		gridCols = g.Blocks
+	}
+	gridRows := units.CeilDiv(g.Blocks, gridCols)
+
+	width := float64(gridCols) * blockW
+	a, err := g.Area()
+	if err != nil {
+		return Floorplan{}, err
+	}
+	// The control strip absorbs the macro overhead + BIST area along
+	// the bottom edge.
+	strip := (a.MacroOverheadMm2 + a.BISTMm2) / width
+	height := float64(gridRows)*blockH + strip
+
+	fp := Floorplan{
+		GridCols:       gridCols,
+		GridRows:       gridRows,
+		BlockWmm:       blockW,
+		BlockHmm:       blockH,
+		WidthMm:        width,
+		HeightMm:       height,
+		ControlStripMm: strip,
+	}
+	// Average Manhattan distance from the strip (bottom edge centre) to
+	// a block centre: W/4 horizontally + H/2 vertically.
+	fp.InterfaceWireMm = width/4 + (height-strip)/2
+	return fp, nil
+}

@@ -1,0 +1,266 @@
+// Package iram implements the paper's §4.2 processor-memory-gap
+// experiment: a conventional system (CPU + L1 + L2 caches + external
+// SDRAM over a narrow board-level bus) against a merged processor-DRAM
+// (IRAM) system (CPU + L1 + wide on-chip eDRAM, no L2). The paper,
+// citing Patterson et al., expects merging to "reduce the latency by a
+// factor of 5-10, increase the bandwidth by a factor of 50 to 100 and
+// improve the energy efficiency by a factor of 2 to 4"; the package
+// computes all three ratios from the underlying technology models and a
+// CPI comparison from simulation.
+package iram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/cache"
+	"edram/internal/cpu"
+	"edram/internal/tech"
+	"edram/internal/timing"
+	"edram/internal/units"
+)
+
+// System describes one of the two §4.2 machines.
+type System struct {
+	Name string
+	CPU  cpu.Config
+	// L1/L2 cache configs; L2 absent in the IRAM system.
+	L1 cache.Config
+	L2 *cache.Config
+	// MemLatencyNs is the line-fill latency behind the last cache.
+	MemLatencyNs float64
+	// MemPeakGBps is the memory system's peak bandwidth (internal
+	// aggregate for IRAM: all banks in parallel).
+	MemPeakGBps float64
+	// LineBytes of the memory transfer unit.
+	LineBytes int
+	// Energy coefficients (pJ).
+	CorePJPerInstr float64
+	L1PJPerAccess  float64
+	L2PJPerAccess  float64
+	MemPJPerLine   float64
+	// Prefetch enables next-line prefetch on last-level misses;
+	// PrefetchNs is its latency cost (0 when the memory interface is at
+	// least two lines wide — the IRAM case).
+	Prefetch   bool
+	PrefetchNs float64
+}
+
+// energyPerBitPJ is the switching energy of one bus line per transfer.
+func energyPerBitPJ(loadPF, vdd, activity float64) float64 {
+	return activity * loadPF * vdd * vdd
+}
+
+// Conventional builds the baseline: 300-MHz CPU on a logic process, two
+// cache levels, 64-bit 100-MHz SDRAM channel on the board.
+func Conventional() System {
+	e := tech.DefaultElectrical()
+	pc := tech.PC100()
+	const lineBytes = 64
+	const busBits = 64
+	beats := lineBytes * 8 / busBits
+	// Miss path: controller + two board flights + row + column + burst.
+	boardNs := 2 * timing.BoardInterfaceDelayNs(e, 80)
+	memLat := 15 + boardNs + pc.TRCDns + pc.TCASns + float64(beats)*pc.TCKns
+
+	ifPJ := energyPerBitPJ(e.OffChipLoadPF, 3.3, e.SwitchingActivity) * float64(lineBytes*8)
+	corePJ := 0.4*float64(lineBytes*8) + ifPJ // activate share + interface
+
+	return System{
+		Name:           "conventional",
+		CPU:            cpu.Config{ClockMHz: 300, LoadFrac: 0.22, StoreFrac: 0.10},
+		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: 1e3 / 300},
+		L2:             &cache.Config{SizeBytes: 512 << 10, LineBytes: lineBytes, Ways: 4, HitNs: 6 * 1e3 / 300},
+		MemLatencyNs:   memLat,
+		MemPeakGBps:    units.BandwidthGBps(busBits, 100),
+		LineBytes:      lineBytes,
+		CorePJPerInstr: 800,
+		L1PJPerAccess:  25,
+		L2PJPerAccess:  180,
+		MemPJPerLine:   corePJ,
+	}
+}
+
+// Merged builds the IRAM system: the same core merged with on-chip DRAM.
+// The CPU pays the DRAM-process logic penalty; memory is a wide, fast
+// embedded macro reachable without board crossings, so the L2 is
+// dropped. Internal bandwidth aggregates over all banks (the IRAM
+// argument: every subarray can deliver data in parallel).
+func Merged() System {
+	proc := tech.Siemens024()
+	// The on-chip macro is built from small 256-Kbit (512x512) blocks,
+	// the fast corner of the §5 concept.
+	ed, err := timing.ArrayTiming(tech.PC100(), timing.Organization{PageBits: 512, RowsPerBank: 512})
+	if err != nil {
+		panic(err) // constant organization; cannot fail
+	}
+	e := tech.DefaultElectrical()
+	const lineBytes = 64
+	const busBits = 512 // one line per beat
+	const banks = 8
+	// The macro interface clocks at the §5 concept's nominal 143 MHz
+	// even when the small array could cycle faster internally.
+	clock := timing.MaxClockMHz(ed)
+	if clock > 143 {
+		clock = 143
+	}
+	memLat := 3 + ed.TRCDns + ed.TCASns + ed.TCKns // controller + row + column + beat
+
+	ifPJ := energyPerBitPJ(e.OnChipLoadPF, proc.VddDRAMV, e.SwitchingActivity) * float64(lineBytes*8)
+	corePJ := 0.4*float64(lineBytes*8) + ifPJ
+
+	cpuClock := 300 / proc.LogicDelayRel // slower transistors on the DRAM process
+	vddScale := (proc.VddDRAMV / 3.3) * (proc.VddDRAMV / 3.3)
+
+	return System{
+		Name:           "iram",
+		CPU:            cpu.Config{ClockMHz: cpuClock, LoadFrac: 0.22, StoreFrac: 0.10},
+		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: 1e3 / cpuClock},
+		L2:             nil,
+		MemLatencyNs:   memLat,
+		MemPeakGBps:    float64(banks) * units.BandwidthGBps(busBits, clock),
+		LineBytes:      lineBytes,
+		CorePJPerInstr: 800 * vddScale,
+		L1PJPerAccess:  25 * vddScale,
+		MemPJPerLine:   corePJ,
+	}
+}
+
+// Build instantiates the system's cache hierarchy.
+func (s System) Build() (*cache.Hierarchy, error) {
+	l1, err := cache.New(s.L1)
+	if err != nil {
+		return nil, err
+	}
+	h := &cache.Hierarchy{L1: l1, MemoryNs: s.MemLatencyNs, WritebackNs: s.MemLatencyNs / 2,
+		PrefetchNext: s.Prefetch, PrefetchNs: s.PrefetchNs}
+	if s.L2 != nil {
+		l2, err := cache.New(*s.L2)
+		if err != nil {
+			return nil, err
+		}
+		h.L2 = l2
+	}
+	return h, nil
+}
+
+// energyMemory wraps a hierarchy to account energy per access.
+type energyMemory struct {
+	h   *cache.Hierarchy
+	sys System
+	pj  float64
+}
+
+func (m *energyMemory) AccessNs(addr int64, write bool) float64 {
+	l1Before := m.h.L1.Stats()
+	var l2Before cache.Stats
+	if m.h.L2 != nil {
+		l2Before = m.h.L2.Stats()
+	}
+	lat := m.h.AccessNs(addr, write)
+	m.pj += m.sys.L1PJPerAccess
+	if m.h.L2 != nil {
+		d := m.h.L2.Stats().Accesses - l2Before.Accesses
+		m.pj += float64(d) * m.sys.L2PJPerAccess
+		if m.h.L2.Stats().Misses > l2Before.Misses {
+			m.pj += m.sys.MemPJPerLine
+		}
+	} else if m.h.L1.Stats().Misses > l1Before.Misses {
+		m.pj += m.sys.MemPJPerLine
+	}
+	return lat
+}
+
+// RunResult couples the CPI result with the energy accounting.
+type RunResult struct {
+	CPU cpu.Result
+	// EnergyPJPerInstr is total (core + cache + memory) energy per
+	// instruction.
+	EnergyPJPerInstr float64
+	// EnergyPJPerMemRef is the memory-path energy (caches + DRAM) per
+	// load/store the core issues — the quantity the IRAM literature's
+	// 2-4x energy-efficiency claim refers to (the CPU core is common
+	// to both systems and excluded).
+	EnergyPJPerMemRef float64
+	L1HitRate         float64
+}
+
+// RunWorkload executes n instructions of the standard gap workload on
+// the system.
+func (s System) RunWorkload(n int64, seed int64) (RunResult, error) {
+	// Workload shape: a hot set resident in L1, a heap somewhat larger
+	// than the conventional L2 (so the L2 filters most but not all
+	// off-chip traffic — the regime the IRAM energy claim refers to),
+	// and a streaming component.
+	return s.RunCustom(n, cpu.Workload{
+		HotBytes:   8 << 10,
+		HotFrac:    0.9,
+		HeapBytes:  8 << 20,
+		StreamFrac: 0.05,
+		WarmFrac:   0.92,
+		WarmBytes:  64 << 10,
+		Rng:        rand.New(rand.NewSource(seed)),
+	})
+}
+
+// RunCustom executes n instructions of a caller-supplied workload on
+// the system (the workload's Rng seeds the run).
+func (s System) RunCustom(n int64, w cpu.Workload) (RunResult, error) {
+	h, err := s.Build()
+	if err != nil {
+		return RunResult{}, err
+	}
+	mem := &energyMemory{h: h, sys: s}
+	res, err := cpu.Run(s.CPU, &w, mem, n)
+	if err != nil {
+		return RunResult{}, err
+	}
+	total := s.CorePJPerInstr*float64(n) + mem.pj
+	out := RunResult{
+		CPU:              res,
+		EnergyPJPerInstr: total / float64(n),
+		L1HitRate:        h.L1.Stats().HitRate(),
+	}
+	if res.MemOps > 0 {
+		out.EnergyPJPerMemRef = mem.pj / float64(res.MemOps)
+	}
+	return out, nil
+}
+
+// Metrics are the three paper ratios plus the simulated CPI comparison.
+type Metrics struct {
+	LatencyRatio   float64 // conventional / iram memory latency
+	BandwidthRatio float64 // iram / conventional peak bandwidth
+	EnergyRatio    float64 // conventional / iram memory-path energy per reference
+	ConvCPI        float64
+	IRAMCPI        float64
+	Conventional   RunResult
+	IRAM           RunResult
+}
+
+// Compare runs both systems on the same workload and reports the ratios.
+func Compare(n int64, seed int64) (Metrics, error) {
+	if n <= 0 {
+		return Metrics{}, fmt.Errorf("iram: instruction count must be positive")
+	}
+	conv := Conventional()
+	ir := Merged()
+	cr, err := conv.RunWorkload(n, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	irr, err := ir.RunWorkload(n, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		LatencyRatio:   units.Ratio(conv.MemLatencyNs, ir.MemLatencyNs),
+		BandwidthRatio: units.Ratio(ir.MemPeakGBps, conv.MemPeakGBps),
+		EnergyRatio:    units.Ratio(cr.EnergyPJPerMemRef, irr.EnergyPJPerMemRef),
+		ConvCPI:        cr.CPU.CPI,
+		IRAMCPI:        irr.CPU.CPI,
+		Conventional:   cr,
+		IRAM:           irr,
+	}
+	return m, nil
+}

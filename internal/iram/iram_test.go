@@ -1,0 +1,115 @@
+package iram
+
+import (
+	"testing"
+)
+
+func TestPaperRatios(t *testing.T) {
+	// Paper §4.2: "Merging a microprocessor with DRAM can reduce the
+	// latency by a factor of 5-10, increase the bandwidth by a factor
+	// of 50 to 100 and improve the energy efficiency by a factor of
+	// 2 to 4."
+	m, err := Compare(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencyRatio < 4 || m.LatencyRatio > 12 {
+		t.Errorf("latency ratio %.1f outside the paper's 5-10x regime", m.LatencyRatio)
+	}
+	if m.BandwidthRatio < 40 || m.BandwidthRatio > 130 {
+		t.Errorf("bandwidth ratio %.0f outside the paper's 50-100x regime", m.BandwidthRatio)
+	}
+	if m.EnergyRatio < 1.5 || m.EnergyRatio > 5 {
+		t.Errorf("energy ratio %.1f outside the paper's 2-4x regime", m.EnergyRatio)
+	}
+}
+
+func TestIRAMBeatsConventionalCPI(t *testing.T) {
+	m, err := Compare(200000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-cycle efficiency: the merged system stalls less.
+	if m.IRAMCPI >= m.ConvCPI {
+		t.Errorf("IRAM CPI %.2f must beat conventional CPI %.2f", m.IRAMCPI, m.ConvCPI)
+	}
+	if m.ConvCPI <= 1 || m.IRAMCPI <= 1 {
+		t.Error("CPIs must exceed 1 under memory stalls")
+	}
+}
+
+func TestSystemsBuild(t *testing.T) {
+	for _, s := range []System{Conventional(), Merged()} {
+		h, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if h.L1 == nil {
+			t.Fatalf("%s: no L1", s.Name)
+		}
+		if s.Name == "conventional" && h.L2 == nil {
+			t.Error("conventional system must have an L2")
+		}
+		if s.Name == "iram" && h.L2 != nil {
+			t.Error("IRAM system must not have an L2")
+		}
+		if err := s.CPU.Validate(); err != nil {
+			t.Errorf("%s: cpu config: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSystemProperties(t *testing.T) {
+	conv, ir := Conventional(), Merged()
+	if ir.MemLatencyNs >= conv.MemLatencyNs {
+		t.Error("IRAM memory latency must be lower")
+	}
+	if ir.MemPeakGBps <= conv.MemPeakGBps {
+		t.Error("IRAM bandwidth must be higher")
+	}
+	// The DRAM-process CPU clocks lower (slow transistors, paper §1).
+	if ir.CPU.ClockMHz >= conv.CPU.ClockMHz {
+		t.Error("IRAM CPU must clock lower on the DRAM process")
+	}
+	// But its memory energy per line is far lower (on-chip interface).
+	if ir.MemPJPerLine >= conv.MemPJPerLine {
+		t.Error("IRAM per-line memory energy must be lower")
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	s := Conventional()
+	a, err := s.RunWorkload(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunWorkload(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU != b.CPU || a.EnergyPJPerInstr != b.EnergyPJPerInstr {
+		t.Error("same seed must reproduce the run")
+	}
+	if a.L1HitRate <= 0 || a.L1HitRate >= 1 {
+		t.Errorf("L1 hit rate %.2f implausible", a.L1HitRate)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(0, 1); err == nil {
+		t.Error("zero instructions must error")
+	}
+}
+
+func TestEnergyAccountingPositive(t *testing.T) {
+	for _, s := range []System{Conventional(), Merged()} {
+		r, err := s.RunWorkload(5000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EnergyPJPerInstr <= s.CorePJPerInstr {
+			t.Errorf("%s: energy/instr %.0f pJ must exceed bare core %.0f pJ",
+				s.Name, r.EnergyPJPerInstr, s.CorePJPerInstr)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package mapping implements data-to-memory address mappings — the
+// "optimizing the mapping of the data into memory such that the
+// sustainable memory bandwidth approaches the peak bandwidth" problem of
+// paper §3. A Mapping turns a client byte address into a (bank, row)
+// pair of the underlying DRAM organization; the page-hit and
+// bank-overlap behaviour of a workload is entirely determined by this
+// choice.
+package mapping
+
+import (
+	"fmt"
+)
+
+// Geometry is the organization a mapping targets.
+type Geometry struct {
+	Banks     int
+	RowsBank  int // rows per bank
+	PageBytes int // page length in bytes
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.Banks < 1 || g.RowsBank < 1 || g.PageBytes < 1 {
+		return fmt.Errorf("mapping: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// TotalBytes returns the capacity covered by the geometry.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.Banks) * int64(g.RowsBank) * int64(g.PageBytes)
+}
+
+// Mapping translates byte addresses to physical (bank, row) locations.
+type Mapping interface {
+	// Map returns the bank and row of the byte address. Addresses wrap
+	// modulo the geometry's capacity.
+	Map(addrB int64) (bank, row int)
+	// Geometry returns the target organization.
+	Geometry() Geometry
+	// Name identifies the mapping in reports.
+	Name() string
+}
+
+// Linear maps consecutive addresses into consecutive pages of one bank,
+// filling a whole bank before moving to the next — the naive mapping
+// where streaming works but independent regions collide in one bank.
+type Linear struct{ G Geometry }
+
+// NewLinear builds a linear mapping.
+func NewLinear(g Geometry) (*Linear, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Linear{G: g}, nil
+}
+
+// Map implements Mapping.
+func (m *Linear) Map(addrB int64) (int, int) {
+	a := wrap(addrB, m.G)
+	page := a / int64(m.G.PageBytes)
+	bank := int(page / int64(m.G.RowsBank))
+	row := int(page % int64(m.G.RowsBank))
+	return bank, row
+}
+
+// Geometry implements Mapping.
+func (m *Linear) Geometry() Geometry { return m.G }
+
+// Name implements Mapping.
+func (m *Linear) Name() string { return "linear" }
+
+// BankInterleaved maps consecutive pages to consecutive banks, so a
+// stream rotates through all banks and a page miss in one bank can hide
+// behind transfers in another — the classic interleaving of paper §4.
+type BankInterleaved struct{ G Geometry }
+
+// NewBankInterleaved builds a page-interleaved mapping.
+func NewBankInterleaved(g Geometry) (*BankInterleaved, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &BankInterleaved{G: g}, nil
+}
+
+// Map implements Mapping.
+func (m *BankInterleaved) Map(addrB int64) (int, int) {
+	a := wrap(addrB, m.G)
+	page := a / int64(m.G.PageBytes)
+	bank := int(page % int64(m.G.Banks))
+	row := int(page / int64(m.G.Banks))
+	return bank, row
+}
+
+// Geometry implements Mapping.
+func (m *BankInterleaved) Geometry() Geometry { return m.G }
+
+// Name implements Mapping.
+func (m *BankInterleaved) Name() string { return "bank-interleaved" }
+
+// Tiled2D maps a raster frame as rectangular tiles, one tile per page,
+// with a checkerboard bank assignment: a 2-D block fetch (motion
+// compensation) then touches few pages, and vertically adjacent tiles
+// sit in different banks. This is the application-specific mapping the
+// paper's §3 envisions for video.
+type Tiled2D struct {
+	G Geometry
+	// PitchB is the frame line pitch in bytes.
+	PitchB int64
+	// TileW is the tile width in bytes; TileH = PageBytes / TileW lines.
+	TileW int
+}
+
+// NewTiled2D builds a tiled frame mapping. TileW must divide PageBytes.
+func NewTiled2D(g Geometry, pitchB int64, tileW int) (*Tiled2D, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if pitchB < 1 || tileW < 1 {
+		return nil, fmt.Errorf("mapping: pitch %d and tile width %d must be positive", pitchB, tileW)
+	}
+	if g.PageBytes%tileW != 0 {
+		return nil, fmt.Errorf("mapping: tile width %d does not divide page %d", tileW, g.PageBytes)
+	}
+	if pitchB%int64(tileW) != 0 {
+		return nil, fmt.Errorf("mapping: tile width %d does not divide pitch %d", tileW, pitchB)
+	}
+	return &Tiled2D{G: g, PitchB: pitchB, TileW: tileW}, nil
+}
+
+// TileH returns the tile height in lines.
+func (m *Tiled2D) TileH() int { return m.G.PageBytes / m.TileW }
+
+// Map implements Mapping.
+func (m *Tiled2D) Map(addrB int64) (int, int) {
+	a := addrB
+	if a < 0 {
+		a = 0
+	}
+	y := a / m.PitchB
+	x := a % m.PitchB
+	tilesPerRow := m.PitchB / int64(m.TileW)
+	tx := x / int64(m.TileW)
+	ty := y / int64(m.TileH())
+	// Checkerboard: neighbouring tiles in x and y land in different
+	// banks.
+	bank := int((tx + ty) % int64(m.G.Banks))
+	tileIdx := ty*tilesPerRow + tx
+	row := int(tileIdx % int64(m.G.RowsBank))
+	return bank, row
+}
+
+// Geometry implements Mapping.
+func (m *Tiled2D) Geometry() Geometry { return m.G }
+
+// Name implements Mapping.
+func (m *Tiled2D) Name() string { return "tiled-2d" }
+
+func wrap(addrB int64, g Geometry) int64 {
+	if addrB < 0 {
+		addrB = -addrB
+	}
+	return addrB % g.TotalBytes()
+}
+
+// BankXOR maps consecutive pages to banks through a row-XOR permutation
+// (bank = (page ^ row) mod banks): strided patterns whose pages land in
+// lockstep on one bank under plain interleaving get spread instead —
+// the classic conflict-avoiding hash.
+type BankXOR struct{ G Geometry }
+
+// NewBankXOR builds the permutation-based mapping.
+func NewBankXOR(g Geometry) (*BankXOR, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &BankXOR{G: g}, nil
+}
+
+// Map implements Mapping.
+func (m *BankXOR) Map(addrB int64) (int, int) {
+	a := wrap(addrB, m.G)
+	page := a / int64(m.G.PageBytes)
+	row := int(page / int64(m.G.Banks))
+	row = row % m.G.RowsBank
+	bank := int((page ^ int64(row)) % int64(m.G.Banks))
+	if bank < 0 {
+		bank = -bank
+	}
+	return bank, row
+}
+
+// Geometry implements Mapping.
+func (m *BankXOR) Geometry() Geometry { return m.G }
+
+// Name implements Mapping.
+func (m *BankXOR) Name() string { return "bank-xor" }

@@ -1,0 +1,236 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func geo() Geometry { return Geometry{Banks: 4, RowsBank: 1024, PageBytes: 256} }
+
+func TestGeometryValidate(t *testing.T) {
+	if geo().Validate() != nil {
+		t.Error("valid geometry rejected")
+	}
+	for _, g := range []Geometry{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if g.Validate() == nil {
+			t.Errorf("geometry %+v must fail", g)
+		}
+	}
+	if geo().TotalBytes() != 4*1024*256 {
+		t.Error("TotalBytes wrong")
+	}
+}
+
+func TestLinearLayout(t *testing.T) {
+	m, err := NewLinear(geo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First page of bank 0.
+	if b, r := m.Map(0); b != 0 || r != 0 {
+		t.Errorf("addr 0 -> (%d,%d)", b, r)
+	}
+	// Still in page 0.
+	if b, r := m.Map(255); b != 0 || r != 0 {
+		t.Errorf("addr 255 -> (%d,%d)", b, r)
+	}
+	// Next page, same bank.
+	if b, r := m.Map(256); b != 0 || r != 1 {
+		t.Errorf("addr 256 -> (%d,%d)", b, r)
+	}
+	// One full bank later: bank 1.
+	if b, r := m.Map(1024 * 256); b != 1 || r != 0 {
+		t.Errorf("bank boundary -> (%d,%d)", b, r)
+	}
+	if m.Name() != "linear" || m.Geometry() != geo() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestBankInterleavedLayout(t *testing.T) {
+	m, err := NewBankInterleaved(geo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive pages rotate banks.
+	for p := 0; p < 8; p++ {
+		b, r := m.Map(int64(p * 256))
+		if b != p%4 || r != p/4 {
+			t.Errorf("page %d -> (%d,%d)", p, b, r)
+		}
+	}
+	if m.Name() != "bank-interleaved" {
+		t.Error("name wrong")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	bad := Geometry{}
+	if _, err := NewLinear(bad); err == nil {
+		t.Error("linear must reject")
+	}
+	if _, err := NewBankInterleaved(bad); err == nil {
+		t.Error("interleaved must reject")
+	}
+	if _, err := NewTiled2D(bad, 720, 16); err == nil {
+		t.Error("tiled must reject")
+	}
+}
+
+func TestTiled2DConstruction(t *testing.T) {
+	g := geo() // page 256 B
+	if _, err := NewTiled2D(g, 720, 7); err == nil {
+		t.Error("tile width must divide page")
+	}
+	if _, err := NewTiled2D(g, 720, 32); err == nil {
+		t.Error("tile width must divide pitch (720 % 32 != 0)")
+	}
+	if _, err := NewTiled2D(g, 0, 16); err == nil {
+		t.Error("zero pitch must fail")
+	}
+	m, err := NewTiled2D(g, 720, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TileH() != 16 {
+		t.Errorf("tile height = %d, want 256/16 = 16", m.TileH())
+	}
+	if m.Name() != "tiled-2d" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTiled2DBlockLocality(t *testing.T) {
+	// A 16x16-byte block aligned to a tile touches exactly one
+	// (bank,row): the tiled mapping's whole point.
+	g := geo()
+	m, err := NewTiled2D(g, 720*2, 16) // pitch 1440, tiles 16 B x 16 lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, wantR := m.Map(0)
+	for y := int64(0); y < 16; y++ {
+		for x := int64(0); x < 16; x += 8 {
+			b, r := m.Map(y*1440 + x)
+			if b != wantB || r != wantR {
+				t.Fatalf("block not page-local at (%d,%d): (%d,%d) vs (%d,%d)", x, y, b, r, wantB, wantR)
+			}
+		}
+	}
+	// Vertically adjacent tiles land in different banks (checkerboard).
+	b2, _ := m.Map(16 * 1440)
+	if b2 == wantB {
+		t.Error("vertical neighbour tile must use another bank")
+	}
+	// Horizontally adjacent tiles too.
+	b3, _ := m.Map(16)
+	if b3 == wantB {
+		t.Error("horizontal neighbour tile must use another bank")
+	}
+}
+
+// Property: every mapping returns in-range banks and rows for any
+// address, including negatives and far beyond capacity.
+func TestMapRangeProperty(t *testing.T) {
+	g := geo()
+	lin, _ := NewLinear(g)
+	il, _ := NewBankInterleaved(g)
+	tl, _ := NewTiled2D(g, 1440, 16)
+	maps := []Mapping{lin, il, tl}
+	f := func(addr int64) bool {
+		for _, m := range maps {
+			b, r := m.Map(addr)
+			if b < 0 || b >= g.Banks || r < 0 || r >= g.RowsBank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: within one page, linear and interleaved mappings are
+// constant (no page ever straddles banks or rows).
+func TestPageStabilityProperty(t *testing.T) {
+	g := geo()
+	lin, _ := NewLinear(g)
+	il, _ := NewBankInterleaved(g)
+	f := func(pageRaw uint16, off uint8) bool {
+		page := int64(pageRaw) % (int64(g.Banks) * int64(g.RowsBank))
+		base := page * int64(g.PageBytes)
+		o := int64(off) % int64(g.PageBytes)
+		for _, m := range []Mapping{lin, il} {
+			b0, r0 := m.Map(base)
+			b1, r1 := m.Map(base + o)
+			if b0 != b1 || r0 != r1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bank-interleaved mapping spreads consecutive pages evenly
+// over all banks.
+func TestInterleaveBalanceProperty(t *testing.T) {
+	g := geo()
+	il, _ := NewBankInterleaved(g)
+	counts := make([]int, g.Banks)
+	for p := 0; p < 64; p++ {
+		b, _ := il.Map(int64(p) * int64(g.PageBytes))
+		counts[b]++
+	}
+	for i, c := range counts {
+		if c != 16 {
+			t.Errorf("bank %d got %d of 64 pages", i, c)
+		}
+	}
+}
+
+func TestBankXORBasics(t *testing.T) {
+	m, err := NewBankXOR(geo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "bank-xor" || m.Geometry() != geo() {
+		t.Error("metadata wrong")
+	}
+	if _, err := NewBankXOR(Geometry{}); err == nil {
+		t.Error("bad geometry must fail")
+	}
+	// In range for arbitrary addresses.
+	for _, a := range []int64{-5000, 0, 255, 256, 1 << 20, 1 << 40} {
+		b, r := m.Map(a)
+		if b < 0 || b >= 4 || r < 0 || r >= 1024 {
+			t.Fatalf("addr %d -> (%d,%d) out of range", a, b, r)
+		}
+	}
+}
+
+func TestBankXORBreaksLockstep(t *testing.T) {
+	// Stride of banks*page bytes: plain interleaving puts every access
+	// in the SAME bank; the XOR hash spreads them.
+	g := geo()
+	il, _ := NewBankInterleaved(g)
+	xr, _ := NewBankXOR(g)
+	stride := int64(g.Banks * g.PageBytes)
+	ilBanks := map[int]bool{}
+	xrBanks := map[int]bool{}
+	for i := int64(0); i < 64; i++ {
+		b, _ := il.Map(i * stride)
+		ilBanks[b] = true
+		b2, _ := xr.Map(i * stride)
+		xrBanks[b2] = true
+	}
+	if len(ilBanks) != 1 {
+		t.Fatalf("interleaved lockstep expected 1 bank, got %d", len(ilBanks))
+	}
+	if len(xrBanks) < 2 {
+		t.Fatalf("xor hash must spread the lockstep stride, got %d banks", len(xrBanks))
+	}
+}

@@ -1,0 +1,389 @@
+// Package mpeg2 models the memory side of an MPEG2 video decoder — the
+// paper's §4.1 case study. The decoding pipeline holds three large
+// memories: a compressed-input (VBV) buffer, two full reference-frame
+// stores for bidirectional reconstruction, and an output buffer for
+// progressive-to-interlaced conversion. The package computes the memory
+// budget and bandwidth requirement for PAL and NTSC in both output-buffer
+// modes (full, and the reduced mode that saves ~3 Mbit at the cost of
+// doubling pipeline throughput and motion-compensation bandwidth), and
+// generates the corresponding client traffic for the memory-system
+// simulator.
+package mpeg2
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/sched"
+	"edram/internal/traffic"
+	"edram/internal/units"
+)
+
+// Format describes a 4:2:0 video format.
+type Format struct {
+	Name   string
+	Width  int // luma samples per line
+	Height int // luma lines
+	FPS    int // frames per second
+}
+
+// PAL returns the 720x576 @ 25 Hz format (frame = 4.75 Mbit in 4:2:0).
+func PAL() Format { return Format{Name: "PAL", Width: 720, Height: 576, FPS: 25} }
+
+// NTSC returns the 720x480 @ 30 Hz format (frame = 3.96 Mbit in 4:2:0).
+func NTSC() Format { return Format{Name: "NTSC", Width: 720, Height: 480, FPS: 30} }
+
+// FrameBytes returns the 4:2:0 frame size in bytes (luma + 2 quarter-size
+// chroma planes = 1.5 bytes per pixel).
+func (f Format) FrameBytes() int64 {
+	return int64(f.Width) * int64(f.Height) * 3 / 2
+}
+
+// FrameMbit returns the 4:2:0 frame size in Mbit.
+func (f Format) FrameMbit() float64 { return units.BytesToMbit(f.FrameBytes()) }
+
+// MacroblocksPerFrame returns the number of 16x16 macroblocks.
+func (f Format) MacroblocksPerFrame() int {
+	return (f.Width / 16) * (f.Height / 16)
+}
+
+// Validate checks the format.
+func (f Format) Validate() error {
+	if f.Width <= 0 || f.Height <= 0 || f.FPS <= 0 {
+		return fmt.Errorf("mpeg2: invalid format %+v", f)
+	}
+	if f.Width%16 != 0 || f.Height%16 != 0 {
+		return fmt.Errorf("mpeg2: %s: dimensions must be macroblock aligned", f.Name)
+	}
+	return nil
+}
+
+// OutputMode selects the progressive-to-interlaced output buffering.
+type OutputMode int
+
+const (
+	// FullOutput keeps a full frame in the output buffer.
+	FullOutput OutputMode = iota
+	// ReducedOutput shrinks the output buffer to the fraction of a
+	// frame that must stay ahead of the display raster when the
+	// decoding pipeline runs at twice the throughput — the paper's
+	// "about 3 Mbit can be saved at the expense of doubling the
+	// throughput of the decoding pipeline as well as the memory
+	// bandwidth of the motion compensation module".
+	ReducedOutput
+)
+
+// String implements fmt.Stringer.
+func (m OutputMode) String() string {
+	if m == ReducedOutput {
+		return "reduced-output"
+	}
+	return "full-output"
+}
+
+// reducedOutputFraction is the frame fraction the reduced output buffer
+// keeps (a sliding window of macroblock rows ahead of the raster).
+const reducedOutputFraction = 0.35
+
+// VBVBufferBits is the MP@ML rate-buffer size (1.75 Mbit).
+const VBVBufferBits = 1835008
+
+// MaxBitrateMbps is the MP@ML maximum compressed bitrate.
+const MaxBitrateMbps = 15.0
+
+// Budget is the decoder's memory budget in Mbit.
+type Budget struct {
+	Format Format
+	Mode   OutputMode
+	// InputMbit is the VBV compressed-data buffer.
+	InputMbit float64
+	// RefMbit holds the two reference frames.
+	RefMbit float64
+	// OutputMbit is the progressive-to-interlace buffer.
+	OutputMbit float64
+	TotalMbit  float64
+}
+
+// BudgetFor computes the §4.1 memory budget.
+func BudgetFor(f Format, mode OutputMode) (Budget, error) {
+	if err := f.Validate(); err != nil {
+		return Budget{}, err
+	}
+	b := Budget{Format: f, Mode: mode}
+	b.InputMbit = float64(VBVBufferBits) / units.Mbit
+	b.RefMbit = 2 * f.FrameMbit()
+	if mode == ReducedOutput {
+		b.OutputMbit = f.FrameMbit() * reducedOutputFraction
+	} else {
+		b.OutputMbit = f.FrameMbit()
+	}
+	b.TotalMbit = b.InputMbit + b.RefMbit + b.OutputMbit
+	return b, nil
+}
+
+// SavingMbit returns the memory saved by the reduced mode.
+func SavingMbit(f Format) (float64, error) {
+	full, err := BudgetFor(f, FullOutput)
+	if err != nil {
+		return 0, err
+	}
+	red, err := BudgetFor(f, ReducedOutput)
+	if err != nil {
+		return 0, err
+	}
+	return full.TotalMbit - red.TotalMbit, nil
+}
+
+// Worst-case motion-compensation fetch per macroblock, bytes (B-picture,
+// bidirectional, half-pel interpolation in 4:2:0):
+//
+//	luma:   2 refs x 17x17        = 578
+//	chroma: 2 refs x 2 x 9x9      = 324
+const mcBytesPerMacroblock = 2*17*17 + 2*2*9*9
+
+// reconBytesPerMacroblock is the reconstructed-macroblock write (384 =
+// 256 luma + 128 chroma).
+const reconBytesPerMacroblock = 384
+
+// BandwidthReport breaks down the decoder's memory bandwidth in GB/s.
+type BandwidthReport struct {
+	InputGBps   float64 // bitstream write + read
+	MCGBps      float64 // motion-compensation reference reads
+	ReconGBps   float64 // reconstructed picture writes
+	DisplayGBps float64 // output buffer write + raster read
+	TotalGBps   float64
+}
+
+// Bandwidth computes the §4.1 bandwidth requirement. In ReducedOutput
+// mode the pipeline (and with it the MC and reconstruction traffic) runs
+// at twice the real-time rate.
+func Bandwidth(f Format, mode OutputMode) (BandwidthReport, error) {
+	if err := f.Validate(); err != nil {
+		return BandwidthReport{}, err
+	}
+	mbPerSec := float64(f.MacroblocksPerFrame() * f.FPS)
+	pipelineFactor := 1.0
+	if mode == ReducedOutput {
+		pipelineFactor = 2.0
+	}
+	var r BandwidthReport
+	r.InputGBps = 2 * MaxBitrateMbps * 1e6 / 8 / 1e9 // write + read of the stream
+	r.MCGBps = pipelineFactor * mbPerSec * mcBytesPerMacroblock / 1e9
+	r.ReconGBps = pipelineFactor * mbPerSec * reconBytesPerMacroblock / 1e9
+	// The display path writes the frame into the output buffer and
+	// reads it out field-by-field, independent of the pipeline factor.
+	frameBytesPerSec := float64(f.FrameBytes()) * float64(f.FPS)
+	r.DisplayGBps = 2 * frameBytesPerSec / 1e9
+	r.TotalGBps = r.InputGBps + r.MCGBps + r.ReconGBps + r.DisplayGBps
+	return r, nil
+}
+
+// Clients builds the decoder's memory clients for the controller
+// simulator, scaled to decode `frames` frames of traffic. Buffers are
+// laid out consecutively: input, ref0, ref1, output.
+func Clients(f Format, mode OutputMode, frames int, seed int64) ([]sched.Client, error) {
+	bw, err := Bandwidth(f, mode)
+	if err != nil {
+		return nil, err
+	}
+	if frames < 1 {
+		return nil, fmt.Errorf("mpeg2: frames must be >= 1, got %d", frames)
+	}
+	inputBase := int64(0)
+	ref0Base := inputBase + VBVBufferBits/8
+	ref1Base := ref0Base + f.FrameBytes()
+	outBase := ref1Base + f.FrameBytes()
+
+	mbPerFrame := f.MacroblocksPerFrame()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Requests are 64-byte lines for streams; MC fetches 17-byte-wide,
+	// 17-line blocks from the two reference frames (modelled as one
+	// Block2D over the combined reference region).
+	const lineBytes = 64
+	streamReq := func(base int64, window int64, rate float64, write bool, id int) sched.Client {
+		n := int(rate*1e9/lineBytes/float64(f.FPS)) * frames / 1 // requests for `frames` worth of time
+		if n < 1 {
+			n = 1
+		}
+		return sched.Client{Name: fmt.Sprintf("stream-%d", id), Gen: &traffic.Sequential{
+			ClientID: id, StartB: base, LimitB: window, Bits: lineBytes * 8,
+			Write: write, RateGB: rate, Count: n,
+		}}
+	}
+
+	mcBlocks := mbPerFrame * frames * 2 // two reference fetches per MB
+	clients := []sched.Client{
+		{Name: "mc", Gen: &traffic.Block2D{
+			ClientID: 0, BaseB: ref0Base, PitchB: int64(f.Width),
+			Lines:  f.Height * 2, // both reference frames stacked
+			BlockW: 17, BlockH: 17,
+			RateGB: bw.MCGBps, Blocks: mcBlocks,
+			Rng: rng,
+		}},
+		streamReq(outBase, f.FrameBytes(), bw.ReconGBps, true, 1),
+		streamReq(outBase, f.FrameBytes(), bw.DisplayGBps/2, false, 2),
+		streamReq(inputBase, VBVBufferBits/8, bw.InputGBps, false, 3),
+	}
+	clients[0].Name = "mc"
+	clients[1].Name = "recon"
+	clients[2].Name = "display"
+	clients[3].Name = "input"
+	return clients, nil
+}
+
+// CommoditySizesMbit lists the memory sizes reachable with the discrete
+// parts the paper discusses (§4.1: 16 Mbit standard, or 20 Mbit as
+// 4 x 4 Mbit / 32 Mbit as 2 x 16 Mbit).
+func CommoditySizesMbit() []int { return []int{4, 8, 12, 16, 20, 32} }
+
+// CommodityFitMbit returns the smallest commodity size that holds the
+// budget, or 0 if none does.
+func CommodityFitMbit(b Budget) int {
+	for _, s := range CommoditySizesMbit() {
+		if float64(s) >= b.TotalMbit {
+			return s
+		}
+	}
+	return 0
+}
+
+// EDRAMFitMbit returns the embedded macro capacity for the budget:
+// rounded up to the 1-Mbit building block (the paper's granularity
+// advantage).
+func EDRAMFitMbit(b Budget) int {
+	m := int(b.TotalMbit)
+	if float64(m) < b.TotalMbit {
+		m++
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// GOP describes a group-of-pictures composition. The worst-case
+// bandwidth (Bandwidth) assumes every macroblock is bidirectionally
+// predicted; a real stream mixes intra (no MC), predicted (one
+// reference) and bidirectional (two references) pictures.
+type GOP struct {
+	I, P, B int
+}
+
+// TypicalGOP returns the classic 12-picture broadcast structure
+// (IBBPBBPBBPBB).
+func TypicalGOP() GOP { return GOP{I: 1, P: 3, B: 8} }
+
+// Validate checks the GOP.
+func (g GOP) Validate() error {
+	if g.I < 1 || g.P < 0 || g.B < 0 {
+		return fmt.Errorf("mpeg2: GOP must have >= 1 I picture and non-negative P/B counts")
+	}
+	return nil
+}
+
+// Pictures returns the GOP length.
+func (g GOP) Pictures() int { return g.I + g.P + g.B }
+
+// MCRefsPerMB returns the average number of reference fetches per
+// macroblock over the GOP (I: 0, P: 1, B: 2).
+func (g GOP) MCRefsPerMB() float64 {
+	n := g.Pictures()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.P+2*g.B) / float64(n)
+}
+
+// BandwidthGOP computes the decoder bandwidth averaged over the GOP
+// structure instead of the all-bidirectional worst case: the MC term
+// scales with the average reference count.
+func BandwidthGOP(f Format, mode OutputMode, g GOP) (BandwidthReport, error) {
+	if err := g.Validate(); err != nil {
+		return BandwidthReport{}, err
+	}
+	r, err := Bandwidth(f, mode)
+	if err != nil {
+		return BandwidthReport{}, err
+	}
+	scale := g.MCRefsPerMB() / 2 // Bandwidth assumes 2 refs/MB
+	r.TotalGBps -= r.MCGBps
+	r.MCGBps *= scale
+	r.TotalGBps += r.MCGBps
+	return r, nil
+}
+
+// VBVResult reports a rate-buffer occupancy simulation.
+type VBVResult struct {
+	MinBits   int64
+	MaxBits   int64
+	Underflow bool // decoder starved (a frame was not fully present)
+	Overflow  bool // encoder stalled (buffer could not absorb the rate)
+	Frames    int
+}
+
+// SimulateVBV plays a GOP-patterned coded stream through the VBV rate
+// buffer: bits arrive at the constant channel rate, and at each frame
+// time the decoder instantaneously removes one coded picture (the
+// MPEG2 buffer model). Picture sizes follow the classic I:P:B
+// complexity ratio (≈8:3:1.5), normalized so the GOP average matches
+// the channel rate. It verifies the §4.1 input-buffer sizing.
+func SimulateVBV(f Format, g GOP, bitrateMbps float64, bufferBits int64, frames int) (VBVResult, error) {
+	if err := f.Validate(); err != nil {
+		return VBVResult{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return VBVResult{}, err
+	}
+	if bitrateMbps <= 0 || bufferBits <= 0 || frames < 1 {
+		return VBVResult{}, fmt.Errorf("mpeg2: vbv parameters must be positive")
+	}
+	// Complexity weights, normalized over the GOP.
+	const wI, wP, wB = 8.0, 3.0, 1.5
+	n := float64(g.Pictures())
+	mean := (float64(g.I)*wI + float64(g.P)*wP + float64(g.B)*wB) / n
+	avgBits := bitrateMbps * 1e6 / float64(f.FPS)
+	sizeOf := func(idx int) float64 {
+		pos := idx % g.Pictures()
+		switch {
+		case pos == 0:
+			return avgBits * wI / mean
+		case pos%((g.B/max(1, g.P))+1) == 0 && g.P > 0:
+			return avgBits * wP / mean
+		default:
+			return avgBits * wB / mean
+		}
+	}
+	perFrameArrival := avgBits
+
+	res := VBVResult{Frames: frames, MinBits: bufferBits, MaxBits: 0}
+	// Standard start condition: decode starts once the buffer holds
+	// the startup delay's worth of data (half full here).
+	occ := float64(bufferBits) / 2
+	for i := 0; i < frames; i++ {
+		occ += perFrameArrival
+		if occ > float64(bufferBits) {
+			res.Overflow = true
+			occ = float64(bufferBits)
+		}
+		occ -= sizeOf(i)
+		if occ < 0 {
+			res.Underflow = true
+			occ = 0
+		}
+		if int64(occ) < res.MinBits {
+			res.MinBits = int64(occ)
+		}
+		if int64(occ) > res.MaxBits {
+			res.MaxBits = int64(occ)
+		}
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

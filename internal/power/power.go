@@ -1,0 +1,226 @@
+// Package power implements the power and thermal models of the
+// reproduction: CV²f interface power for on-chip versus off-chip drivers
+// (the basis of the paper's ~10x system-power claim, §1), DRAM core
+// energy (activate / column access / refresh), and the junction-
+// temperature → retention-time feedback the paper warns about ("junction
+// temperature may increase and DRAM retention time may decrease").
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/tech"
+)
+
+// InterfacePowerMW returns the switching power of a bus.
+//
+//	P = activity · width · C · V² · f
+//
+// with C in pF, V in volts and f in MHz; the result is in mW
+// (pF·V²·MHz = µW, /1000 → mW).
+func InterfacePowerMW(widthBits int, loadPF, vddV, transferMHz, activity float64) float64 {
+	if widthBits <= 0 || loadPF <= 0 || transferMHz <= 0 {
+		return 0
+	}
+	uw := activity * float64(widthBits) * loadPF * vddV * vddV * transferMHz
+	return uw / 1000
+}
+
+// BusPower describes one evaluated interface.
+type BusPower struct {
+	WidthBits   int
+	TransferMHz float64
+	LoadPF      float64
+	VddV        float64
+	PowerMW     float64
+	BandwidthGB float64 // delivered GB/s at 1 transfer/cycle
+}
+
+// OffChipBus evaluates an off-chip (board-level) interface of the given
+// width and rate using the electrical constants e.
+func OffChipBus(e tech.Electrical, widthBits int, transferMHz, vddV float64) BusPower {
+	return evalBus(widthBits, transferMHz, e.OffChipLoadPF, vddV, e.SwitchingActivity)
+}
+
+// OnChipBus evaluates an on-chip interface of the given width and rate.
+func OnChipBus(e tech.Electrical, widthBits int, transferMHz, vddV float64) BusPower {
+	return evalBus(widthBits, transferMHz, e.OnChipLoadPF, vddV, e.SwitchingActivity)
+}
+
+func evalBus(widthBits int, transferMHz, loadPF, vddV, activity float64) BusPower {
+	return BusPower{
+		WidthBits:   widthBits,
+		TransferMHz: transferMHz,
+		LoadPF:      loadPF,
+		VddV:        vddV,
+		PowerMW:     InterfacePowerMW(widthBits, loadPF, vddV, transferMHz, activity),
+		BandwidthGB: float64(widthBits) / 8 * transferMHz * 1e6 / 1e9,
+	}
+}
+
+// CoreEnergy holds the DRAM core energy coefficients. Defaults are
+// calibrated for the 0.24 µm generation.
+type CoreEnergy struct {
+	// ActivatePJPerBitOfPage is the energy to fire the sense amplifiers
+	// of one page, per page bit (wordline + bitline swing + restore).
+	ActivatePJPerBitOfPage float64
+	// ColumnPJPerBit is the energy to move one bit through the column
+	// path on a read or write.
+	ColumnPJPerBit float64
+	// RefreshPJPerBitOfPage is the per-bit energy of one refresh of one
+	// page (an internal activate/precharge).
+	RefreshPJPerBitOfPage float64
+	// StandbyMWPerMbit is the dc standby power per Mbit.
+	StandbyMWPerMbit float64
+}
+
+// DefaultCoreEnergy returns the 0.24 µm-generation coefficients.
+func DefaultCoreEnergy() CoreEnergy {
+	return CoreEnergy{
+		ActivatePJPerBitOfPage: 0.40,
+		ColumnPJPerBit:         0.9,
+		RefreshPJPerBitOfPage:  0.40,
+		StandbyMWPerMbit:       0.05,
+	}
+}
+
+// ActivateEnergyPJ is the energy of one row activation of the given page
+// length.
+func (c CoreEnergy) ActivateEnergyPJ(pageBits int) float64 {
+	if pageBits <= 0 {
+		return 0
+	}
+	return c.ActivatePJPerBitOfPage * float64(pageBits)
+}
+
+// AccessEnergyPJ is the column-path energy of transferring n bits.
+func (c CoreEnergy) AccessEnergyPJ(bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	return c.ColumnPJPerBit * float64(bits)
+}
+
+// RefreshPowerMW is the average refresh power of a memory of totalBits
+// organized in pages of pageBits, each refreshed every retentionMs.
+func (c CoreEnergy) RefreshPowerMW(totalBits, pageBits int, retentionMs float64) float64 {
+	if totalBits <= 0 || pageBits <= 0 || retentionMs <= 0 {
+		return 0
+	}
+	pages := float64(totalBits) / float64(pageBits)
+	energyPerRound := c.RefreshPJPerBitOfPage * float64(pageBits) * pages // pJ per full refresh
+	// pJ per ms = nW; /1e6 → mW.
+	return energyPerRound / retentionMs / 1e6
+}
+
+// StandbyPowerMW is the dc standby power of a memory of totalBits.
+func (c CoreEnergy) StandbyPowerMW(totalBits int) float64 {
+	if totalBits <= 0 {
+		return 0
+	}
+	return c.StandbyMWPerMbit * float64(totalBits) / (1 << 20)
+}
+
+// Thermal is a lumped package thermal model.
+type Thermal struct {
+	AmbientC     float64
+	ThetaJACPerW float64 // junction-to-ambient resistance, °C/W
+}
+
+// DefaultThermal returns a plastic-package model of the era.
+func DefaultThermal() Thermal {
+	return Thermal{AmbientC: 45, ThetaJACPerW: 35}
+}
+
+// JunctionC returns the junction temperature at the given chip power.
+func (th Thermal) JunctionC(chipPowerMW float64) float64 {
+	if chipPowerMW < 0 {
+		chipPowerMW = 0
+	}
+	return th.AmbientC + th.ThetaJACPerW*chipPowerMW/1000
+}
+
+// RetentionAtJunction returns the retention time of process p at junction
+// temperature tj, using the exponential halving rule
+// (retention halves every RetentionHalvingC degrees above reference).
+func RetentionAtJunction(p tech.Process, tjC float64) (float64, error) {
+	if p.RetentionHalvingC <= 0 {
+		return 0, fmt.Errorf("power: process %q has no retention halving constant", p.Name)
+	}
+	return p.RetentionMs * math.Pow(2, (p.RefJunctionC-tjC)/p.RetentionHalvingC), nil
+}
+
+// SystemComparison is the result of comparing a discrete memory system
+// against an embedded one at the same delivered bandwidth (paper §1's
+// 4-GB/s example).
+type SystemComparison struct {
+	Discrete BusPower
+	Embedded BusPower
+	// DiscreteChips is the number of discrete devices ganged to reach
+	// the required width.
+	DiscreteChips int
+	// PowerRatio is discrete interface power / embedded interface power.
+	PowerRatio float64
+}
+
+// CompareInterfaces reproduces the paper's §1 example: a system needing
+// bandwidthGBps with an embedded bus of embWidthBits versus a bank of
+// discrete parts each with chipWidthBits at chipMHz. Both systems run at
+// whatever transfer rate delivers exactly the target bandwidth; the
+// discrete system pays board-level loads on every chip pin, and both
+// rates must be achievable (the discrete chips cap at chipMHz).
+func CompareInterfaces(e tech.Electrical, bandwidthGBps float64, embWidthBits int, embVddV float64, chipWidthBits int, chipMHz, chipVddV float64) (SystemComparison, error) {
+	if bandwidthGBps <= 0 {
+		return SystemComparison{}, fmt.Errorf("power: bandwidth must be positive, got %g", bandwidthGBps)
+	}
+	if embWidthBits <= 0 || chipWidthBits <= 0 || chipMHz <= 0 {
+		return SystemComparison{}, fmt.Errorf("power: widths and chip rate must be positive")
+	}
+	// Embedded: one wide on-chip bus at the rate that meets the target.
+	embMHz := bandwidthGBps * 1e9 * 8 / float64(embWidthBits) / 1e6
+	emb := OnChipBus(e, embWidthBits, embMHz, embVddV)
+
+	// Discrete: chips run at their full rate; gang enough of them.
+	perChipGBps := float64(chipWidthBits) / 8 * chipMHz * 1e6 / 1e9
+	chips := int(math.Ceil(bandwidthGBps / perChipGBps))
+	if chips < 1 {
+		chips = 1
+	}
+	totalWidth := chips * chipWidthBits
+	// The ganged bus transfers at the rate that meets the target on the
+	// composed width (it cannot exceed chipMHz by construction).
+	disMHz := bandwidthGBps * 1e9 * 8 / float64(totalWidth) / 1e6
+	dis := OffChipBus(e, totalWidth, disMHz, chipVddV)
+
+	ratio := 0.0
+	if emb.PowerMW > 0 {
+		ratio = dis.PowerMW / emb.PowerMW
+	}
+	return SystemComparison{Discrete: dis, Embedded: emb, DiscreteChips: chips, PowerRatio: ratio}, nil
+}
+
+// SimEnergy converts event counts from a simulation into core energy.
+// Activations are page opens (misses + empties + refresh rounds); the
+// column term covers the transferred bits.
+type SimEnergy struct {
+	ActivatePJ float64
+	ColumnPJ   float64
+	RefreshPJ  float64
+	TotalPJ    float64
+	// PJPerBit is total energy over transferred bits.
+	PJPerBit float64
+}
+
+// EnergyOfCounts computes the core energy of a simulated run.
+func (c CoreEnergy) EnergyOfCounts(activates, refreshes, transferredBits int64, pageBits int) SimEnergy {
+	var s SimEnergy
+	s.ActivatePJ = float64(activates) * c.ActivateEnergyPJ(pageBits)
+	s.ColumnPJ = float64(transferredBits) * c.ColumnPJPerBit
+	s.RefreshPJ = float64(refreshes) * c.RefreshPJPerBitOfPage * float64(pageBits)
+	s.TotalPJ = s.ActivatePJ + s.ColumnPJ + s.RefreshPJ
+	if transferredBits > 0 {
+		s.PJPerBit = s.TotalPJ / float64(transferredBits)
+	}
+	return s
+}

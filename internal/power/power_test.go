@@ -1,0 +1,246 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edram/internal/tech"
+)
+
+func TestInterfacePowerUnits(t *testing.T) {
+	// 1 bit, 1 pF, 1 V, 1 MHz, activity 1 => 1 µW = 0.001 mW.
+	got := InterfacePowerMW(1, 1, 1, 1, 1)
+	if math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("unit anchor wrong: %v", got)
+	}
+}
+
+func TestInterfacePowerDegenerate(t *testing.T) {
+	if InterfacePowerMW(0, 1, 1, 1, 1) != 0 ||
+		InterfacePowerMW(8, 0, 1, 1, 1) != 0 ||
+		InterfacePowerMW(8, 1, 1, 0, 1) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestInterfacePowerQuadraticInV(t *testing.T) {
+	p1 := InterfacePowerMW(64, 30, 2.5, 100, 0.5)
+	p2 := InterfacePowerMW(64, 30, 5.0, 100, 0.5)
+	if math.Abs(p2/p1-4) > 1e-9 {
+		t.Errorf("power must scale with V²: ratio %v", p2/p1)
+	}
+}
+
+func TestPaper10xIOPowerClaim(t *testing.T) {
+	// Paper §1: "consider a system which needs a 4 GB/s bandwidth and a
+	// bus width of 256 bits. A memory system built with discrete SDRAMs
+	// (16-bit interface at 100 MHz) would require about ten times the
+	// power of an eDRAM with an internal 256-bit interface."
+	e := tech.DefaultElectrical()
+	cmp, err := CompareInterfaces(e, 4.0, 256, 2.5, 16, 100, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DiscreteChips != 20 {
+		// 4 GB/s / (16 bit @ 100 MHz = 0.2 GB/s) = 20 chips ("about ten
+		// times the power" comes from the load ratio, not chip count).
+		t.Errorf("discrete chips = %d, want 20", cmp.DiscreteChips)
+	}
+	if cmp.PowerRatio < 5 || cmp.PowerRatio > 25 {
+		t.Fatalf("interface power ratio %.1fx outside the paper's ~10x regime", cmp.PowerRatio)
+	}
+	// Both systems must actually deliver 4 GB/s.
+	if math.Abs(cmp.Embedded.BandwidthGB*cmp.Embedded.TransferMHz/cmp.Embedded.TransferMHz-4) > 1e-9 {
+		t.Errorf("embedded bandwidth %.2f GB/s, want 4", cmp.Embedded.BandwidthGB)
+	}
+}
+
+func TestCompareInterfacesErrors(t *testing.T) {
+	e := tech.DefaultElectrical()
+	if _, err := CompareInterfaces(e, 0, 256, 2.5, 16, 100, 3.3); err == nil {
+		t.Error("zero bandwidth must error")
+	}
+	if _, err := CompareInterfaces(e, 4, 0, 2.5, 16, 100, 3.3); err == nil {
+		t.Error("zero embedded width must error")
+	}
+	if _, err := CompareInterfaces(e, 4, 256, 2.5, 16, 0, 3.3); err == nil {
+		t.Error("zero chip rate must error")
+	}
+}
+
+func TestCompareInterfacesChipCeil(t *testing.T) {
+	e := tech.DefaultElectrical()
+	// 0.3 GB/s needs 2 chips of 0.2 GB/s each.
+	cmp, err := CompareInterfaces(e, 0.3, 64, 2.5, 16, 100, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.DiscreteChips != 2 {
+		t.Errorf("chips = %d, want 2", cmp.DiscreteChips)
+	}
+}
+
+func TestCoreEnergyBasics(t *testing.T) {
+	c := DefaultCoreEnergy()
+	if c.ActivateEnergyPJ(0) != 0 || c.AccessEnergyPJ(-1) != 0 {
+		t.Error("degenerate energies must be 0")
+	}
+	if c.ActivateEnergyPJ(2048) <= c.ActivateEnergyPJ(1024) {
+		t.Error("longer pages must cost more activate energy")
+	}
+	if c.AccessEnergyPJ(256) != 256*c.ColumnPJPerBit {
+		t.Error("column energy must be linear in bits")
+	}
+}
+
+func TestRefreshPower(t *testing.T) {
+	c := DefaultCoreEnergy()
+	// Refresh power must be linear in total size and inverse in
+	// retention.
+	p1 := c.RefreshPowerMW(16<<20, 2048, 64)
+	p2 := c.RefreshPowerMW(32<<20, 2048, 64)
+	p3 := c.RefreshPowerMW(16<<20, 2048, 32)
+	if math.Abs(p2/p1-2) > 1e-9 {
+		t.Errorf("refresh power not linear in size: %v", p2/p1)
+	}
+	if math.Abs(p3/p1-2) > 1e-9 {
+		t.Errorf("refresh power not inverse in retention: %v", p3/p1)
+	}
+	if c.RefreshPowerMW(0, 2048, 64) != 0 || c.RefreshPowerMW(16<<20, 0, 64) != 0 || c.RefreshPowerMW(16<<20, 2048, 0) != 0 {
+		t.Error("degenerate refresh inputs must yield 0")
+	}
+	// Sanity: a 16-Mbit macro refreshes in the tens-of-µW..mW range,
+	// not watts.
+	if p1 <= 0 || p1 > 100 {
+		t.Errorf("16-Mbit refresh power %.3f mW implausible", p1)
+	}
+}
+
+func TestStandbyPower(t *testing.T) {
+	c := DefaultCoreEnergy()
+	if c.StandbyPowerMW(16<<20) != 16*c.StandbyMWPerMbit {
+		t.Error("standby power must be linear in Mbit")
+	}
+	if c.StandbyPowerMW(-1) != 0 {
+		t.Error("negative size must yield 0")
+	}
+}
+
+func TestThermalRetentionFeedback(t *testing.T) {
+	// Paper §1: per-chip power may increase, raising junction
+	// temperature and lowering retention.
+	th := DefaultThermal()
+	p := tech.Siemens024()
+	coolTJ := th.JunctionC(200) // 0.2 W
+	hotTJ := th.JunctionC(2000) // 2 W
+	if hotTJ <= coolTJ {
+		t.Fatal("more power must mean hotter junction")
+	}
+	rCool, err := RetentionAtJunction(p, coolTJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHot, err := RetentionAtJunction(p, hotTJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHot >= rCool {
+		t.Fatalf("retention must fall with temperature: %.1f vs %.1f ms", rHot, rCool)
+	}
+	// Exactly one halving per RetentionHalvingC.
+	rRef, _ := RetentionAtJunction(p, p.RefJunctionC)
+	rPlus10, _ := RetentionAtJunction(p, p.RefJunctionC+p.RetentionHalvingC)
+	if math.Abs(rRef/rPlus10-2) > 1e-9 {
+		t.Errorf("halving rule violated: %v", rRef/rPlus10)
+	}
+}
+
+func TestRetentionBadProcess(t *testing.T) {
+	p := tech.Siemens024()
+	p.RetentionHalvingC = 0
+	if _, err := RetentionAtJunction(p, 70); err == nil {
+		t.Error("missing halving constant must error")
+	}
+}
+
+func TestJunctionNegativePower(t *testing.T) {
+	th := DefaultThermal()
+	if th.JunctionC(-100) != th.AmbientC {
+		t.Error("negative power must clamp to ambient")
+	}
+}
+
+// Property: interface power is linear in width, load, frequency and
+// activity.
+func TestInterfacePowerLinearity(t *testing.T) {
+	f := func(w uint8, load, mhz uint16) bool {
+		width := int(w%128) + 1
+		l := float64(load%100)/10 + 0.1
+		f0 := float64(mhz%500) + 1
+		p1 := InterfacePowerMW(width, l, 3.3, f0, 0.5)
+		p2 := InterfacePowerMW(2*width, l, 3.3, f0, 0.5)
+		p3 := InterfacePowerMW(width, 2*l, 3.3, f0, 0.5)
+		p4 := InterfacePowerMW(width, l, 3.3, 2*f0, 0.5)
+		eq := func(a, b float64) bool { return math.Abs(a-b) < 1e-9*(math.Abs(a)+1) }
+		return eq(p2, 2*p1) && eq(p3, 2*p1) && eq(p4, 2*p1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the discrete/embedded comparison always reports enough chips
+// to meet the bandwidth, and the embedded side never uses the off-chip
+// load.
+func TestCompareInterfacesProperty(t *testing.T) {
+	e := tech.DefaultElectrical()
+	f := func(bwRaw, widthRaw uint8) bool {
+		bw := float64(bwRaw%80)/10 + 0.1
+		width := 16 << (widthRaw % 6) // 16..512
+		cmp, err := CompareInterfaces(e, bw, width, 2.5, 16, 100, 3.3)
+		if err != nil {
+			return false
+		}
+		perChip := 0.2 // 16 bit @ 100 MHz
+		if float64(cmp.DiscreteChips)*perChip < bw-1e-9 {
+			return false
+		}
+		return cmp.Embedded.LoadPF == e.OnChipLoadPF && cmp.Discrete.LoadPF == e.OffChipLoadPF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyOfCounts(t *testing.T) {
+	c := DefaultCoreEnergy()
+	s := c.EnergyOfCounts(10, 2, 640, 2048)
+	wantAct := 10 * c.ActivateEnergyPJ(2048)
+	wantCol := 640 * c.ColumnPJPerBit
+	wantRef := 2 * c.RefreshPJPerBitOfPage * 2048
+	if math.Abs(s.ActivatePJ-wantAct) > 1e-9 || math.Abs(s.ColumnPJ-wantCol) > 1e-9 ||
+		math.Abs(s.RefreshPJ-wantRef) > 1e-9 {
+		t.Fatalf("breakdown wrong: %+v", s)
+	}
+	if math.Abs(s.TotalPJ-(wantAct+wantCol+wantRef)) > 1e-9 {
+		t.Error("total must sum")
+	}
+	if math.Abs(s.PJPerBit-s.TotalPJ/640) > 1e-12 {
+		t.Error("per-bit wrong")
+	}
+	if c.EnergyOfCounts(0, 0, 0, 2048).PJPerBit != 0 {
+		t.Error("zero bits must yield zero per-bit")
+	}
+}
+
+func TestSimEnergyHitRateEffect(t *testing.T) {
+	// More activations for the same data = more energy: the energy
+	// face of the page-hit argument.
+	c := DefaultCoreEnergy()
+	hits := c.EnergyOfCounts(5, 0, 10000, 2048)
+	thrash := c.EnergyOfCounts(100, 0, 10000, 2048)
+	if thrash.PJPerBit <= hits.PJPerBit {
+		t.Error("page thrashing must cost energy per bit")
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("b", 123456.789)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the value column offset.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if hdrIdx != rowIdx {
+		t.Errorf("misaligned: header@%d row@%d\n%s", hdrIdx, rowIdx, out)
+	}
+	if tb.RowCount() != 2 {
+		t.Error("row count wrong")
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.Contains(sb.String(), "==") {
+		t.Error("untitled table must have no title banner")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		12345:    "12345",
+		42.42:    "42.4",
+		3.14159:  "3.14",
+		0.012345: "0.0123",
+		-42.42:   "-42.4",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow(1.0, "x")
+	tb.AddRow(2.5, "y")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1.00,x\n2.50,y\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := New("md", "a", "b")
+	tb.AddRow(1.0, "x")
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**md**", "| a | b |", "|---|---|", "| 1.00 | x |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package scanconv models the memory side of a TV scan-rate converter —
+// first in the paper's §5 list of eDRAM applications ("TV scan-rate
+// converters, TV picture-in-picture chips, …"). A 50-Hz interlaced
+// input is up-converted to a 100-Hz display by motion-adaptive
+// interpolation over the last few fields, so the chip needs field
+// stores (an awkward, non-power-of-two size: exactly the granularity
+// argument of §1) and three concurrent memory clients: acquisition
+// write, interpolator reads, display read-out.
+package scanconv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/sched"
+	"edram/internal/traffic"
+	"edram/internal/units"
+)
+
+// Standard describes the interlaced source.
+type Standard struct {
+	Name         string
+	ActiveWidth  int // pixels per line
+	ActiveLines  int // lines per field
+	FieldRateHz  int
+	BytesPerPix  int // 4:2:2 = 2
+	OutputFactor int // field-rate multiplication (2 = 100 Hz from 50 Hz)
+}
+
+// PAL50 returns the 625-line 50-Hz system (720x288 active per field).
+func PAL50() Standard {
+	return Standard{Name: "PAL-50", ActiveWidth: 720, ActiveLines: 288,
+		FieldRateHz: 50, BytesPerPix: 2, OutputFactor: 2}
+}
+
+// NTSC60 returns the 525-line 60-Hz system (720x240 active per field).
+func NTSC60() Standard {
+	return Standard{Name: "NTSC-60", ActiveWidth: 720, ActiveLines: 240,
+		FieldRateHz: 60, BytesPerPix: 2, OutputFactor: 2}
+}
+
+// Validate checks the standard.
+func (s Standard) Validate() error {
+	if s.ActiveWidth <= 0 || s.ActiveLines <= 0 || s.FieldRateHz <= 0 ||
+		s.BytesPerPix <= 0 || s.OutputFactor < 1 {
+		return fmt.Errorf("scanconv: invalid standard %+v", s)
+	}
+	return nil
+}
+
+// FieldBytes returns one field store's size.
+func (s Standard) FieldBytes() int64 {
+	return int64(s.ActiveWidth) * int64(s.ActiveLines) * int64(s.BytesPerPix)
+}
+
+// FieldMbit returns one field store in Mbit.
+func (s Standard) FieldMbit() float64 { return units.BytesToMbit(s.FieldBytes()) }
+
+// Budget is the converter's memory budget.
+type Budget struct {
+	Standard Standard
+	// Fields held for motion-adaptive interpolation.
+	Fields    int
+	TotalMbit float64
+	EDRAMMbit int // exact-fit macro capacity (1-Mbit granularity)
+}
+
+// BudgetFor computes the budget for an n-field motion-adaptive
+// converter (3 is typical: current, previous, two-before).
+func BudgetFor(s Standard, fields int) (Budget, error) {
+	if err := s.Validate(); err != nil {
+		return Budget{}, err
+	}
+	if fields < 1 {
+		return Budget{}, fmt.Errorf("scanconv: need at least one field store")
+	}
+	b := Budget{Standard: s, Fields: fields}
+	b.TotalMbit = float64(fields) * s.FieldMbit()
+	b.EDRAMMbit = int(b.TotalMbit)
+	if float64(b.EDRAMMbit) < b.TotalMbit {
+		b.EDRAMMbit++
+	}
+	return b, nil
+}
+
+// BandwidthReport breaks down the converter's memory traffic.
+type BandwidthReport struct {
+	AcquireGBps float64 // input field writes
+	InterpGBps  float64 // interpolator reads (fields x output rate)
+	DisplayGBps float64 // output read-out at the raised rate
+	TotalGBps   float64
+}
+
+// Bandwidth computes the requirement: the interpolator reads `fields`
+// source fields for every output field.
+func Bandwidth(s Standard, fields int) (BandwidthReport, error) {
+	if err := s.Validate(); err != nil {
+		return BandwidthReport{}, err
+	}
+	if fields < 1 {
+		return BandwidthReport{}, fmt.Errorf("scanconv: need at least one field store")
+	}
+	fieldBytesPerSec := float64(s.FieldBytes()) * float64(s.FieldRateHz)
+	outRate := float64(s.FieldRateHz * s.OutputFactor)
+	var r BandwidthReport
+	r.AcquireGBps = fieldBytesPerSec / 1e9
+	r.InterpGBps = float64(fields) * float64(s.FieldBytes()) * outRate / 1e9
+	r.DisplayGBps = float64(s.FieldBytes()) * outRate / 1e9
+	r.TotalGBps = r.AcquireGBps + r.InterpGBps + r.DisplayGBps
+	return r, nil
+}
+
+// Clients builds the converter's memory clients for `outFields` output
+// fields of traffic. Field stores are laid out consecutively.
+func Clients(s Standard, fields, outFields int, seed int64) ([]sched.Client, error) {
+	bw, err := Bandwidth(s, fields)
+	if err != nil {
+		return nil, err
+	}
+	if outFields < 1 {
+		return nil, fmt.Errorf("scanconv: need at least one output field")
+	}
+	const lineReq = 128 // bytes per request (one burst of a video line)
+	span := s.FieldBytes() * int64(fields)
+	reqsFor := func(gbps float64) int {
+		perField := gbps * 1e9 / float64(s.FieldRateHz*s.OutputFactor)
+		n := int(perField/lineReq) * outFields
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return []sched.Client{
+		{Name: "acquire", Gen: &traffic.Sequential{ClientID: 0, StartB: 0, LimitB: span,
+			Bits: lineReq * 8, Write: true, RateGB: bw.AcquireGBps, Count: reqsFor(bw.AcquireGBps)}},
+		{Name: "interp", Gen: &traffic.Random{ClientID: 1, StartB: 0, WindowB: span,
+			Bits: lineReq * 8, RateGB: bw.InterpGBps, Count: reqsFor(bw.InterpGBps),
+			Rng: rand.New(rand.NewSource(seed))}},
+		{Name: "display", LatencyBudgetNs: 1000, Gen: &traffic.Sequential{ClientID: 2, StartB: 0,
+			LimitB: span, Bits: lineReq * 8, RateGB: bw.DisplayGBps, Count: reqsFor(bw.DisplayGBps)}},
+	}, nil
+}

@@ -1,0 +1,120 @@
+package scanconv
+
+import (
+	"math"
+	"testing"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/sched"
+)
+
+func TestStandards(t *testing.T) {
+	for _, s := range []Standard{PAL50(), NTSC60()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	// PAL field: 720x288x2 = 405 KB ≈ 3.16 Mbit — the awkward
+	// non-power-of-two size of the §1 granularity argument.
+	f := PAL50().FieldMbit()
+	if f < 3.1 || f > 3.2 {
+		t.Errorf("PAL field = %.2f Mbit, want ~3.16", f)
+	}
+	bad := PAL50()
+	bad.ActiveWidth = 0
+	if bad.Validate() == nil {
+		t.Error("invalid standard must fail")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b, err := BudgetFor(PAL50(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 fields ≈ 9.49 Mbit: eDRAM fits 10 Mbit; commodity would need 16.
+	if math.Abs(b.TotalMbit-3*PAL50().FieldMbit()) > 1e-9 {
+		t.Error("budget must be fields x field size")
+	}
+	if b.EDRAMMbit != 10 {
+		t.Errorf("eDRAM fit = %d Mbit, want 10", b.EDRAMMbit)
+	}
+	if _, err := BudgetFor(PAL50(), 0); err == nil {
+		t.Error("zero fields must error")
+	}
+	if _, err := BudgetFor(Standard{}, 3); err == nil {
+		t.Error("bad standard must error")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	r, err := Bandwidth(PAL50(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.AcquireGBps + r.InterpGBps + r.DisplayGBps
+	if math.Abs(sum-r.TotalGBps) > 1e-12 {
+		t.Error("breakdown must sum")
+	}
+	// Acquisition runs at the input rate, display at the doubled rate.
+	if math.Abs(r.DisplayGBps/r.AcquireGBps-2) > 1e-9 {
+		t.Errorf("display/acquire = %v, want 2 (100 Hz from 50 Hz)", r.DisplayGBps/r.AcquireGBps)
+	}
+	// The interpolator dominates (3 fields per output field).
+	if r.InterpGBps <= r.DisplayGBps {
+		t.Error("interpolation reads must dominate")
+	}
+	// Total for PAL 3-field conversion: ~0.2 GB/s.
+	if r.TotalGBps < 0.1 || r.TotalGBps > 0.5 {
+		t.Errorf("total %.3f GB/s implausible", r.TotalGBps)
+	}
+	if _, err := Bandwidth(PAL50(), 0); err == nil {
+		t.Error("zero fields must error")
+	}
+}
+
+func TestClientsAndRealTime(t *testing.T) {
+	cs, err := Clients(PAL50(), 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("clients = %d", len(cs))
+	}
+	// Run two output fields on the exact-fit macro: must complete
+	// within the output field period x2 with margin.
+	b, err := BudgetFor(PAL50(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := edram.Build(edram.Spec{CapacityMbit: b.EDRAMMbit, InterfaceBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.DeviceConfig()
+	cfg.AutoRefresh = false
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Run(cfg, mp, sched.Deadline, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgetNs := 2 * 1e9 / float64(PAL50().FieldRateHz*PAL50().OutputFactor)
+	if res.DurationNs > 1.05*budgetNs {
+		t.Errorf("2 output fields took %.2f ms, budget %.2f ms", res.DurationNs/1e6, budgetNs/1e6)
+	}
+	// The display client's deadline must hold comfortably.
+	if res.Clients[2].Stats.P99Ns > 2000 {
+		t.Errorf("display p99 %.0f ns too high", res.Clients[2].Stats.P99Ns)
+	}
+	if _, err := Clients(PAL50(), 3, 0, 1); err == nil {
+		t.Error("zero output fields must error")
+	}
+	if _, err := Clients(Standard{}, 3, 1, 1); err == nil {
+		t.Error("bad standard must error")
+	}
+}

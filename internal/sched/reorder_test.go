@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"edram/internal/traffic"
+)
+
+// reorderMix is a client whose head often blocks on a conflicting row
+// while a slightly younger request would hit the open page: it
+// alternates between two buffers that share banks under the interleaved
+// mapping (plus a random bulk client).
+func reorderMix(seed int64) []Client {
+	return []Client{
+		{Name: "bidir", Gen: &traffic.Alternating{ClientID: 0, BaseA: 0, BaseB: 1 << 20, Bits: 64, RateGB: 3, Count: 1500}},
+		{Name: "rnd", Gen: &traffic.Random{ClientID: 1, StartB: 4 << 20, WindowB: 1 << 20, Bits: 64, RateGB: 3, Count: 1500, Rng: rand.New(rand.NewSource(seed))}},
+	}
+}
+
+func TestReorderWindowImprovesHitRate(t *testing.T) {
+	inOrder, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: OpenPageFirst}, reorderMix(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reorder, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: OpenPageFirst, ReorderWindow: 8}, reorderMix(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reorder.HitRate < inOrder.HitRate {
+		t.Errorf("reordering must not lower hit rate: %.3f vs %.3f",
+			reorder.HitRate, inOrder.HitRate)
+	}
+	if reorder.SustainedGBps < inOrder.SustainedGBps {
+		t.Errorf("reordering must not lower bandwidth: %.3f vs %.3f",
+			reorder.SustainedGBps, inOrder.SustainedGBps)
+	}
+}
+
+func TestReorderWindowServesEverything(t *testing.T) {
+	for _, w := range []int{0, 1, 4, 64} {
+		res, err := RunWithOptions(devCfg(), interleaved(t),
+			Options{Policy: OpenPageFirst, ReorderWindow: w}, reorderMix(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range res.Clients {
+			total += c.Stats.Count
+		}
+		if total != 3000 {
+			t.Errorf("window %d served %d of 3000", w, total)
+		}
+	}
+}
+
+func TestReorderWindowOneMatchesDefault(t *testing.T) {
+	a, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: OpenPageFirst}, reorderMix(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: OpenPageFirst, ReorderWindow: 1}, reorderMix(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SustainedGBps != b.SustainedGBps || a.HitRate != b.HitRate {
+		t.Error("window 1 must match strict in-order behaviour")
+	}
+}
+
+func TestReorderOnlyAffectsOpenPagePolicy(t *testing.T) {
+	a, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: RoundRobin}, reorderMix(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: RoundRobin, ReorderWindow: 16}, reorderMix(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SustainedGBps != b.SustainedGBps {
+		t.Error("reorder window must be inert for head-only policies")
+	}
+}

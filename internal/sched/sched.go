@@ -1,0 +1,411 @@
+// Package sched implements the memory controller of the reproduction:
+// arbitration between several memory clients, address mapping, and the
+// event-driven service loop over a dram.Device. It measures the gap the
+// paper's §4 warns about — "the sustainable bandwidth can be much lower
+// than the peak bandwidth" once several clients introduce page misses —
+// and the latency/FIFO-depth consequences of the access scheme (§3).
+package sched
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"edram/internal/dram"
+	"edram/internal/mapping"
+	"edram/internal/power"
+	"edram/internal/traffic"
+	"edram/internal/units"
+)
+
+// Policy selects the arbitration scheme.
+type Policy int
+
+const (
+	// RoundRobin serves clients in rotating order.
+	RoundRobin Policy = iota
+	// FixedPriority always serves the lowest-index client first.
+	FixedPriority
+	// OldestFirst serves the globally oldest pending request (FCFS).
+	OldestFirst
+	// OpenPageFirst prefers requests that hit an open page, falling
+	// back to the oldest — the paper's "optimizing the access scheme".
+	OpenPageFirst
+	// Deadline serves the request whose deadline (issue time plus its
+	// client's latency budget) expires first — earliest-deadline-first
+	// for mixes of real-time and bulk clients (§3).
+	Deadline
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPriority:
+		return "fixed-priority"
+	case OldestFirst:
+		return "oldest-first"
+	case OpenPageFirst:
+		return "open-page-first"
+	case Deadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Client couples a name with a request stream.
+type Client struct {
+	Name string
+	Gen  traffic.Generator
+	// LatencyBudgetNs is the client's service-latency budget, used by
+	// the Deadline policy (0 = best effort, treated as a very relaxed
+	// deadline).
+	LatencyBudgetNs float64
+}
+
+// ClientResult reports one client's service quality.
+type ClientResult struct {
+	Name      string
+	Stats     traffic.LatencyStats
+	BitsMoved int64
+	// AchievedGBps is the client's data rate over the whole run.
+	AchievedGBps float64
+}
+
+// Result is the outcome of one controller run.
+type Result struct {
+	Policy      Policy
+	MappingName string
+	Clients     []ClientResult
+	// PeakGBps is the device interface peak.
+	PeakGBps float64
+	// SustainedGBps is total moved data over the makespan.
+	SustainedGBps float64
+	// SustainedFraction = SustainedGBps / PeakGBps.
+	SustainedFraction float64
+	// HitRate is the device's open-page hit rate.
+	HitRate    float64
+	DurationNs float64
+	Device     dram.Stats
+	// Trace holds the per-request log when Options.Trace was set.
+	Trace []TraceEntry
+}
+
+type clientState struct {
+	reqs    []traffic.Request
+	next    int // first unserved request
+	arrived int // requests with IssueNs <= now (>= next)
+	done    []bool
+	served  int
+	lats    []float64
+	maxFIFO int
+	bits    int64
+}
+
+// candidates returns up to window unserved, arrived request indices in
+// age order.
+func (st *clientState) candidates(window int) []int {
+	var out []int
+	for i := st.next; i < st.arrived && len(out) < window; i++ {
+		if !st.done[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// markServed records completion of request idx and advances the head.
+func (st *clientState) markServed(idx int) {
+	st.done[idx] = true
+	st.served++
+	for st.next < len(st.reqs) && st.done[st.next] {
+		st.next++
+	}
+}
+
+// Options configures a controller run beyond the arbitration policy.
+type Options struct {
+	Policy Policy
+	// ClosedPage issues an auto-precharge after every request (the
+	// closed-page policy): random mixes avoid the conflict-miss
+	// precharge on the critical path, streams lose their open-page
+	// hits. Ablated in the E8 companion bench.
+	ClosedPage bool
+	// ReorderWindow lets the OpenPageFirst arbiter look past each
+	// client's head request, FR-FCFS style: among the first
+	// ReorderWindow pending requests per client it prefers an
+	// open-page hit, falling back to the globally oldest head.
+	// 0 or 1 keeps strict per-client FIFO order.
+	ReorderWindow int
+	// Trace, when true, records one TraceEntry per served request in
+	// Result.Trace (issue order).
+	Trace bool
+}
+
+// TraceEntry is one served request in the command trace.
+type TraceEntry struct {
+	Client    string
+	AddrB     int64
+	Bank, Row int
+	Write     bool
+	IssueNs   float64
+	StartNs   float64
+	DoneNs    float64
+	Hit       bool
+}
+
+// Run drains every client's generator and serves the merged load on a
+// device built from devCfg, translating addresses through m and
+// arbitrating with policy. It returns the full report.
+func Run(devCfg dram.Config, m mapping.Mapping, policy Policy, clients []Client) (Result, error) {
+	return RunWithOptions(devCfg, m, Options{Policy: policy}, clients)
+}
+
+// RunWithOptions is Run with full controller options.
+func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients []Client) (Result, error) {
+	policy := opt.Policy
+	if len(clients) == 0 {
+		return Result{}, fmt.Errorf("sched: no clients")
+	}
+	dev, err := dram.New(devCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	geo := m.Geometry()
+	if geo.Banks != devCfg.Banks || geo.RowsBank != devCfg.RowsPerBank || geo.PageBytes != devCfg.PageBits/8 {
+		return Result{}, fmt.Errorf("sched: mapping geometry %+v does not match device %+v", geo, devCfg)
+	}
+
+	window := opt.ReorderWindow
+	if window < 1 {
+		window = 1
+	}
+	budgets := make([]float64, len(clients))
+	for i, c := range clients {
+		budgets[i] = c.LatencyBudgetNs
+		if budgets[i] <= 0 {
+			budgets[i] = 1e12 // best effort
+		}
+	}
+	states := make([]clientState, len(clients))
+	total := 0
+	for i, c := range clients {
+		states[i].reqs = traffic.Slice(c.Gen)
+		states[i].done = make([]bool, len(states[i].reqs))
+		total += len(states[i].reqs)
+	}
+	if total == 0 {
+		return Result{}, fmt.Errorf("sched: all client streams empty")
+	}
+
+	now := 0.0
+	served := 0
+	rrNext := 0
+	var trace []TraceEntry
+	if opt.Trace {
+		trace = make([]TraceEntry, 0, total)
+	}
+	beatsOf := func(bits int) int {
+		n := units.CeilDiv(bits, devCfg.DataBits)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	for served < total {
+		// Advance arrivals; find the set of ready client heads.
+		anyReady := false
+		nextArrival := math.Inf(1)
+		for i := range states {
+			st := &states[i]
+			for st.arrived < len(st.reqs) && st.reqs[st.arrived].IssueNs <= now+1e-9 {
+				st.arrived++
+			}
+			if st.next < st.arrived {
+				anyReady = true
+			} else if st.next < len(st.reqs) && st.reqs[st.next].IssueNs < nextArrival {
+				nextArrival = st.reqs[st.next].IssueNs
+			}
+			// FIFO occupancy: arrived but not yet served.
+			if d := st.arrived - st.served; d > st.maxFIFO {
+				st.maxFIFO = d
+			}
+		}
+		if !anyReady {
+			now = nextArrival
+			continue
+		}
+
+		pick, reqIdx := choose(policy, states, rrNext, dev, m, window, budgets)
+		if policy == RoundRobin {
+			rrNext = (pick + 1) % len(states)
+		}
+		st := &states[pick]
+		req := st.reqs[reqIdx]
+		bank, row := m.Map(req.AddrB)
+		res, err := dev.Burst(math.Max(now, req.IssueNs), bank, row, beatsOf(req.Bits), req.Write)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: serving client %q: %w", clients[pick].Name, err)
+		}
+		st.lats = append(st.lats, res.DoneNs-req.IssueNs)
+		st.bits += int64(req.Bits)
+		st.markServed(reqIdx)
+		served++
+		if opt.Trace {
+			trace = append(trace, TraceEntry{
+				Client: clients[pick].Name, AddrB: req.AddrB,
+				Bank: bank, Row: row, Write: req.Write,
+				IssueNs: req.IssueNs, StartNs: res.StartNs, DoneNs: res.DoneNs,
+				Hit: res.Hit,
+			})
+		}
+		if opt.ClosedPage {
+			if err := dev.Precharge(res.DoneNs, bank); err != nil {
+				return Result{}, err
+			}
+		}
+		if res.StartNs > now {
+			now = res.StartNs
+		}
+	}
+
+	ds := dev.Stats()
+	dur := ds.LastDoneNs
+	var out Result
+	out.Policy = policy
+	out.MappingName = m.Name()
+	out.PeakGBps = devCfg.PeakBandwidthGBps()
+	var totalBits int64
+	for i := range states {
+		st := &states[i]
+		cr := ClientResult{
+			Name:      clients[i].Name,
+			Stats:     traffic.Summarize(st.lats, st.maxFIFO),
+			BitsMoved: st.bits,
+		}
+		if dur > 0 {
+			cr.AchievedGBps = float64(st.bits) / 8 / dur
+		}
+		totalBits += st.bits
+		out.Clients = append(out.Clients, cr)
+	}
+	if dur > 0 {
+		out.SustainedGBps = float64(totalBits) / 8 / dur
+	}
+	out.SustainedFraction = units.Ratio(out.SustainedGBps, out.PeakGBps)
+	out.HitRate = ds.HitRate()
+	out.DurationNs = dur
+	out.Device = ds
+	out.Trace = trace
+	return out, nil
+}
+
+// CoreEnergy summarizes the run's DRAM core energy using the given
+// coefficients (activations = misses + empties, plus refresh rounds).
+func (r Result) CoreEnergy(ce power.CoreEnergy, pageBits int) power.SimEnergy {
+	activates := r.Device.PageMisses + r.Device.PageEmpties
+	var bits int64
+	for _, c := range r.Clients {
+		bits += c.BitsMoved
+	}
+	return ce.EnergyOfCounts(activates, r.Device.Refreshes, bits, pageBits)
+}
+
+// WriteTraceCSV renders the trace as CSV.
+func (r Result) WriteTraceCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "client,addr,bank,row,write,issue_ns,start_ns,done_ns,hit\n"); err != nil {
+		return err
+	}
+	for _, e := range r.Trace {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%t,%.1f,%.1f,%.1f,%t\n",
+			e.Client, e.AddrB, e.Bank, e.Row, e.Write, e.IssueNs, e.StartNs, e.DoneNs, e.Hit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// choose picks the next (client, request index) among ready requests.
+// All policies except OpenPageFirst consider only each client's head;
+// OpenPageFirst additionally looks `window` requests deep per client
+// (FR-FCFS style) when window > 1.
+func choose(policy Policy, states []clientState, rrNext int, dev *dram.Device, m mapping.Mapping, window int, budgets []float64) (int, int) {
+	n := len(states)
+	head := func(i int) (int, bool) {
+		c := states[i].candidates(1)
+		if len(c) == 0 {
+			return 0, false
+		}
+		return c[0], true
+	}
+
+	switch policy {
+	case RoundRobin:
+		for k := 0; k < n; k++ {
+			i := (rrNext + k) % n
+			if idx, ok := head(i); ok {
+				return i, idx
+			}
+		}
+	case FixedPriority:
+		for i := 0; i < n; i++ {
+			if idx, ok := head(i); ok {
+				return i, idx
+			}
+		}
+	case OldestFirst:
+		best, bestIdx, bestT := -1, 0, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if idx, ok := head(i); ok && states[i].reqs[idx].IssueNs < bestT {
+				best, bestIdx, bestT = i, idx, states[i].reqs[idx].IssueNs
+			}
+		}
+		if best >= 0 {
+			return best, bestIdx
+		}
+	case Deadline:
+		best, bestIdx, bestT := -1, 0, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if idx, ok := head(i); ok {
+				dl := states[i].reqs[idx].IssueNs + budgets[i]
+				if dl < bestT {
+					best, bestIdx, bestT = i, idx, dl
+				}
+			}
+		}
+		if best >= 0 {
+			return best, bestIdx
+		}
+	case OpenPageFirst:
+		best, bestIdx, bestT := -1, 0, math.Inf(1)
+		hitBest, hitIdx, hitT := -1, 0, math.Inf(1)
+		for i := 0; i < n; i++ {
+			for _, idx := range states[i].candidates(window) {
+				req := states[i].reqs[idx]
+				if idx == states[i].next && req.IssueNs < bestT {
+					best, bestIdx, bestT = i, idx, req.IssueNs
+				}
+				bank, row := m.Map(req.AddrB)
+				if dev.OpenRow(bank) == row && req.IssueNs < hitT {
+					hitBest, hitIdx, hitT = i, idx, req.IssueNs
+				}
+			}
+		}
+		if hitBest >= 0 {
+			return hitBest, hitIdx
+		}
+		if best >= 0 {
+			return best, bestIdx
+		}
+	}
+	// Fallback: first ready client (callers guarantee one exists).
+	for i := 0; i < n; i++ {
+		if idx, ok := head(i); ok {
+			return i, idx
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,263 @@
+// Package sdram models discrete commodity SDRAM parts of the late 1990s
+// and the board-level memory systems composed from them. It is the
+// baseline the paper argues against: fixed part sizes and narrow
+// interfaces force granularity waste (§1), board-level interface power
+// (§1) and package/pin overheads (§1).
+package sdram
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/dram"
+	"edram/internal/power"
+	"edram/internal/tech"
+	"edram/internal/units"
+)
+
+// Part describes one discrete SDRAM device.
+type Part struct {
+	Name         string
+	CapacityMbit int
+	WidthBits    int // data interface width
+	ClockMHz     float64
+	Banks        int
+	PageBits     int // page (row) length in bits
+	Timing       tech.SDRAMTiming
+	// SignalPins is the per-device signal pin count (data, address,
+	// command, clock); power/ground excluded (added by pad models).
+	SignalPins int
+	PriceUSD   float64
+	// StandbyMW is the device's self-refresh standby power.
+	StandbyMW float64
+}
+
+// RowsPerBank derives the bank depth from capacity, banks and page size.
+func (p Part) RowsPerBank() int {
+	if p.Banks <= 0 || p.PageBits <= 0 {
+		return 0
+	}
+	bits := p.CapacityMbit * units.Mbit
+	return bits / p.Banks / p.PageBits
+}
+
+// PeakBandwidthGBps is the device's theoretical interface bandwidth.
+func (p Part) PeakBandwidthGBps() float64 {
+	return units.BandwidthGBps(p.WidthBits, p.ClockMHz)
+}
+
+// FillFrequencyHz is the paper's fill-frequency metric for one device.
+func (p Part) FillFrequencyHz() float64 {
+	return units.FillFrequencyHz(p.PeakBandwidthGBps(), float64(p.CapacityMbit))
+}
+
+// Validate checks the part description.
+func (p Part) Validate() error {
+	switch {
+	case p.CapacityMbit <= 0:
+		return fmt.Errorf("sdram: part %q: capacity must be positive", p.Name)
+	case p.WidthBits <= 0 || !units.IsPow2(p.WidthBits):
+		return fmt.Errorf("sdram: part %q: width %d must be a positive power of two", p.Name, p.WidthBits)
+	case p.ClockMHz <= 0:
+		return fmt.Errorf("sdram: part %q: clock must be positive", p.Name)
+	case p.Banks <= 0 || p.PageBits <= 0:
+		return fmt.Errorf("sdram: part %q: banks and page must be positive", p.Name)
+	case p.RowsPerBank() <= 0:
+		return fmt.Errorf("sdram: part %q: inconsistent geometry", p.Name)
+	}
+	return nil
+}
+
+// DeviceConfig returns the dram.Config for simulating one part.
+func (p Part) DeviceConfig() dram.Config {
+	return dram.Config{
+		Banks:       p.Banks,
+		RowsPerBank: p.RowsPerBank(),
+		PageBits:    p.PageBits,
+		DataBits:    p.WidthBits,
+		Timing:      p.Timing,
+		AutoRefresh: true,
+	}
+}
+
+// Catalog returns the discrete parts available to the baseline system
+// composer, in increasing capacity. Sizes follow the commodity
+// progression the paper cites (4, 16, 64 Mbit; §4.1 mentions 4x4 Mbit
+// and 2x16 Mbit alternatives).
+func Catalog() []Part {
+	pc100 := tech.PC100()
+	return []Part{
+		{Name: "4Mb-x16", CapacityMbit: 4, WidthBits: 16, ClockMHz: 100, Banks: 2, PageBits: 4096, Timing: pc100, SignalPins: 34, PriceUSD: 1.8, StandbyMW: 2.5},
+		{Name: "16Mb-x16", CapacityMbit: 16, WidthBits: 16, ClockMHz: 100, Banks: 2, PageBits: 8192, Timing: pc100, SignalPins: 36, PriceUSD: 4.0, StandbyMW: 4.0},
+		{Name: "64Mb-x16", CapacityMbit: 64, WidthBits: 16, ClockMHz: 100, Banks: 4, PageBits: 8192, Timing: pc100, SignalPins: 38, PriceUSD: 15.0, StandbyMW: 7.0},
+	}
+}
+
+// SpeedGrade derates or upgrades a part to a different interface clock,
+// scaling its price with the era's speed-bin premium (~15% per 33 MHz).
+func SpeedGrade(p Part, clockMHz float64) (Part, error) {
+	if clockMHz <= 0 {
+		return Part{}, fmt.Errorf("sdram: clock must be positive")
+	}
+	out := p
+	out.ClockMHz = clockMHz
+	out.Timing.TCKns = 1e3 / clockMHz
+	out.Name = fmt.Sprintf("%s-%.0f", p.Name, clockMHz)
+	out.PriceUSD = p.PriceUSD * (1 + 0.15*(clockMHz-p.ClockMHz)/33)
+	if out.PriceUSD < 0.5*p.PriceUSD {
+		out.PriceUSD = 0.5 * p.PriceUSD
+	}
+	return out, nil
+}
+
+// System is a board-level memory system: ranks of ganged parts.
+type System struct {
+	Part  Part
+	Chips int // chips per rank = BusBits/Part.WidthBits
+	Ranks int
+}
+
+// BusBits is the composed data-bus width.
+func (s System) BusBits() int { return s.Chips * s.Part.WidthBits }
+
+// InstalledMbit is the total installed capacity.
+func (s System) InstalledMbit() int { return s.Chips * s.Ranks * s.Part.CapacityMbit }
+
+// TotalChips is the device count.
+func (s System) TotalChips() int { return s.Chips * s.Ranks }
+
+// PeakBandwidthGBps is the composed-bus peak bandwidth.
+func (s System) PeakBandwidthGBps() float64 {
+	return units.BandwidthGBps(s.BusBits(), s.Part.ClockMHz)
+}
+
+// FillFrequencyHz is the paper's metric for the composed system.
+func (s System) FillFrequencyHz() float64 {
+	return units.FillFrequencyHz(s.PeakBandwidthGBps(), float64(s.InstalledMbit()))
+}
+
+// SignalPins is the total board-level signal pin count.
+func (s System) SignalPins() int { return s.TotalChips() * s.Part.SignalPins }
+
+// PriceUSD is the memory-device bill of materials.
+func (s System) PriceUSD() float64 { return float64(s.TotalChips()) * s.Part.PriceUSD }
+
+// StandbyPowerMW is the system's self-refresh standby power (every chip
+// keeps refreshing; paper §2: portable applications feel this first).
+func (s System) StandbyPowerMW() float64 { return float64(s.TotalChips()) * s.Part.StandbyMW }
+
+// InterfacePowerMW is the board-level interface power at the given
+// utilization (fraction of peak transfers actually performed).
+func (s System) InterfacePowerMW(e tech.Electrical, vddV, utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	bus := power.OffChipBus(e, s.BusBits(), s.Part.ClockMHz*utilization, vddV)
+	return bus.PowerMW
+}
+
+// DeviceConfig returns a dram.Config for the composed system: the
+// ganged chips of one rank operate in lockstep as a single device of
+// the full bus width (each chip contributes its slice of every page);
+// additional ranks appear as extra bank groups.
+func (s System) DeviceConfig() dram.Config {
+	return dram.Config{
+		Banks:       s.Part.Banks * s.Ranks,
+		RowsPerBank: s.Part.RowsPerBank(),
+		PageBits:    s.Part.PageBits * s.Chips,
+		DataBits:    s.BusBits(),
+		Timing:      s.Part.Timing,
+		AutoRefresh: true,
+	}
+}
+
+// Requirement is what the application actually needs.
+type Requirement struct {
+	CapacityMbit int
+	// WidthBits is the minimum data-bus width (bandwidth proxy).
+	WidthBits int
+}
+
+// Compose builds the cheapest-capacity system from the part that meets
+// the requirement: enough chips side-by-side to reach the width, enough
+// ranks to reach the capacity. This is where commodity granularity bites
+// (paper §1: reaching a 256-bit bus from 16-bit parts forces 16 chips,
+// i.e. a 64-Mbit floor even when 8 Mbit would do).
+func Compose(p Part, req Requirement) (System, error) {
+	if err := p.Validate(); err != nil {
+		return System{}, err
+	}
+	if req.CapacityMbit <= 0 || req.WidthBits <= 0 {
+		return System{}, fmt.Errorf("sdram: requirement must be positive, got %+v", req)
+	}
+	chips := units.CeilDiv(req.WidthBits, p.WidthBits)
+	if chips < 1 {
+		chips = 1
+	}
+	rankMbit := chips * p.CapacityMbit
+	ranks := units.CeilDiv(req.CapacityMbit, rankMbit)
+	if ranks < 1 {
+		ranks = 1
+	}
+	return System{Part: p, Chips: chips, Ranks: ranks}, nil
+}
+
+// BestSystem tries every catalog part and returns the cheapest system
+// that meets the requirement (ties broken by least installed capacity).
+// This is the strongest discrete baseline.
+func BestSystem(req Requirement) (System, error) {
+	var best System
+	found := false
+	for _, p := range Catalog() {
+		s, err := Compose(p, req)
+		if err != nil {
+			return System{}, err
+		}
+		if !found ||
+			s.PriceUSD() < best.PriceUSD() ||
+			(s.PriceUSD() == best.PriceUSD() && s.InstalledMbit() < best.InstalledMbit()) {
+			best = s
+			found = true
+		}
+	}
+	if !found {
+		return System{}, fmt.Errorf("sdram: empty catalog")
+	}
+	return best, nil
+}
+
+// WasteFactor is installed capacity over required capacity (>= 1).
+func WasteFactor(s System, req Requirement) float64 {
+	if req.CapacityMbit <= 0 {
+		return 0
+	}
+	return float64(s.InstalledMbit()) / float64(req.CapacityMbit)
+}
+
+// GranularityFloorMbit returns the minimum installed capacity any system
+// built from part p can have while providing widthBits of bus.
+func GranularityFloorMbit(p Part, widthBits int) int {
+	if widthBits <= 0 || p.WidthBits <= 0 {
+		return 0
+	}
+	chips := units.CeilDiv(widthBits, p.WidthBits)
+	return chips * p.CapacityMbit
+}
+
+// SustainedFraction estimates the fraction of peak a system sustains for
+// a random-row access mix with the given page-hit probability — a
+// closed-form sanity model next to the event-driven simulator.
+func SustainedFraction(p Part, hitRate float64) float64 {
+	hitRate = units.Clamp(hitRate, 0, 1)
+	tm := p.Timing
+	perHit := tm.TCKns
+	perMiss := tm.TRPns + tm.TRCDns + tm.TCKns
+	avg := hitRate*perHit + (1-hitRate)*perMiss
+	if avg <= 0 {
+		return 0
+	}
+	return math.Min(1, perHit/avg)
+}

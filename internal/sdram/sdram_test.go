@@ -1,0 +1,284 @@
+package sdram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edram/internal/tech"
+)
+
+func TestCatalogValid(t *testing.T) {
+	for _, p := range Catalog() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if cfg := p.DeviceConfig(); cfg.Validate() != nil {
+			t.Errorf("%s: device config invalid: %v", p.Name, cfg.Validate())
+		}
+	}
+}
+
+func TestPartDerived(t *testing.T) {
+	p := Catalog()[1] // 16Mb-x16
+	// 16 bits at 100 MHz = 0.2 GB/s.
+	if math.Abs(p.PeakBandwidthGBps()-0.2) > 1e-9 {
+		t.Errorf("peak = %v", p.PeakBandwidthGBps())
+	}
+	// Fill frequency = 0.2e9*8 / 16Mbit ≈ 95 Hz.
+	ff := p.FillFrequencyHz()
+	if ff < 90 || ff > 100 {
+		t.Errorf("fill frequency %v implausible", ff)
+	}
+	// Geometry: 16 Mbit / 2 banks / 8192-bit pages = 1024 rows.
+	if p.RowsPerBank() != 1024 {
+		t.Errorf("rows per bank = %d", p.RowsPerBank())
+	}
+	var zero Part
+	if zero.RowsPerBank() != 0 {
+		t.Error("zero part must have 0 rows")
+	}
+}
+
+func TestPartValidateRejects(t *testing.T) {
+	good := Catalog()[0]
+	cases := []struct {
+		name string
+		mut  func(*Part)
+	}{
+		{"zero capacity", func(p *Part) { p.CapacityMbit = 0 }},
+		{"width not pow2", func(p *Part) { p.WidthBits = 12 }},
+		{"zero clock", func(p *Part) { p.ClockMHz = 0 }},
+		{"zero banks", func(p *Part) { p.Banks = 0 }},
+		{"page larger than capacity", func(p *Part) { p.PageBits = 1 << 30 }},
+	}
+	for _, c := range cases {
+		p := good
+		c.mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: should fail", c.name)
+		}
+	}
+}
+
+func TestComposePaperExample(t *testing.T) {
+	// Paper §1: "it would take 16 discrete 4-Mbit chips (organized as
+	// 256K x 16) to achieve the same [256-bit] width, so the
+	// granularity of such a discrete system is 64 Mbit. But the
+	// application may only call for, say, 8 Mbit of memory."
+	p := Catalog()[0] // 4Mb-x16
+	s, err := Compose(p, Requirement{CapacityMbit: 8, WidthBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chips != 16 {
+		t.Errorf("chips = %d, want 16", s.Chips)
+	}
+	if s.InstalledMbit() != 64 {
+		t.Errorf("installed = %d Mbit, want 64", s.InstalledMbit())
+	}
+	if w := WasteFactor(s, Requirement{CapacityMbit: 8, WidthBits: 256}); math.Abs(w-8) > 1e-9 {
+		t.Errorf("waste factor = %v, want 8", w)
+	}
+	if GranularityFloorMbit(p, 256) != 64 {
+		t.Errorf("granularity floor = %d, want 64", GranularityFloorMbit(p, 256))
+	}
+}
+
+func TestComposeRanks(t *testing.T) {
+	p := Catalog()[1] // 16Mb-x16
+	// 64-bit bus (4 chips = 64 Mbit/rank), 200 Mbit => 4 ranks.
+	s, err := Compose(p, Requirement{CapacityMbit: 200, WidthBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chips != 4 || s.Ranks != 4 {
+		t.Errorf("chips/ranks = %d/%d, want 4/4", s.Chips, s.Ranks)
+	}
+	if s.InstalledMbit() != 256 || s.TotalChips() != 16 {
+		t.Errorf("installed %d Mbit from %d chips", s.InstalledMbit(), s.TotalChips())
+	}
+	if s.BusBits() != 64 {
+		t.Errorf("bus = %d bits", s.BusBits())
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	p := Catalog()[0]
+	if _, err := Compose(p, Requirement{}); err == nil {
+		t.Error("zero requirement must error")
+	}
+	bad := p
+	bad.CapacityMbit = 0
+	if _, err := Compose(bad, Requirement{CapacityMbit: 8, WidthBits: 64}); err == nil {
+		t.Error("invalid part must error")
+	}
+}
+
+func TestBestSystemPicksLeastWaste(t *testing.T) {
+	// For 8 Mbit at 256 bits the 4-Mbit part gives 64 Mbit installed;
+	// the 16-Mbit part would give 256 Mbit. Best must pick 64.
+	s, err := BestSystem(Requirement{CapacityMbit: 8, WidthBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InstalledMbit() != 64 || s.Part.Name != "4Mb-x16" {
+		t.Errorf("best = %s with %d Mbit, want 4Mb-x16/64", s.Part.Name, s.InstalledMbit())
+	}
+	// For 60 Mbit at 16 bits, a single 64-Mbit chip ($15) beats
+	// fifteen ranks of 4-Mbit chips ($27).
+	s, err = BestSystem(Requirement{CapacityMbit: 60, WidthBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InstalledMbit() != 64 || s.TotalChips() != 1 {
+		t.Errorf("best for 60Mbit/x16 = %s x%d", s.Part.Name, s.TotalChips())
+	}
+}
+
+func TestSystemAggregates(t *testing.T) {
+	s, err := Compose(Catalog()[1], Requirement{CapacityMbit: 64, WidthBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SignalPins() != s.TotalChips()*36 {
+		t.Error("pin accounting wrong")
+	}
+	if s.PriceUSD() != float64(s.TotalChips())*4 {
+		t.Error("price accounting wrong")
+	}
+	// 64-bit bus at 100 MHz = 0.8 GB/s.
+	if math.Abs(s.PeakBandwidthGBps()-0.8) > 1e-9 {
+		t.Errorf("peak = %v", s.PeakBandwidthGBps())
+	}
+	if s.FillFrequencyHz() <= 0 {
+		t.Error("fill frequency must be positive")
+	}
+}
+
+func TestInterfacePowerScalesWithUtilization(t *testing.T) {
+	e := tech.DefaultElectrical()
+	s, _ := Compose(Catalog()[1], Requirement{CapacityMbit: 64, WidthBits: 64})
+	full := s.InterfacePowerMW(e, 3.3, 1.0)
+	half := s.InterfacePowerMW(e, 3.3, 0.5)
+	if math.Abs(full/half-2) > 1e-9 {
+		t.Errorf("power must be linear in utilization: %v vs %v", full, half)
+	}
+	if s.InterfacePowerMW(e, 3.3, -1) != 0 {
+		t.Error("negative utilization clamps to 0")
+	}
+	if s.InterfacePowerMW(e, 3.3, 2) != full {
+		t.Error("utilization clamps to 1")
+	}
+}
+
+func TestSustainedFraction(t *testing.T) {
+	p := Catalog()[1]
+	if f := SustainedFraction(p, 1.0); math.Abs(f-1) > 1e-9 {
+		t.Errorf("all-hit sustained fraction = %v, want 1", f)
+	}
+	lo := SustainedFraction(p, 0.0)
+	hi := SustainedFraction(p, 0.9)
+	if lo >= hi {
+		t.Error("sustained fraction must grow with hit rate")
+	}
+	// PC100: all-miss = 10/(20+20+10) = 0.2.
+	if math.Abs(lo-0.2) > 1e-9 {
+		t.Errorf("all-miss fraction = %v, want 0.2", lo)
+	}
+	// Out-of-range hit rates clamp.
+	if SustainedFraction(p, -3) != lo || SustainedFraction(p, 9) != 1 {
+		t.Error("hit rate must clamp")
+	}
+}
+
+// Property: a composed system always meets both requirement dimensions.
+func TestComposeMeetsRequirementProperty(t *testing.T) {
+	parts := Catalog()
+	f := func(pi, cap8, w8 uint8) bool {
+		p := parts[int(pi)%len(parts)]
+		req := Requirement{
+			CapacityMbit: int(cap8)%300 + 1,
+			WidthBits:    1 << (w8 % 10), // 1..512
+		}
+		s, err := Compose(p, req)
+		if err != nil {
+			return false
+		}
+		return s.BusBits() >= req.WidthBits && s.InstalledMbit() >= req.CapacityMbit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: waste factor is always >= 1 for satisfiable requirements.
+func TestWasteFactorProperty(t *testing.T) {
+	f := func(cap8, w8 uint8) bool {
+		req := Requirement{CapacityMbit: int(cap8)%200 + 1, WidthBits: 16 << (w8 % 6)}
+		s, err := BestSystem(req)
+		if err != nil {
+			return false
+		}
+		return WasteFactor(s, req) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandbyPower(t *testing.T) {
+	s, err := Compose(Catalog()[0], Requirement{CapacityMbit: 8, WidthBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 chips x 2.5 mW.
+	if math.Abs(s.StandbyPowerMW()-40) > 1e-9 {
+		t.Errorf("standby = %v mW, want 40", s.StandbyPowerMW())
+	}
+}
+
+func TestSystemDeviceConfig(t *testing.T) {
+	s, err := Compose(Catalog()[0], Requirement{CapacityMbit: 16, WidthBits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.DeviceConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DataBits != 128 {
+		t.Errorf("bus = %d", cfg.DataBits)
+	}
+	// Total bits must equal installed capacity.
+	if cfg.TotalBits() != int64(s.InstalledMbit())<<20 {
+		t.Errorf("device holds %d bits, installed %d Mbit", cfg.TotalBits(), s.InstalledMbit())
+	}
+}
+
+func TestSpeedGrade(t *testing.T) {
+	base := Catalog()[1]
+	fast, err := SpeedGrade(base, 133)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ClockMHz != 133 || math.Abs(fast.Timing.TCKns-1e3/133) > 1e-9 {
+		t.Error("clock/period not updated")
+	}
+	if fast.PriceUSD <= base.PriceUSD {
+		t.Error("faster bin must cost more")
+	}
+	if fast.PeakBandwidthGBps() <= base.PeakBandwidthGBps() {
+		t.Error("faster bin must have more bandwidth")
+	}
+	slow, err := SpeedGrade(base, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.PriceUSD >= base.PriceUSD || slow.PriceUSD < 0.5*base.PriceUSD {
+		t.Errorf("slow bin price %.2f out of band", slow.PriceUSD)
+	}
+	if _, err := SpeedGrade(base, 0); err == nil {
+		t.Error("zero clock must error")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sram models on-chip SRAM macros — the other half of the
+// paper §3 partitioning decision: "since eDRAM allows to integrate
+// SRAMs and DRAMs, decisions on the on/off-chip DRAM- and SRAM/DRAM-
+// partitioning have to be made." A 6T SRAM cell is ~15-25x larger than
+// a DRAM cell but needs no refresh, no sense-amplifier restore cycle
+// and no DRAM process steps; below some capacity the SRAM's zero fixed
+// overhead and single-cycle access win, above it the DRAM's density
+// does. Partition finds that crossover.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/tech"
+	"edram/internal/units"
+)
+
+// CellFactorF2 is the 6T SRAM cell area in F² on a logic process.
+const CellFactorF2 = 140
+
+// Macro describes one SRAM macro.
+type Macro struct {
+	Process  tech.Process
+	Bits     int
+	DataBits int
+}
+
+// Validate checks the specification.
+func (m Macro) Validate() error {
+	if err := m.Process.Validate(); err != nil {
+		return err
+	}
+	if m.Bits < 1 {
+		return fmt.Errorf("sram: capacity must be positive, got %d bits", m.Bits)
+	}
+	if m.DataBits < 1 || m.DataBits > m.Bits {
+		return fmt.Errorf("sram: data width %d out of range", m.DataBits)
+	}
+	return nil
+}
+
+// AreaMm2 returns the macro area: cells at CellFactorF2 plus periphery
+// (decoder/sense/drivers) that amortizes much better than a DRAM
+// macro's fixed control overhead.
+func (m Macro) AreaMm2() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	f2 := m.Process.FeatureUm * m.Process.FeatureUm * 1e-6 // mm² per F²
+	cell := float64(m.Bits) * CellFactorF2 * f2
+	// Periphery: ~30% of the array for small macros, shrinking with
+	// size, plus a tiny fixed block.
+	periphery := cell*0.22 + 0.02
+	return cell + periphery, nil
+}
+
+// AccessNs returns the SRAM access time: log-depth decoder plus bitline
+// development, all in one cycle (no row/column split, no precharge
+// penalty between random accesses).
+func (m Macro) AccessNs() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	words := float64(m.Bits / m.DataBits)
+	if words < 1 {
+		words = 1
+	}
+	// 0.9 ns base + 0.28 ns per doubling of depth at 0.24 µm,
+	// scaled by the process's logic speed.
+	ns := (0.9 + 0.28*math.Log2(words)) * m.Process.LogicDelayRel
+	return ns, nil
+}
+
+// LeakageMWPerMbit is the 6T array leakage per Mbit (logic-transistor
+// cells leak; the DRAM cell does not, it just forgets).
+const LeakageMWPerMbit = 0.9
+
+// StandbyMW returns the macro's standby power.
+func (m Macro) StandbyMW() float64 {
+	return LeakageMWPerMbit * float64(m.Bits) / units.Mbit * m.Process.LeakageRel
+}
+
+// ReadEnergyPJPerBit is the SRAM column energy per bit read.
+const ReadEnergyPJPerBit = 0.35
+
+// PartitionPoint is one row of the SRAM-vs-eDRAM comparison.
+type PartitionPoint struct {
+	CapacityMbit float64
+	SRAMAreaMm2  float64
+	DRAMAreaMm2  float64
+	SRAMAccessNs float64
+	DRAMAccessNs float64
+	// SRAMWins is true when SRAM needs less silicon at this capacity.
+	SRAMWins bool
+}
+
+// DRAMAreaModel abstracts the eDRAM macro area (injected to avoid a
+// dependency cycle; internal/edram provides it).
+type DRAMAreaModel func(capacityMbit float64) (areaMm2, accessNs float64, err error)
+
+// Partition sweeps capacities and returns the comparison rows plus the
+// crossover capacity (the smallest swept capacity where eDRAM needs
+// less area than SRAM; 0 if SRAM wins everywhere).
+func Partition(p tech.Process, capacitiesMbit []float64, dram DRAMAreaModel) ([]PartitionPoint, float64, error) {
+	if len(capacitiesMbit) == 0 {
+		return nil, 0, fmt.Errorf("sram: no capacities to sweep")
+	}
+	var rows []PartitionPoint
+	crossover := 0.0
+	for _, mbit := range capacitiesMbit {
+		bits := int(mbit * units.Mbit)
+		if bits < 1 {
+			return nil, 0, fmt.Errorf("sram: capacity %g Mbit too small", mbit)
+		}
+		m := Macro{Process: p, Bits: bits, DataBits: 64}
+		sa, err := m.AreaMm2()
+		if err != nil {
+			return nil, 0, err
+		}
+		sns, err := m.AccessNs()
+		if err != nil {
+			return nil, 0, err
+		}
+		da, dns, err := dram(mbit)
+		if err != nil {
+			return nil, 0, err
+		}
+		row := PartitionPoint{
+			CapacityMbit: mbit,
+			SRAMAreaMm2:  sa,
+			DRAMAreaMm2:  da,
+			SRAMAccessNs: sns,
+			DRAMAccessNs: dns,
+			SRAMWins:     sa < da,
+		}
+		rows = append(rows, row)
+		if !row.SRAMWins && crossover == 0 {
+			crossover = mbit
+		}
+	}
+	return rows, crossover, nil
+}

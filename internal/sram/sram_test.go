@@ -1,0 +1,154 @@
+package sram
+
+import (
+	"testing"
+
+	"edram/internal/tech"
+	"edram/internal/units"
+)
+
+func TestMacroValidate(t *testing.T) {
+	p := tech.Siemens024()
+	good := Macro{Process: p, Bits: 256 * units.Kbit, DataBits: 64}
+	if good.Validate() != nil {
+		t.Fatal("good macro rejected")
+	}
+	bad := []Macro{
+		{Process: p, Bits: 0, DataBits: 64},
+		{Process: p, Bits: 1024, DataBits: 0},
+		{Process: p, Bits: 64, DataBits: 128},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad macro %d accepted", i)
+		}
+	}
+	badProc := good
+	badProc.Process.FeatureUm = 0
+	if badProc.Validate() == nil {
+		t.Error("bad process must fail")
+	}
+}
+
+func TestAreaScalesLinearly(t *testing.T) {
+	p := tech.Siemens024()
+	a1, err := (Macro{Process: p, Bits: 256 * units.Kbit, DataBits: 64}).AreaMm2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := (Macro{Process: p, Bits: 512 * units.Kbit, DataBits: 64}).AreaMm2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-linear with a small fixed part.
+	if a2 <= a1 || a2 > 2.1*a1 {
+		t.Errorf("area scaling off: %v -> %v", a1, a2)
+	}
+	// Sanity: 1 Mbit of 6T SRAM at 0.24 µm is ~8-13 mm².
+	a3, _ := (Macro{Process: p, Bits: units.Mbit, DataBits: 64}).AreaMm2()
+	if a3 < 7 || a3 > 14 {
+		t.Errorf("1-Mbit SRAM area %.1f mm² implausible", a3)
+	}
+}
+
+func TestAccessGrowsWithDepth(t *testing.T) {
+	p := tech.Siemens024()
+	small, err := (Macro{Process: p, Bits: 64 * units.Kbit, DataBits: 64}).AccessNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := (Macro{Process: p, Bits: units.Mbit, DataBits: 64}).AccessNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Error("deeper SRAM must be slower")
+	}
+	// SRAM random access beats a DRAM random row access (~10 ns).
+	if big > 9 {
+		t.Errorf("1-Mbit SRAM access %.1f ns too slow", big)
+	}
+}
+
+func TestLogicProcessFasterSRAM(t *testing.T) {
+	bits := 256 * units.Kbit
+	onDRAM, _ := (Macro{Process: tech.Siemens024(), Bits: bits, DataBits: 64}).AccessNs()
+	onLogic, _ := (Macro{Process: tech.Logic024(), Bits: bits, DataBits: 64}).AccessNs()
+	if onLogic >= onDRAM {
+		t.Error("SRAM on the logic process must be faster")
+	}
+}
+
+func TestStandbyLeakage(t *testing.T) {
+	bits := units.Mbit
+	dramProc := Macro{Process: tech.Siemens024(), Bits: bits, DataBits: 64}
+	logicProc := Macro{Process: tech.Logic024(), Bits: bits, DataBits: 64}
+	if logicProc.StandbyMW() <= dramProc.StandbyMW() {
+		t.Error("leaky logic transistors must cost more standby")
+	}
+	if dramProc.StandbyMW() <= 0 {
+		t.Error("standby must be positive")
+	}
+}
+
+func TestPartitionCrossover(t *testing.T) {
+	p := tech.Siemens024()
+	// Synthetic DRAM model: 1.4 mm² fixed + 0.8 mm²/Mbit, 10-ns access.
+	dram := func(mbit float64) (float64, float64, error) {
+		return 1.4 + 0.8*mbit, 10, nil
+	}
+	caps := []float64{0.0625, 0.125, 0.25, 0.5, 1, 2, 4}
+	rows, crossover, err := Partition(p, caps, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(caps) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// SRAM must win small and lose big.
+	if !rows[0].SRAMWins {
+		t.Error("SRAM must win at 64 Kbit")
+	}
+	if rows[len(rows)-1].SRAMWins {
+		t.Error("eDRAM must win at 4 Mbit")
+	}
+	if crossover <= 0.0625 || crossover > 4 {
+		t.Errorf("crossover %.3f Mbit implausible", crossover)
+	}
+	// Winner flag consistent with the areas.
+	for _, r := range rows {
+		if r.SRAMWins != (r.SRAMAreaMm2 < r.DRAMAreaMm2) {
+			t.Error("winner flag inconsistent")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	p := tech.Siemens024()
+	dram := func(mbit float64) (float64, float64, error) { return 1, 1, nil }
+	if _, _, err := Partition(p, nil, dram); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, _, err := Partition(p, []float64{0}, dram); err == nil {
+		t.Error("zero capacity must error")
+	}
+}
+
+func TestPartitionMonotoneProperty(t *testing.T) {
+	// SRAM area and access grow monotonically along any sweep.
+	p := tech.Siemens024()
+	dram := func(mbit float64) (float64, float64, error) { return 1 + mbit, 10, nil }
+	caps := []float64{0.125, 0.25, 0.5, 1, 2, 4}
+	rows, _, err := Partition(p, caps, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SRAMAreaMm2 <= rows[i-1].SRAMAreaMm2 {
+			t.Fatal("SRAM area must grow with capacity")
+		}
+		if rows[i].SRAMAccessNs < rows[i-1].SRAMAccessNs {
+			t.Fatal("SRAM access must not shrink with capacity")
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package tech defines technology parameter sets for the eDRAM trade-off
+// models: the base-process choice the paper's §3 discusses (DRAM-based,
+// logic-based, or merged), electrical constants for interface power and
+// delay modelling, and the late-1990s scaling trends the paper's §4 argues
+// from.
+//
+// All parameter values are calibrated against the corner points the paper
+// itself publishes (0.24 µm process, ≈1 Mbit/mm² for large macros, <7 ns
+// cycle, 2.5 V DRAM / 3.3 V logic supplies) plus standard 100-MHz SDRAM
+// datasheet timing of the era. The absolute values are synthetic; the
+// ratios between processes are the quantities the paper's arguments rest
+// on and are preserved.
+package tech
+
+import "fmt"
+
+// ProcessKind distinguishes the three base-process options of paper §3.
+type ProcessKind int
+
+const (
+	// DRAMBased: a DRAM process used as master. Dense memory cells,
+	// low-leakage (slow) logic transistors, few metal layers.
+	DRAMBased ProcessKind = iota
+	// LogicBased: a logic process used as master. Fast logic, but the
+	// DRAM cell needs a planar or stacked capacitor built without the
+	// dedicated DRAM steps, so it is several times larger.
+	LogicBased
+	// Merged: a process with the dedicated steps of both. Best of both
+	// worlds at extra mask and wafer cost.
+	Merged
+)
+
+// String implements fmt.Stringer.
+func (k ProcessKind) String() string {
+	switch k {
+	case DRAMBased:
+		return "dram-based"
+	case LogicBased:
+		return "logic-based"
+	case Merged:
+		return "merged"
+	default:
+		return fmt.Sprintf("ProcessKind(%d)", int(k))
+	}
+}
+
+// Process is a complete technology description. Units are given per field.
+type Process struct {
+	Name string
+	Kind ProcessKind
+
+	// FeatureUm is the drawn feature size F in µm.
+	FeatureUm float64
+
+	// MetalLayers available for routing. DRAM processes have fewer
+	// (paper §1); layers can be added at extra cost.
+	MetalLayers int
+
+	// CellFactor is the DRAM cell area expressed in F² units. A true
+	// DRAM process achieves ~8 F²; a logic-based cell is several times
+	// larger.
+	CellFactor float64
+
+	// LogicDensityKGatesPerMm2 is the routed standard-cell density in
+	// kgates/mm² (2-input NAND equivalents).
+	LogicDensityKGatesPerMm2 float64
+
+	// LogicDelayRel is the relative gate delay, normalized so that a
+	// pure logic process at this node is 1.0. DRAM transistors are
+	// optimized for low leakage and are slower (paper §1).
+	LogicDelayRel float64
+
+	// LeakageRel is the relative transistor off-current, normalized so
+	// that a pure DRAM process is 1.0. Logic transistors leak more.
+	LeakageRel float64
+
+	// Supply voltages (paper §1: currently DRAM 2.5 V < logic 3.3 V).
+	VddLogicV float64
+	VddDRAMV  float64
+
+	// RetentionMs is the nominal DRAM cell retention time at the
+	// reference junction temperature RefJunctionC.
+	RetentionMs  float64
+	RefJunctionC float64
+	// RetentionHalvingC is the junction-temperature increase that
+	// halves retention time (classic ~10 °C rule).
+	RetentionHalvingC float64
+
+	// WaferCostUSD is the processed-wafer cost; WaferDiameterMm its
+	// diameter (200 mm era).
+	WaferCostUSD    float64
+	WaferDiameterMm float64
+
+	// MetalLayerAdderUSD is the wafer-cost adder per extra metal layer
+	// beyond MetalLayers (paper §1: "layers can be added at the expense
+	// of process cost").
+	MetalLayerAdderUSD float64
+}
+
+// CellAreaUm2 returns the DRAM cell area in µm².
+func (p Process) CellAreaUm2() float64 {
+	f := p.FeatureUm
+	return p.CellFactor * f * f
+}
+
+// Validate checks internal consistency of the parameter set.
+func (p Process) Validate() error {
+	switch {
+	case p.FeatureUm <= 0:
+		return fmt.Errorf("tech: process %q: feature size must be positive", p.Name)
+	case p.CellFactor < 4:
+		return fmt.Errorf("tech: process %q: cell factor %.1f below physical limit 4F²", p.Name, p.CellFactor)
+	case p.MetalLayers < 1:
+		return fmt.Errorf("tech: process %q: need at least one metal layer", p.Name)
+	case p.LogicDelayRel < 1 && p.Kind != LogicBased && p.Kind != Merged:
+		return fmt.Errorf("tech: process %q: only logic/merged processes reach relative delay < 1", p.Name)
+	case p.VddDRAMV <= 0 || p.VddLogicV <= 0:
+		return fmt.Errorf("tech: process %q: supplies must be positive", p.Name)
+	case p.RetentionMs <= 0:
+		return fmt.Errorf("tech: process %q: retention must be positive", p.Name)
+	case p.WaferCostUSD <= 0 || p.WaferDiameterMm <= 0:
+		return fmt.Errorf("tech: process %q: wafer economics must be positive", p.Name)
+	}
+	return nil
+}
+
+// Siemens024 returns the paper §5 reference: a 0.24 µm eDRAM technology
+// based on a 64/256-Mbit SDRAM process (DRAM as master process).
+func Siemens024() Process {
+	return Process{
+		Name:                     "siemens-0.24um-edram",
+		Kind:                     DRAMBased,
+		FeatureUm:                0.24,
+		MetalLayers:              3,
+		CellFactor:               8,
+		LogicDensityKGatesPerMm2: 28, // depressed by few metals + slow transistors
+		LogicDelayRel:            1.4,
+		LeakageRel:               1.0,
+		VddLogicV:                3.3,
+		VddDRAMV:                 2.5,
+		RetentionMs:              64,
+		RefJunctionC:             70,
+		RetentionHalvingC:        10,
+		WaferCostUSD:             2800,
+		WaferDiameterMm:          200,
+		MetalLayerAdderUSD:       180,
+	}
+}
+
+// Logic024 returns a contemporaneous 0.24 µm pure logic process with a
+// bolt-on (planar-capacitor) DRAM cell: fast logic, poor memory density.
+func Logic024() Process {
+	return Process{
+		Name:                     "logic-0.24um",
+		Kind:                     LogicBased,
+		FeatureUm:                0.24,
+		MetalLayers:              5,
+		CellFactor:               26, // planar cell, ~3.3x the true-DRAM cell
+		LogicDensityKGatesPerMm2: 45,
+		LogicDelayRel:            1.0,
+		LeakageRel:               8.0,
+		VddLogicV:                3.3,
+		VddDRAMV:                 3.3, // no separate DRAM supply
+		RetentionMs:              16,  // leaky cell, shorter retention
+		RefJunctionC:             70,
+		RetentionHalvingC:        10,
+		WaferCostUSD:             2600,
+		WaferDiameterMm:          200,
+		MetalLayerAdderUSD:       180,
+	}
+}
+
+// Merged024 returns a 0.24 µm merged process: dedicated DRAM steps plus
+// logic-grade transistors and a full metal stack, at higher wafer cost
+// ("best of both worlds, most likely at higher expense", paper §3).
+func Merged024() Process {
+	return Process{
+		Name:                     "merged-0.24um",
+		Kind:                     Merged,
+		FeatureUm:                0.24,
+		MetalLayers:              5,
+		CellFactor:               9, // nearly true-DRAM density
+		LogicDensityKGatesPerMm2: 42,
+		LogicDelayRel:            1.05,
+		LeakageRel:               2.0,
+		VddLogicV:                3.3,
+		VddDRAMV:                 2.5,
+		RetentionMs:              64,
+		RefJunctionC:             70,
+		RetentionHalvingC:        10,
+		WaferCostUSD:             3600, // extra masks/steps
+		WaferDiameterMm:          200,
+		MetalLayerAdderUSD:       180,
+	}
+}
+
+// Processes returns the three §3 base-process options at 0.24 µm, in a
+// stable order (DRAM-based, logic-based, merged).
+func Processes() []Process {
+	return []Process{Siemens024(), Logic024(), Merged024()}
+}
+
+// Electrical holds interface-level electrical constants shared by the
+// power and timing models.
+type Electrical struct {
+	// OffChipLoadPF is the total capacitive load one off-chip signal
+	// must drive: output pad, package lead, board trace and the input
+	// loads of the receivers (paper §1: "large board wire capacitive
+	// loads").
+	OffChipLoadPF float64
+	// OnChipLoadPF is the load of an on-chip interface wire of typical
+	// macro-to-logic length.
+	OnChipLoadPF float64
+	// OnChipWireCapPFPerMm is used when the actual wire length is known.
+	OnChipWireCapPFPerMm float64
+	// BoardTraceCapPFPerMm for board-level propagation studies.
+	BoardTraceCapPFPerMm float64
+	// OnChipWireResOhmPerMm / BoardTraceResOhmPerMm for RC delay.
+	OnChipWireResOhmPerMm float64
+	BoardTraceResOhmPerMm float64
+	// DriverResOhm values for the two driver classes.
+	OffChipDriverResOhm float64
+	OnChipDriverResOhm  float64
+	// SwitchingActivity is the average fraction of bus lines toggling
+	// per transfer (random data ≈ 0.5).
+	SwitchingActivity float64
+	// NoiseCouplingPerMm is the fraction of aggressor swing coupled
+	// onto a victim line per mm of parallel run (simple noise model).
+	OnChipNoiseCouplingPerMm float64
+	BoardNoiseCouplingPerMm  float64
+}
+
+// DefaultElectrical returns the late-1990s constants used throughout the
+// reproduction. The paper's ~10x interface-power claim decomposes into
+// the off-chip/on-chip load ratio (~6x here) times the supply-voltage
+// advantage of the DRAM interface ((3.3/2.5)² ≈ 1.74x).
+func DefaultElectrical() Electrical {
+	return Electrical{
+		OffChipLoadPF:            30, // pad + lead + trace + receivers
+		OnChipLoadPF:             5,  // few-mm macro interface wire + receivers
+		OnChipWireCapPFPerMm:     0.25,
+		BoardTraceCapPFPerMm:     0.9,
+		OnChipWireResOhmPerMm:    60,
+		BoardTraceResOhmPerMm:    0.4,
+		OffChipDriverResOhm:      25,
+		OnChipDriverResOhm:       250,
+		SwitchingActivity:        0.5,
+		OnChipNoiseCouplingPerMm: 0.010,
+		BoardNoiseCouplingPerMm:  0.004,
+	}
+}
+
+// SDRAMTiming holds the core timing parameters of a late-1990s 100-MHz
+// SDRAM, in ns. The same array timing is used for the embedded macro
+// (same core), while the interface and organization differ.
+type SDRAMTiming struct {
+	TRCDns  float64 // row-to-column delay (ACT -> READ/WRITE)
+	TRPns   float64 // precharge time
+	TCASns  float64 // column access (CAS latency in time)
+	TRCns   float64 // row cycle (ACT -> ACT, same bank)
+	TRASns  float64 // row active minimum
+	TCKns   float64 // interface clock period
+	TRefIns float64 // average refresh interval per row (distributed)
+	TRFCns  float64 // refresh cycle duration
+	// TWTRns is the write-to-read bus turnaround penalty (0 disables).
+	TWTRns float64
+	// TFAWns is the rolling four-activate window (0 disables): no more
+	// than four ACTs may issue within any TFAWns (power-delivery limit).
+	TFAWns float64
+}
+
+// PC100 returns standard 100-MHz SDRAM timing (CL2).
+func PC100() SDRAMTiming {
+	return SDRAMTiming{
+		TRCDns:  20,
+		TRPns:   20,
+		TCASns:  20,
+		TRCns:   70,
+		TRASns:  50,
+		TCKns:   10,
+		TRefIns: 15625, // 4096 rows / 64 ms
+		TRFCns:  80,
+	}
+}
+
+// EDRAM143 returns the embedded-macro timing corresponding to the paper's
+// §5 numbers: cycle times better than 7 ns (≥143 MHz) on the same 0.24 µm
+// core, enabled by shorter internal wires and wider, shallower banks.
+func EDRAM143() SDRAMTiming {
+	return SDRAMTiming{
+		TRCDns:  14,
+		TRPns:   14,
+		TCASns:  7,
+		TRCns:   49,
+		TRASns:  35,
+		TCKns:   7,
+		TRefIns: 15625,
+		TRFCns:  56,
+	}
+}
+
+// Scaling trend constants (paper §4): processor performance grows 60 %/yr,
+// DRAM core access time improves only ~10 %/yr, DRAM device capacity
+// quadruples every three years, and PC memory-system size has grown at
+// half the rate of single devices.
+const (
+	CPUPerfGrowthPerYear        = 1.60
+	DRAMAccessImprovementPerYr  = 0.10 // access time shrinks 10 %/yr
+	DRAMDensityGrowthPer3Years  = 4.0
+	SystemSizeGrowthRatioOfChip = 0.5
+)

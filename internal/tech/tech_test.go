@@ -1,0 +1,153 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProcessesValidate(t *testing.T) {
+	for _, p := range Processes() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("process %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProcessKindString(t *testing.T) {
+	if DRAMBased.String() != "dram-based" || LogicBased.String() != "logic-based" || Merged.String() != "merged" {
+		t.Error("ProcessKind.String values changed")
+	}
+	if !strings.Contains(ProcessKind(99).String(), "99") {
+		t.Error("unknown kind should embed its number")
+	}
+}
+
+func TestCellAreaOrdering(t *testing.T) {
+	// Paper §3: DRAM-based gives the densest cell, logic-based the
+	// least dense, merged close to DRAM-based.
+	d, l, m := Siemens024(), Logic024(), Merged024()
+	if !(d.CellAreaUm2() < m.CellAreaUm2() && m.CellAreaUm2() < l.CellAreaUm2()) {
+		t.Fatalf("cell area ordering violated: dram %.3f merged %.3f logic %.3f",
+			d.CellAreaUm2(), m.CellAreaUm2(), l.CellAreaUm2())
+	}
+	// 8F² at 0.24 µm is 0.4608 µm².
+	want := 8 * 0.24 * 0.24
+	if diff := d.CellAreaUm2() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("dram cell area %.4f, want %.4f", d.CellAreaUm2(), want)
+	}
+}
+
+func TestLogicOrdering(t *testing.T) {
+	d, l, m := Siemens024(), Logic024(), Merged024()
+	// Logic speed: logic-based fastest, DRAM-based slowest.
+	if !(l.LogicDelayRel <= m.LogicDelayRel && m.LogicDelayRel < d.LogicDelayRel) {
+		t.Error("logic delay ordering violated")
+	}
+	// Logic density: logic-based densest (more metals).
+	if !(l.LogicDensityKGatesPerMm2 > m.LogicDensityKGatesPerMm2 &&
+		m.LogicDensityKGatesPerMm2 > d.LogicDensityKGatesPerMm2) {
+		t.Error("logic density ordering violated")
+	}
+	// Merged costs the most per wafer (paper: "at higher expense").
+	if !(m.WaferCostUSD > d.WaferCostUSD && m.WaferCostUSD > l.WaferCostUSD) {
+		t.Error("merged process must be the most expensive wafer")
+	}
+	// Leakage: DRAM transistors leak least (paper §1).
+	if !(d.LeakageRel <= m.LeakageRel && m.LeakageRel <= l.LeakageRel) {
+		t.Error("leakage ordering violated")
+	}
+	// Metal layers: DRAM process has fewer (paper §1).
+	if d.MetalLayers >= l.MetalLayers {
+		t.Error("DRAM process must have fewer metal layers than logic process")
+	}
+}
+
+func TestSupplies(t *testing.T) {
+	d := Siemens024()
+	// Paper §1: currently DRAM supply (2.5 V) below logic supply (3.3 V).
+	if d.VddDRAMV != 2.5 || d.VddLogicV != 3.3 {
+		t.Errorf("supplies = %.1f/%.1f, want 2.5/3.3", d.VddDRAMV, d.VddLogicV)
+	}
+}
+
+func TestValidateRejectsBadProcesses(t *testing.T) {
+	base := Siemens024()
+	bad := base
+	bad.FeatureUm = 0
+	if bad.Validate() == nil {
+		t.Error("zero feature size must fail")
+	}
+	bad = base
+	bad.CellFactor = 2
+	if bad.Validate() == nil {
+		t.Error("sub-4F² cell must fail")
+	}
+	bad = base
+	bad.MetalLayers = 0
+	if bad.Validate() == nil {
+		t.Error("zero metal layers must fail")
+	}
+	bad = base
+	bad.LogicDelayRel = 0.5 // faster than a logic process, on a DRAM process
+	if bad.Validate() == nil {
+		t.Error("DRAM process faster than logic baseline must fail")
+	}
+	bad = base
+	bad.RetentionMs = 0
+	if bad.Validate() == nil {
+		t.Error("zero retention must fail")
+	}
+	bad = base
+	bad.WaferCostUSD = 0
+	if bad.Validate() == nil {
+		t.Error("zero wafer cost must fail")
+	}
+	bad = base
+	bad.VddDRAMV = 0
+	if bad.Validate() == nil {
+		t.Error("zero supply must fail")
+	}
+}
+
+func TestElectricalRatio(t *testing.T) {
+	e := DefaultElectrical()
+	// The off-chip/on-chip load ratio times the (3.3/2.5)² voltage
+	// advantage carries the paper's ~10x interface-power claim.
+	ratio := e.OffChipLoadPF / e.OnChipLoadPF * (3.3 * 3.3) / (2.5 * 2.5)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("interface power ratio %.1f outside the ~10x regime", ratio)
+	}
+	if e.SwitchingActivity <= 0 || e.SwitchingActivity > 1 {
+		t.Error("switching activity must be in (0,1]")
+	}
+}
+
+func TestTimingSets(t *testing.T) {
+	pc := PC100()
+	ed := EDRAM143()
+	if pc.TCKns != 10 {
+		t.Errorf("PC100 clock %v ns, want 10", pc.TCKns)
+	}
+	if ed.TCKns > 7 {
+		t.Errorf("eDRAM cycle %v ns, paper requires better than 7 ns", ed.TCKns)
+	}
+	// The embedded core must be uniformly at least as fast.
+	if ed.TRCDns > pc.TRCDns || ed.TRPns > pc.TRPns || ed.TRCns > pc.TRCns || ed.TCASns > pc.TCASns {
+		t.Error("embedded macro timing must not be slower than the discrete part")
+	}
+	// Internal consistency: tRC >= tRAS + tRP for both.
+	for _, tm := range []SDRAMTiming{pc, ed} {
+		if tm.TRCns < tm.TRASns+tm.TRPns-1e-9 {
+			t.Errorf("tRC %.0f < tRAS %.0f + tRP %.0f", tm.TRCns, tm.TRASns, tm.TRPns)
+		}
+	}
+}
+
+func TestTrendConstants(t *testing.T) {
+	if CPUPerfGrowthPerYear != 1.60 {
+		t.Error("paper states 60%/yr CPU growth")
+	}
+	if DRAMAccessImprovementPerYr != 0.10 {
+		t.Error("paper states 10%/yr DRAM access improvement")
+	}
+}

@@ -1,0 +1,148 @@
+// Package timing provides the delay models of the reproduction: lumped-RC
+// interface delay for on-chip wires versus board traces (paper §1: "as
+// interface wire lengths can be optimized for the application in eDRAMs,
+// lower propagation times and thus higher speeds are possible"), a simple
+// crosstalk-noise model, and an organization-dependent DRAM array timing
+// model that scales the base core timing with page length and bank depth.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/tech"
+)
+
+// elmoreFactor converts an RC product to a 50%-swing delay.
+const elmoreFactor = 0.69
+
+// WireDelayNs returns the 50%-point delay of a driver with output
+// resistance driverOhm driving a distributed RC wire of the given per-mm
+// resistance and capacitance plus a lumped load at the far end.
+//
+//	delay = 0.69 * (Rdrv*(Cwire+Cload) + Rwire*(Cwire/2 + Cload))
+//
+// Capacitances are in pF, resistances in Ω, length in mm; the result is
+// in ns (Ω·pF = ps, /1000 → ns).
+func WireDelayNs(driverOhm, resOhmPerMm, capPFPerMm, lengthMm, loadPF float64) float64 {
+	if lengthMm < 0 {
+		lengthMm = 0
+	}
+	cw := capPFPerMm * lengthMm
+	rw := resOhmPerMm * lengthMm
+	ps := elmoreFactor * (driverOhm*(cw+loadPF) + rw*(cw/2+loadPF))
+	return ps / 1000
+}
+
+// OnChipInterfaceDelayNs is the delay of an on-chip macro-to-logic
+// interface wire of the given length, using the on-chip driver class.
+func OnChipInterfaceDelayNs(e tech.Electrical, lengthMm float64) float64 {
+	return WireDelayNs(e.OnChipDriverResOhm, e.OnChipWireResOhmPerMm, e.OnChipWireCapPFPerMm, lengthMm, 0.2)
+}
+
+// BoardInterfaceDelayNs is the delay of an off-chip path of the given
+// board-trace length: output pad driver, package, trace and receiver
+// loads. The fixed 7-pF lump models the pad and package parasitics.
+func BoardInterfaceDelayNs(e tech.Electrical, lengthMm float64) float64 {
+	return WireDelayNs(e.OffChipDriverResOhm, e.BoardTraceResOhmPerMm, e.BoardTraceCapPFPerMm, lengthMm, 7)
+}
+
+// NoiseFraction returns the fraction of the aggressor swing coupled onto
+// a victim line running in parallel for lengthMm, saturating at 1.
+func NoiseFraction(couplingPerMm, lengthMm float64) float64 {
+	if couplingPerMm < 0 || lengthMm < 0 {
+		return 0
+	}
+	n := couplingPerMm * lengthMm
+	if n > 1 {
+		return 1
+	}
+	return n
+}
+
+// Organization describes the array organization parameters that the
+// paper's §3 lists as free: page length, bank count and depth. It is the
+// timing-relevant subset; the full organization lives in internal/edram.
+type Organization struct {
+	// PageBits is the length of one page (row) in bits — the number of
+	// sense amplifiers that fire per activate.
+	PageBits int
+	// RowsPerBank is the number of rows (pages) in one bank.
+	RowsPerBank int
+}
+
+// Validate checks that the organization is physically meaningful.
+func (o Organization) Validate() error {
+	if o.PageBits <= 0 {
+		return fmt.Errorf("timing: page length must be positive, got %d", o.PageBits)
+	}
+	if o.RowsPerBank <= 0 {
+		return fmt.Errorf("timing: rows per bank must be positive, got %d", o.RowsPerBank)
+	}
+	return nil
+}
+
+// Reference organization at which the base SDRAMTiming numbers hold:
+// a 100-MHz-era 64-Mbit part with 4096-row banks and 4-KB pages.
+const (
+	refPageBits    = 4096 * 8
+	refRowsPerBank = 4096
+)
+
+// ArrayTiming scales a base core timing to the given organization.
+//
+// Wordline RC grows with page length (more cells hang on the wordline),
+// bitline development time grows with rows per bitline, and the column
+// path grows weakly with page length. A square-root law models the
+// segmented/hierarchical drivers real arrays use; halving a dimension
+// therefore buys roughly a 1/sqrt(2) speedup, which reproduces the
+// paper's observation that small, wide, shallow embedded banks cycle
+// faster (<7 ns) than commodity parts built from the same core.
+func ArrayTiming(base tech.SDRAMTiming, o Organization) (tech.SDRAMTiming, error) {
+	if err := o.Validate(); err != nil {
+		return tech.SDRAMTiming{}, err
+	}
+	wl := math.Sqrt(float64(o.PageBits) / refPageBits)       // wordline factor
+	bl := math.Sqrt(float64(o.RowsPerBank) / refRowsPerBank) // bitline factor
+	col := math.Pow(float64(o.PageBits)/refPageBits, 0.32)   // column decode factor
+
+	// Floors: driver and sense-amp intrinsic delays that do not scale
+	// with organization.
+	scale := func(baseNs, factor, floorNs float64) float64 {
+		v := baseNs * factor
+		if v < floorNs {
+			return floorNs
+		}
+		return v
+	}
+
+	t := base
+	t.TRCDns = scale(base.TRCDns, 0.5*wl+0.5*bl, 4)
+	t.TRPns = scale(base.TRPns, bl, 4)
+	t.TCASns = scale(base.TCASns, col, 3)
+	t.TRASns = scale(base.TRASns, 0.4*wl+0.6*bl, 10)
+	t.TRCns = t.TRASns + t.TRPns
+	t.TRFCns = scale(base.TRFCns, bl, 12)
+	// The interface clock is limited by the column path.
+	t.TCKns = math.Max(t.TCASns, base.TCKns*col)
+	if t.TCKns < 2 {
+		t.TCKns = 2
+	}
+	return t, nil
+}
+
+// MaxClockMHz returns the highest interface clock the timing set
+// supports.
+func MaxClockMHz(t tech.SDRAMTiming) float64 {
+	if t.TCKns <= 0 {
+		return 0
+	}
+	return 1e3 / t.TCKns
+}
+
+// RandomRowCycleNs is the worst-case time between accesses to different
+// rows of the same bank (the page-miss penalty period).
+func RandomRowCycleNs(t tech.SDRAMTiming) float64 { return t.TRCns }
+
+// PageHitCycleNs is the time per access when the page is already open.
+func PageHitCycleNs(t tech.SDRAMTiming) float64 { return t.TCKns }

@@ -1,0 +1,165 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edram/internal/tech"
+)
+
+func TestWireDelayMonotonicInLength(t *testing.T) {
+	e := tech.DefaultElectrical()
+	prev := -1.0
+	for l := 0.0; l <= 300; l += 10 {
+		d := BoardInterfaceDelayNs(e, l)
+		if d <= prev {
+			t.Fatalf("board delay not strictly increasing at %v mm", l)
+		}
+		prev = d
+	}
+}
+
+func TestOnChipBeatsBoard(t *testing.T) {
+	// Paper §1: on-chip interface wires are shorter and faster than
+	// board-level paths. Compare a typical 5-mm macro interface with a
+	// typical 80-mm board trace.
+	e := tech.DefaultElectrical()
+	on := OnChipInterfaceDelayNs(e, 5)
+	off := BoardInterfaceDelayNs(e, 80)
+	if on >= off {
+		t.Fatalf("on-chip delay %.3f ns must beat board delay %.3f ns", on, off)
+	}
+	if off/on < 2 {
+		t.Errorf("expected a clear (>2x) delay advantage, got %.2fx", off/on)
+	}
+}
+
+func TestWireDelayNegativeLength(t *testing.T) {
+	d := WireDelayNs(100, 60, 0.25, -5, 0.2)
+	want := WireDelayNs(100, 60, 0.25, 0, 0.2)
+	if d != want {
+		t.Error("negative length must clamp to zero")
+	}
+}
+
+func TestNoiseFraction(t *testing.T) {
+	if NoiseFraction(0.01, 10) != 0.1 {
+		t.Error("basic coupling math wrong")
+	}
+	if NoiseFraction(0.01, 1e6) != 1 {
+		t.Error("noise must saturate at 1")
+	}
+	if NoiseFraction(-1, 10) != 0 || NoiseFraction(0.01, -1) != 0 {
+		t.Error("negative inputs must yield 0")
+	}
+}
+
+func TestNoiseOnChipAdvantage(t *testing.T) {
+	// Paper §1: "noise immunity is enhanced" on-chip because runs are
+	// short. 5-mm on-chip vs 80-mm board parallel run.
+	e := tech.DefaultElectrical()
+	on := NoiseFraction(e.OnChipNoiseCouplingPerMm, 5)
+	off := NoiseFraction(e.BoardNoiseCouplingPerMm, 80)
+	if on >= off {
+		t.Fatalf("on-chip noise %.3f must be below board noise %.3f", on, off)
+	}
+}
+
+func TestOrganizationValidate(t *testing.T) {
+	if (Organization{PageBits: 0, RowsPerBank: 4}).Validate() == nil {
+		t.Error("zero page must fail")
+	}
+	if (Organization{PageBits: 4, RowsPerBank: 0}).Validate() == nil {
+		t.Error("zero rows must fail")
+	}
+	if (Organization{PageBits: 2048, RowsPerBank: 512}).Validate() != nil {
+		t.Error("valid organization rejected")
+	}
+}
+
+func TestArrayTimingReference(t *testing.T) {
+	// At the reference organization the scaling must be identity-ish
+	// (within the floor clamps).
+	base := tech.PC100()
+	got, err := ArrayTiming(base, Organization{PageBits: refPageBits, RowsPerBank: refRowsPerBank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.TRCDns-base.TRCDns) > 1e-9 || math.Abs(got.TRPns-base.TRPns) > 1e-9 {
+		t.Errorf("reference organization must reproduce base timing, got %+v", got)
+	}
+}
+
+func TestArrayTimingSmallBanksFaster(t *testing.T) {
+	// Paper §5: embedded macros with small building blocks cycle below
+	// 7 ns while the commodity part runs at 10 ns. A 256-Kbit block
+	// organized as 512 rows x 512 bits must beat the reference.
+	base := tech.PC100()
+	small, err := ArrayTiming(base, Organization{PageBits: 512, RowsPerBank: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TCKns >= base.TCKns {
+		t.Fatalf("small bank cycle %.2f ns not faster than base %.2f ns", small.TCKns, base.TCKns)
+	}
+	if small.TCKns > 7 {
+		t.Errorf("small embedded bank should reach the paper's <7 ns regime, got %.2f ns", small.TCKns)
+	}
+	if MaxClockMHz(small) < 143 {
+		t.Errorf("small embedded bank should support >=143 MHz, got %.1f", MaxClockMHz(small))
+	}
+}
+
+func TestArrayTimingInvalidOrg(t *testing.T) {
+	if _, err := ArrayTiming(tech.PC100(), Organization{}); err == nil {
+		t.Error("invalid organization must error")
+	}
+}
+
+func TestArrayTimingConsistency(t *testing.T) {
+	// Property: for any organization, tRC = tRAS + tRP and every
+	// parameter stays at or above its floor and positive.
+	f := func(p, r uint8) bool {
+		o := Organization{PageBits: 64 << (p % 10), RowsPerBank: 64 << (r % 8)}
+		tm, err := ArrayTiming(tech.PC100(), o)
+		if err != nil {
+			return false
+		}
+		if tm.TRCns < tm.TRASns+tm.TRPns-1e-9 || tm.TRCns > tm.TRASns+tm.TRPns+1e-9 {
+			return false
+		}
+		return tm.TRCDns > 0 && tm.TRPns > 0 && tm.TCASns > 0 && tm.TCKns >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayTimingMonotonicInPage(t *testing.T) {
+	base := tech.PC100()
+	prev := 0.0
+	for page := 256; page <= 65536; page *= 2 {
+		tm, err := ArrayTiming(base, Organization{PageBits: page, RowsPerBank: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.TRCDns < prev {
+			t.Fatalf("tRCD must not shrink as pages lengthen (page %d)", page)
+		}
+		prev = tm.TRCDns
+	}
+}
+
+func TestCycleHelpers(t *testing.T) {
+	tm := tech.PC100()
+	if RandomRowCycleNs(tm) != tm.TRCns {
+		t.Error("RandomRowCycleNs must be tRC")
+	}
+	if PageHitCycleNs(tm) != tm.TCKns {
+		t.Error("PageHitCycleNs must be tCK")
+	}
+	if MaxClockMHz(tech.SDRAMTiming{}) != 0 {
+		t.Error("zero timing must yield zero clock")
+	}
+}

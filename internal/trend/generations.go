@@ -1,0 +1,65 @@
+package trend
+
+import "edram/internal/units"
+
+// DeviceGen is one commodity-DRAM interface generation. The paper's §4
+// observes that while the core improved only ~10 %/yr, "the peak device
+// memory bandwidth has increased over the last couple of years by two
+// orders of magnitude" through synchronous interfacing, row caching,
+// prefetch and multiple banks — at the price of latency and burst
+// length.
+type DeviceGen struct {
+	Name      string
+	Year      int
+	WidthBits int
+	// TransferMHz is the data-transfer rate per pin.
+	TransferMHz float64
+	// Banks inside the device.
+	Banks int
+	// MinBurst is the access granularity in transfers (the latency/
+	// burst-length price of the bandwidth).
+	MinBurst int
+	// RandomAccessNs is the row-access (core) time — the ~10 %/yr
+	// quantity.
+	RandomAccessNs float64
+}
+
+// PeakGBps returns the device's peak interface bandwidth.
+func (g DeviceGen) PeakGBps() float64 {
+	return units.BandwidthGBps(g.WidthBits, g.TransferMHz)
+}
+
+// Generations returns the commodity interface generations through the
+// paper's present (1998), in chronological order.
+func Generations() []DeviceGen {
+	return []DeviceGen{
+		{Name: "FPM", Year: 1990, WidthBits: 8, TransferMHz: 20, Banks: 1, MinBurst: 1, RandomAccessNs: 110},
+		{Name: "EDO", Year: 1994, WidthBits: 8, TransferMHz: 40, Banks: 1, MinBurst: 1, RandomAccessNs: 85},
+		{Name: "SDRAM-66", Year: 1996, WidthBits: 16, TransferMHz: 66, Banks: 2, MinBurst: 2, RandomAccessNs: 75},
+		{Name: "SDRAM-100", Year: 1998, WidthBits: 16, TransferMHz: 100, Banks: 4, MinBurst: 4, RandomAccessNs: 70},
+		{Name: "RDRAM", Year: 1998, WidthBits: 8, TransferMHz: 800, Banks: 16, MinBurst: 8, RandomAccessNs: 70},
+	}
+}
+
+// BandwidthGrowth returns peak-bandwidth growth from the first to the
+// last generation — the paper's "two orders of magnitude".
+func BandwidthGrowth() float64 {
+	g := Generations()
+	first := g[0].PeakGBps()
+	last := g[len(g)-1].PeakGBps()
+	if first == 0 {
+		return 0
+	}
+	return last / first
+}
+
+// CoreImprovement returns the random-access improvement over the same
+// span — the contrast the paper draws.
+func CoreImprovement() float64 {
+	g := Generations()
+	last := g[len(g)-1].RandomAccessNs
+	if last == 0 {
+		return 0
+	}
+	return g[0].RandomAccessNs / last
+}

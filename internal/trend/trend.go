@@ -1,0 +1,99 @@
+// Package trend implements the multi-year scaling models behind the
+// paper's §4 arguments: processor performance growing 60 %/yr while DRAM
+// row/column access times improve only ~10 %/yr, DRAM device capacity
+// quadrupling every three years, and memory-system size growing at only
+// half the device rate — the combination that makes interface width,
+// granularity and the processor-memory gap worsen over time.
+package trend
+
+import (
+	"fmt"
+	"math"
+
+	"edram/internal/tech"
+)
+
+// BaseYear anchors the trend curves.
+const BaseYear = 1980
+
+// Base-year values.
+const (
+	baseCPUPerf      = 1.0   // relative
+	baseDRAMAccessNs = 250.0 // row-access time of a 64-Kbit part
+	baseDeviceMbit   = 0.064 // 64 Kbit
+	baseSystemMbit   = 0.512 // typical PC memory, 64 KB
+)
+
+// CPUPerf returns relative processor performance in the given year
+// (+60 %/yr after BaseYear).
+func CPUPerf(year int) float64 {
+	return baseCPUPerf * math.Pow(tech.CPUPerfGrowthPerYear, float64(year-BaseYear))
+}
+
+// DRAMAccessNs returns the DRAM core access time in the given year
+// (−10 %/yr).
+func DRAMAccessNs(year int) float64 {
+	return baseDRAMAccessNs * math.Pow(1-tech.DRAMAccessImprovementPerYr, float64(year-BaseYear))
+}
+
+// DeviceMbit returns the commodity DRAM device capacity (4x / 3 yr).
+func DeviceMbit(year int) float64 {
+	return baseDeviceMbit * math.Pow(tech.DRAMDensityGrowthPer3Years, float64(year-BaseYear)/3)
+}
+
+// SystemMbit returns the PC memory-system capacity, which the paper
+// notes "has grown by only half the rate of single DRAM devices": half
+// the exponential rate, i.e. 2x per 3 years.
+func SystemMbit(year int) float64 {
+	rate := math.Pow(tech.DRAMDensityGrowthPer3Years, tech.SystemSizeGrowthRatioOfChip)
+	return baseSystemMbit * math.Pow(rate, float64(year-BaseYear)/3)
+}
+
+// DevicesPerSystem returns how many DRAM devices a PC memory system
+// needs in the given year. Because the system grows slower than the
+// device, this count falls over time — and with it the achievable bus
+// width, which is the paper's granularity squeeze.
+func DevicesPerSystem(year int) float64 {
+	return SystemMbit(year) / DeviceMbit(year)
+}
+
+// Gap returns the processor-memory performance gap: CPU performance
+// divided by DRAM access-rate improvement, normalized to 1 at BaseYear.
+func Gap(year int) float64 {
+	return CPUPerf(year) * DRAMAccessNs(year) / baseDRAMAccessNs
+}
+
+// Row is one year of the gap table.
+type Row struct {
+	Year         int
+	CPUPerf      float64
+	DRAMAccessNs float64
+	Gap          float64
+	DeviceMbit   float64
+	SystemMbit   float64
+	DevicesPer   float64
+}
+
+// Table produces the year-by-year trend rows over [from, to] inclusive
+// with the given step.
+func Table(from, to, step int) ([]Row, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("trend: step must be positive, got %d", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("trend: to %d before from %d", to, from)
+	}
+	var rows []Row
+	for y := from; y <= to; y += step {
+		rows = append(rows, Row{
+			Year:         y,
+			CPUPerf:      CPUPerf(y),
+			DRAMAccessNs: DRAMAccessNs(y),
+			Gap:          Gap(y),
+			DeviceMbit:   DeviceMbit(y),
+			SystemMbit:   SystemMbit(y),
+			DevicesPer:   DevicesPerSystem(y),
+		})
+	}
+	return rows, nil
+}

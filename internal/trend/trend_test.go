@@ -1,0 +1,117 @@
+package trend
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaseYearAnchors(t *testing.T) {
+	if CPUPerf(BaseYear) != 1 {
+		t.Error("CPU perf must anchor at 1")
+	}
+	if DRAMAccessNs(BaseYear) != 250 {
+		t.Error("DRAM access must anchor at 250 ns")
+	}
+	if Gap(BaseYear) != 1 {
+		t.Error("gap must anchor at 1")
+	}
+}
+
+func TestGrowthRates(t *testing.T) {
+	// +60 %/yr CPU.
+	if r := CPUPerf(BaseYear+1) / CPUPerf(BaseYear); math.Abs(r-1.6) > 1e-9 {
+		t.Errorf("CPU growth %v, want 1.6", r)
+	}
+	// -10 %/yr DRAM access time.
+	if r := DRAMAccessNs(BaseYear+1) / DRAMAccessNs(BaseYear); math.Abs(r-0.9) > 1e-9 {
+		t.Errorf("DRAM improvement %v, want 0.9", r)
+	}
+	// 4x device capacity per 3 years.
+	if r := DeviceMbit(BaseYear+3) / DeviceMbit(BaseYear); math.Abs(r-4) > 1e-9 {
+		t.Errorf("device growth %v, want 4", r)
+	}
+	// System grows at half the device rate: 2x per 3 years.
+	if r := SystemMbit(BaseYear+3) / SystemMbit(BaseYear); math.Abs(r-2) > 1e-9 {
+		t.Errorf("system growth %v, want 2", r)
+	}
+}
+
+func TestGapGrowsRelentlessly(t *testing.T) {
+	prev := 0.0
+	for y := 1980; y <= 2000; y++ {
+		g := Gap(y)
+		if g <= prev {
+			t.Fatalf("gap must grow every year, stalled at %d", y)
+		}
+		prev = g
+	}
+	// The 1998 gap (the paper's present) is already enormous:
+	// (1.6 x 0.9)^18 ≈ 700.
+	if Gap(1998) < 500 {
+		t.Errorf("1998 gap %.0f suspiciously small", Gap(1998))
+	}
+}
+
+func TestDevicesPerSystemFalls(t *testing.T) {
+	// The granularity squeeze: fewer devices per system each year,
+	// hence narrower total bus width from discrete parts.
+	if DevicesPerSystem(1998) >= DevicesPerSystem(1990) {
+		t.Error("devices per system must fall over time")
+	}
+	if DevicesPerSystem(BaseYear) != 8 {
+		t.Errorf("base year devices per system = %v, want 8", DevicesPerSystem(BaseYear))
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows, err := Table(1990, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i, r := range rows {
+		if r.Year != 1990+2*i {
+			t.Errorf("row %d year %d", i, r.Year)
+		}
+		if r.Gap <= 0 || r.CPUPerf <= 0 || r.DRAMAccessNs <= 0 {
+			t.Error("all trend values must be positive")
+		}
+	}
+	if _, err := Table(2000, 1990, 1); err == nil {
+		t.Error("reversed range must error")
+	}
+	if _, err := Table(1990, 2000, 0); err == nil {
+		t.Error("zero step must error")
+	}
+}
+
+func TestGenerations(t *testing.T) {
+	gens := Generations()
+	if len(gens) < 4 {
+		t.Fatal("need the FPM..RDRAM span")
+	}
+	// Chronological and bandwidth-monotone.
+	for i := 1; i < len(gens); i++ {
+		if gens[i].Year < gens[i-1].Year {
+			t.Error("generations must be chronological")
+		}
+		if gens[i].PeakGBps() <= gens[i-1].PeakGBps() {
+			t.Errorf("%s must out-bandwidth %s", gens[i].Name, gens[i-1].Name)
+		}
+	}
+	// Paper §4: peak bandwidth grew by two orders of magnitude...
+	if g := BandwidthGrowth(); g < 30 || g > 150 {
+		t.Errorf("bandwidth growth %.0fx not ~two orders of magnitude", g)
+	}
+	// ...while the core barely improved.
+	if c := CoreImprovement(); c < 1.1 || c > 3 {
+		t.Errorf("core improvement %.2fx should be modest", c)
+	}
+	// The bandwidth price: burst length grows.
+	first, last := gens[0], gens[len(gens)-1]
+	if last.MinBurst <= first.MinBurst {
+		t.Error("burst length must grow with bandwidth (the paper's latency price)")
+	}
+}

@@ -1,0 +1,163 @@
+// Package units defines the physical-unit conventions used throughout the
+// eDRAM trade-off models and a small set of helpers for converting and
+// formatting quantities.
+//
+// Conventions (all quantities are float64 unless stated otherwise):
+//
+//	time        ns      (nanoseconds)
+//	frequency   MHz
+//	capacity    Mbit    (1 Mbit = 2^20 bits) unless a name says otherwise
+//	bandwidth   GBps    (gigabytes per second, 10^9 bytes)
+//	area        mm2     (square millimetres)
+//	power       mW      (milliwatts)
+//	energy      pJ      (picojoules)
+//	voltage     V
+//	capacitance pF
+//	length      mm
+//	money       USD
+//
+// Functions in this package never panic on zero inputs; division helpers
+// return 0 for a 0 denominator so that sweep code can tabulate degenerate
+// corners without special-casing them.
+package units
+
+import "fmt"
+
+// Bit-capacity constants, in bits.
+const (
+	Kbit = 1 << 10 // 1024 bits
+	Mbit = 1 << 20 // 1048576 bits
+	Gbit = 1 << 30
+)
+
+// Byte-capacity constants, in bytes.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// BitsToMbit converts a bit count to Mbit.
+func BitsToMbit(bits int64) float64 { return float64(bits) / Mbit }
+
+// MbitToBits converts Mbit to a bit count, rounding to the nearest bit.
+func MbitToBits(mbit float64) int64 { return int64(mbit*Mbit + 0.5) }
+
+// BytesToMbit converts a byte count to Mbit.
+func BytesToMbit(bytes int64) float64 { return float64(bytes*8) / Mbit }
+
+// MHzToNs returns the clock period in ns for a frequency in MHz.
+// A zero or negative frequency yields 0.
+func MHzToNs(mhz float64) float64 {
+	if mhz <= 0 {
+		return 0
+	}
+	return 1e3 / mhz
+}
+
+// NsToMHz returns the frequency in MHz for a period in ns.
+// A zero or negative period yields 0.
+func NsToMHz(ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return 1e3 / ns
+}
+
+// BandwidthGBps computes bandwidth in GB/s from a bus width in bits and a
+// transfer rate in MHz (one transfer per cycle).
+func BandwidthGBps(widthBits int, mhz float64) float64 {
+	return float64(widthBits) / 8 * mhz * 1e6 / 1e9
+}
+
+// FillFrequencyHz is the paper's "fill frequency" metric: the number of
+// times per second a memory of the given size can be completely refilled
+// at the given bandwidth (§1, footnote 2). Bandwidth is in GB/s, size in
+// Mbit. Zero size yields 0.
+func FillFrequencyHz(bandwidthGBps float64, sizeMbit float64) float64 {
+	if sizeMbit <= 0 {
+		return 0
+	}
+	bitsPerSecond := bandwidthGBps * 1e9 * 8
+	return bitsPerSecond / (sizeMbit * Mbit)
+}
+
+// Ratio returns a/b, or 0 when b == 0. It exists so that sweep tables can
+// include degenerate corners without branching at every call site.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Clamp limits v to [lo, hi]. If lo > hi the arguments are swapped.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// CeilDiv returns ceil(a/b) for positive integers. It panics if b <= 0.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("units.CeilDiv: non-positive divisor %d", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns floor(log2(n)) for n >= 1, and 0 for n < 1.
+func Log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// FormatMbit renders a capacity in Mbit with a sensible unit suffix.
+func FormatMbit(mbit float64) string {
+	switch {
+	case mbit >= 1024:
+		return fmt.Sprintf("%.2f Gbit", mbit/1024)
+	case mbit >= 1:
+		return fmt.Sprintf("%.2f Mbit", mbit)
+	default:
+		return fmt.Sprintf("%.0f Kbit", mbit*1024)
+	}
+}
+
+// FormatGBps renders a bandwidth in GB/s, falling back to MB/s below 1.
+func FormatGBps(gbps float64) string {
+	if gbps >= 1 {
+		return fmt.Sprintf("%.2f GB/s", gbps)
+	}
+	return fmt.Sprintf("%.1f MB/s", gbps*1000)
+}

@@ -1,0 +1,178 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBitsToMbitRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, Kbit, Mbit, 4 * Mbit, 128 * Mbit, Gbit}
+	for _, bits := range cases {
+		got := MbitToBits(BitsToMbit(bits))
+		if got != bits {
+			t.Errorf("round trip %d bits -> %d", bits, got)
+		}
+	}
+}
+
+func TestMHzNsInverse(t *testing.T) {
+	for _, mhz := range []float64{50, 100, 143, 150, 1000} {
+		ns := MHzToNs(mhz)
+		back := NsToMHz(ns)
+		if !almostEqual(back, mhz, 1e-9) {
+			t.Errorf("MHz %v -> ns %v -> MHz %v", mhz, ns, back)
+		}
+	}
+}
+
+func TestMHzToNsZero(t *testing.T) {
+	if MHzToNs(0) != 0 || MHzToNs(-5) != 0 {
+		t.Error("non-positive frequency must yield 0 period")
+	}
+	if NsToMHz(0) != 0 || NsToMHz(-1) != 0 {
+		t.Error("non-positive period must yield 0 frequency")
+	}
+}
+
+func TestBandwidthGBps(t *testing.T) {
+	// 256 bits at 125 MHz = 32 bytes * 125e6 = 4e9 B/s = 4 GB/s.
+	got := BandwidthGBps(256, 125)
+	if !almostEqual(got, 4.0, 1e-9) {
+		t.Errorf("BandwidthGBps(256,125) = %v, want 4", got)
+	}
+	// A discrete SDRAM: 16 bits at 100 MHz = 0.2 GB/s.
+	got = BandwidthGBps(16, 100)
+	if !almostEqual(got, 0.2, 1e-9) {
+		t.Errorf("BandwidthGBps(16,100) = %v, want 0.2", got)
+	}
+}
+
+func TestFillFrequency(t *testing.T) {
+	// Paper §1: a 4-Mbit eDRAM with a 256-bit interface fills far more
+	// often per second than a 64-Mbit discrete system with the same
+	// bandwidth.
+	bw := BandwidthGBps(256, 100) // 3.2 GB/s
+	small := FillFrequencyHz(bw, 4)
+	large := FillFrequencyHz(bw, 64)
+	if small <= large {
+		t.Fatalf("fill frequency must fall with size: %v vs %v", small, large)
+	}
+	if !almostEqual(small/large, 16, 1e-9) {
+		t.Errorf("4 vs 64 Mbit at equal BW should differ 16x, got %v", small/large)
+	}
+	if FillFrequencyHz(bw, 0) != 0 {
+		t.Error("zero size must yield 0 fill frequency")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Error("Ratio(4,2) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero must be 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp basic cases failed")
+	}
+	if Clamp(2, 3, 0) != 2 {
+		t.Error("Clamp must swap reversed bounds")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {-3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with non-positive divisor must panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestPow2Helpers(t *testing.T) {
+	if NextPow2(0) != 1 || NextPow2(1) != 1 || NextPow2(3) != 4 || NextPow2(512) != 512 || NextPow2(513) != 1024 {
+		t.Error("NextPow2 failed")
+	}
+	if !IsPow2(1) || !IsPow2(256) || IsPow2(0) || IsPow2(12) || IsPow2(-4) {
+		t.Error("IsPow2 failed")
+	}
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 || Log2(0) != 0 {
+		t.Error("Log2 failed")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatMbit(2048) != "2.00 Gbit" {
+		t.Errorf("FormatMbit(2048) = %q", FormatMbit(2048))
+	}
+	if FormatMbit(4.75) != "4.75 Mbit" {
+		t.Errorf("FormatMbit(4.75) = %q", FormatMbit(4.75))
+	}
+	if FormatMbit(0.25) != "256 Kbit" {
+		t.Errorf("FormatMbit(0.25) = %q", FormatMbit(0.25))
+	}
+	if FormatGBps(9) != "9.00 GB/s" {
+		t.Errorf("FormatGBps(9) = %q", FormatGBps(9))
+	}
+	if FormatGBps(0.2) != "200.0 MB/s" {
+		t.Errorf("FormatGBps(0.2) = %q", FormatGBps(0.2))
+	}
+}
+
+// Property: NextPow2(n) is a power of two, >= n, and < 2n for n >= 1.
+func TestNextPow2Property(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%10000) + 1
+		p := NextPow2(n)
+		return IsPow2(p) && p >= n && p < 2*n+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fill frequency is inversely proportional to size.
+func TestFillFrequencyInverseProperty(t *testing.T) {
+	f := func(rawBW, rawSize uint16) bool {
+		bw := float64(rawBW%1000) / 100
+		size := float64(rawSize%1024) + 1
+		a := FillFrequencyHz(bw, size)
+		b := FillFrequencyHz(bw, 2*size)
+		return almostEqual(a, 2*b, 1e-6*(a+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp output is always inside the (normalized) interval.
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := Clamp(v, a, b)
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package views
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"edram/internal/bist"
+	"edram/internal/edram"
+)
+
+func bundle(t *testing.T, mbit, iface int) *Bundle {
+	t.Helper()
+	m, err := edram.Build(edram.Spec{CapacityMbit: mbit, InterfaceBits: iface})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewRejectsNil(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil macro must error")
+	}
+}
+
+func TestVerilogStructure(t *testing.T) {
+	b := bundle(t, 16, 256)
+	v := b.Verilog()
+	for _, want := range []string{
+		"module edram_16mb_x256",
+		"endmodule",
+		"input  wire                  clk",
+		"[255:0]          din",
+		"[255:0]          dout",
+		"reg [255:0] mem",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	if strings.Count(v, "module") != strings.Count(v, "endmodule")+1 {
+		// "module" appears in "endmodule" too; count balance via prefix.
+		t.Log(v)
+	}
+	// Word count: 16 Mbit / 256 = 65536 words -> mem [0:65535].
+	if !strings.Contains(v, "mem [0:65535]") {
+		t.Error("memory depth wrong")
+	}
+}
+
+func TestVerilogAddressWidths(t *testing.T) {
+	// 16 Mbit, 4 banks, page 2048, iface 256: rows/bank = 2048,
+	// cols/page = 8 -> bank[1:0], row[10:0], col[2:0].
+	b := bundle(t, 16, 256)
+	v := b.Verilog()
+	for _, want := range []string{"[ 1:0]           bank", "[10:0]           row", "[ 2:0]           col"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing port %q\n%s", want, v)
+		}
+	}
+}
+
+func TestFloorplanText(t *testing.T) {
+	b := bundle(t, 16, 256)
+	fp, err := b.FloorplanText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fp, "FLOORPLAN edram_16mb_x256") {
+		t.Error("missing header")
+	}
+	// One BLOCK row per building block.
+	if got := strings.Count(fp, "BLOCK b"); got != 16 {
+		t.Errorf("block placements = %d, want 16", got)
+	}
+	if !strings.Contains(fp, "CONTROL STRIP") || !strings.Contains(fp, "AVG INTERFACE WIRE") {
+		t.Error("missing strip/wire summary")
+	}
+}
+
+func TestTimingLib(t *testing.T) {
+	b := bundle(t, 16, 256)
+	lib := b.TimingLib()
+	for _, want := range []string{
+		"library (edram_16mb_x256)",
+		"siemens-0.24um-edram",
+		"clock_period_ns",
+		"t_rcd_ns",
+		"peak_bandwidth_gbps",
+		"active_power_mw",
+	} {
+		if !strings.Contains(lib, want) {
+			t.Errorf("lib missing %q", want)
+		}
+	}
+	// Values come from the macro, not placeholders.
+	if !strings.Contains(lib, fmt.Sprintf("max_frequency_mhz   : %.0f;", b.Macro.ClockMHz)) {
+		t.Error("clock not propagated")
+	}
+}
+
+func TestTestProgram(t *testing.T) {
+	b := bundle(t, 16, 256)
+	p := b.TestProgram(bist.MarchCMinus(), bist.Checkerboard)
+	if !strings.Contains(p, "PROGRAM edram_16mb_x256 March C- background=checkerboard") {
+		t.Errorf("program header wrong:\n%s", p)
+	}
+	// March C- has 6 elements and 10 ops/cell.
+	if got := strings.Count(p, "ELEMENT"); got != 6 {
+		t.Errorf("elements = %d, want 6", got)
+	}
+	reads := strings.Count(p, "READ")
+	writes := strings.Count(p, "WRITE")
+	if reads+writes != 10 {
+		t.Errorf("ops = %d, want 10", reads+writes)
+	}
+	// Cost line: 10 ops/cell x 16 Mbit / 256-bit parallelism.
+	wantCycles := int64(10) * 16 * 1048576 / 256
+	if !strings.Contains(p, fmt.Sprintf("cycles=%d", wantCycles)) {
+		t.Errorf("cost line missing cycles=%d:\n%s", wantCycles, p)
+	}
+	if !strings.Contains(p, "SWEEP DOWN") || !strings.Contains(p, "SWEEP UP") {
+		t.Error("sweep directions missing")
+	}
+}
+
+func TestAllViews(t *testing.T) {
+	b := bundle(t, 4, 64)
+	files, err := b.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 8 {
+		t.Fatalf("views = %d, want 8", len(files))
+	}
+	seen := map[string]bool{}
+	for _, f := range files {
+		if f.Name == "" || f.Content == "" {
+			t.Errorf("empty view %q", f.Name)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate view %q", f.Name)
+		}
+		seen[f.Name] = true
+		if !strings.HasPrefix(f.Name, "edram_4mb_x64") {
+			t.Errorf("view name %q not derived from macro", f.Name)
+		}
+	}
+}
+
+func TestViewsDeterministic(t *testing.T) {
+	a := bundle(t, 8, 128)
+	b := bundle(t, 8, 128)
+	fa, err := a.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("view %s not deterministic", fa[i].Name)
+		}
+	}
+}
+
+func TestTestbench(t *testing.T) {
+	b := bundle(t, 16, 256)
+	tb := b.Testbench()
+	for _, want := range []string{
+		"module edram_16mb_x256_tb;",
+		"edram_16mb_x256 dut",
+		"always #3.30 clk",
+		"$display(\"PASS\")",
+		"endmodule",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/dram"
+)
+
+// Grade distinguishes the paper §6 quality targets: "if eDRAM is used
+// for graphics applications, occasional soft problems, such as too
+// short retention times of a few cells, are much more acceptable than
+// if eDRAM is used for program data. The test concept should take this
+// cost-reduction potential into account, ideally in conjunction with
+// the redundancy concept."
+type Grade int
+
+const (
+	// ProgramGrade requires every cell to work (program/data storage).
+	ProgramGrade Grade = iota
+	// GraphicsGrade tolerates a bounded number of unrepaired weak
+	// (retention) cells; hard faults must still be repaired.
+	GraphicsGrade
+)
+
+// String implements fmt.Stringer.
+func (g Grade) String() string {
+	if g == GraphicsGrade {
+		return "graphics"
+	}
+	return "program"
+}
+
+// GradeResult reports the graded Monte-Carlo yields.
+type GradeResult struct {
+	Trials int
+	// ProgramYield: fully repaired blocks.
+	ProgramYield float64
+	// GraphicsYield: blocks good enough for graphics (hard faults
+	// repaired, at most WeakTolerance weak cells left unrepaired).
+	GraphicsYield float64
+	// MeanWeakLeft is the average count of tolerated weak cells on
+	// graphics-passing parts.
+	MeanWeakLeft float64
+}
+
+// splitCells separates a defect list into hard failing cells and weak
+// (retention-only) cells.
+func splitCells(faults []dram.Fault, rows, cols int) (hard, weak [][2]int) {
+	var hardFaults, weakFaults []dram.Fault
+	weakSet := map[[2]int]bool{}
+	for _, f := range faults {
+		if f.Kind == dram.Retention {
+			weakFaults = append(weakFaults, f)
+			weakSet[[2]int{f.Row, f.Col}] = true
+		} else {
+			hardFaults = append(hardFaults, f)
+		}
+	}
+	hard = FaultCells(hardFaults, rows, cols)
+	// A cell that is both hard- and weak-faulty counts as hard.
+	hardSet := map[[2]int]bool{}
+	for _, c := range hard {
+		hardSet[c] = true
+	}
+	for c := range weakSet {
+		if !hardSet[c] {
+			weak = append(weak, c)
+		}
+	}
+	return hard, weak
+}
+
+// RunGraded executes the Monte-Carlo experiment with quality grading:
+// spares are allocated to hard faults first; leftover spares then cover
+// weak cells; a part passes graphics grade when at most weakTolerance
+// weak cells remain.
+func (mc MonteCarlo) RunGraded(trials int, seed int64, weakTolerance int) (GradeResult, error) {
+	if trials < 1 {
+		return GradeResult{}, fmt.Errorf("yield: trials must be >= 1")
+	}
+	if weakTolerance < 0 {
+		return GradeResult{}, fmt.Errorf("yield: weak tolerance must be non-negative")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := GradeResult{Trials: trials}
+	var weakLeftSum float64
+	graphicsPasses := 0
+	for i := 0; i < trials; i++ {
+		faults, err := GenerateDefects(rng, mc.Rows, mc.Cols, mc.MeanDefectsPerBlock, mc.Mix)
+		if err != nil {
+			return GradeResult{}, err
+		}
+		hard, weak := splitCells(faults, mc.Rows, mc.Cols)
+		repHard := Repair(hard, mc.SpareRows, mc.SpareCols)
+		if !repHard.Repaired {
+			continue // fails both grades
+		}
+		leftRows := mc.SpareRows - repHard.UsedRows
+		leftCols := mc.SpareCols - repHard.UsedCols
+		repWeak := Repair(weak, leftRows, leftCols)
+		if repWeak.Repaired {
+			res.ProgramYield++
+			res.GraphicsYield++
+			graphicsPasses++
+			continue
+		}
+		if repWeak.Unrepaired <= weakTolerance {
+			res.GraphicsYield++
+			weakLeftSum += float64(repWeak.Unrepaired)
+			graphicsPasses++
+		}
+	}
+	res.ProgramYield /= float64(trials)
+	res.GraphicsYield /= float64(trials)
+	if graphicsPasses > 0 {
+		res.MeanWeakLeft = weakLeftSum / float64(graphicsPasses)
+	}
+	return res, nil
+}

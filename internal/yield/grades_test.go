@@ -1,0 +1,108 @@
+package yield
+
+import (
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func TestGradeString(t *testing.T) {
+	if ProgramGrade.String() != "program" || GraphicsGrade.String() != "graphics" {
+		t.Error("grade strings changed")
+	}
+}
+
+func TestSplitCells(t *testing.T) {
+	faults := []dram.Fault{
+		{Kind: dram.StuckAt0, Row: 1, Col: 1},
+		{Kind: dram.Retention, Row: 2, Col: 2, RetentionMs: 5},
+		{Kind: dram.Retention, Row: 1, Col: 1, RetentionMs: 5}, // overlaps hard cell
+		{Kind: dram.WordlineStuck0, Row: 4},
+	}
+	hard, weak := splitCells(faults, 8, 8)
+	if len(hard) != 1+8 {
+		t.Errorf("hard cells = %d, want 9", len(hard))
+	}
+	if len(weak) != 1 || weak[0] != [2]int{2, 2} {
+		t.Errorf("weak cells = %v, want [[2 2]]", weak)
+	}
+}
+
+func TestGradedYieldOrdering(t *testing.T) {
+	// Graphics grade must never yield worse than program grade, and
+	// with a retention-heavy defect mix it must yield clearly better
+	// when spares are scarce.
+	mc := MonteCarlo{
+		Rows: 256, Cols: 256,
+		MeanDefectsPerBlock: 3,
+		SpareRows:           1, SpareCols: 1,
+		Mix: DefectMix{CellFrac: 0.2, RowFrac: 0.05, ColFrac: 0.05, RetentionFrac: 0.7},
+	}
+	res, err := mc.RunGraded(400, 23, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GraphicsYield < res.ProgramYield {
+		t.Fatalf("graphics yield %.2f below program yield %.2f",
+			res.GraphicsYield, res.ProgramYield)
+	}
+	if res.GraphicsYield < res.ProgramYield+0.1 {
+		t.Errorf("retention-heavy mix should open a clear grade gap: %.2f vs %.2f",
+			res.GraphicsYield, res.ProgramYield)
+	}
+	if res.MeanWeakLeft < 0 || res.MeanWeakLeft > 4 {
+		t.Errorf("mean weak left %.2f outside tolerance", res.MeanWeakLeft)
+	}
+}
+
+func TestGradedZeroToleranceMatchesProgram(t *testing.T) {
+	mc := MonteCarlo{
+		Rows: 128, Cols: 128,
+		MeanDefectsPerBlock: 1.5,
+		SpareRows:           2, SpareCols: 2,
+		Mix: DefaultMix(),
+	}
+	res, err := mc.RunGraded(300, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GraphicsYield != res.ProgramYield {
+		t.Errorf("zero tolerance must equalize grades: %.3f vs %.3f",
+			res.GraphicsYield, res.ProgramYield)
+	}
+}
+
+func TestGradedErrors(t *testing.T) {
+	mc := MonteCarlo{Rows: 64, Cols: 64, MeanDefectsPerBlock: 1, Mix: DefaultMix()}
+	if _, err := mc.RunGraded(0, 1, 2); err == nil {
+		t.Error("zero trials must error")
+	}
+	if _, err := mc.RunGraded(10, 1, -1); err == nil {
+		t.Error("negative tolerance must error")
+	}
+	bad := mc
+	bad.Rows = 0
+	if _, err := bad.RunGraded(10, 1, 2); err == nil {
+		t.Error("bad geometry must error")
+	}
+}
+
+func TestGradedToleranceMonotone(t *testing.T) {
+	mc := MonteCarlo{
+		Rows: 128, Cols: 128,
+		MeanDefectsPerBlock: 2.5,
+		SpareRows:           1, SpareCols: 1,
+		Mix: DefectMix{CellFrac: 0.3, RowFrac: 0.05, ColFrac: 0.05, RetentionFrac: 0.6},
+	}
+	prev := -1.0
+	for _, tol := range []int{0, 1, 2, 4, 8} {
+		res, err := mc.RunGraded(200, 5, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GraphicsYield < prev {
+			t.Fatalf("graphics yield must be monotone in tolerance (tol %d)", tol)
+		}
+		prev = res.GraphicsYield
+	}
+}

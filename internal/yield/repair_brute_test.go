@@ -1,0 +1,74 @@
+package yield
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteRepairable reports whether any assignment of spare rows/columns
+// covers all failing cells, by exhaustive search over which rows get a
+// spare (remaining cells must fit in spareCols distinct columns).
+func bruteRepairable(failing [][2]int, spareRows, spareCols int) bool {
+	rows := map[int]bool{}
+	for _, f := range failing {
+		rows[f[0]] = true
+	}
+	rowList := make([]int, 0, len(rows))
+	for r := range rows {
+		rowList = append(rowList, r)
+	}
+	// Choose up to spareRows rows to repair (all subsets).
+	var rec func(idx, used int, repaired map[int]bool) bool
+	rec = func(idx, used int, repaired map[int]bool) bool {
+		if idx == len(rowList) || used == spareRows {
+			// Count distinct columns of uncovered cells.
+			cols := map[int]bool{}
+			for _, f := range failing {
+				if !repaired[f[0]] {
+					cols[f[1]] = true
+				}
+			}
+			return len(cols) <= spareCols
+		}
+		// Skip this row.
+		if rec(idx+1, used, repaired) {
+			return true
+		}
+		// Repair this row.
+		repaired[rowList[idx]] = true
+		ok := rec(idx+1, used+1, repaired)
+		delete(repaired, rowList[idx])
+		return ok
+	}
+	return rec(0, 0, map[int]bool{})
+}
+
+// TestRepairMatchesBruteForce cross-checks the must-repair + greedy
+// heuristic against exhaustive search on small instances: the heuristic
+// must never claim success where none exists, and should find the
+// solution in the overwhelming majority of solvable cases.
+func TestRepairMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials, heuristicMisses := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(8)
+		failing := make([][2]int, n)
+		for i := range failing {
+			failing[i] = [2]int{rng.Intn(6), rng.Intn(6)}
+		}
+		sr, sc := rng.Intn(3), rng.Intn(3)
+		got := Repair(failing, sr, sc).Repaired
+		want := bruteRepairable(failing, sr, sc)
+		trials++
+		if got && !want {
+			t.Fatalf("heuristic claims repair where brute force finds none: %v spares %d/%d", failing, sr, sc)
+		}
+		if !got && want {
+			heuristicMisses++
+		}
+	}
+	// Greedy is a heuristic; allow a small optimality gap but no more.
+	if frac := float64(heuristicMisses) / float64(trials); frac > 0.02 {
+		t.Errorf("heuristic missed %d/%d solvable instances (%.1f%%)", heuristicMisses, trials, 100*frac)
+	}
+}

@@ -1,0 +1,313 @@
+// Package yield implements the defect, redundancy-repair and yield
+// models behind the paper's §5 "different redundancy levels, in order to
+// optimize the yield of the memory module to the specific chip": Poisson
+// and negative-binomial die yield, random defect-map generation as
+// injectable faults, the classic must-repair + greedy spare-row/column
+// allocation, and Monte-Carlo yield sweeps over redundancy levels.
+package yield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edram/internal/dram"
+)
+
+// PoissonYield returns exp(-D*A): die yield at defect density
+// defectsPerCm2 over areaMm2 with Poisson statistics.
+func PoissonYield(defectsPerCm2, areaMm2 float64) float64 {
+	if defectsPerCm2 < 0 || areaMm2 <= 0 {
+		return 0
+	}
+	return math.Exp(-defectsPerCm2 * areaMm2 / 100)
+}
+
+// NegBinomialYield returns (1 + D*A/alpha)^-alpha — the industry-
+// standard clustered-defect model (alpha ~ 2-3).
+func NegBinomialYield(defectsPerCm2, areaMm2, alpha float64) float64 {
+	if defectsPerCm2 < 0 || areaMm2 <= 0 || alpha <= 0 {
+		return 0
+	}
+	return math.Pow(1+defectsPerCm2*areaMm2/100/alpha, -alpha)
+}
+
+// DefectMix controls what a random defect becomes.
+type DefectMix struct {
+	CellFrac      float64 // single-cell fault (stuck-at / transition)
+	RowFrac       float64 // whole wordline
+	ColFrac       float64 // whole bitline
+	RetentionFrac float64 // weak cell
+}
+
+// DefaultMix returns the mix used throughout the reproduction: mostly
+// single cells, some line failures, some weak cells.
+func DefaultMix() DefectMix {
+	return DefectMix{CellFrac: 0.62, RowFrac: 0.1, ColFrac: 0.1, RetentionFrac: 0.18}
+}
+
+// Validate checks the mix sums to 1.
+func (m DefectMix) Validate() error {
+	s := m.CellFrac + m.RowFrac + m.ColFrac + m.RetentionFrac
+	if math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("yield: defect mix sums to %g, want 1", s)
+	}
+	if m.CellFrac < 0 || m.RowFrac < 0 || m.ColFrac < 0 || m.RetentionFrac < 0 {
+		return fmt.Errorf("yield: defect mix has negative component")
+	}
+	return nil
+}
+
+// poissonDraw samples a Poisson(lambda) variate (Knuth for small lambda,
+// normal approximation above 30).
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(rng.NormFloat64()*math.Sqrt(lambda) + lambda + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// GenerateDefects draws Poisson(meanDefects) random defects over a
+// rows x cols block and renders them as injectable faults.
+func GenerateDefects(rng *rand.Rand, rows, cols int, meanDefects float64, mix DefectMix) ([]dram.Fault, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("yield: block geometry %dx%d invalid", rows, cols)
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	if meanDefects < 0 {
+		return nil, fmt.Errorf("yield: mean defects must be non-negative")
+	}
+	n := poissonDraw(rng, meanDefects)
+	faults := make([]dram.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Intn(rows)
+		c := rng.Intn(cols)
+		u := rng.Float64()
+		switch {
+		case u < mix.CellFrac:
+			kind := dram.StuckAt0
+			switch rng.Intn(4) {
+			case 1:
+				kind = dram.StuckAt1
+			case 2:
+				kind = dram.TransitionUp
+			case 3:
+				kind = dram.TransitionDown
+			}
+			faults = append(faults, dram.Fault{Kind: kind, Row: r, Col: c})
+		case u < mix.CellFrac+mix.RowFrac:
+			faults = append(faults, dram.Fault{Kind: dram.WordlineStuck0, Row: r})
+		case u < mix.CellFrac+mix.RowFrac+mix.ColFrac:
+			faults = append(faults, dram.Fault{Kind: dram.BitlineStuck0, Col: c})
+		default:
+			faults = append(faults, dram.Fault{Kind: dram.Retention, Row: r, Col: c,
+				RetentionMs: 1 + rng.Float64()*30})
+		}
+	}
+	return faults, nil
+}
+
+// RepairResult reports one repair attempt.
+type RepairResult struct {
+	Repaired   bool
+	UsedRows   int
+	UsedCols   int
+	Unrepaired int // failing cells left when not repairable
+}
+
+// Repair allocates spare rows and columns to cover the failing cells
+// using must-repair analysis followed by greedy selection (most-failures
+// first) — the classic laser-repair algorithm.
+func Repair(failing [][2]int, spareRows, spareCols int) RepairResult {
+	if spareRows < 0 {
+		spareRows = 0
+	}
+	if spareCols < 0 {
+		spareCols = 0
+	}
+	remaining := make(map[[2]int]bool, len(failing))
+	for _, f := range failing {
+		remaining[f] = true
+	}
+	var res RepairResult
+	removeRow := func(r int) {
+		for k := range remaining {
+			if k[0] == r {
+				delete(remaining, k)
+			}
+		}
+		res.UsedRows++
+	}
+	removeCol := func(c int) {
+		for k := range remaining {
+			if k[1] == c {
+				delete(remaining, k)
+			}
+		}
+		res.UsedCols++
+	}
+	counts := func() (rows, cols map[int]int) {
+		rows, cols = map[int]int{}, map[int]int{}
+		for k := range remaining {
+			rows[k[0]]++
+			cols[k[1]]++
+		}
+		return
+	}
+
+	// Must-repair: a row with more failures than remaining spare
+	// columns can only be fixed by a spare row, and vice versa. Iterate
+	// to a fixed point.
+	for {
+		changed := false
+		rows, cols := counts()
+		for r, n := range rows {
+			if n > spareCols-res.UsedCols && res.UsedRows < spareRows {
+				removeRow(r)
+				changed = true
+			}
+		}
+		rows, cols = counts()
+		for c, n := range cols {
+			if n > spareRows-res.UsedRows && res.UsedCols < spareCols {
+				removeCol(c)
+				changed = true
+			}
+		}
+		_ = rows
+		if !changed {
+			break
+		}
+	}
+
+	// Greedy: repair whichever line covers the most remaining failures.
+	for len(remaining) > 0 {
+		rows, cols := counts()
+		bestRow, bestRowN := -1, 0
+		for r, n := range rows {
+			if n > bestRowN {
+				bestRow, bestRowN = r, n
+			}
+		}
+		bestCol, bestColN := -1, 0
+		for c, n := range cols {
+			if n > bestColN {
+				bestCol, bestColN = c, n
+			}
+		}
+		rowsLeft := res.UsedRows < spareRows
+		colsLeft := res.UsedCols < spareCols
+		switch {
+		case rowsLeft && (!colsLeft || bestRowN >= bestColN) && bestRow >= 0:
+			removeRow(bestRow)
+		case colsLeft && bestCol >= 0:
+			removeCol(bestCol)
+		default:
+			res.Unrepaired = len(remaining)
+			return res
+		}
+	}
+	res.Repaired = true
+	return res
+}
+
+// FaultCells converts a defect list into the failing-cell set of a
+// rows x cols block, expanding line faults.
+func FaultCells(faults []dram.Fault, rows, cols int) [][2]int {
+	seen := map[[2]int]bool{}
+	add := func(r, c int) {
+		k := [2]int{r, c}
+		if !seen[k] {
+			seen[k] = true
+		}
+	}
+	for _, f := range faults {
+		switch f.Kind {
+		case dram.WordlineStuck0:
+			for c := 0; c < cols; c++ {
+				add(f.Row, c)
+			}
+		case dram.BitlineStuck0:
+			for r := 0; r < rows; r++ {
+				add(r, f.Col)
+			}
+		default:
+			add(f.Row, f.Col)
+		}
+	}
+	out := make([][2]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MonteCarlo runs `trials` random blocks at the given mean defect count
+// and redundancy, reporting raw yield (no repair) and effective yield
+// (after repair).
+type MonteCarlo struct {
+	Rows, Cols           int
+	MeanDefectsPerBlock  float64
+	SpareRows, SpareCols int
+	Mix                  DefectMix
+}
+
+// MCResult is the sweep outcome.
+type MCResult struct {
+	Trials        int
+	RawYield      float64
+	RepairedYield float64
+	MeanUsedRows  float64
+	MeanUsedCols  float64
+}
+
+// Run executes the Monte-Carlo experiment.
+func (mc MonteCarlo) Run(trials int, seed int64) (MCResult, error) {
+	if trials < 1 {
+		return MCResult{}, fmt.Errorf("yield: trials must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var res MCResult
+	res.Trials = trials
+	rawGood, repGood := 0, 0
+	for i := 0; i < trials; i++ {
+		faults, err := GenerateDefects(rng, mc.Rows, mc.Cols, mc.MeanDefectsPerBlock, mc.Mix)
+		if err != nil {
+			return MCResult{}, err
+		}
+		if len(faults) == 0 {
+			rawGood++
+			repGood++
+			continue
+		}
+		cells := FaultCells(faults, mc.Rows, mc.Cols)
+		rep := Repair(cells, mc.SpareRows, mc.SpareCols)
+		if rep.Repaired {
+			repGood++
+			res.MeanUsedRows += float64(rep.UsedRows)
+			res.MeanUsedCols += float64(rep.UsedCols)
+		}
+	}
+	res.RawYield = float64(rawGood) / float64(trials)
+	res.RepairedYield = float64(repGood) / float64(trials)
+	res.MeanUsedRows /= float64(trials)
+	res.MeanUsedCols /= float64(trials)
+	return res, nil
+}

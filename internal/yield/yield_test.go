@@ -1,0 +1,250 @@
+package yield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edram/internal/dram"
+)
+
+func TestPoissonYield(t *testing.T) {
+	// exp(-1) at D*A = 1 (100 mm² at 1 defect/cm²).
+	if y := PoissonYield(1, 100); math.Abs(y-math.Exp(-1)) > 1e-12 {
+		t.Errorf("yield = %v", y)
+	}
+	if PoissonYield(0, 50) != 1 {
+		t.Error("zero defects must yield 1")
+	}
+	if PoissonYield(-1, 50) != 0 || PoissonYield(1, 0) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+	// Monotone in area.
+	if PoissonYield(1, 50) <= PoissonYield(1, 200) {
+		t.Error("bigger dies must yield worse")
+	}
+}
+
+func TestNegBinomialYield(t *testing.T) {
+	// Clustering helps: NB yield >= Poisson yield at equal D*A.
+	for _, area := range []float64{20, 100, 400} {
+		nb := NegBinomialYield(1, area, 2.5)
+		po := PoissonYield(1, area)
+		if nb < po {
+			t.Errorf("area %v: NB %v < Poisson %v", area, nb, po)
+		}
+	}
+	if NegBinomialYield(1, 100, 0) != 0 {
+		t.Error("zero alpha must yield 0")
+	}
+}
+
+func TestDefectMixValidate(t *testing.T) {
+	if DefaultMix().Validate() != nil {
+		t.Error("default mix must validate")
+	}
+	bad := DefectMix{CellFrac: 0.5}
+	if bad.Validate() == nil {
+		t.Error("non-unit mix must fail")
+	}
+	neg := DefectMix{CellFrac: 1.2, RowFrac: -0.2}
+	if neg.Validate() == nil {
+		t.Error("negative component must fail")
+	}
+}
+
+func TestGenerateDefects(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	faults, err := GenerateDefects(rng, 128, 128, 8, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(8): overwhelmingly within [0, 30].
+	if len(faults) > 30 {
+		t.Errorf("got %d defects for mean 8", len(faults))
+	}
+	for _, f := range faults {
+		if f.Row < 0 || f.Row >= 128 || f.Col < 0 || f.Col >= 128 {
+			t.Fatalf("defect out of block: %+v", f)
+		}
+		if f.Kind == dram.Retention && f.RetentionMs <= 0 {
+			t.Fatal("retention defect without retention time")
+		}
+	}
+	if _, err := GenerateDefects(rng, 0, 128, 1, DefaultMix()); err == nil {
+		t.Error("bad geometry must error")
+	}
+	if _, err := GenerateDefects(rng, 128, 128, -1, DefaultMix()); err == nil {
+		t.Error("negative mean must error")
+	}
+	if _, err := GenerateDefects(rng, 128, 128, 1, DefectMix{}); err == nil {
+		t.Error("bad mix must error")
+	}
+}
+
+func TestGenerateDefectsInjectable(t *testing.T) {
+	// Every generated defect must be accepted by the array.
+	rng := rand.New(rand.NewSource(6))
+	a, err := dram.NewArray(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := GenerateDefects(rng, 64, 64, 20, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		if err := a.Inject(f); err != nil {
+			t.Fatalf("inject %+v: %v", f, err)
+		}
+	}
+}
+
+func TestRepairSimpleCases(t *testing.T) {
+	// No failures: trivially repaired with no spares used.
+	r := Repair(nil, 2, 2)
+	if !r.Repaired || r.UsedRows != 0 || r.UsedCols != 0 {
+		t.Errorf("empty repair = %+v", r)
+	}
+	// One failing cell, one spare row.
+	r = Repair([][2]int{{3, 4}}, 1, 0)
+	if !r.Repaired || r.UsedRows != 1 {
+		t.Errorf("single-cell repair = %+v", r)
+	}
+	// One failing cell, no spares: unrepairable.
+	r = Repair([][2]int{{3, 4}}, 0, 0)
+	if r.Repaired || r.Unrepaired != 1 {
+		t.Errorf("unrepairable case = %+v", r)
+	}
+}
+
+func TestRepairMustRepair(t *testing.T) {
+	// A row with 3 failures but only 2 spare columns MUST take the
+	// spare row; the remaining isolated cell takes a spare column.
+	failing := [][2]int{{5, 1}, {5, 2}, {5, 3}, {9, 9}}
+	r := Repair(failing, 1, 2)
+	if !r.Repaired {
+		t.Fatalf("must-repair case failed: %+v", r)
+	}
+	if r.UsedRows != 1 {
+		t.Errorf("spare row not used for the clustered row: %+v", r)
+	}
+	if r.UsedCols != 1 {
+		t.Errorf("expected one spare column for the stray cell: %+v", r)
+	}
+}
+
+func TestRepairColumnCluster(t *testing.T) {
+	// A whole-column failure needs a spare column when rows are scarce.
+	var failing [][2]int
+	for r := 0; r < 16; r++ {
+		failing = append(failing, [2]int{r, 7})
+	}
+	res := Repair(failing, 2, 1)
+	if !res.Repaired || res.UsedCols != 1 || res.UsedRows != 0 {
+		t.Errorf("column repair = %+v", res)
+	}
+}
+
+func TestRepairExhaustion(t *testing.T) {
+	// Diagonal failures: each needs its own row or column.
+	failing := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	res := Repair(failing, 2, 2)
+	if res.Repaired {
+		t.Error("5 diagonal failures cannot be fixed with 2+2 spares")
+	}
+	if res.Unrepaired != 1 {
+		t.Errorf("unrepaired = %d, want 1", res.Unrepaired)
+	}
+	res = Repair(failing, 3, 2)
+	if !res.Repaired {
+		t.Error("5 diagonal failures must be fixable with 3+2 spares")
+	}
+}
+
+func TestFaultCells(t *testing.T) {
+	faults := []dram.Fault{
+		{Kind: dram.StuckAt0, Row: 1, Col: 1},
+		{Kind: dram.StuckAt1, Row: 1, Col: 1}, // duplicate cell
+		{Kind: dram.WordlineStuck0, Row: 3},
+		{Kind: dram.BitlineStuck0, Col: 2},
+	}
+	cells := FaultCells(faults, 8, 8)
+	// 1 unique cell + 8 row cells + 8 col cells - 1 overlap (3,2).
+	if len(cells) != 1+8+8-1 {
+		t.Errorf("cells = %d, want 16", len(cells))
+	}
+}
+
+func TestMonteCarloRedundancyHelps(t *testing.T) {
+	base := MonteCarlo{Rows: 256, Cols: 256, MeanDefectsPerBlock: 1.2, Mix: DefaultMix()}
+	none := base
+	none.SpareRows, none.SpareCols = 0, 0
+	std := base
+	std.SpareRows, std.SpareCols = 4, 4
+
+	rNone, err := none.Run(400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStd, err := std.Run(400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw yield is redundancy-independent (same defect stream).
+	if math.Abs(rNone.RawYield-rStd.RawYield) > 1e-9 {
+		t.Errorf("raw yields differ: %v vs %v", rNone.RawYield, rStd.RawYield)
+	}
+	// Paper §5: redundancy buys yield.
+	if rStd.RepairedYield <= rNone.RepairedYield+0.1 {
+		t.Errorf("redundancy must buy substantial yield: %0.2f vs %0.2f",
+			rStd.RepairedYield, rNone.RepairedYield)
+	}
+	// Raw yield ≈ exp(-1.2) = 0.30.
+	if rNone.RawYield < 0.2 || rNone.RawYield > 0.42 {
+		t.Errorf("raw yield %.2f far from Poisson expectation 0.30", rNone.RawYield)
+	}
+	// With 4+4 spares and ~1.2 defects/block, nearly everything repairs.
+	if rStd.RepairedYield < 0.9 {
+		t.Errorf("repaired yield %.2f too low", rStd.RepairedYield)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	mc := MonteCarlo{Rows: 64, Cols: 64, MeanDefectsPerBlock: 1, Mix: DefaultMix()}
+	if _, err := mc.Run(0, 1); err == nil {
+		t.Error("zero trials must error")
+	}
+	bad := mc
+	bad.Rows = 0
+	if _, err := bad.Run(10, 1); err == nil {
+		t.Error("bad geometry must error")
+	}
+}
+
+// Property: a repaired result never uses more spares than granted, and
+// repair success is monotone in the spare counts.
+func TestRepairProperty(t *testing.T) {
+	f := func(seed int64, sr, sc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12)
+		failing := make([][2]int, n)
+		for i := range failing {
+			failing[i] = [2]int{rng.Intn(32), rng.Intn(32)}
+		}
+		spR, spC := int(sr%5), int(sc%5)
+		r1 := Repair(failing, spR, spC)
+		if r1.UsedRows > spR || r1.UsedCols > spC {
+			return false
+		}
+		r2 := Repair(failing, spR+2, spC+2)
+		if r1.Repaired && !r2.Repaired {
+			return false // more spares can never hurt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
