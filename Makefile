@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run NONE .
+
+# check is the tier-1 verify path: build, vet, then race-checked tests,
+# so the exploration engine's and experiment runner's concurrency is
+# exercised under the race detector on every PR.
+check: build vet race

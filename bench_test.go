@@ -1,6 +1,9 @@
 package edram_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"edram/internal/bist"
@@ -142,6 +145,33 @@ func BenchmarkDesignSpaceExplore(b *testing.B) {
 		if _, err := core.Explore(req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExploreParallel measures the streaming engine's evaluation
+// throughput (points/sec) at 1, 4 and GOMAXPROCS workers.
+func BenchmarkExploreParallel(b *testing.B) {
+	req := core.Requirements{CapacityMbit: 16, BandwidthGBps: 2, HitRate: 0.8, DefectsPerCm2: 0.8}
+	counts := []int{1, 4}
+	if max := runtime.GOMAXPROCS(0); max != 1 && max != 4 {
+		counts = append(counts, max)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var points int64
+			for i := 0; i < b.N; i++ {
+				ch, err := core.ExploreContext(context.Background(), req, core.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := int64(0)
+				for range ch {
+					n++
+				}
+				points += n
+			}
+			b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/sec")
+		})
 	}
 }
 

@@ -1,19 +1,22 @@
 // Command edramx is the embedded-DRAM design-space explorer: given the
 // application's capacity, sustained-bandwidth and constraint
 // requirements, it enumerates the paper §3 design space (interface
-// width, banks, page length, building block, redundancy), prints the
-// feasible Pareto frontier and the quantized recommendations, and emits
-// the datasheet of the chosen configuration.
+// width, banks, page length, building block, redundancy) on a parallel
+// worker pool, prints the feasible Pareto frontier and the quantized
+// recommendations, and emits the datasheet of the chosen configuration.
+// Exploration progress is reported on stderr.
 //
 // Usage:
 //
-//	edramx -capacity 16 -bandwidth 2.5 -hitrate 0.8 [-maxarea 20] [-maxpower 800] [-role min-area]
+//	edramx -capacity 16 -bandwidth 2.5 -hitrate 0.8 [-workers 8] [-maxarea 20] [-maxpower 800] [-role min-area]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"edram/internal/core"
 	"edram/internal/report"
@@ -26,6 +29,8 @@ func main() {
 	maxArea := flag.Float64("maxarea", 0, "macro area cap in mm² (0 = none)")
 	maxPower := flag.Float64("maxpower", 0, "macro busy-power cap in mW (0 = none)")
 	defects := flag.Float64("defects", 0.8, "defect density in defects/cm²")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker-pool size")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
 	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
 	flag.Parse()
@@ -38,11 +43,45 @@ func main() {
 		MaxPowerMW:    *maxPower,
 		DefectsPerCm2: *defects,
 	}
-	recs, err := core.Recommend(req)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "edramx:", err)
-		os.Exit(1)
+
+	// One streaming pass feeds the incremental Pareto front, the
+	// nearest-miss diagnostics and the progress line at once; the old
+	// Recommend+Explore pair walked the space twice.
+	opts := []core.ExploreOption{core.WithWorkers(*workers), core.WithProgressEvery(128)}
+	if !*quiet {
+		opts = append(opts, core.WithProgress(func(s core.ExploreStats) {
+			fmt.Fprintf(os.Stderr, "\rexplore: %d points (%d built, %d infeasible, %d pruned) front=%d %.0f pts/s",
+				s.Enumerated, s.Built, s.Infeasible, s.Pruned, s.FrontSize, s.PointsPerSec())
+			if s.Done {
+				fmt.Fprintf(os.Stderr, " [%d workers, %.1f ms]\n", s.Workers, float64(s.WallTime.Microseconds())/1e3)
+			}
+		}))
 	}
+	ch, err := core.ExploreContext(context.Background(), req, opts...)
+	if err != nil {
+		fail(err)
+	}
+	front := core.NewFrontier()
+	var nearest core.Candidate
+	built, nearestSet := 0, false
+	for c := range ch {
+		built++
+		if c.Feasible {
+			front.Add(c)
+			continue
+		}
+		if !nearestSet || len(c.Reasons) < len(nearest.Reasons) {
+			nearest, nearestSet = c, true
+		}
+	}
+	if built == 0 {
+		fail(fmt.Errorf("no buildable configuration for %+v", req))
+	}
+	if front.Size() == 0 {
+		fail(fmt.Errorf("no feasible configuration; closest misses: %v", nearest.Reasons))
+	}
+	frontier := front.Candidates()
+	recs := core.Quantize(frontier)
 
 	t := report.New(fmt.Sprintf("recommendations for %d Mbit @ %.1f GB/s sustained", *capacity, *bandwidth),
 		"role", "macros", "iface", "banks", "page", "block Kbit", "redundancy",
@@ -53,29 +92,21 @@ func main() {
 			r.AreaMm2, r.PowerMW, r.SustainedGBps, r.CostUSD)
 	}
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "edramx:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *pareto {
-		cands, err := core.Explore(req)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "edramx:", err)
-			os.Exit(1)
-		}
-		front := core.Pareto(core.Feasible(cands))
 		fmt.Println()
-		pt := report.New(fmt.Sprintf("feasible Pareto frontier (%d points)", len(front)),
+		pt := report.New(fmt.Sprintf("feasible Pareto frontier (%d points)", len(frontier)),
 			"macros", "iface", "banks", "page", "block Kbit", "redundancy",
 			"area mm2", "power mW", "sustained GB/s", "die $")
-		for _, c := range front {
+		for _, c := range frontier {
 			pt.AddRow(c.Macros, c.Spec.InterfaceBits, c.Spec.Banks, c.Spec.PageBits,
 				c.Spec.BlockBits/1024, c.Spec.Redundancy.String(),
 				c.AreaMm2, c.PowerMW, c.SustainedGBps, c.CostUSD)
 		}
 		if err := pt.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "edramx:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 
@@ -87,7 +118,11 @@ func main() {
 				return
 			}
 		}
-		fmt.Fprintf(os.Stderr, "edramx: no recommendation with role %q\n", *role)
-		os.Exit(1)
+		fail(fmt.Errorf("no recommendation with role %q", *role))
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edramx:", err)
+	os.Exit(1)
 }

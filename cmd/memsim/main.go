@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -36,7 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	closedPage := flag.Bool("closedpage", false, "auto-precharge after every request")
 	reorder := flag.Int("window", 1, "FR-FCFS reorder window (open-page policy only)")
-	tracePath := flag.String("trace", "", "write a per-request CSV trace to this file")
+	tracePath := flag.String("trace", "", "stream a per-request CSV trace to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	m, err := edram.Build(edram.Spec{
@@ -89,24 +90,45 @@ func main() {
 		})
 	}
 
-	res, err := sched.RunWithOptions(cfg, mp,
-		sched.Options{Policy: pol, ClosedPage: *closedPage, ReorderWindow: *reorder,
-			Trace: *tracePath != ""}, clients)
+	// The per-event Observer streams the request-level trace while the
+	// simulation runs, instead of buffering it in Result.Trace; "-"
+	// dumps to stderr alongside the progress of long runs.
+	opt := sched.Options{Policy: pol, ClosedPage: *closedPage, ReorderWindow: *reorder}
+	var traceW *bufio.Writer
+	traced := 0
+	if *tracePath != "" {
+		var dst *os.File
+		if *tracePath == "-" {
+			dst = os.Stderr
+		} else {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		traceW = bufio.NewWriter(dst)
+		if _, err := traceW.WriteString("client,addr,bank,row,write,issue_ns,start_ns,done_ns,hit\n"); err != nil {
+			fail(err)
+		}
+		opt.Observer = func(e sched.TraceEntry) {
+			traced++
+			fmt.Fprintf(traceW, "%s,%d,%d,%d,%t,%.1f,%.1f,%.1f,%t\n",
+				e.Client, e.AddrB, e.Bank, e.Row, e.Write, e.IssueNs, e.StartNs, e.DoneNs, e.Hit)
+		}
+	}
+	res, err := sched.RunWithOptions(cfg, mp, opt, clients)
 	if err != nil {
 		fail(err)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
 			fail(err)
 		}
-		if err := res.WriteTraceCSV(f); err != nil {
-			fail(err)
+		if *tracePath != "-" {
+			fmt.Fprintf(os.Stderr, "trace: %d requests -> %s\n", traced, *tracePath)
 		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "trace: %d requests -> %s\n", len(res.Trace), *tracePath)
 	}
 
 	fmt.Print(m.Datasheet())

@@ -94,7 +94,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
 	if err != nil {
 		fail(err)
 	}

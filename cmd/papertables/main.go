@@ -1,17 +1,21 @@
 // Command papertables regenerates every experiment of the reproduction
 // (E1–E12, the paper's quantitative claims; see DESIGN.md §3) and prints
-// the tables and headline findings. EXPERIMENTS.md is written from this
-// output.
+// the tables and headline findings. The experiments are independent, so
+// they run on a worker pool (-workers) with per-experiment progress on
+// stderr; output order stays canonical. EXPERIMENTS.md is written from
+// this output.
 //
 // Usage:
 //
-//	papertables [-only E5] [-csv]
+//	papertables [-only E5] [-csv] [-workers 8]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"edram/internal/experiments"
 )
@@ -21,9 +25,20 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := flag.Bool("md", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "experiment worker-pool size")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	flag.Parse()
 
-	exps, err := experiments.All()
+	progress := func(done, total int, id string) {
+		fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d (%s done)", done, total, id)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if *quiet {
+		progress = nil
+	}
+	exps, err := experiments.AllContext(context.Background(), *workers, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "papertables:", err)
 		os.Exit(1)

@@ -3,9 +3,33 @@
 // suite plus an event-driven memory-system simulator for embedded DRAM,
 // with a design-space explorer as its primary deliverable.
 //
-// The public surface lives in the internal packages (this module is the
-// application); see README.md for the map, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured record. The
-// root package exists to carry the module documentation and the
-// experiment benchmarks (bench_test.go).
+// The root package is the stable facade (edram.go) over the internal
+// packages. It covers three workflows:
+//
+//  1. Build a macro and render its deliverables: BuildMacro, Views.
+//  2. Explore the §3 design space: ExploreContext streams every
+//     buildable Candidate from a parallel worker pool, and
+//     RecommendContext quantizes the feasible Pareto frontier into at
+//     most four named picks. Both take a context for cancellation and
+//     functional options — WithWorkers (pool size), WithProgress
+//     (ExploreStats snapshots: points enumerated/built/infeasible/
+//     pruned, front size, wall time, per-worker busy time), and
+//     WithObserver (a per-candidate tap).
+//  3. Simulate a multi-client memory system on a macro: Simulate, with
+//     SimOptions.Observer as the matching per-request trace callback.
+//
+// Migration note: the original serial signatures remain as thin
+// wrappers over the engine and keep their exact behavior —
+//
+//	Explore(req)   ≡ collect ExploreContext(context.Background(), req)
+//	                 and sort by Candidate.Seq (enumeration order)
+//	Recommend(req) ≡ RecommendContext(context.Background(), req)
+//
+// — so existing callers need no change; new code should use the
+// context-aware forms.
+//
+// See README.md for the package map, DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-vs-measured record. bench_test.go
+// carries the experiment benchmarks plus BenchmarkExploreParallel, the
+// engine's points/sec scaling record.
 package edram

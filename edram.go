@@ -7,10 +7,13 @@ package edram
 //
 //  1. Build an embedded macro and read its views (BuildMacro, Views).
 //  2. Explore the design space and get quantized recommendations
-//     (Explore, Recommend).
+//     (ExploreContext, RecommendContext; Explore and Recommend remain
+//     as serial compatibility wrappers).
 //  3. Simulate a multi-client memory system on a macro (Simulate).
 
 import (
+	"context"
+
 	"edram/internal/core"
 	iedram "edram/internal/edram"
 	"edram/internal/experiments"
@@ -67,12 +70,58 @@ type (
 	Recommendation = core.Recommendation
 )
 
+// DesignPoint is one un-evaluated coordinate of the design space, as
+// enumerated by the sweep generator feeding the exploration engine.
+type DesignPoint = core.Point
+
+// ExploreStats is a progress snapshot of the parallel exploration
+// engine (points enumerated/built/infeasible/pruned, Pareto-front size,
+// wall time, per-worker busy time).
+type ExploreStats = core.ExploreStats
+
+// ExploreOption configures ExploreContext and RecommendContext.
+type ExploreOption = core.ExploreOption
+
+// WithWorkers sets the evaluation worker-pool size (default
+// runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) ExploreOption { return core.WithWorkers(n) }
+
+// WithProgress registers a periodic progress callback; the final
+// snapshot arrives with ExploreStats.Done set.
+func WithProgress(fn func(ExploreStats)) ExploreOption { return core.WithProgress(fn) }
+
+// WithProgressEvery sets the number of enumerated points between
+// progress callbacks (default 512).
+func WithProgressEvery(n int) ExploreOption { return core.WithProgressEvery(n) }
+
+// WithObserver registers a per-candidate tap, invoked serially for
+// every built candidate before it is streamed to the caller.
+func WithObserver(fn func(Candidate)) ExploreOption { return core.WithObserver(fn) }
+
+// ExploreContext enumerates and evaluates the full design space on a
+// worker pool, streaming every buildable candidate (feasible or not) on
+// the returned channel until the sweep is exhausted or ctx is
+// cancelled. Candidate.Seq restores canonical enumeration order.
+func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption) (<-chan Candidate, error) {
+	return core.ExploreContext(ctx, req, opts...)
+}
+
+// RecommendContext is the context-aware, parallel form of Recommend:
+// it streams the space through an incremental Pareto front and
+// quantizes the feasible survivors into at most four named picks.
+func RecommendContext(ctx context.Context, req Requirements, opts ...ExploreOption) ([]Recommendation, error) {
+	return core.RecommendContext(ctx, req, opts...)
+}
+
 // Explore enumerates and evaluates the full design space for the
-// requirements.
+// requirements, serially, returning candidates in enumeration order.
+// It is a compatibility wrapper over ExploreContext; new code should
+// prefer the streaming API.
 func Explore(req Requirements) ([]Candidate, error) { return core.Explore(req) }
 
 // Recommend quantizes the feasible Pareto frontier into at most four
 // named configurations (min-area, min-power, max-bandwidth, min-cost).
+// It is a compatibility wrapper over RecommendContext.
 func Recommend(req Requirements) ([]Recommendation, error) { return core.Recommend(req) }
 
 // Client is one memory client (a request generator plus an optional

@@ -1,6 +1,7 @@
 package edram_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,6 +60,49 @@ func TestFacadeExploreAndRecommend(t *testing.T) {
 	}
 	if len(recs) == 0 {
 		t.Fatal("no recommendations")
+	}
+}
+
+func TestFacadeExploreContextStreams(t *testing.T) {
+	req := edram.Requirements{
+		CapacityMbit:  16,
+		BandwidthGBps: 2,
+		HitRate:       0.8,
+		DefectsPerCm2: 0.8,
+	}
+	var final edram.ExploreStats
+	observed := 0
+	ch, err := edram.ExploreContext(context.Background(), req,
+		edram.WithWorkers(2),
+		edram.WithObserver(func(edram.Candidate) { observed++ }),
+		edram.WithProgress(func(s edram.ExploreStats) {
+			if s.Done {
+				final = s
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for range ch {
+		streamed++
+	}
+	if streamed < 100 {
+		t.Fatalf("streamed only %d candidates", streamed)
+	}
+	if observed != streamed {
+		t.Fatalf("observer saw %d, streamed %d", observed, streamed)
+	}
+	if !final.Done || final.Built != int64(streamed) {
+		t.Fatalf("final stats %+v inconsistent with %d streamed candidates", final, streamed)
+	}
+	recs, err := edram.RecommendContext(context.Background(), req, edram.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations from RecommendContext")
 	}
 }
 

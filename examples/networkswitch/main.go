@@ -71,7 +71,7 @@ func main() {
 			}},
 		)
 	}
-	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,7 +58,7 @@ func main() {
 	t := report.New("arbitration for the print engine (hard real-time)",
 		"policy", "engine p99 ns", "engine max ns", "fifo slots", "total GB/s")
 	for _, pol := range []sched.Policy{sched.RoundRobin, sched.Deadline} {
-		res, err := sched.Run(cfg, mp, pol, mk())
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: pol}, mk())
 		if err != nil {
 			log.Fatal(err)
 		}

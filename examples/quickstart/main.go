@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, []sched.Client{
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, []sched.Client{
 		{Name: "stream", Gen: &traffic.Sequential{ClientID: 0, Bits: 256, RateGB: 2, Count: 2000}},
 		{Name: "random", Gen: &traffic.Random{ClientID: 1, StartB: 1 << 20, WindowB: 1 << 20,
 			Bits: 256, RateGB: 1, Count: 1000, Rng: rand.New(rand.NewSource(1))}},

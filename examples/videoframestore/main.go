@@ -84,7 +84,7 @@ func main() {
 	mt := report.New("motion-compensation traffic vs frame mapping",
 		"mapping", "hit rate", "sustained GB/s", "p99 ns")
 	for _, mp := range []mapping.Mapping{lin, tiled} {
-		res, err := sched.Run(cfg, mp, sched.RoundRobin, mc(9))
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.RoundRobin}, mc(9))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,12 +12,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"edram/internal/cost"
 	"edram/internal/edram"
-	"edram/internal/geom"
 	"edram/internal/power"
 	"edram/internal/tech"
 	"edram/internal/units"
@@ -70,6 +70,10 @@ func (r Requirements) Validate() error {
 
 // Candidate is one evaluated point of the design space.
 type Candidate struct {
+	// Seq is the candidate's position in canonical enumeration order
+	// (assigned by Sweep); it makes results comparable across runs no
+	// matter which worker evaluated them.
+	Seq   int
 	Spec  edram.Spec
 	Macro *edram.Macro
 	// Macros is the number of identical macros the capacity is split
@@ -177,52 +181,24 @@ func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, 
 // Explore enumerates the §3 design space for the requirements: interface
 // widths 16..512, bank counts 1..8, page lengths (4x..16x interface),
 // both building blocks and all redundancy levels. It returns every
-// buildable candidate, feasible or not.
+// buildable candidate, feasible or not, in canonical enumeration order.
+//
+// Explore is a compatibility wrapper over the streaming engine; new
+// code should prefer ExploreContext, which adds cancellation, a worker
+// pool, and progress/observer hooks.
 func Explore(req Requirements) ([]Candidate, error) {
-	if err := req.Validate(); err != nil {
+	ch, err := ExploreContext(context.Background(), req)
+	if err != nil {
 		return nil, err
 	}
-	e := tech.DefaultElectrical()
-	ce := power.DefaultCoreEnergy()
-	procs := req.Processes
-	if len(procs) == 0 {
-		procs = []tech.Process{tech.Siemens024()}
-	}
 	var out []Candidate
-	for _, macros := range []int{1, 2} {
-		if req.CapacityMbit%macros != 0 {
-			continue
-		}
-		for iface := 16; iface <= 512; iface *= 2 {
-			for banks := 1; banks <= 8; banks *= 2 {
-				for _, pageMult := range []int{4, 8, 16} {
-					for _, block := range []int{geom.Block256K, geom.Block1M} {
-						for _, red := range []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh} {
-							for pi := range procs {
-								spec := edram.Spec{
-									CapacityMbit:  req.CapacityMbit / macros,
-									InterfaceBits: iface,
-									Banks:         banks,
-									PageBits:      iface * pageMult,
-									BlockBits:     block,
-									Redundancy:    red,
-									Process:       &procs[pi],
-								}
-								cand, err := evaluate(spec, macros, req, e, ce)
-								if err != nil {
-									continue // unbuildable corner of the space
-								}
-								out = append(out, cand)
-							}
-						}
-					}
-				}
-			}
-		}
+	for c := range ch {
+		out = append(out, c)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no buildable configuration for %+v", req)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out, nil
 }
 
@@ -276,62 +252,11 @@ type Recommendation struct {
 
 // Recommend explores the space and quantizes the feasible Pareto
 // frontier into at most four named configurations.
+//
+// Recommend is a compatibility wrapper over the streaming engine; new
+// code should prefer RecommendContext.
 func Recommend(req Requirements) ([]Recommendation, error) {
-	cands, err := Explore(req)
-	if err != nil {
-		return nil, err
-	}
-	feas := Feasible(cands)
-	if len(feas) == 0 {
-		return nil, fmt.Errorf("core: no feasible configuration; closest misses: %v", nearestMiss(cands))
-	}
-	front := Pareto(feas)
-
-	pick := func(better func(a, b Candidate) bool) Candidate {
-		best := front[0]
-		for _, c := range front[1:] {
-			if better(c, best) {
-				best = c
-			}
-		}
-		return best
-	}
-	minArea := pick(func(a, b Candidate) bool { return a.AreaMm2 < b.AreaMm2 })
-	minPower := pick(func(a, b Candidate) bool { return a.PowerMW < b.PowerMW })
-	maxBW := pick(func(a, b Candidate) bool { return a.SustainedGBps > b.SustainedGBps })
-	minCost := pick(func(a, b Candidate) bool { return a.CostUSD < b.CostUSD })
-
-	recs := []Recommendation{
-		{Role: "min-area", Candidate: minArea},
-		{Role: "min-power", Candidate: minPower},
-		{Role: "max-bandwidth", Candidate: maxBW},
-		{Role: "min-cost", Candidate: minCost},
-	}
-	// Deduplicate identical picks, keeping the first role.
-	var out []Recommendation
-	seen := map[string]bool{}
-	for _, r := range recs {
-		k := fmt.Sprintf("%d/%d/%d/%d/%d/%v", r.Macros, r.Spec.InterfaceBits, r.Spec.Banks, r.Spec.PageBits, r.Spec.BlockBits, r.Spec.Redundancy)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return out, nil
-}
-
-// nearestMiss summarizes why the best infeasible candidate failed.
-func nearestMiss(cands []Candidate) []string {
-	best := -1
-	for i, c := range cands {
-		if best < 0 || len(c.Reasons) < len(cands[best].Reasons) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	return cands[best].Reasons
+	return RecommendContext(context.Background(), req)
 }
 
 // Validation is the outcome of checking a candidate against the

@@ -1,0 +1,473 @@
+// Parallel design-space exploration engine. The paper's study spans
+// interface width × banks × page length × block size × redundancy ×
+// process (§3); Sweep enumerates that space into a channel of Points,
+// and ExploreContext evaluates them on a worker pool, streaming every
+// buildable Candidate to the caller while an incremental Pareto front
+// prunes dominated designs as results arrive. Explore/Recommend in
+// core.go are thin compatibility wrappers over this engine.
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"edram/internal/edram"
+	"edram/internal/geom"
+	"edram/internal/power"
+	"edram/internal/tech"
+)
+
+// Point is one un-evaluated coordinate of the §3 design space: a macro
+// spec plus the number of identical macros the capacity is split
+// across. Seq is the position in canonical enumeration order, carried
+// through evaluation so results can be re-ordered deterministically no
+// matter which worker produced them.
+type Point struct {
+	Seq    int
+	Spec   edram.Spec
+	Macros int
+}
+
+// sweepBatch is the number of points handed to a worker per channel
+// operation — batching amortizes the synchronization cost, which would
+// otherwise rival the few-µs evaluation time of one candidate.
+const sweepBatch = 32
+
+// sweepBatches is the batched form of Sweep the worker pool consumes.
+func sweepBatches(ctx context.Context, req Requirements) (<-chan []Point, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	procs := req.Processes
+	if len(procs) == 0 {
+		procs = []tech.Process{tech.Siemens024()}
+	}
+	out := make(chan []Point, 8)
+	go func() {
+		defer close(out)
+		seq := 0
+		batch := make([]Point, 0, sweepBatch)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			select {
+			case out <- batch:
+				batch = make([]Point, 0, sweepBatch)
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for _, macros := range []int{1, 2} {
+			if req.CapacityMbit%macros != 0 {
+				continue
+			}
+			for iface := 16; iface <= 512; iface *= 2 {
+				for banks := 1; banks <= 8; banks *= 2 {
+					for _, pageMult := range []int{4, 8, 16} {
+						for _, block := range []int{geom.Block256K, geom.Block1M} {
+							for _, red := range []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh} {
+								for pi := range procs {
+									batch = append(batch, Point{
+										Seq:    seq,
+										Macros: macros,
+										Spec: edram.Spec{
+											CapacityMbit:  req.CapacityMbit / macros,
+											InterfaceBits: iface,
+											Banks:         banks,
+											PageBits:      iface * pageMult,
+											BlockBits:     block,
+											Redundancy:    red,
+											Process:       &procs[pi],
+										},
+									})
+									seq++
+									if len(batch) == sweepBatch && !flush() {
+										return
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		flush()
+	}()
+	return out, nil
+}
+
+// Sweep enumerates the design space for the requirements into a
+// channel: interface widths 16..512, bank counts 1..8, page lengths
+// (4x..16x interface), both building blocks, all redundancy levels and
+// every requested process, for 1- and 2-macro organizations. The
+// channel is closed when the space is exhausted or ctx is cancelled.
+func Sweep(ctx context.Context, req Requirements) (<-chan Point, error) {
+	batches, err := sweepBatches(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Point, sweepBatch)
+	go func() {
+		defer close(out)
+		for batch := range batches {
+			for _, p := range batch {
+				select {
+				case out <- p:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}
+
+// ExploreStats is a snapshot of the engine's progress counters,
+// delivered through WithProgress (periodically and once more when the
+// run finishes, with Done set).
+type ExploreStats struct {
+	// Enumerated counts design points handed to workers so far; Built
+	// counts the subset that produced a buildable macro; Infeasible
+	// counts built candidates violating at least one requirement.
+	Enumerated int64
+	Built      int64
+	Infeasible int64
+	// Pruned counts feasible candidates discarded by the incremental
+	// Pareto front (dominated on arrival, or evicted by a later
+	// arrival); FrontSize is the current front population.
+	Pruned    int64
+	FrontSize int
+	// Workers is the pool size; WallTime the elapsed time since the
+	// engine started; WorkerBusy the per-worker cumulative evaluation
+	// time (populated on the final, Done snapshot).
+	Workers    int
+	WallTime   time.Duration
+	WorkerBusy []time.Duration
+	// Done is true on the final snapshot after the sweep is exhausted
+	// (it stays false when the run was cancelled mid-sweep).
+	Done bool
+}
+
+// PointsPerSec is the evaluation throughput of the run so far.
+func (s ExploreStats) PointsPerSec() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.Enumerated) / s.WallTime.Seconds()
+}
+
+// Utilization returns each worker's busy fraction of the wall time
+// (empty until the final snapshot carries WorkerBusy).
+func (s ExploreStats) Utilization() []float64 {
+	if s.WallTime <= 0 || len(s.WorkerBusy) == 0 {
+		return nil
+	}
+	out := make([]float64, len(s.WorkerBusy))
+	for i, b := range s.WorkerBusy {
+		out[i] = b.Seconds() / s.WallTime.Seconds()
+	}
+	return out
+}
+
+type exploreConfig struct {
+	workers       int
+	progress      func(ExploreStats)
+	progressEvery int
+	observer      func(Candidate)
+}
+
+// ExploreOption configures ExploreContext / RecommendContext.
+type ExploreOption func(*exploreConfig)
+
+// WithWorkers sets the evaluation pool size (default
+// runtime.GOMAXPROCS(0)). n < 1 makes ExploreContext fail.
+func WithWorkers(n int) ExploreOption {
+	return func(c *exploreConfig) { c.workers = n }
+}
+
+// WithProgress registers a callback invoked (from the engine's collector
+// goroutine, serialized) every progress interval and once more when the
+// run completes.
+func WithProgress(fn func(ExploreStats)) ExploreOption {
+	return func(c *exploreConfig) { c.progress = fn }
+}
+
+// WithProgressEvery sets how many enumerated points separate two
+// progress callbacks (default 512).
+func WithProgressEvery(n int) ExploreOption {
+	return func(c *exploreConfig) { c.progressEvery = n }
+}
+
+// WithObserver registers a callback invoked (serialized, in arrival
+// order) for every built candidate before it is sent on the result
+// channel — a tap for logging or incremental accounting that does not
+// consume the stream.
+func WithObserver(fn func(Candidate)) ExploreOption {
+	return func(c *exploreConfig) { c.observer = fn }
+}
+
+// ExploreContext enumerates and evaluates the design space on a worker
+// pool, streaming every buildable candidate (feasible or not) on the
+// returned channel. The channel is closed when the sweep is exhausted
+// or ctx is cancelled; per-candidate order is non-deterministic across
+// workers, but Candidate.Seq restores canonical enumeration order.
+// The error return covers invalid requirements or options only.
+func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption) (<-chan Candidate, error) {
+	cfg := exploreConfig{workers: runtime.GOMAXPROCS(0), progressEvery: 512}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("core: worker count %d < 1", cfg.workers)
+	}
+	if cfg.progressEvery < 1 {
+		return nil, fmt.Errorf("core: progress interval %d < 1", cfg.progressEvery)
+	}
+	batches, err := sweepBatches(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	start := time.Now()
+
+	// Workers: evaluate batches of points, forwarding outcomes
+	// (including unbuildable corners, so the collector can count
+	// enumeration) to the collector at batch granularity — per-point
+	// channel traffic would rival the evaluation cost itself.
+	type outcome struct {
+		cand Candidate
+		ok   bool
+	}
+	results := make(chan []outcome, cfg.workers*2)
+	busy := make([]time.Duration, cfg.workers)
+	var wg sync.WaitGroup
+	wg.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var acc time.Duration
+			defer func() { busy[w] = acc }()
+			for batch := range batches {
+				t0 := time.Now()
+				outs := make([]outcome, 0, len(batch))
+				for _, pt := range batch {
+					cand, err := evaluate(pt.Spec, pt.Macros, req, e, ce)
+					cand.Seq = pt.Seq
+					outs = append(outs, outcome{cand: cand, ok: err == nil})
+				}
+				acc += time.Since(t0)
+				select {
+				case results <- outs:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: single goroutine owning the stats and the incremental
+	// front, so observer/progress callbacks need no locking.
+	out := make(chan Candidate, 4*sweepBatch)
+	go func() {
+		defer close(out)
+		front := NewFrontier()
+		stats := ExploreStats{Workers: cfg.workers}
+		snapshot := func(done bool) ExploreStats {
+			s := stats
+			s.WallTime = time.Since(start)
+			s.FrontSize = front.Size()
+			s.Pruned = front.Pruned()
+			s.Done = done
+			if done {
+				s.WorkerBusy = append([]time.Duration(nil), busy...)
+			}
+			return s
+		}
+		lastProgress := int64(0)
+		for outs := range results {
+			for _, o := range outs {
+				stats.Enumerated++
+				if !o.ok { // unbuildable corner of the space
+					continue
+				}
+				stats.Built++
+				if !o.cand.Feasible {
+					stats.Infeasible++
+				}
+				front.Add(o.cand)
+				if cfg.observer != nil {
+					cfg.observer(o.cand)
+				}
+				select {
+				case out <- o.cand:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if cfg.progress != nil && stats.Enumerated-lastProgress >= int64(cfg.progressEvery) {
+				lastProgress = stats.Enumerated
+				cfg.progress(snapshot(false))
+			}
+		}
+		if cfg.progress != nil {
+			cfg.progress(snapshot(ctx.Err() == nil))
+		}
+	}()
+	return out, nil
+}
+
+// RecommendContext streams the design space through an incremental
+// Pareto front and quantizes the feasible survivors into at most four
+// named configurations. It is the context-aware, parallel form of
+// Recommend.
+func RecommendContext(ctx context.Context, req Requirements, opts ...ExploreOption) ([]Recommendation, error) {
+	ch, err := ExploreContext(ctx, req, opts...)
+	if err != nil {
+		return nil, err
+	}
+	front := NewFrontier()
+	var built int64
+	var nearest Candidate
+	nearestSet := false
+	for c := range ch {
+		built++
+		if c.Feasible {
+			front.Add(c)
+			continue
+		}
+		if !nearestSet || len(c.Reasons) < len(nearest.Reasons) ||
+			(len(c.Reasons) == len(nearest.Reasons) && c.Seq < nearest.Seq) {
+			nearest, nearestSet = c, true
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if built == 0 {
+		return nil, fmt.Errorf("core: no buildable configuration for %+v", req)
+	}
+	if front.Size() == 0 {
+		return nil, fmt.Errorf("core: no feasible configuration; closest misses: %v", nearest.Reasons)
+	}
+	return Quantize(front.Candidates()), nil
+}
+
+// Frontier maintains a Pareto front incrementally: Add keeps a
+// candidate only while no member dominates it and evicts members the
+// newcomer dominates. Because dominance is a strict partial order, the
+// final front is independent of insertion order — the property the
+// parallel engine relies on for deterministic results.
+type Frontier struct {
+	members []Candidate
+	pruned  int64
+}
+
+// NewFrontier returns an empty front.
+func NewFrontier() *Frontier { return &Frontier{} }
+
+// Add offers a candidate to the front and reports whether it entered.
+// Infeasible candidates are ignored (the front is defined over designs
+// meeting every requirement).
+func (f *Frontier) Add(c Candidate) bool {
+	if !c.Feasible {
+		return false
+	}
+	for i := range f.members {
+		if dominates(f.members[i], c) {
+			f.pruned++
+			return false
+		}
+	}
+	keep := f.members[:0]
+	for _, m := range f.members {
+		if dominates(c, m) {
+			f.pruned++
+			continue
+		}
+		keep = append(keep, m)
+	}
+	f.members = append(keep, c)
+	return true
+}
+
+// Size is the current front population.
+func (f *Frontier) Size() int { return len(f.members) }
+
+// Pruned counts feasible candidates discarded so far (dominated on
+// arrival or evicted later).
+func (f *Frontier) Pruned() int64 { return f.pruned }
+
+// Candidates returns the front in canonical order (area, power, cost,
+// descending sustained bandwidth, enumeration sequence).
+func (f *Frontier) Candidates() []Candidate {
+	out := append([]Candidate(nil), f.members...)
+	sortCandidates(out)
+	return out
+}
+
+// sortCandidates orders candidates deterministically regardless of the
+// arrival order the worker pool produced.
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		switch {
+		case a.AreaMm2 != b.AreaMm2:
+			return a.AreaMm2 < b.AreaMm2
+		case a.PowerMW != b.PowerMW:
+			return a.PowerMW < b.PowerMW
+		case a.CostUSD != b.CostUSD:
+			return a.CostUSD < b.CostUSD
+		case a.SustainedGBps != b.SustainedGBps:
+			return a.SustainedGBps > b.SustainedGBps
+		default:
+			return a.Seq < b.Seq
+		}
+	})
+}
+
+// Quantize reduces a feasible Pareto front to at most four named picks
+// (min-area, min-power, max-bandwidth, min-cost), deduplicated — the
+// paper's "set of understandable if slightly sub-optimal solutions".
+func Quantize(front []Candidate) []Recommendation {
+	if len(front) == 0 {
+		return nil
+	}
+	pick := func(better func(a, b Candidate) bool) Candidate {
+		best := front[0]
+		for _, c := range front[1:] {
+			if better(c, best) {
+				best = c
+			}
+		}
+		return best
+	}
+	recs := []Recommendation{
+		{Role: "min-area", Candidate: pick(func(a, b Candidate) bool { return a.AreaMm2 < b.AreaMm2 })},
+		{Role: "min-power", Candidate: pick(func(a, b Candidate) bool { return a.PowerMW < b.PowerMW })},
+		{Role: "max-bandwidth", Candidate: pick(func(a, b Candidate) bool { return a.SustainedGBps > b.SustainedGBps })},
+		{Role: "min-cost", Candidate: pick(func(a, b Candidate) bool { return a.CostUSD < b.CostUSD })},
+	}
+	// Deduplicate identical picks, keeping the first role.
+	var out []Recommendation
+	seen := map[string]bool{}
+	for _, r := range recs {
+		k := fmt.Sprintf("%d/%d/%d/%d/%d/%v", r.Macros, r.Spec.InterfaceBits, r.Spec.Banks, r.Spec.PageBits, r.Spec.BlockBits, r.Spec.Redundancy)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -61,7 +61,7 @@ func E5MPEG2() (Experiment, error) {
 	if err != nil {
 		return Experiment{}, err
 	}
-	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -156,7 +156,7 @@ func E22ScanConverter() (Experiment, error) {
 	if err != nil {
 		return Experiment{}, err
 	}
-	res, err := sched.Run(cfg, mp, sched.Deadline, clients)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.Deadline}, clients)
 	if err != nil {
 		return Experiment{}, err
 	}

@@ -89,7 +89,7 @@ func E8Sustained() (Experiment, error) {
 			return Experiment{}, err
 		}
 		for _, mp := range []mapping.Mapping{lin, il} {
-			res, err := sched.Run(cfg, mp, sched.RoundRobin, gapClients(42))
+			res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.RoundRobin}, gapClients(42))
 			if err != nil {
 				return Experiment{}, err
 			}
@@ -116,7 +116,7 @@ func E8Sustained() (Experiment, error) {
 	if err != nil {
 		return Experiment{}, err
 	}
-	resOP, err := sched.Run(cfg8, il8, sched.OpenPageFirst, gapClients(42))
+	resOP, err := sched.RunWithOptions(cfg8, il8, sched.Options{Policy: sched.OpenPageFirst}, gapClients(42))
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -158,7 +158,7 @@ func E9FIFODepth() (Experiment, error) {
 	}
 	depths := map[sched.Policy]int{}
 	for _, pol := range []sched.Policy{sched.RoundRobin, sched.FixedPriority, sched.OldestFirst, sched.OpenPageFirst} {
-		res, err := sched.Run(cfg, mp, pol, gapClients(42))
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: pol}, gapClients(42))
 		if err != nil {
 			return Experiment{}, err
 		}

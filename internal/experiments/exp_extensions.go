@@ -359,7 +359,7 @@ func A3ModelVsSim() (Experiment, error) {
 		if err != nil {
 			return Experiment{}, err
 		}
-		res, err := sched.Run(cfg, mp, sched.RoundRobin, gapClients(42))
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.RoundRobin}, gapClients(42))
 		if err != nil {
 			return Experiment{}, err
 		}
@@ -419,7 +419,7 @@ func A4RefreshTax() (Experiment, error) {
 		if err != nil {
 			return Experiment{}, err
 		}
-		res, err := sched.Run(cfg, mp, sched.RoundRobin, []sched.Client{
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.RoundRobin}, []sched.Client{
 			{Name: "stream", Gen: &traffic.Sequential{Bits: 64, RateGB: 5, Count: 3000}},
 		})
 		if err != nil {

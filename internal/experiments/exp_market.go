@@ -170,7 +170,7 @@ func E19SustainedHeadToHead() (Experiment, error) {
 		if err != nil {
 			return sched.Result{}, err
 		}
-		return sched.Run(cfg, mp, sched.OpenPageFirst, mkClients(77))
+		return sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, mkClients(77))
 	}
 
 	sys, err := sdram.BestSystem(sdram.Requirement{CapacityMbit: reqMbit, WidthBits: reqWidth})

@@ -7,7 +7,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"edram/internal/report"
 )
@@ -38,9 +41,14 @@ func (e Experiment) Finding(name string) (float64, error) {
 	return 0, fmt.Errorf("experiments: %s has no finding %q", e.ID, name)
 }
 
-// All runs every experiment in order.
+// All runs every experiment and returns them in canonical order.
 func All() ([]Experiment, error) {
-	runs := []func() (Experiment, error){
+	return AllContext(context.Background(), 1, nil)
+}
+
+// registry lists every experiment in canonical order.
+func registry() []func() (Experiment, error) {
+	return []func() (Experiment, error){
 		E1IOPower,
 		E2FillFrequency,
 		E3Granularity,
@@ -69,13 +77,72 @@ func All() ([]Experiment, error) {
 		A4RefreshTax,
 		A5Prefetch,
 	}
-	out := make([]Experiment, 0, len(runs))
-	for _, run := range runs {
-		e, err := run()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s failed: %w", e.ID, err)
+}
+
+// AllContext runs the experiment suite on a pool of workers (the
+// experiments are independent and deterministic, so the result is the
+// same at any pool size), stopping early when ctx is cancelled.
+// workers < 1 selects runtime.GOMAXPROCS(0). progress, when non-nil, is
+// invoked (serialized) as each experiment finishes, in completion
+// order. Results are returned in canonical registry order.
+func AllContext(ctx context.Context, workers int, progress func(done, total int, id string)) ([]Experiment, error) {
+	runs := registry()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	out := make([]Experiment, len(runs))
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(idx)
+		for i := range runs {
+			select {
+			case idx <- i:
+			case <-cctx.Done():
+				return
+			}
 		}
-		out = append(out, e)
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				e, err := runs[i]()
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: run %d failed: %w", i+1, err)
+					}
+					mu.Unlock()
+					cancel() // stop handing out further work
+					return
+				}
+				out[i] = e
+				done++
+				if progress != nil {
+					progress(done, len(runs), e.ID)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -57,7 +57,7 @@ func Simulator(seed int64) core.SimulateFunc {
 			{Name: "stride", Gen: &traffic.Strided{ClientID: 1, StartB: 2 << 20, StrideB: int64(cfg.PageBits / 8), LimitB: 2 << 20, Bits: bits, RateGB: per, Count: 900}},
 			{Name: "random", Gen: &traffic.Random{ClientID: 2, StartB: 6 << 20, WindowB: 2 << 20, Bits: bits, RateGB: per, Count: 900, Rng: rand.New(rand.NewSource(seed))}},
 		}
-		res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
 		if err != nil {
 			return 0, 0, err
 		}

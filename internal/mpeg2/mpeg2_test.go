@@ -203,7 +203,7 @@ func TestDecoderOnEDRAMMacro(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.Run(cfg, mp, sched.OpenPageFirst, clients)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
 	if err != nil {
 		t.Fatal(err)
 	}

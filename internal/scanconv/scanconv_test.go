@@ -99,7 +99,7 @@ func TestClientsAndRealTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.Run(cfg, mp, sched.Deadline, cs)
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.Deadline}, cs)
 	if err != nil {
 		t.Fatal(err)
 	}

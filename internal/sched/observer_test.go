@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"edram/internal/dram"
+	"edram/internal/mapping"
+	"edram/internal/tech"
+	"edram/internal/traffic"
+)
+
+func observerRig(t *testing.T) (dram.Config, mapping.Mapping, []Client) {
+	t.Helper()
+	cfg := dram.Config{Banks: 4, RowsPerBank: 1024, PageBits: 2048, DataBits: 64, Timing: tech.PC100()}
+	mp, err := mapping.NewBankInterleaved(mapping.Geometry{Banks: 4, RowsBank: 1024, PageBytes: 2048 / 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := []Client{
+		{Name: "stream", Gen: &traffic.Sequential{ClientID: 0, Bits: 64, RateGB: 1, Count: 200}},
+		{Name: "stride", Gen: &traffic.Strided{ClientID: 1, StartB: 1 << 20, StrideB: 256, LimitB: 1 << 20, Bits: 64, RateGB: 1, Count: 200}},
+	}
+	return cfg, mp, clients
+}
+
+// The Observer hook must see exactly the events Trace records, in the
+// same service order.
+func TestObserverMatchesTrace(t *testing.T) {
+	cfg, mp, clients := observerRig(t)
+	var seen []TraceEntry
+	res, err := RunWithOptions(cfg, mp, Options{
+		Policy:   OpenPageFirst,
+		Trace:    true,
+		Observer: func(e TraceEntry) { seen = append(seen, e) },
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(seen) != len(res.Trace) {
+		t.Fatalf("observer saw %d events, trace recorded %d", len(seen), len(res.Trace))
+	}
+	for i := range seen {
+		if seen[i] != res.Trace[i] {
+			t.Fatalf("event %d differs: observer %+v vs trace %+v", i, seen[i], res.Trace[i])
+		}
+	}
+}
+
+// Observer alone must not populate Result.Trace (streaming without
+// buffering is the point of the hook).
+func TestObserverWithoutTrace(t *testing.T) {
+	cfg, mp, clients := observerRig(t)
+	events := 0
+	res, err := RunWithOptions(cfg, mp, Options{
+		Policy:   RoundRobin,
+		Observer: func(TraceEntry) { events++ },
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Fatalf("trace populated (%d entries) without Options.Trace", len(res.Trace))
+	}
+	want := 0
+	for _, c := range res.Clients {
+		want += c.Stats.Count
+	}
+	if events != want {
+		t.Fatalf("observer saw %d events, %d requests served", events, want)
+	}
+}

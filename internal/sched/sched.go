@@ -142,6 +142,12 @@ type Options struct {
 	// Trace, when true, records one TraceEntry per served request in
 	// Result.Trace (issue order).
 	Trace bool
+	// Observer, when non-nil, is invoked synchronously with the
+	// TraceEntry of every served request as it completes — the
+	// streaming counterpart of Trace (same hook style as the design
+	// explorer's WithObserver). It runs on the simulation goroutine, so
+	// it must not block; it sees events in service order.
+	Observer func(TraceEntry)
 }
 
 // TraceEntry is one served request in the command trace.
@@ -159,6 +165,11 @@ type TraceEntry struct {
 // Run drains every client's generator and serves the merged load on a
 // device built from devCfg, translating addresses through m and
 // arbitrating with policy. It returns the full report.
+//
+// Deprecated: use RunWithOptions, which exposes the full controller
+// options (page policy, reorder window, tracing, the per-event
+// Observer). Run remains as a positional-argument compatibility shim:
+// Run(cfg, m, p, cs) ≡ RunWithOptions(cfg, m, Options{Policy: p}, cs).
 func Run(devCfg dram.Config, m mapping.Mapping, policy Policy, clients []Client) (Result, error) {
 	return RunWithOptions(devCfg, m, Options{Policy: policy}, clients)
 }
@@ -254,13 +265,19 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 		st.bits += int64(req.Bits)
 		st.markServed(reqIdx)
 		served++
-		if opt.Trace {
-			trace = append(trace, TraceEntry{
+		if opt.Trace || opt.Observer != nil {
+			e := TraceEntry{
 				Client: clients[pick].Name, AddrB: req.AddrB,
 				Bank: bank, Row: row, Write: req.Write,
 				IssueNs: req.IssueNs, StartNs: res.StartNs, DoneNs: res.DoneNs,
 				Hit: res.Hit,
-			})
+			}
+			if opt.Observer != nil {
+				opt.Observer(e)
+			}
+			if opt.Trace {
+				trace = append(trace, e)
+			}
 		}
 		if opt.ClosedPage {
 			if err := dev.Precharge(res.DoneNs, bank); err != nil {
