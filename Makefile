@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench fuzz fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,18 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run NONE .
 
+# fuzz runs the cell-array fuzzer with a real time budget; fuzz-smoke
+# only replays the checked-in seed corpus (no -fuzz), which is cheap
+# enough to sit on the tier-1 path.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzArrayReadWrite -fuzztime $(FUZZTIME) ./internal/dram/
+
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/dram/
+
 # check is the tier-1 verify path: build, vet, then race-checked tests,
-# so the exploration engine's and experiment runner's concurrency is
-# exercised under the race detector on every PR.
-check: build vet race
+# so the exploration engine's, experiment runner's and reliability
+# trial pool's concurrency is exercised under the race detector on
+# every PR, plus a replay of the fuzz seed corpus.
+check: build vet race fuzz-smoke

@@ -5,9 +5,15 @@
 // percentiles and required FIFO depths for the chosen mapping and
 // arbitration policy.
 //
+// With -faults the run injects a seeded manufacturing defect map,
+// retention-time tail and transient soft errors, protects the interface
+// with the selected -ecc scheme, and reports the reliability ladder's
+// counters (corrections, retries, spare-row remaps, offlined pages).
+//
 // Usage:
 //
 //	memsim -capacity 16 -iface 64 -banks 4 -mapping interleaved -policy open-page -clients 3
+//	memsim -faults 4 -ecc secded -soft-errors 2000 -seed 7
 package main
 
 import (
@@ -19,10 +25,15 @@ import (
 
 	"edram/internal/edram"
 	"edram/internal/mapping"
+	"edram/internal/reliab"
 	"edram/internal/report"
 	"edram/internal/sched"
 	"edram/internal/traffic"
 )
+
+// traceW is the streaming trace sink; fail flushes it so early errors
+// don't lose the rows already observed.
+var traceW *bufio.Writer
 
 func main() {
 	capacity := flag.Int("capacity", 16, "macro capacity in Mbit")
@@ -34,15 +45,46 @@ func main() {
 	nClients := flag.Int("clients", 3, "number of random bulk clients (plus one stream client)")
 	rate := flag.Float64("rate", 0.6, "per-client demand in GB/s")
 	requests := flag.Int("requests", 1500, "requests per client")
-	seed := flag.Int64("seed", 42, "random seed")
+	seed := flag.Int64("seed", 42, "random seed (traffic and fault injection)")
 	closedPage := flag.Bool("closedpage", false, "auto-precharge after every request")
 	reorder := flag.Int("window", 1, "FR-FCFS reorder window (open-page policy only)")
 	tracePath := flag.String("trace", "", "stream a per-request CSV trace to this file (\"-\" = stderr)")
+	faults := flag.Float64("faults", 0, "inject faults: mean manufacturing defects per bank (0 = fault-free)")
+	eccName := flag.String("ecc", "", "ECC scheme: none, parity, secded, chipkill (default secded when -faults is set; requires -faults)")
+	softErrs := flag.Float64("soft-errors", 0, "transient bit flips per million accesses (requires -faults)")
+	spares := flag.Int("spares", 4, "spare rows per bank for runtime repair (with -faults)")
+	weakCells := flag.Float64("weak-cells", 8, "mean retention-tail weak cells per bank (with -faults)")
 	flag.Parse()
 
-	m, err := edram.Build(edram.Spec{
+	// Flag-combination validation: the reliability knobs only mean
+	// something once the fault process is armed.
+	if *faults < 0 {
+		usageFail(fmt.Errorf("-faults must be non-negative, got %g", *faults))
+	}
+	if *faults == 0 {
+		if *eccName != "" {
+			usageFail(fmt.Errorf("-ecc %q requires -faults (an ECC needs a fault process to act on)", *eccName))
+		}
+		if *softErrs != 0 {
+			usageFail(fmt.Errorf("-soft-errors requires -faults"))
+		}
+	}
+	ecc := reliab.ECCSECDED // default protection once faults are armed
+	if *eccName != "" {
+		var err error
+		if ecc, err = reliab.ParseECC(*eccName); err != nil {
+			usageFail(err)
+		}
+	}
+
+	spec := edram.Spec{
 		CapacityMbit: *capacity, InterfaceBits: *iface, Banks: *banks, PageBits: *page,
-	})
+	}
+	if *faults > 0 {
+		spec.ECC = ecc
+		spec.Redundancy = edram.RedundancyStd
+	}
+	m, err := edram.Build(spec)
 	if err != nil {
 		fail(err)
 	}
@@ -56,7 +98,7 @@ func main() {
 	case "interleaved":
 		mp, err = mapping.NewBankInterleaved(gm)
 	default:
-		fail(fmt.Errorf("unknown mapping %q", *mapName))
+		usageFail(fmt.Errorf("unknown mapping %q", *mapName))
 	}
 	if err != nil {
 		fail(err)
@@ -73,7 +115,7 @@ func main() {
 	case "open-page":
 		pol = sched.OpenPageFirst
 	default:
-		fail(fmt.Errorf("unknown policy %q", *polName))
+		usageFail(fmt.Errorf("unknown policy %q", *polName))
 	}
 
 	clients := []sched.Client{{Name: "stream", Gen: &traffic.Sequential{
@@ -94,7 +136,6 @@ func main() {
 	// simulation runs, instead of buffering it in Result.Trace; "-"
 	// dumps to stderr alongside the progress of long runs.
 	opt := sched.Options{Policy: pol, ClosedPage: *closedPage, ReorderWindow: *reorder}
-	var traceW *bufio.Writer
 	traced := 0
 	if *tracePath != "" {
 		var dst *os.File
@@ -116,6 +157,22 @@ func main() {
 			traced++
 			fmt.Fprintf(traceW, "%s,%d,%d,%d,%t,%.1f,%.1f,%.1f,%t\n",
 				e.Client, e.AddrB, e.Bank, e.Row, e.Write, e.IssueNs, e.StartNs, e.DoneNs, e.Hit)
+		}
+	}
+	if *faults > 0 {
+		opt.Reliability = &reliab.Config{
+			Seed:                 *seed,
+			ECC:                  ecc,
+			MeanDefectsPerBank:   *faults,
+			RetentionTailPerBank: *weakCells,
+			SoftErrorsPerMAccess: *softErrs,
+			SpareRowsPerBank:     *spares,
+		}
+		// Runtime error events stream to stderr as they happen — the
+		// reliability counterpart of the -trace observer.
+		opt.FaultObserver = func(ev reliab.FaultEvent) {
+			fmt.Fprintf(os.Stderr, "fault @%.1fns client=%s bank=%d row=%d hard=%d soft=%d attempts=%d -> %s\n",
+				ev.TimeNs, ev.Client, ev.Bank, ev.Row, ev.HardBits, ev.SoftBits, ev.Attempts, ev.Outcome)
 		}
 	}
 	res, err := sched.RunWithOptions(cfg, mp, opt, clients)
@@ -147,9 +204,41 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		fail(err)
 	}
+
+	if rs := res.Reliability; rs != nil {
+		fmt.Printf("\nreliability: %s ECC, seed %d, defect map %016x\n", ecc, *seed, rs.DefectFingerprint)
+		fmt.Printf("  injected   %d faults, %d weak cells\n", rs.InjectedFaults, rs.WeakCells)
+		fmt.Printf("  faulty acc %d of %d (corrected %d, retry-recovered %d, silent %d, miscorrected %d, uncorrected %d)\n",
+			rs.FaultyAccesses, res.Device.Accesses(), rs.Corrected, rs.RetryRecovered, rs.Silent, rs.Miscorrected, rs.Uncorrected)
+		fmt.Printf("  repair     %d retries, %d scrubs, %d/%d spares used, %d rows offlined (%.3f%% capacity lost)\n",
+			rs.Retries, rs.Scrubs, rs.SparesUsed, rs.SparesTotal, rs.OfflinedRows, 100*rs.CapacityLossFrac)
+		fmt.Printf("  overhead   decode %.1f ns, retry %.1f ns, scrub %.1f ns stolen\n",
+			rs.DecodeNs, rs.RetryNs, rs.ScrubNs)
+		const maxOffline = 8
+		for i, p := range res.Offlined {
+			if i == maxOffline {
+				fmt.Printf("  offline    ... and %d more\n", len(res.Offlined)-maxOffline)
+				break
+			}
+			fmt.Printf("  offline    bank %d row %d\n", p[0], p[1])
+		}
+	}
 }
 
+// fail reports a runtime error, flushing any streaming trace first so
+// partial traces survive early exits.
 func fail(err error) {
+	if traceW != nil {
+		traceW.Flush()
+	}
 	fmt.Fprintln(os.Stderr, "memsim:", err)
 	os.Exit(1)
+}
+
+// usageFail reports an invalid flag combination with the usage text and
+// a distinct exit code.
+func usageFail(err error) {
+	fmt.Fprintln(os.Stderr, "memsim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -19,6 +19,7 @@ import (
 	"edram/internal/experiments"
 	"edram/internal/mapping"
 	"edram/internal/mpeg2"
+	"edram/internal/reliab"
 	"edram/internal/scanconv"
 	"edram/internal/sched"
 	"edram/internal/traffic"
@@ -165,6 +166,36 @@ func Simulate(m *Macro, opt SimOptions, clients []Client) (SimResult, error) {
 	}
 	return sched.RunWithOptions(cfg, mp, opt, clients)
 }
+
+// ECCScheme selects the word-level error protection of a macro's
+// interface (MacroSpec.ECC, ReliabilityConfig.ECC).
+type ECCScheme = reliab.ECC
+
+// ECC schemes, weakest to strongest.
+const (
+	ECCNone         = reliab.ECCNone
+	ECCParity       = reliab.ECCParity
+	ECCSECDED       = reliab.ECCSECDED
+	ECCChipkillLite = reliab.ECCChipkillLite
+)
+
+// ParseECC maps a scheme name ("none", "parity", "secded", "chipkill")
+// to its ECCScheme.
+func ParseECC(name string) (ECCScheme, error) { return reliab.ParseECC(name) }
+
+// ReliabilityConfig arms the fault-injection and repair pipeline for a
+// simulation (SimOptions.Reliability): seeded defect map, retention
+// tail, soft-error rate, ECC scheme and spare-row budget.
+type ReliabilityConfig = reliab.Config
+
+// FaultEvent is one runtime error event observed by the reliability
+// ladder (SimOptions.FaultObserver).
+type FaultEvent = reliab.FaultEvent
+
+// ReliabilityStats aggregates the ladder's counters over a run
+// (SimResult.Reliability): injected faults, per-outcome access counts,
+// retries, scrubs, spare usage and capacity degradation.
+type ReliabilityStats = reliab.Stats
 
 // Experiment is one regenerated table of the paper; Experiments runs the
 // full E1–E22 + ablation (A1–A5) suite (what cmd/papertables prints).

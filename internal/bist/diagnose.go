@@ -1,0 +1,64 @@
+package bist
+
+import (
+	"sort"
+
+	"edram/internal/dram"
+)
+
+// Diagnosis is the row-resolved outcome of a diagnostic test pass — the
+// repair-feeding mode of the §6 test flow, as opposed to the go/no-go
+// MISR signature of Session.Run. FailCounts maps each failing row to its
+// mismatching cell count; FailingRows lists the same rows sorted.
+type Diagnosis struct {
+	FailCounts  map[int]int
+	FailingRows []int
+	Ops         int64
+	TestTimeNs  float64
+}
+
+// DiagnoseRows runs a write-background / read-compare pass over the
+// array and reports every row whose read-back differs from the written
+// background. The per-row fail counts feed the spare-row allocator: a
+// boot-time screen can pre-repair known-bad rows before traffic starts,
+// leaving the runtime ladder only the faults that escape (retention
+// tails, transients). Two operations per cell — far cheaper than a full
+// march — because diagnosis needs locations, not coverage of coupling
+// faults.
+func DiagnoseRows(a *dram.Array, bg Background, ru Runner, startMs float64) (Diagnosis, error) {
+	if err := ru.Validate(); err != nil {
+		return Diagnosis{}, err
+	}
+	d := Diagnosis{FailCounts: map[int]int{}}
+	opMs := ru.CycleNs / 1e6 / float64(ru.ParallelBits)
+	tMs := startMs
+	rows, cols := a.Rows(), a.Cols()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := a.Write(tMs, r, c, bg.at(r, c)); err != nil {
+				return Diagnosis{}, err
+			}
+			d.Ops++
+			tMs += opMs
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			got, err := a.Read(tMs, r, c)
+			if err != nil {
+				return Diagnosis{}, err
+			}
+			if got != bg.at(r, c) {
+				d.FailCounts[r]++
+			}
+			d.Ops++
+			tMs += opMs
+		}
+	}
+	for r := range d.FailCounts {
+		d.FailingRows = append(d.FailingRows, r)
+	}
+	sort.Ints(d.FailingRows)
+	d.TestTimeNs = (tMs - startMs) * 1e6
+	return d, nil
+}

@@ -1,0 +1,70 @@
+package bist
+
+import (
+	"reflect"
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func TestDiagnoseRowsCleanArray(t *testing.T) {
+	a, err := dram.NewArray(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := Runner{CycleNs: 10, ParallelBits: 32}
+	d, err := DiagnoseRows(a, Checkerboard, ru, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FailingRows) != 0 {
+		t.Errorf("clean array failed rows %v", d.FailingRows)
+	}
+	if d.Ops != 2*16*32 {
+		t.Errorf("Ops = %d, want %d (2 per cell)", d.Ops, 2*16*32)
+	}
+	if d.TestTimeNs <= 0 {
+		t.Error("test time must accrue")
+	}
+}
+
+func TestDiagnoseRowsLocatesFaults(t *testing.T) {
+	a, err := dram.NewArray(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []dram.Fault{
+		{Kind: dram.WordlineStuck0, Row: 3},
+		{Kind: dram.StuckAt0, Row: 7, Col: 5}, // background (7+5)%2=0 -> invisible
+		{Kind: dram.StuckAt1, Row: 9, Col: 5}, // background (9+5)%2=0 -> visible
+	} {
+		if err := a.Inject(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ru := Runner{CycleNs: 10, ParallelBits: 32}
+	d, err := DiagnoseRows(a, Checkerboard, ru, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 3: the whole stuck row fails on the background-1 half (16
+	// cells). Row 9: one stuck-at-1 cell against a 0 background. Row 7's
+	// stuck-at-0 cell agrees with its background and stays hidden — the
+	// reason production screens run multiple backgrounds.
+	if want := []int{3, 9}; !reflect.DeepEqual(d.FailingRows, want) {
+		t.Fatalf("FailingRows = %v, want %v (counts %v)", d.FailingRows, want, d.FailCounts)
+	}
+	if d.FailCounts[3] != 16 {
+		t.Errorf("row 3 fail count = %d, want 16", d.FailCounts[3])
+	}
+	if d.FailCounts[9] != 1 {
+		t.Errorf("row 9 fail count = %d, want 1", d.FailCounts[9])
+	}
+}
+
+func TestDiagnoseRowsValidatesRunner(t *testing.T) {
+	a, _ := dram.NewArray(4, 4)
+	if _, err := DiagnoseRows(a, Checkerboard, Runner{}, 0); err == nil {
+		t.Error("zero runner must be rejected")
+	}
+}

@@ -87,6 +87,9 @@ type Candidate struct {
 	SustainedGBps float64
 	DieYield      float64
 	CostUSD       float64 // macro die-cost share per good die
+	// CostPerMbitUSD normalizes CostUSD by the usable capacity, making
+	// the ECC and redundancy area overheads comparable across points.
+	CostPerMbitUSD float64
 	// Feasible is true when every requirement is met; Reasons lists
 	// the violated constraints otherwise.
 	Feasible bool
@@ -157,6 +160,7 @@ func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, 
 	}
 	c.CostUSD = dieCost
 	c.DieYield = yieldEff
+	c.CostPerMbitUSD = cost.CostPerMbitUSD(dieCost, float64(req.CapacityMbit))
 
 	c.Feasible = true
 	fail := func(format string, args ...interface{}) {

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"edram/internal/reliab"
+)
+
+// TestExploreCoversECC: the sweep evaluates both word protections and
+// prices them apart.
+func TestExploreCoversECC(t *testing.T) {
+	cands, err := Explore(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index by everything except ECC to find paired points.
+	type key struct {
+		macros, iface, banks, page, block int
+		red                               int
+	}
+	byKey := map[key]map[reliab.ECC]Candidate{}
+	for _, c := range cands {
+		k := key{c.Macros, c.Spec.InterfaceBits, c.Spec.Banks, c.Spec.PageBits, c.Spec.BlockBits, int(c.Spec.Redundancy)}
+		if byKey[k] == nil {
+			byKey[k] = map[reliab.ECC]Candidate{}
+		}
+		byKey[k][c.Spec.ECC] = c
+		if c.CostPerMbitUSD <= 0 {
+			t.Fatalf("candidate %d has no cost per Mbit", c.Seq)
+		}
+	}
+	pairs := 0
+	for k, m := range byKey {
+		plain, okP := m[reliab.ECCNone]
+		prot, okS := m[reliab.ECCSECDED]
+		if !okP || !okS {
+			continue
+		}
+		pairs++
+		if prot.AreaMm2 <= plain.AreaMm2 {
+			t.Fatalf("%+v: SEC-DED area %g not above plain %g", k, prot.AreaMm2, plain.AreaMm2)
+		}
+		if prot.CostPerMbitUSD <= plain.CostPerMbitUSD {
+			t.Fatalf("%+v: SEC-DED cost/Mbit %g not above plain %g", k, prot.CostPerMbitUSD, plain.CostPerMbitUSD)
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no ECC pairs found in the sweep")
+	}
+}

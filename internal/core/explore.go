@@ -19,6 +19,7 @@ import (
 	"edram/internal/edram"
 	"edram/internal/geom"
 	"edram/internal/power"
+	"edram/internal/reliab"
 	"edram/internal/tech"
 )
 
@@ -73,23 +74,26 @@ func sweepBatches(ctx context.Context, req Requirements) (<-chan []Point, error)
 					for _, pageMult := range []int{4, 8, 16} {
 						for _, block := range []int{geom.Block256K, geom.Block1M} {
 							for _, red := range []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh} {
-								for pi := range procs {
-									batch = append(batch, Point{
-										Seq:    seq,
-										Macros: macros,
-										Spec: edram.Spec{
-											CapacityMbit:  req.CapacityMbit / macros,
-											InterfaceBits: iface,
-											Banks:         banks,
-											PageBits:      iface * pageMult,
-											BlockBits:     block,
-											Redundancy:    red,
-											Process:       &procs[pi],
-										},
-									})
-									seq++
-									if len(batch) == sweepBatch && !flush() {
-										return
+								for _, ecc := range []reliab.ECC{reliab.ECCNone, reliab.ECCSECDED} {
+									for pi := range procs {
+										batch = append(batch, Point{
+											Seq:    seq,
+											Macros: macros,
+											Spec: edram.Spec{
+												CapacityMbit:  req.CapacityMbit / macros,
+												InterfaceBits: iface,
+												Banks:         banks,
+												PageBits:      iface * pageMult,
+												BlockBits:     block,
+												Redundancy:    red,
+												ECC:           ecc,
+												Process:       &procs[pi],
+											},
+										})
+										seq++
+										if len(batch) == sweepBatch && !flush() {
+											return
+										}
 									}
 								}
 							}
@@ -105,8 +109,9 @@ func sweepBatches(ctx context.Context, req Requirements) (<-chan []Point, error)
 
 // Sweep enumerates the design space for the requirements into a
 // channel: interface widths 16..512, bank counts 1..8, page lengths
-// (4x..16x interface), both building blocks, all redundancy levels and
-// every requested process, for 1- and 2-macro organizations. The
+// (4x..16x interface), both building blocks, all redundancy levels,
+// the no-ECC and SEC-DED word protections and every requested process,
+// for 1- and 2-macro organizations. The
 // channel is closed when the space is exhausted or ctx is cancelled.
 func Sweep(ctx context.Context, req Requirements) (<-chan Point, error) {
 	batches, err := sweepBatches(ctx, req)
@@ -463,7 +468,7 @@ func Quantize(front []Candidate) []Recommendation {
 	var out []Recommendation
 	seen := map[string]bool{}
 	for _, r := range recs {
-		k := fmt.Sprintf("%d/%d/%d/%d/%d/%v", r.Macros, r.Spec.InterfaceBits, r.Spec.Banks, r.Spec.PageBits, r.Spec.BlockBits, r.Spec.Redundancy)
+		k := fmt.Sprintf("%d/%d/%d/%d/%d/%v/%v", r.Macros, r.Spec.InterfaceBits, r.Spec.Banks, r.Spec.PageBits, r.Spec.BlockBits, r.Spec.Redundancy, r.Spec.ECC)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, r)

@@ -201,8 +201,8 @@ func TestSweepEnumeratesCanonically(t *testing.T) {
 		n++
 	}
 	// 2 organizations × 6 widths × 4 banks × 3 pages × 2 blocks × 4
-	// redundancy levels × 1 process.
-	if want := 2 * 6 * 4 * 3 * 2 * 4; n != want {
+	// redundancy levels × 2 ECC schemes × 1 process.
+	if want := 2 * 6 * 4 * 3 * 2 * 4 * 2; n != want {
 		t.Fatalf("sweep enumerated %d points, want %d", n, want)
 	}
 }

@@ -126,6 +126,17 @@ func MacroDieCost(p tech.Process, logicKGates, macroMm2, defectsPerCm2, repairFr
 	return c, eff, nil
 }
 
+// CostPerMbitUSD normalizes a die cost by its usable memory capacity —
+// the metric that makes ECC and redundancy overheads comparable across
+// organizations (a stronger code costs area; offlined capacity would
+// cost usable bits).
+func CostPerMbitUSD(dieUSD, usableMbit float64) float64 {
+	if usableMbit <= 0 {
+		return 0
+	}
+	return dieUSD / usableMbit
+}
+
 // NRE models the non-recurring engineering cost of an embedded design:
 // the mask set of the eDRAM process plus the design/porting effort the
 // paper's §1 warns about ("libraries must be developed and

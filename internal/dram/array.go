@@ -121,47 +121,66 @@ func (a *Array) Rows() int { return a.rows }
 // Cols returns the column count.
 func (a *Array) Cols() int { return a.cols }
 
-// Inject adds a fault. Coordinates must be in range.
-func (a *Array) Inject(f Fault) error {
+// validateFault checks every field of a fault against the array geometry
+// without touching any state.
+func (a *Array) validateFault(f Fault) error {
 	switch f.Kind {
 	case BitlineStuck0:
 		if f.Col < 0 || f.Col >= a.cols {
 			return fmt.Errorf("dram: bitline fault column %d out of range", f.Col)
 		}
-		a.colFaults[f.Col] = true
 		return nil
 	case WordlineStuck0:
 		if f.Row < 0 || f.Row >= a.rows {
 			return fmt.Errorf("dram: wordline fault row %d out of range", f.Row)
 		}
-		a.rowFaults[f.Row] = true
 		return nil
 	}
 	if f.Row < 0 || f.Row >= a.rows || f.Col < 0 || f.Col >= a.cols {
 		return fmt.Errorf("dram: fault cell (%d,%d) out of range", f.Row, f.Col)
 	}
-	if f.Kind == CouplingInvert {
+	switch f.Kind {
+	case CouplingInvert:
 		if f.AggRow < 0 || f.AggRow >= a.rows || f.AggCol < 0 || f.AggCol >= a.cols {
 			return fmt.Errorf("dram: aggressor (%d,%d) out of range", f.AggRow, f.AggCol)
 		}
-		agg := cellKey{f.AggRow, f.AggCol}
-		a.victims[agg] = append(a.victims[agg], cellKey{f.Row, f.Col})
-	}
-	if f.Kind == Retention {
+	case Retention:
 		if f.RetentionMs <= 0 {
 			return fmt.Errorf("dram: retention fault needs positive retention, got %g", f.RetentionMs)
 		}
-		a.retention[f.Row] = append(a.retention[f.Row], f)
-	}
-	if f.Kind == AddressDecoder {
+	case AddressDecoder:
 		if f.AggRow < 0 || f.AggRow >= a.rows || f.AggCol < 0 || f.AggCol >= a.cols {
 			return fmt.Errorf("dram: decoder target (%d,%d) out of range", f.AggRow, f.AggCol)
 		}
 		if f.AggRow == f.Row && f.AggCol == f.Col {
 			return fmt.Errorf("dram: decoder fault must redirect to a different cell")
 		}
+	}
+	return nil
+}
+
+// Inject adds a fault. Coordinates must be in range. Validation is
+// completed before any internal map is touched, so a rejected fault
+// leaves the array exactly as it was.
+func (a *Array) Inject(f Fault) error {
+	if err := a.validateFault(f); err != nil {
+		return err
+	}
+	switch f.Kind {
+	case BitlineStuck0:
+		a.colFaults[f.Col] = true
+		return nil
+	case WordlineStuck0:
+		a.rowFaults[f.Row] = true
+		return nil
+	case AddressDecoder:
 		a.remap[cellKey{f.Row, f.Col}] = cellKey{f.AggRow, f.AggCol}
 		return nil
+	case CouplingInvert:
+		agg := cellKey{f.AggRow, f.AggCol}
+		a.victims[agg] = append(a.victims[agg], cellKey{f.Row, f.Col})
+	case Retention:
+		a.retention[f.Row] = append(a.retention[f.Row], f)
 	}
 	k := cellKey{f.Row, f.Col}
 	a.cellFaults[k] = append(a.cellFaults[k], f)
@@ -278,6 +297,20 @@ func (a *Array) Read(tMs float64, r, c int) (bool, error) {
 		}
 	}
 	return v, nil
+}
+
+// FillPattern raw-initializes every cell to pat(r,c), bypassing write
+// fault semantics (stuck and transition behaviour still applies on
+// later reads and writes), and restarts every row's retention clock at
+// tMs. It models the array's initialized state rather than a sequence
+// of write operations.
+func (a *Array) FillPattern(tMs float64, pat func(r, c int) bool) {
+	for r := 0; r < a.rows; r++ {
+		for c := 0; c < a.cols; c++ {
+			a.rawSet(r, c, pat(r, c))
+		}
+		a.rowRestore[r] = tMs
+	}
 }
 
 // RefreshRow restores row r at time tMs (retention clocks restart).

@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"testing"
+)
+
+// backedDevice builds a device whose banks are backed by functional
+// arrays (with two spare rows each), returning the collected word
+// errors through the returned slice pointer.
+func backedDevice(t *testing.T, faults map[int][]Fault) (*Device, *[]int) {
+	t.Helper()
+	cfg := testConfig()
+	d := mustNew(t, cfg)
+	arrays := make([]*Array, cfg.Banks)
+	for b := range arrays {
+		a, err := NewArray(cfg.RowsPerBank+2, cfg.PageBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults[b] {
+			if err := a.Inject(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		arrays[b] = a
+	}
+	var errs []int
+	if err := d.SetBacking(arrays, func(bank, row, bits int) {
+		errs = append(errs, bits)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return d, &errs
+}
+
+func TestSetBackingValidation(t *testing.T) {
+	cfg := testConfig()
+	d := mustNew(t, cfg)
+	if err := d.SetBacking([]*Array{}, nil); err == nil {
+		t.Error("wrong array count must be rejected")
+	}
+	small, _ := NewArray(1, cfg.PageBits)
+	bad := make([]*Array, cfg.Banks)
+	for i := range bad {
+		bad[i] = small
+	}
+	if err := d.SetBacking(bad, nil); err == nil {
+		t.Error("too-few-rows arrays must be rejected")
+	}
+	narrow, _ := NewArray(cfg.RowsPerBank, cfg.DataBits)
+	for i := range bad {
+		bad[i] = narrow
+	}
+	if err := d.SetBacking(bad, nil); err == nil {
+		t.Error("wrong-width arrays must be rejected")
+	}
+	if err := d.SetBacking(nil, nil); err != nil {
+		t.Errorf("nil detach: %v", err)
+	}
+}
+
+// TestBackingSurfacesStuckRow drives a full row's worth of beats
+// through a bank whose row 0 is wordline-stuck and expects word errors
+// on every read beat of that row.
+func TestBackingSurfacesStuckRow(t *testing.T) {
+	d, errs := backedDevice(t, map[int][]Fault{0: {{Kind: WordlineStuck0, Row: 0}}})
+	beats := d.Config().ColumnsPerRow()
+	// Read every beat of bank 0 row 0: the checkerboard mismatches on
+	// roughly half the bits of every word.
+	res, err := d.Burst(0, 0, 0, beats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != beats {
+		t.Fatalf("got %d word errors over %d beats, want one per beat", len(*errs), beats)
+	}
+	for _, bits := range *errs {
+		if bits != d.Config().DataBits/2 {
+			t.Fatalf("stuck row word error = %d bits, want %d (checkerboard half)", bits, d.Config().DataBits/2)
+		}
+	}
+	// A clean row produces none.
+	*errs = (*errs)[:0]
+	if _, err := d.Burst(res.DoneNs, 0, 1, beats, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != 0 {
+		t.Fatalf("clean row produced %d word errors", len(*errs))
+	}
+}
+
+// TestRedirectRowRepairs remaps a stuck row onto a spare and verifies
+// the errors disappear after the spare is scrubbed in.
+func TestRedirectRowRepairs(t *testing.T) {
+	d, errs := backedDevice(t, map[int][]Fault{0: {{Kind: WordlineStuck0, Row: 0}}})
+	cfg := d.Config()
+	if err := d.RedirectRow(0, 0, cfg.RowsPerBank); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ScrubRow(0, 0, 0) // initialize the spare with the background
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Burst(res.DoneNs, 0, 0, cfg.ColumnsPerRow(), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != 0 {
+		t.Fatalf("redirected row still produced %d word errors", len(*errs))
+	}
+	st := d.Stats()
+	if st.Scrubs != 1 || st.ScrubBusyNs <= 0 {
+		t.Errorf("scrub accounting: %+v", st)
+	}
+	// Redirect validation.
+	if err := d.RedirectRow(9, 0, 0); err == nil {
+		t.Error("bad bank must be rejected")
+	}
+	if err := d.RedirectRow(0, cfg.RowsPerBank, 0); err == nil {
+		t.Error("logical row beyond device must be rejected")
+	}
+	if err := d.RedirectRow(0, 0, cfg.RowsPerBank+2); err == nil {
+		t.Error("physical row beyond backing must be rejected")
+	}
+}
+
+// TestScrubDoesNotCountClientTraffic pins that scrub writes do not
+// inflate the device's client read/write counters.
+func TestScrubDoesNotCountClientTraffic(t *testing.T) {
+	d, _ := backedDevice(t, nil)
+	before := d.Stats()
+	if _, err := d.ScrubRow(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after.Reads != before.Reads || after.Writes != before.Writes {
+		t.Errorf("scrub moved client counters: %+v -> %+v", before, after)
+	}
+	if after.Scrubs != before.Scrubs+1 {
+		t.Errorf("Scrubs = %d, want %d", after.Scrubs, before.Scrubs+1)
+	}
+}
+
+// TestBackingRetentionDecay lets a weak cell expire between accesses
+// and expects the read to flag it.
+func TestBackingRetentionDecay(t *testing.T) {
+	// Weak cell at a position whose background is 1 (so decay to 0 is
+	// visible): row 1, col 0 -> (1+0)%2 == 1.
+	d, errs := backedDevice(t, map[int][]Fault{
+		0: {{Kind: Retention, Row: 1, Col: 0, RetentionMs: 0.05}},
+	})
+	beats := d.Config().ColumnsPerRow()
+	// Write the whole row (stores the background, charges the cell).
+	res, err := d.Burst(0, 0, 1, beats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read it back immediately: no decay yet.
+	res, err = d.Burst(res.DoneNs, 0, 1, beats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != 0 {
+		t.Fatalf("fresh row produced %d errors", len(*errs))
+	}
+	// Read again 1 ms later (past the 0.05 ms retention): the weak cell
+	// has decayed.
+	if _, err := d.Burst(res.DoneNs+1e6, 0, 1, beats, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != 1 || (*errs)[0] != 1 {
+		t.Fatalf("decayed cell errors = %v, want one 1-bit word error", *errs)
+	}
+}

@@ -81,6 +81,11 @@ type Stats struct {
 	PageMisses  int64 // row conflict: had to precharge first
 	PageEmpties int64 // bank was idle: activate without precharge
 	Refreshes   int64
+	// Scrubs counts full-row scrub rewrites issued by the reliability
+	// ladder; ScrubBusyNs is the device time they occupied (bandwidth
+	// stolen from the clients).
+	Scrubs      int64
+	ScrubBusyNs float64
 	// DataBusBusyNs is the total time the data bus carried transfers.
 	DataBusBusyNs float64
 	// LastDoneNs is the completion time of the latest access.
@@ -119,6 +124,9 @@ type Device struct {
 	// actTimes is a ring of the last four activate times (tFAW).
 	actTimes [4]float64
 	actIdx   int
+	// backing, when non-nil, couples every access to functional cell
+	// arrays (see backing.go).
+	backing *backingState
 }
 
 // New creates a device from a validated config.
@@ -173,6 +181,7 @@ func (d *Device) serveRefresh(t float64) {
 		b.canActAt = end
 		b.canPreAt = end
 		b.canColAt = end
+		d.refreshBacking(end, d.refBank)
 		d.stats.Refreshes++
 		d.refBank = (d.refBank + 1) % d.cfg.Banks
 		d.nextRefAt += d.cfg.Timing.TRefIns
@@ -192,6 +201,12 @@ type AccessResult struct {
 // the earliest time the controller presents the request. It returns the
 // timing of the access.
 func (d *Device) Access(now float64, bank, row int, write bool) (AccessResult, error) {
+	return d.access(now, bank, row, write, false)
+}
+
+// access is the shared timing path; scrub accesses skip the client
+// read/write counters (they are accounted by ScrubRow).
+func (d *Device) access(now float64, bank, row int, write, scrub bool) (AccessResult, error) {
 	if bank < 0 || bank >= d.cfg.Banks {
 		return AccessResult{}, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, d.cfg.Banks)
 	}
@@ -255,16 +270,21 @@ func (d *Device) Access(now float64, bank, row int, write bool) (AccessResult, e
 	if write {
 		res.DoneNs = col + tm.TCKns
 		d.lastWriteEnd = res.DoneNs
-		d.stats.Writes++
+		if !scrub {
+			d.stats.Writes++
+		}
 	} else {
 		res.DoneNs = col + tm.TCASns
-		d.stats.Reads++
+		if !scrub {
+			d.stats.Reads++
+		}
 	}
 	d.busFreeAt = col + tm.TCKns
 	d.stats.DataBusBusyNs += tm.TCKns
 	if res.DoneNs > d.stats.LastDoneNs {
 		d.stats.LastDoneNs = res.DoneNs
 	}
+	d.touch(res.StartNs, bank, row, write, scrub)
 	return res, nil
 }
 

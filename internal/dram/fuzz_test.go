@@ -1,0 +1,50 @@
+package dram
+
+import (
+	"testing"
+)
+
+// FuzzArrayReadWrite drives a fault-free array with a random operation
+// stream decoded from the fuzz input: random reads, writes and
+// refreshes must never panic or error in-bounds, and because the array
+// is fault-free, every read must return the last value written to that
+// cell (read-after-write consistency, monotonic time).
+func FuzzArrayReadWrite(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10, 0xff})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const rows, cols = 16, 32
+		a, err := NewArray(rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make(map[[2]int]bool)
+		tMs := 0.0
+		for i := 0; i+2 < len(ops); i += 3 {
+			r := int(ops[i]) % rows
+			c := int(ops[i+1]) % cols
+			tMs += float64(ops[i+2]) / 255.0 // monotonic, fractional ms
+			switch ops[i] % 3 {
+			case 0: // write
+				v := ops[i+1]&1 == 1
+				if err := a.Write(tMs, r, c, v); err != nil {
+					t.Fatalf("Write(%g,%d,%d): %v", tMs, r, c, err)
+				}
+				shadow[[2]int{r, c}] = v
+			case 1: // read
+				got, err := a.Read(tMs, r, c)
+				if err != nil {
+					t.Fatalf("Read(%g,%d,%d): %v", tMs, r, c, err)
+				}
+				if want := shadow[[2]int{r, c}]; got != want {
+					t.Fatalf("cell (%d,%d) = %t, want %t (fault-free array must be consistent)", r, c, got, want)
+				}
+			default: // refresh
+				if err := a.RefreshRow(tMs, r); err != nil {
+					t.Fatalf("RefreshRow(%g,%d): %v", tMs, r, err)
+				}
+			}
+		}
+	})
+}

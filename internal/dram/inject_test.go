@@ -1,0 +1,113 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInjectRejectsWithoutMutation is the regression test for the
+// validate-before-commit contract: every malformed fault must be
+// rejected with FaultCount unchanged and the array still behaving as
+// fault-free.
+func TestInjectRejectsWithoutMutation(t *testing.T) {
+	bad := []struct {
+		name string
+		f    Fault
+	}{
+		{"cell row negative", Fault{Kind: StuckAt0, Row: -1, Col: 0}},
+		{"cell row high", Fault{Kind: StuckAt1, Row: 8, Col: 0}},
+		{"cell col negative", Fault{Kind: TransitionUp, Row: 0, Col: -1}},
+		{"cell col high", Fault{Kind: TransitionDown, Row: 0, Col: 16}},
+		{"bitline col negative", Fault{Kind: BitlineStuck0, Col: -3}},
+		{"bitline col high", Fault{Kind: BitlineStuck0, Col: 16}},
+		{"wordline row negative", Fault{Kind: WordlineStuck0, Row: -1}},
+		{"wordline row high", Fault{Kind: WordlineStuck0, Row: 8}},
+		{"coupling aggressor row", Fault{Kind: CouplingInvert, Row: 1, Col: 1, AggRow: 99, AggCol: 0}},
+		{"coupling aggressor col", Fault{Kind: CouplingInvert, Row: 1, Col: 1, AggRow: 0, AggCol: -2}},
+		{"retention zero", Fault{Kind: Retention, Row: 2, Col: 3, RetentionMs: 0}},
+		{"retention negative", Fault{Kind: Retention, Row: 2, Col: 3, RetentionMs: -4}},
+		{"decoder target row", Fault{Kind: AddressDecoder, Row: 0, Col: 0, AggRow: 8, AggCol: 0}},
+		{"decoder target col", Fault{Kind: AddressDecoder, Row: 0, Col: 0, AggRow: 0, AggCol: 16}},
+		{"decoder self-loop", Fault{Kind: AddressDecoder, Row: 3, Col: 4, AggRow: 3, AggCol: 4}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewArray(8, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Inject(tc.f); err == nil {
+				t.Fatalf("Inject(%+v) accepted a malformed fault", tc.f)
+			}
+			if n := a.FaultCount(); n != 0 {
+				t.Errorf("rejected fault left %d fault records behind", n)
+			}
+			// The array must still behave fault-free end to end.
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 16; c++ {
+					v := (r+c)%3 == 0
+					if err := a.Write(0, r, c, v); err != nil {
+						t.Fatal(err)
+					}
+					got, err := a.Read(0, r, c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != v {
+						t.Fatalf("cell (%d,%d): rejected fault corrupted behaviour", r, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInjectErrorMessages spot-checks that the rejection reasons name
+// the offending coordinate.
+func TestInjectErrorMessages(t *testing.T) {
+	a, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = a.Inject(Fault{Kind: BitlineStuck0, Col: 7})
+	if err == nil || !strings.Contains(err.Error(), "column 7") {
+		t.Errorf("bitline error should name the column, got %v", err)
+	}
+	err = a.Inject(Fault{Kind: AddressDecoder, Row: 1, Col: 1, AggRow: 1, AggCol: 1})
+	if err == nil || !strings.Contains(err.Error(), "different cell") {
+		t.Errorf("decoder self-loop error unexpected: %v", err)
+	}
+}
+
+// TestInjectValidStillWorks pins the happy path after the restructure.
+func TestInjectValidStillWorks(t *testing.T) {
+	a, err := NewArray(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []Fault{
+		{Kind: StuckAt1, Row: 0, Col: 0},
+		{Kind: BitlineStuck0, Col: 5},
+		{Kind: WordlineStuck0, Row: 7},
+		{Kind: Retention, Row: 2, Col: 2, RetentionMs: 1},
+		{Kind: CouplingInvert, Row: 3, Col: 3, AggRow: 3, AggCol: 4},
+		{Kind: AddressDecoder, Row: 4, Col: 4, AggRow: 5, AggCol: 5},
+	}
+	for _, f := range faults {
+		if err := a.Inject(f); err != nil {
+			t.Fatalf("Inject(%+v): %v", f, err)
+		}
+	}
+	if n := a.FaultCount(); n != len(faults) {
+		t.Errorf("FaultCount = %d, want %d", n, len(faults))
+	}
+	if v, _ := a.Read(0, 0, 0); !v {
+		t.Error("stuck-at-1 cell should read 1")
+	}
+	if err := a.Write(0, 1, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Read(0, 1, 5); v {
+		t.Error("stuck bitline should read 0")
+	}
+}

@@ -1,0 +1,38 @@
+package edram
+
+import (
+	"strings"
+	"testing"
+
+	"edram/internal/reliab"
+)
+
+func TestBuildWithECC(t *testing.T) {
+	base := Spec{CapacityMbit: 16, InterfaceBits: 64}
+	plain, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := base
+	prot.ECC = reliab.ECCSECDED
+	m, err := Build(prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Geometry.ECCOverheadFrac != 0.125 {
+		t.Errorf("SEC-DED/64 overhead = %g, want 0.125", m.Geometry.ECCOverheadFrac)
+	}
+	if m.Area.ECCMm2 <= 0 || m.Area.TotalMm2 <= plain.Area.TotalMm2 {
+		t.Errorf("ECC area not accounted: ecc=%g total=%g vs plain %g",
+			m.Area.ECCMm2, m.Area.TotalMm2, plain.Area.TotalMm2)
+	}
+	ds := m.Datasheet()
+	if !strings.Contains(ds, "ECC") || !strings.Contains(ds, "secded") {
+		t.Errorf("datasheet misses the ECC view:\n%s", ds)
+	}
+	// The protection must not change the logical organization the
+	// simulator sees (check bits live beside the payload).
+	if m.DeviceConfig() != plain.DeviceConfig() {
+		t.Error("ECC changed the device organization")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"edram/internal/dram"
 	"edram/internal/geom"
 	"edram/internal/power"
+	"edram/internal/reliab"
 	"edram/internal/tech"
 	"edram/internal/timing"
 	"edram/internal/units"
@@ -85,6 +86,10 @@ type Spec struct {
 	BlockBits int
 	// Redundancy selects spare rows/columns per block.
 	Redundancy RedundancyLevel
+	// ECC selects the per-word code stored alongside the payload; its
+	// check bits widen the array (area, cost) and its decoder sits on
+	// the read path (see internal/reliab).
+	ECC reliab.ECC
 	// Process (optional) defaults to tech.Siemens024().
 	Process *tech.Process
 	// TargetClockMHz (optional) caps the interface clock below the
@@ -167,6 +172,7 @@ func Build(spec Spec) (*Macro, error) {
 		WithBIST:      !spec.SkipBIST,
 	}
 	g.SpareRowsPerBlock, g.SpareColsPerBlock = spec.Redundancy.Spares()
+	g.ECCOverheadFrac = spec.ECC.StorageOverhead(spec.InterfaceBits)
 
 	// Page length.
 	page := spec.PageBits
@@ -287,6 +293,9 @@ func (m *Macro) Datasheet() string {
 		m.Timing.TCKns, m.Timing.TRCDns, m.Timing.TRPns, m.Timing.TRCns)
 	fmt.Fprintf(&b, "  redundancy      : %s (%d+%d spares/block)\n",
 		m.Spec.Redundancy, g.SpareRowsPerBlock, g.SpareColsPerBlock)
+	fmt.Fprintf(&b, "  ECC             : %s (%d check bits/word, %.1f%% storage, %.2f mm2)\n",
+		m.Spec.ECC, m.Spec.ECC.CheckBits(g.InterfaceBits),
+		100*g.ECCOverheadFrac, m.Area.ECCMm2)
 	fmt.Fprintf(&b, "  BIST            : %v\n", g.WithBIST)
 	return b.String()
 }

@@ -1,0 +1,61 @@
+package geom
+
+import (
+	"testing"
+
+	"edram/internal/tech"
+)
+
+func eccTestGeom() MacroGeometry {
+	return MacroGeometry{
+		Process:       tech.Siemens024(),
+		BlockBits:     Block1M,
+		Blocks:        16,
+		Banks:         4,
+		PageBits:      2048,
+		InterfaceBits: 64,
+	}
+}
+
+func TestECCOverheadArea(t *testing.T) {
+	plain := eccTestGeom()
+	base, err := plain.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ECCMm2 != 0 {
+		t.Errorf("no-ECC macro carries ECC area %g", base.ECCMm2)
+	}
+	prot := eccTestGeom()
+	prot.ECCOverheadFrac = 0.125 // (72,64) SEC-DED
+	withECC, err := prot.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.125 * (withECC.CellMm2 + withECC.ArrayOverheadMm2)
+	if withECC.ECCMm2 != want {
+		t.Errorf("ECCMm2 = %g, want %g", withECC.ECCMm2, want)
+	}
+	if withECC.TotalMm2 <= base.TotalMm2 {
+		t.Error("ECC must grow the macro")
+	}
+	if withECC.EfficiencyMbitPerMm2 >= base.EfficiencyMbitPerMm2 {
+		t.Error("ECC must cost area efficiency (usable bits unchanged)")
+	}
+}
+
+func TestECCOverheadValidation(t *testing.T) {
+	g := eccTestGeom()
+	g.ECCOverheadFrac = -0.1
+	if err := g.Validate(); err == nil {
+		t.Error("negative ECC overhead accepted")
+	}
+	g.ECCOverheadFrac = 1.0
+	if err := g.Validate(); err == nil {
+		t.Error("ECC overhead >= 1 accepted")
+	}
+	g.ECCOverheadFrac = 0.5
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid overhead rejected: %v", err)
+	}
+}

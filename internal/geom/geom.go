@@ -65,6 +65,11 @@ type MacroGeometry struct {
 	SpareColsPerBlock int
 	// WithBIST includes the synthesizable BIST controller.
 	WithBIST bool
+	// ECCOverheadFrac is the check-bit storage overhead of the macro's
+	// ECC scheme as a fraction of the payload width (e.g. 0.125 for a
+	// (72,64) SEC-DED code; 0 for none). The check bits replicate the
+	// cell array and its pitch-matched overhead, not the macro control.
+	ECCOverheadFrac float64
 }
 
 // TotalBits returns the usable macro capacity in bits (spares excluded).
@@ -115,6 +120,9 @@ func (g MacroGeometry) Validate() error {
 	if g.SpareRowsPerBlock < 0 || g.SpareColsPerBlock < 0 {
 		return fmt.Errorf("geom: spare counts must be non-negative")
 	}
+	if g.ECCOverheadFrac < 0 || g.ECCOverheadFrac >= 1 {
+		return fmt.Errorf("geom: ECC overhead fraction %g out of [0,1)", g.ECCOverheadFrac)
+	}
 	return nil
 }
 
@@ -123,6 +131,7 @@ type AreaBreakdown struct {
 	CellMm2          float64 // payload storage cells
 	ArrayOverheadMm2 float64 // sense amps, decoders, per-block fixed
 	RedundancyMm2    float64 // spare rows/columns
+	ECCMm2           float64 // check-bit columns and their array overhead
 	MacroOverheadMm2 float64 // control, interface, per-bank logic
 	BISTMm2          float64 // optional BIST controller
 	TotalMm2         float64
@@ -152,11 +161,15 @@ func (g MacroGeometry) Area() (AreaBreakdown, error) {
 	spareUm2 := float64(g.SpareRowsPerBlock)*(cols*cellUm2+rowDecF2PerRow*f2) +
 		float64(g.SpareColsPerBlock)*(rows*cellUm2+senseAmpF2PerColumn*f2)
 	b.RedundancyMm2 = nb * spareUm2 * um2ToMm2
+	// Check bits widen every stored word, so the ECC area replicates
+	// the cell array and the pitch-matched array overhead by the code's
+	// storage fraction.
+	b.ECCMm2 = g.ECCOverheadFrac * (b.CellMm2 + b.ArrayOverheadMm2)
 	b.MacroOverheadMm2 = macroFixedMm2 + float64(g.Banks)*perBankControlMm2 + float64(g.InterfaceBits)*perInterfaceBitMm2
 	if g.WithBIST {
 		b.BISTMm2 = LogicAreaMm2(g.Process, bistControllerKGate)
 	}
-	b.TotalMm2 = b.CellMm2 + b.ArrayOverheadMm2 + b.RedundancyMm2 + b.MacroOverheadMm2 + b.BISTMm2
+	b.TotalMm2 = b.CellMm2 + b.ArrayOverheadMm2 + b.RedundancyMm2 + b.ECCMm2 + b.MacroOverheadMm2 + b.BISTMm2
 	b.EfficiencyMbitPerMm2 = units.Ratio(units.BitsToMbit(int64(g.TotalBits())), b.TotalMm2)
 	return b, nil
 }

@@ -1,0 +1,127 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Degraded wraps a Mapping with a set of offlined (bank, row) pages:
+// the graceful-degradation surface of the reliability pipeline. When
+// the repair ladder exhausts its spare rows, it offlines the page here
+// instead of failing the run; addresses that mapped to an offlined page
+// are redirected to a healthy alias page in the same (or, as a last
+// resort, a neighbouring) bank. Capacity shrinks — two address ranges
+// now share one physical page, the CLR-DRAM-style capacity/reliability
+// trade — but every address keeps resolving, so the system keeps
+// serving traffic.
+//
+// Degraded is not safe for concurrent use; like the rest of the
+// controller state it belongs to the single simulation goroutine.
+type Degraded struct {
+	base Mapping
+	off  map[[2]int][2]int // offlined (bank,row) -> alias (bank,row)
+}
+
+// NewDegraded wraps a base mapping with an (initially empty) offline
+// set.
+func NewDegraded(base Mapping) *Degraded {
+	return &Degraded{base: base, off: map[[2]int][2]int{}}
+}
+
+// Map implements Mapping: the base translation followed by offline
+// redirection. Chained offlines (an alias that was later offlined
+// itself) are followed to a live page.
+func (d *Degraded) Map(addrB int64) (int, int) {
+	bank, row := d.base.Map(addrB)
+	for i := 0; i <= len(d.off); i++ {
+		alias, ok := d.off[[2]int{bank, row}]
+		if !ok {
+			return bank, row
+		}
+		bank, row = alias[0], alias[1]
+	}
+	return bank, row
+}
+
+// Geometry implements Mapping (the nominal, undegraded organization).
+func (d *Degraded) Geometry() Geometry { return d.base.Geometry() }
+
+// Name implements Mapping, passing the base name through so reports
+// stay comparable between clean and degraded runs.
+func (d *Degraded) Name() string { return d.base.Name() }
+
+// IsOffline reports whether a page has been offlined.
+func (d *Degraded) IsOffline(bank, row int) bool {
+	_, ok := d.off[[2]int{bank, row}]
+	return ok
+}
+
+// Offline removes one page from service and returns the alias page its
+// addresses are redirected to. The alias is the nearest following live
+// row of the same bank; if the whole bank is offline, the same row of
+// the next bank with life left. It fails only when every page of the
+// geometry is already offline — the point past which no graceful
+// degradation is possible.
+func (d *Degraded) Offline(bank, row int) (aliasBank, aliasRow int, err error) {
+	g := d.base.Geometry()
+	if bank < 0 || bank >= g.Banks || row < 0 || row >= g.RowsBank {
+		return 0, 0, fmt.Errorf("mapping: offline page (%d,%d) outside geometry %+v", bank, row, g)
+	}
+	key := [2]int{bank, row}
+	if _, ok := d.off[key]; ok {
+		a := d.off[key]
+		return a[0], a[1], nil // already offline; keep the existing alias
+	}
+	if len(d.off)+1 >= g.Banks*g.RowsBank {
+		return 0, 0, fmt.Errorf("mapping: cannot offline (%d,%d): no live pages left", bank, row)
+	}
+	for b := 0; b < g.Banks; b++ {
+		ab := (bank + b) % g.Banks
+		for r := 1; r <= g.RowsBank; r++ {
+			ar := (row + r) % g.RowsBank
+			if ab == bank && ar == row {
+				continue
+			}
+			if _, dead := d.off[[2]int{ab, ar}]; !dead {
+				d.off[key] = [2]int{ab, ar}
+				// Re-point existing aliases that led here, so chains
+				// stay one hop deep for the common case.
+				for k, a := range d.off {
+					if a == key {
+						d.off[k] = [2]int{ab, ar}
+					}
+				}
+				return ab, ar, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("mapping: cannot offline (%d,%d): no live pages left", bank, row)
+}
+
+// OfflinedPages returns the number of pages removed from service.
+func (d *Degraded) OfflinedPages() int { return len(d.off) }
+
+// Offlined lists the offlined (bank, row) pages in deterministic order.
+func (d *Degraded) Offlined() [][2]int {
+	out := make([][2]int, 0, len(d.off))
+	for k := range d.off {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// CapacityLossFraction returns the fraction of pages out of service.
+func (d *Degraded) CapacityLossFraction() float64 {
+	g := d.base.Geometry()
+	total := g.Banks * g.RowsBank
+	if total == 0 {
+		return 0
+	}
+	return float64(len(d.off)) / float64(total)
+}

@@ -1,0 +1,120 @@
+package mapping
+
+import (
+	"testing"
+)
+
+func degBase(t *testing.T) Mapping {
+	t.Helper()
+	m, err := NewLinear(Geometry{Banks: 2, RowsBank: 4, PageBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDegradedPassThrough(t *testing.T) {
+	base := degBase(t)
+	d := NewDegraded(base)
+	if d.Name() != base.Name() {
+		t.Errorf("name should pass through, got %q", d.Name())
+	}
+	if d.Geometry() != base.Geometry() {
+		t.Error("geometry should pass through")
+	}
+	for addr := int64(0); addr < 512; addr += 64 {
+		b0, r0 := base.Map(addr)
+		b1, r1 := d.Map(addr)
+		if b0 != b1 || r0 != r1 {
+			t.Fatalf("addr %d: degraded (%d,%d) != base (%d,%d)", addr, b1, r1, b0, r0)
+		}
+	}
+	if d.OfflinedPages() != 0 || d.CapacityLossFraction() != 0 {
+		t.Error("fresh wrapper must report zero degradation")
+	}
+}
+
+func TestDegradedOffline(t *testing.T) {
+	d := NewDegraded(degBase(t))
+	ab, ar, err := d.Offline(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab != 0 || ar != 2 {
+		t.Errorf("alias = (%d,%d), want next live row (0,2)", ab, ar)
+	}
+	if !d.IsOffline(0, 1) || d.IsOffline(0, 2) {
+		t.Error("offline bookkeeping wrong")
+	}
+	// Addresses of the offlined page now resolve to the alias.
+	var hit bool
+	for addr := int64(0); addr < 8*64; addr += 64 {
+		b, r := d.Map(addr)
+		if b == 0 && r == 1 {
+			t.Fatalf("addr %d still maps to the offlined page", addr)
+		}
+		if b == 0 && r == 2 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("no address reached the alias page")
+	}
+	// Idempotent: offlining again returns the same alias.
+	ab2, ar2, err := d.Offline(0, 1)
+	if err != nil || ab2 != ab || ar2 != ar {
+		t.Errorf("re-offline = (%d,%d,%v), want (%d,%d,nil)", ab2, ar2, err, ab, ar)
+	}
+	if d.OfflinedPages() != 1 {
+		t.Errorf("OfflinedPages = %d", d.OfflinedPages())
+	}
+	if got := d.CapacityLossFraction(); got != 1.0/8 {
+		t.Errorf("capacity loss = %g, want 1/8", got)
+	}
+}
+
+func TestDegradedChainsAndExhaustion(t *testing.T) {
+	d := NewDegraded(degBase(t))
+	// Offline row 1, aliased to row 2; then offline row 2 itself — the
+	// old alias must be re-pointed to a live page.
+	if _, _, err := d.Offline(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Offline(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, r := d.Map(64) // addr of (0,1) under linear mapping
+	if d.IsOffline(b, r) {
+		t.Fatalf("chained alias (%d,%d) is itself offline", b, r)
+	}
+	// Offline everything except one page; the last must fail.
+	pages := [][2]int{{0, 0}, {0, 3}, {1, 0}, {1, 1}, {1, 2}}
+	for _, p := range pages {
+		if _, _, err := d.Offline(p[0], p[1]); err != nil {
+			t.Fatalf("offline %v: %v", p, err)
+		}
+	}
+	if _, _, err := d.Offline(1, 3); err == nil {
+		t.Error("offlining the last live page must fail")
+	}
+	// Every address still resolves to the one live page.
+	for addr := int64(0); addr < 8*64; addr += 64 {
+		b, r := d.Map(addr)
+		if b != 1 || r != 3 {
+			t.Fatalf("addr %d maps to (%d,%d), want the last live page (1,3)", addr, b, r)
+		}
+	}
+	if got := len(d.Offlined()); got != 7 {
+		t.Errorf("Offlined lists %d pages, want 7", got)
+	}
+}
+
+func TestDegradedOfflineValidation(t *testing.T) {
+	d := NewDegraded(degBase(t))
+	if _, _, err := d.Offline(-1, 0); err == nil {
+		t.Error("negative bank must be rejected")
+	}
+	if _, _, err := d.Offline(0, 99); err == nil {
+		t.Error("row beyond geometry must be rejected")
+	}
+}

@@ -1,0 +1,209 @@
+// Package reliab implements the runtime reliability pipeline of the
+// reproduction: an ECC model (parity, SEC-DED, chipkill-lite), a
+// seeded, deterministic fault process that turns manufacturing defect
+// maps, a retention-time tail and a transient soft-error rate into
+// time-stamped fault events during scheduled traffic, and the
+// detect→retry→remap→degrade ladder the memory controller runs those
+// events through. It connects the paper's §5 redundancy and §6
+// test/repair machinery — so far exercised only at manufacturing test —
+// to the §4 timing world, in the spirit of "A Case for Transparent
+// Reliability in DRAM Systems" (arXiv 2204.10378): reliability
+// mechanisms modelled inside the memory system, with their bandwidth,
+// latency, storage and capacity costs on the books.
+package reliab
+
+import (
+	"fmt"
+)
+
+// ECC selects the per-word error-correcting code of the memory
+// interface. The code word is one DataBits-wide interface word plus
+// CheckBits stored alongside it (the storage overhead fed back into the
+// area and cost models).
+type ECC int
+
+const (
+	// ECCNone: errors pass through silently.
+	ECCNone ECC = iota
+	// ECCParity: one check bit per word; detects odd bit counts,
+	// corrects nothing.
+	ECCParity
+	// ECCSECDED: single-error-correct, double-error-detect Hamming.
+	ECCSECDED
+	// ECCChipkillLite: two interleaved SEC-DED half-words; corrects up
+	// to 2 bit errors, detects up to 4 — a lightweight stand-in for
+	// symbol-based chipkill.
+	ECCChipkillLite
+)
+
+// String implements fmt.Stringer.
+func (e ECC) String() string {
+	switch e {
+	case ECCNone:
+		return "none"
+	case ECCParity:
+		return "parity"
+	case ECCSECDED:
+		return "secded"
+	case ECCChipkillLite:
+		return "chipkill"
+	default:
+		return fmt.Sprintf("ECC(%d)", int(e))
+	}
+}
+
+// ParseECC parses an ECC scheme name as used by CLI flags.
+func ParseECC(s string) (ECC, error) {
+	switch s {
+	case "none", "":
+		return ECCNone, nil
+	case "parity":
+		return ECCParity, nil
+	case "secded", "sec-ded":
+		return ECCSECDED, nil
+	case "chipkill", "chipkill-lite":
+		return ECCChipkillLite, nil
+	default:
+		return ECCNone, fmt.Errorf("reliab: unknown ECC scheme %q (none, parity, secded, chipkill)", s)
+	}
+}
+
+// secdedCheckBits returns the Hamming SEC-DED check-bit count for a
+// data word: the smallest r with 2^r >= data+r+1, plus the extra
+// overall-parity bit.
+func secdedCheckBits(dataBits int) int {
+	r := 0
+	for (1 << uint(r)) < dataBits+r+1 {
+		r++
+	}
+	return r + 1
+}
+
+// CheckBits returns the number of check bits the scheme stores per
+// dataBits-wide word (64-bit SEC-DED: 8; the classic 12.5%).
+func (e ECC) CheckBits(dataBits int) int {
+	if dataBits <= 0 {
+		return 0
+	}
+	switch e {
+	case ECCParity:
+		return 1
+	case ECCSECDED:
+		return secdedCheckBits(dataBits)
+	case ECCChipkillLite:
+		half := dataBits / 2
+		if half < 1 {
+			half = 1
+		}
+		return 2 * secdedCheckBits(half)
+	default:
+		return 0
+	}
+}
+
+// StorageOverhead returns CheckBits as a fraction of the data width —
+// the extra cell area (and capacity the macro must carry) per stored
+// word.
+func (e ECC) StorageOverhead(dataBits int) float64 {
+	if dataBits <= 0 {
+		return 0
+	}
+	return float64(e.CheckBits(dataBits)) / float64(dataBits)
+}
+
+// DecodeNs returns the per-read-access decode/correct latency adder of
+// the scheme: syndrome generation sits on the critical read path, and
+// heavier codes pay more.
+func (e ECC) DecodeNs() float64 {
+	switch e {
+	case ECCParity:
+		return 0.5
+	case ECCSECDED:
+		return 1.0
+	case ECCChipkillLite:
+		return 2.0
+	default:
+		return 0
+	}
+}
+
+// Verdict classifies what the ECC decoder did with one word.
+type Verdict int
+
+const (
+	// VerdictClean: no bit errors.
+	VerdictClean Verdict = iota
+	// VerdictCorrected: errors within the correction capability; data
+	// restored.
+	VerdictCorrected
+	// VerdictDetected: errors beyond correction but within detection —
+	// the uncorrectable-error signal that starts the retry ladder.
+	VerdictDetected
+	// VerdictMiscorrected: errors aliased onto a correctable syndrome;
+	// the decoder "fixed" the wrong bit and made things worse.
+	VerdictMiscorrected
+	// VerdictSilent: errors entirely invisible to the scheme (silent
+	// data corruption).
+	VerdictSilent
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictCorrected:
+		return "corrected"
+	case VerdictDetected:
+		return "detected"
+	case VerdictMiscorrected:
+		return "miscorrected"
+	case VerdictSilent:
+		return "silent"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Classify returns the decoder outcome for a word carrying bits flipped
+// bits. The aliasing rules follow the standard coding results: parity
+// misses even counts; SEC-DED corrects 1, detects 2, and miscorrects
+// roughly the odd counts >= 3; chipkill-lite doubles both capabilities.
+func (e ECC) Classify(bits int) Verdict {
+	if bits <= 0 {
+		return VerdictClean
+	}
+	switch e {
+	case ECCNone:
+		return VerdictSilent
+	case ECCParity:
+		if bits%2 == 1 {
+			return VerdictDetected
+		}
+		return VerdictSilent
+	case ECCSECDED:
+		switch {
+		case bits == 1:
+			return VerdictCorrected
+		case bits == 2:
+			return VerdictDetected
+		case bits%2 == 1:
+			return VerdictMiscorrected
+		default:
+			return VerdictDetected
+		}
+	case ECCChipkillLite:
+		switch {
+		case bits <= 2:
+			return VerdictCorrected
+		case bits <= 4:
+			return VerdictDetected
+		case bits%2 == 1:
+			return VerdictMiscorrected
+		default:
+			return VerdictDetected
+		}
+	default:
+		return VerdictSilent
+	}
+}

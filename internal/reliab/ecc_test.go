@@ -1,0 +1,82 @@
+package reliab
+
+import "testing"
+
+func TestCheckBits(t *testing.T) {
+	cases := []struct {
+		ecc  ECC
+		data int
+		want int
+	}{
+		{ECCNone, 64, 0},
+		{ECCParity, 64, 1},
+		{ECCSECDED, 64, 8},  // the classic (72,64) code
+		{ECCSECDED, 32, 7},  // (39,32)
+		{ECCSECDED, 16, 6},  // (22,16)
+		{ECCChipkillLite, 64, 14}, // two (39,32) half-words
+	}
+	for _, tc := range cases {
+		if got := tc.ecc.CheckBits(tc.data); got != tc.want {
+			t.Errorf("%v.CheckBits(%d) = %d, want %d", tc.ecc, tc.data, got, tc.want)
+		}
+	}
+	if o := ECCSECDED.StorageOverhead(64); o != 0.125 {
+		t.Errorf("SEC-DED/64 overhead = %g, want 0.125", o)
+	}
+	if o := ECCNone.StorageOverhead(64); o != 0 {
+		t.Errorf("none overhead = %g", o)
+	}
+}
+
+func TestParseECCRoundTrip(t *testing.T) {
+	for _, e := range []ECC{ECCNone, ECCParity, ECCSECDED, ECCChipkillLite} {
+		got, err := ParseECC(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseECC(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseECC("hamming-extreme"); err == nil {
+		t.Error("unknown scheme must be rejected")
+	}
+	if e, err := ParseECC(""); err != nil || e != ECCNone {
+		t.Errorf("empty scheme = %v, %v, want none", e, err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		ecc  ECC
+		bits int
+		want Verdict
+	}{
+		{ECCNone, 0, VerdictClean},
+		{ECCNone, 1, VerdictSilent},
+		{ECCNone, 3, VerdictSilent},
+		{ECCParity, 1, VerdictDetected},
+		{ECCParity, 2, VerdictSilent},
+		{ECCParity, 3, VerdictDetected},
+		{ECCSECDED, 1, VerdictCorrected},
+		{ECCSECDED, 2, VerdictDetected},
+		{ECCSECDED, 3, VerdictMiscorrected},
+		{ECCSECDED, 4, VerdictDetected},
+		{ECCChipkillLite, 1, VerdictCorrected},
+		{ECCChipkillLite, 2, VerdictCorrected},
+		{ECCChipkillLite, 3, VerdictDetected},
+		{ECCChipkillLite, 4, VerdictDetected},
+		{ECCChipkillLite, 5, VerdictMiscorrected},
+		{ECCChipkillLite, 6, VerdictDetected},
+	}
+	for _, tc := range cases {
+		if got := tc.ecc.Classify(tc.bits); got != tc.want {
+			t.Errorf("%v.Classify(%d) = %v, want %v", tc.ecc, tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeLatencyOrdering(t *testing.T) {
+	if !(ECCNone.DecodeNs() < ECCParity.DecodeNs() &&
+		ECCParity.DecodeNs() < ECCSECDED.DecodeNs() &&
+		ECCSECDED.DecodeNs() < ECCChipkillLite.DecodeNs()) {
+		t.Error("decode latency must grow with code strength")
+	}
+}

@@ -1,0 +1,364 @@
+package reliab
+
+import (
+	"fmt"
+
+	"edram/internal/bist"
+	"edram/internal/dram"
+	"edram/internal/mapping"
+	"edram/internal/yield"
+)
+
+// Outcome is the final disposition of one faulty access after the
+// ladder ran.
+type Outcome int
+
+const (
+	// OutcomeCorrected: ECC corrected the data in place.
+	OutcomeCorrected Outcome = iota
+	// OutcomeRetryRecovered: the retry re-read came back clean or
+	// correctable (a transient).
+	OutcomeRetryRecovered
+	// OutcomeRemapped: retries kept failing; the row was redirected to
+	// a spare row.
+	OutcomeRemapped
+	// OutcomeOfflined: no spares left; the page was taken out of
+	// service and its addresses aliased to a live page.
+	OutcomeOfflined
+	// OutcomeUncorrected: data lost and no repair was possible (even
+	// offlining failed).
+	OutcomeUncorrected
+	// OutcomeMiscorrected: the decoder corrected the wrong bit.
+	OutcomeMiscorrected
+	// OutcomeSilent: the errors were invisible to the scheme.
+	OutcomeSilent
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeRetryRecovered:
+		return "retry-recovered"
+	case OutcomeRemapped:
+		return "remapped"
+	case OutcomeOfflined:
+		return "offlined"
+	case OutcomeUncorrected:
+		return "uncorrected"
+	case OutcomeMiscorrected:
+		return "miscorrected"
+	case OutcomeSilent:
+		return "silent"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// FaultEvent is one time-stamped runtime error event — the reliability
+// counterpart of sched.TraceEntry, streamed through the controller's
+// FaultObserver hook in service order.
+type FaultEvent struct {
+	// TimeNs is when the ladder resolved the access (after any retries
+	// and scrubs).
+	TimeNs float64
+	// Client is the memory client whose access hit the fault.
+	Client    string
+	Bank, Row int
+	// HardBits / SoftBits are the worst-word persistent and transient
+	// bit-error counts of the first (pre-retry) observation.
+	HardBits, SoftBits int
+	// Attempts is the number of retries issued.
+	Attempts int
+	Outcome  Outcome
+}
+
+// Stats accumulates the reliability counters of one run — the
+// ReliabilityStats of the controller result.
+type Stats struct {
+	// InjectedFaults / WeakCells describe the drawn defect map.
+	InjectedFaults int
+	WeakCells      int
+	// DefectFingerprint identifies the map (determinism checks).
+	DefectFingerprint uint64
+	// BootRemapped / BootOfflined count boot-screen pre-repairs.
+	BootRemapped int64
+	BootOfflined int64
+	// FaultyAccesses counts accesses that observed at least one bit
+	// error; the Outcome counters below partition them.
+	FaultyAccesses int64
+	Corrected      int64
+	RetryRecovered int64
+	Remapped       int64
+	Offlined       int64
+	Uncorrected    int64
+	Miscorrected   int64
+	Silent         int64
+	// Retries counts individual retry bursts; Scrubs full-row scrub
+	// rewrites.
+	Retries int64
+	Scrubs  int64
+	// RetryNs / ScrubNs / DecodeNs is device or pipeline time stolen
+	// from the clients by each mechanism.
+	RetryNs  float64
+	ScrubNs  float64
+	DecodeNs float64
+	// SparesUsed / SparesTotal describe the repair budget; OfflinedRows
+	// and CapacityLossFrac the graceful degradation reached by the end
+	// of the run.
+	SparesUsed       int
+	SparesTotal      int
+	OfflinedRows     int
+	CapacityLossFrac float64
+}
+
+// Ladder is the controller-side reliability engine: it owns the fault
+// process, the ECC scheme, the spare-row allocator and the degradation
+// state, and is invoked by the scheduler after every served request.
+type Ladder struct {
+	cfg      Config
+	proc     *Process
+	dev      *dram.Device
+	deg      *mapping.Degraded
+	alloc    *yield.Allocator
+	observer func(FaultEvent)
+	stats    Stats
+	rowsPerBank int
+	// pending accumulates per-word bit-error counts reported by the
+	// device backing during the burst currently being served.
+	pending []int
+	accessN int64
+}
+
+// NewLadder builds the fault process for the device's organization,
+// attaches the functional backing (and error callback) to the device,
+// optionally runs the boot-time BIST screen, and returns the ladder
+// ready for traffic. deg is the degradation surface the scheduler also
+// maps addresses through; observer may be nil.
+func NewLadder(cfg Config, dev *dram.Device, deg *mapping.Degraded, observer func(FaultEvent)) (*Ladder, error) {
+	if dev == nil || deg == nil {
+		return nil, fmt.Errorf("reliab: ladder needs a device and a degradation mapping")
+	}
+	dc := dev.Config()
+	proc, err := NewProcess(cfg, dc.Banks, dc.RowsPerBank, dc.PageBits)
+	if err != nil {
+		return nil, err
+	}
+	cfg = proc.Config()
+	alloc, err := yield.NewAllocator(dc.Banks, cfg.SpareRowsPerBank)
+	if err != nil {
+		return nil, err
+	}
+	arrays, err := proc.BuildArrays()
+	if err != nil {
+		return nil, err
+	}
+	l := &Ladder{
+		cfg: cfg, proc: proc, dev: dev, deg: deg, alloc: alloc,
+		observer:    observer,
+		rowsPerBank: dc.RowsPerBank,
+	}
+	l.stats.InjectedFaults = proc.FaultCount()
+	l.stats.WeakCells = proc.WeakCells()
+	l.stats.DefectFingerprint = proc.Fingerprint()
+	_, l.stats.SparesTotal = alloc.Totals()
+	if err := dev.SetBacking(arrays, l.onWordError); err != nil {
+		return nil, err
+	}
+	if cfg.BootScreen {
+		if err := l.bootScreen(arrays); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// onWordError is the device backing callback: it records each
+// mismatching word of the burst in flight.
+func (l *Ladder) onWordError(bank, row, bits int) {
+	l.pending = append(l.pending, bits)
+}
+
+// takePending consumes the worst-word persistent error count observed
+// since the last call.
+func (l *Ladder) takePending() int {
+	worst := 0
+	for _, b := range l.pending {
+		if b > worst {
+			worst = b
+		}
+	}
+	l.pending = l.pending[:0]
+	return worst
+}
+
+// bootScreen runs the BIST row diagnosis over every bank and
+// pre-repairs the rows it finds: spare-row remap while spares last,
+// offline after. This is the §6 test/repair flow promoted to boot time.
+func (l *Ladder) bootScreen(arrays []*dram.Array) error {
+	runner := bist.Runner{CycleNs: 10, ParallelBits: 64}
+	for b, a := range arrays {
+		diag, err := bist.DiagnoseRows(a, bist.Checkerboard, runner, 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range diag.FailingRows {
+			if r >= l.rowsPerBank {
+				continue // a defective spare row carries no logical data yet
+			}
+			if l.repairRow(b, r) {
+				l.stats.BootRemapped++
+			} else if _, _, err := l.deg.Offline(b, r); err == nil {
+				l.stats.BootOfflined++
+			}
+		}
+	}
+	return nil
+}
+
+// repairRow redirects one logical row to the bank's next spare,
+// initializing the spare with a scrub. Reports false when the spare
+// pool is exhausted.
+func (l *Ladder) repairRow(bank, row int) bool {
+	spare, ok := l.alloc.Allocate(bank)
+	if !ok {
+		return false
+	}
+	if err := l.dev.RedirectRow(bank, row, l.rowsPerBank+spare); err != nil {
+		return false
+	}
+	return true
+}
+
+// Stats returns the counters accumulated so far, with the
+// degradation-state fields refreshed.
+func (l *Ladder) Stats() Stats {
+	s := l.stats
+	s.SparesUsed, s.SparesTotal = l.alloc.Totals()
+	s.OfflinedRows = l.deg.OfflinedPages()
+	s.CapacityLossFrac = l.deg.CapacityLossFraction()
+	return s
+}
+
+// emit sends one event to the observer and counts the access.
+func (l *Ladder) emit(ev FaultEvent) {
+	l.stats.FaultyAccesses++
+	if l.observer != nil {
+		l.observer(ev)
+	}
+}
+
+// AfterAccess runs the ladder on one served request: it merges the
+// persistent word errors the device backing reported during the burst
+// with the transient errors of the fault process, classifies them under
+// the ECC scheme, and walks detect→retry→remap→degrade as far as the
+// fault demands. It returns the access completion time extended by any
+// decode, retry and scrub activity. beats is the burst length of the
+// original access.
+func (l *Ladder) AfterAccess(client string, bank, row int, write bool, beats int, res dram.AccessResult) (float64, error) {
+	hard := l.takePending()
+	n := l.accessN
+	l.accessN++
+	done := res.DoneNs
+	if !write {
+		// Syndrome decode sits on every read's critical path.
+		done += l.cfg.ECC.DecodeNs()
+		l.stats.DecodeNs += l.cfg.ECC.DecodeNs()
+	}
+	soft := 0
+	if !write {
+		soft = l.proc.SoftBits(n, 0, bank, row)
+	}
+	bits := hard + soft
+	if bits == 0 {
+		return done, nil
+	}
+	ev := FaultEvent{Client: client, Bank: bank, Row: row, HardBits: hard, SoftBits: soft}
+	verdict := l.cfg.ECC.Classify(bits)
+
+	// Retry rung: a detected-uncorrectable word is re-read a bounded
+	// number of times. Transients re-roll (and vanish); persistent
+	// faults keep the verdict at Detected.
+	for verdict == VerdictDetected && ev.Attempts < l.cfg.MaxRetries {
+		ev.Attempts++
+		l.stats.Retries++
+		r2, err := l.dev.Burst(done, bank, row, beats, false)
+		if err != nil {
+			return done, fmt.Errorf("reliab: retry: %w", err)
+		}
+		l.stats.RetryNs += r2.DoneNs - done
+		done = r2.DoneNs + l.cfg.ECC.DecodeNs()
+		l.stats.DecodeNs += l.cfg.ECC.DecodeNs()
+		hard = l.takePending()
+		soft = l.proc.SoftBits(n, ev.Attempts, bank, row)
+		bits = hard + soft
+		verdict = l.cfg.ECC.Classify(bits)
+	}
+
+	switch verdict {
+	case VerdictClean:
+		ev.Outcome = OutcomeRetryRecovered
+		l.stats.RetryRecovered++
+	case VerdictCorrected:
+		if ev.Attempts > 0 {
+			ev.Outcome = OutcomeRetryRecovered
+			l.stats.RetryRecovered++
+		} else {
+			ev.Outcome = OutcomeCorrected
+			l.stats.Corrected++
+		}
+		// Correctable errors with a persistent cause are scrubbed on
+		// read: rewrite the row so decayed weak cells are restored
+		// (stuck cells will re-surface and eventually climb the
+		// ladder through repeated correction).
+		if hard > 0 {
+			var err error
+			done, err = l.scrub(done, bank, row)
+			if err != nil {
+				return done, err
+			}
+		}
+	case VerdictDetected:
+		// Retries exhausted: a persistent uncorrectable fault. The
+		// word's data is lost; repair the page so future traffic is
+		// clean — spare-row remap while spares last, then graceful
+		// capacity degradation.
+		if l.repairRow(bank, row) {
+			ev.Outcome = OutcomeRemapped
+			l.stats.Remapped++
+			var err error
+			done, err = l.scrub(done, bank, row) // initialize the spare
+			if err != nil {
+				return done, err
+			}
+		} else if _, _, err := l.deg.Offline(bank, row); err == nil {
+			ev.Outcome = OutcomeOfflined
+			l.stats.Offlined++
+		} else {
+			ev.Outcome = OutcomeUncorrected
+			l.stats.Uncorrected++
+		}
+	case VerdictMiscorrected:
+		ev.Outcome = OutcomeMiscorrected
+		l.stats.Miscorrected++
+	case VerdictSilent:
+		ev.Outcome = OutcomeSilent
+		l.stats.Silent++
+	}
+	ev.TimeNs = done
+	l.emit(ev)
+	return done, nil
+}
+
+// scrub rewrites one row through the device and accounts the stolen
+// time.
+func (l *Ladder) scrub(now float64, bank, row int) (float64, error) {
+	res, err := l.dev.ScrubRow(now, bank, row)
+	if err != nil {
+		return now, fmt.Errorf("reliab: scrub: %w", err)
+	}
+	l.stats.Scrubs++
+	l.stats.ScrubNs += res.DoneNs - now
+	return res.DoneNs, nil
+}

@@ -1,0 +1,224 @@
+package reliab
+
+import (
+	"testing"
+
+	"edram/internal/dram"
+	"edram/internal/mapping"
+	"edram/internal/tech"
+)
+
+func ladderDevCfg() dram.Config {
+	return dram.Config{
+		Banks:       2,
+		RowsPerBank: 32,
+		PageBits:    512,
+		DataBits:    64,
+		Timing:      tech.PC100(),
+	}
+}
+
+func ladderFixture(t *testing.T, cfg Config) (*Ladder, *dram.Device, *mapping.Degraded, *[]FaultEvent) {
+	t.Helper()
+	dev, err := dram.New(ladderDevCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mapping.NewLinear(mapping.Geometry{Banks: 2, RowsBank: 32, PageBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := mapping.NewDegraded(base)
+	var events []FaultEvent
+	l, err := NewLadder(cfg, dev, deg, func(ev FaultEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dev, deg, &events
+}
+
+// readRow drives one full-row read through the device and the ladder.
+func readRow(t *testing.T, l *Ladder, dev *dram.Device, now float64, bank, row int) (float64, error) {
+	t.Helper()
+	beats := dev.Config().ColumnsPerRow()
+	res, err := dev.Burst(now, bank, row, beats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.AfterAccess("test", bank, row, false, beats, res)
+}
+
+// TestLadderCleanRun: no faults, no events, no latency beyond decode.
+func TestLadderCleanRun(t *testing.T) {
+	l, dev, _, events := ladderFixture(t, Config{Seed: 1, ECC: ECCSECDED})
+	done, err := readRow(t, l, dev, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*events) != 0 {
+		t.Fatalf("clean run emitted %d events", len(*events))
+	}
+	st := l.Stats()
+	if st.FaultyAccesses != 0 || st.Retries != 0 {
+		t.Errorf("clean stats: %+v", st)
+	}
+	if st.DecodeNs <= 0 || done <= 0 {
+		t.Error("SEC-DED decode latency must accrue on reads")
+	}
+}
+
+// TestLadderCorrectsSingleBit: one stuck cell under SEC-DED is
+// corrected and the row scrubbed.
+func TestLadderCorrectsSingleBit(t *testing.T) {
+	// Cell (5, 0): background (5+0)%2 = 1, stuck at 0 -> one bad bit in
+	// beat 0 of row 5.
+	l, dev, _, events := ladderFixture(t, Config{
+		Seed: 1, ECC: ECCSECDED,
+		ExtraFaults: map[int][]dram.Fault{0: {{Kind: dram.StuckAt0, Row: 5, Col: 0}}},
+	})
+	if _, err := readRow(t, l, dev, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Corrected != 1 {
+		t.Fatalf("Corrected = %d, want 1 (stats %+v)", st.Corrected, st)
+	}
+	if st.Scrubs != 1 || st.ScrubNs <= 0 {
+		t.Errorf("persistent correctable error must scrub: %+v", st)
+	}
+	if len(*events) != 1 || (*events)[0].Outcome != OutcomeCorrected {
+		t.Fatalf("events = %+v", *events)
+	}
+	if (*events)[0].HardBits != 1 {
+		t.Errorf("HardBits = %d, want 1", (*events)[0].HardBits)
+	}
+}
+
+// TestLadderRemapsUncorrectable: a stuck wordline overwhelms SEC-DED;
+// the ladder retries, remaps to a spare, and the row reads clean after.
+func TestLadderRemapsUncorrectable(t *testing.T) {
+	l, dev, _, events := ladderFixture(t, Config{
+		Seed: 1, ECC: ECCSECDED, SpareRowsPerBank: 2, MaxRetries: 2,
+		ExtraFaults: map[int][]dram.Fault{0: {{Kind: dram.WordlineStuck0, Row: 3}}},
+	})
+	done, err := readRow(t, l, dev, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Remapped != 1 {
+		t.Fatalf("Remapped = %d (stats %+v)", st.Remapped, st)
+	}
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want MaxRetries=2", st.Retries)
+	}
+	if st.SparesUsed != 1 {
+		t.Errorf("SparesUsed = %d, want 1", st.SparesUsed)
+	}
+	if len(*events) != 1 || (*events)[0].Outcome != OutcomeRemapped || (*events)[0].Attempts != 2 {
+		t.Fatalf("events = %+v", *events)
+	}
+	// The remapped row must now be clean.
+	*events = (*events)[:0]
+	if _, err := readRow(t, l, dev, done, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(*events) != 0 {
+		t.Fatalf("remapped row still faults: %+v", *events)
+	}
+	if l.Stats().FaultyAccesses != 1 {
+		t.Errorf("FaultyAccesses = %d, want 1", l.Stats().FaultyAccesses)
+	}
+}
+
+// TestLadderDegradesWhenSparesExhausted: two stuck wordlines, one
+// spare: the second uncorrectable row is offlined and capacity shrinks.
+func TestLadderDegradesWhenSparesExhausted(t *testing.T) {
+	l, dev, deg, events := ladderFixture(t, Config{
+		Seed: 1, ECC: ECCSECDED, SpareRowsPerBank: 1,
+		ExtraFaults: map[int][]dram.Fault{0: {
+			{Kind: dram.WordlineStuck0, Row: 3},
+			{Kind: dram.WordlineStuck0, Row: 9},
+		}},
+	})
+	done, err := readRow(t, l, dev, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRow(t, l, dev, done, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Remapped != 1 || st.Offlined != 1 {
+		t.Fatalf("Remapped=%d Offlined=%d, want 1/1 (stats %+v)", st.Remapped, st.Offlined, st)
+	}
+	if !deg.IsOffline(0, 9) {
+		t.Error("row (0,9) should be offline")
+	}
+	if st.CapacityLossFrac <= 0 {
+		t.Error("capacity loss must be visible")
+	}
+	if st.OfflinedRows != 1 {
+		t.Errorf("OfflinedRows = %d", st.OfflinedRows)
+	}
+	outcomes := []Outcome{(*events)[0].Outcome, (*events)[1].Outcome}
+	if outcomes[0] != OutcomeRemapped || outcomes[1] != OutcomeOfflined {
+		t.Errorf("outcomes = %v, want [remapped offlined]", outcomes)
+	}
+}
+
+// TestLadderNoECCSilent: without ECC even a hard fault passes silently
+// (the paper's baseline: no detection, no repair).
+func TestLadderNoECCSilent(t *testing.T) {
+	l, dev, _, events := ladderFixture(t, Config{
+		Seed: 1, ECC: ECCNone,
+		ExtraFaults: map[int][]dram.Fault{0: {{Kind: dram.StuckAt0, Row: 5, Col: 0}}},
+	})
+	if _, err := readRow(t, l, dev, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Silent != 1 || st.Corrected != 0 || st.Retries != 0 {
+		t.Fatalf("no-ECC stats: %+v", st)
+	}
+	if (*events)[0].Outcome != OutcomeSilent {
+		t.Errorf("outcome = %v", (*events)[0].Outcome)
+	}
+}
+
+// TestLadderBootScreen: a boot screen pre-repairs a manufactured stuck
+// row, so runtime traffic never sees it.
+func TestLadderBootScreen(t *testing.T) {
+	l, dev, _, events := ladderFixture(t, Config{
+		Seed: 1, ECC: ECCSECDED, SpareRowsPerBank: 2, BootScreen: true,
+		ExtraFaults: map[int][]dram.Fault{0: {{Kind: dram.WordlineStuck0, Row: 4}}},
+	})
+	st := l.Stats()
+	if st.BootRemapped != 1 {
+		t.Fatalf("BootRemapped = %d (stats %+v)", st.BootRemapped, st)
+	}
+	if _, err := readRow(t, l, dev, 0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(*events) != 0 {
+		t.Fatalf("pre-repaired row still faults at runtime: %+v", *events)
+	}
+}
+
+// TestOutcomeStrings pins the observer-facing names.
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeCorrected:      "corrected",
+		OutcomeRetryRecovered: "retry-recovered",
+		OutcomeRemapped:       "remapped",
+		OutcomeOfflined:       "offlined",
+		OutcomeUncorrected:    "uncorrected",
+		OutcomeMiscorrected:   "miscorrected",
+		OutcomeSilent:         "silent",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package reliab
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"edram/internal/dram"
+	"edram/internal/yield"
+)
+
+// Config parameterizes the reliability pipeline of one controller run.
+// The zero value is almost usable: set Seed and at least one of
+// MeanDefectsPerBank / SoftErrorsPerMAccess / RetentionTailPerBank to
+// inject something.
+type Config struct {
+	// Seed drives every random draw of the pipeline. The same seed
+	// reproduces byte-identical defect maps, fault-event streams and
+	// statistics, regardless of how many worker goroutines run
+	// campaigns around the simulation.
+	Seed int64
+	// ECC selects the per-word code of the interface.
+	ECC ECC
+	// MeanDefectsPerBank is the Poisson mean of manufacturing defects
+	// per bank (rendered through yield.GenerateDefects over the bank's
+	// rows+spares x page geometry).
+	MeanDefectsPerBank float64
+	// Mix controls what a defect becomes; the zero value means
+	// yield.DefaultMix().
+	Mix yield.DefectMix
+	// RetentionTailPerBank is the Poisson mean of weak cells per bank
+	// whose retention falls in [TailMinMs, TailMaxMs] — cells that
+	// decay between refresh visits at runtime.
+	RetentionTailPerBank float64
+	// TailMinMs / TailMaxMs bound the retention tail (defaults 0.02
+	// and 1.0 ms — weak enough to decay within short simulations).
+	TailMinMs, TailMaxMs float64
+	// SoftErrorsPerMAccess is the expected transient bit flips per
+	// million word accesses (the soft-error rate scaled to traffic).
+	SoftErrorsPerMAccess float64
+	// SpareRowsPerBank is the runtime repair budget of the remap rung.
+	SpareRowsPerBank int
+	// MaxRetries bounds the retry rung (default 2).
+	MaxRetries int
+	// BootScreen, when true, runs a BIST row diagnosis over every bank
+	// before traffic and pre-repairs the rows it finds, so the runtime
+	// ladder only sees escapes (retention tails, transients, spare-cell
+	// defects).
+	BootScreen bool
+	// ExtraFaults injects additional explicit faults per bank on top of
+	// the generated map — the hook unit tests and targeted experiments
+	// use for deterministic scenarios.
+	ExtraFaults map[int][]dram.Fault
+}
+
+// withDefaults returns the config with zero-valued knobs resolved.
+func (c Config) withDefaults() Config {
+	if c.Mix == (yield.DefectMix{}) {
+		c.Mix = yield.DefaultMix()
+	}
+	if c.TailMinMs == 0 {
+		c.TailMinMs = 0.02
+	}
+	if c.TailMaxMs == 0 {
+		c.TailMaxMs = 1.0
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.MeanDefectsPerBank < 0 || c.RetentionTailPerBank < 0 || c.SoftErrorsPerMAccess < 0 {
+		return fmt.Errorf("reliab: fault rates must be non-negative")
+	}
+	if c.SpareRowsPerBank < 0 {
+		return fmt.Errorf("reliab: spare rows must be non-negative, got %d", c.SpareRowsPerBank)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("reliab: retry bound must be non-negative, got %d", c.MaxRetries)
+	}
+	if c.TailMinMs <= 0 || c.TailMaxMs <= c.TailMinMs {
+		return fmt.Errorf("reliab: retention tail window [%g,%g) ms invalid", c.TailMinMs, c.TailMaxMs)
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if _, err := ParseECC(c.ECC.String()); err != nil {
+		return fmt.Errorf("reliab: invalid ECC scheme %d", int(c.ECC))
+	}
+	return nil
+}
+
+// Process is the instantiated fault process of one run: the per-bank
+// defect maps (manufacturing defects plus the retention tail, spares
+// included) and the deterministic transient-error source.
+type Process struct {
+	cfg    Config
+	banks  int
+	rows   int // physical rows per bank = logical rows + spares
+	cols   int // page bits
+	faults [][]dram.Fault // per bank, generation order
+	softP  float64        // per-access transient probability
+}
+
+// NewProcess draws the defect map for a device of the given
+// organization. Everything is a pure function of (cfg.Seed, geometry):
+// two processes with equal inputs are byte-identical.
+func NewProcess(cfg Config, banks, rowsPerBank, pageBits int) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if banks < 1 || rowsPerBank < 1 || pageBits < 1 {
+		return nil, fmt.Errorf("reliab: geometry %d banks x %d rows x %d bits invalid", banks, rowsPerBank, pageBits)
+	}
+	p := &Process{
+		cfg:   cfg,
+		banks: banks,
+		rows:  rowsPerBank + cfg.SpareRowsPerBank,
+		cols:  pageBits,
+		softP: cfg.SoftErrorsPerMAccess / 1e6,
+	}
+	p.faults = make([][]dram.Fault, banks)
+	for b := 0; b < banks; b++ {
+		// One independent, bank-seeded stream per bank, so the map of
+		// bank b does not depend on how many banks precede it.
+		rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed), uint64(b)+1))))
+		defects, err := yield.GenerateDefects(rng, p.rows, p.cols, cfg.MeanDefectsPerBank, cfg.Mix)
+		if err != nil {
+			return nil, err
+		}
+		tail, err := yield.GenerateRetentionTail(rng, p.rows, p.cols, cfg.RetentionTailPerBank, cfg.TailMinMs, cfg.TailMaxMs)
+		if err != nil {
+			return nil, err
+		}
+		p.faults[b] = append(defects, tail...)
+		p.faults[b] = append(p.faults[b], cfg.ExtraFaults[b]...)
+	}
+	return p, nil
+}
+
+// Config returns the (defaults-resolved) configuration.
+func (p *Process) Config() Config { return p.cfg }
+
+// FaultCount returns the total injected fault records across banks.
+func (p *Process) FaultCount() int {
+	n := 0
+	for _, fs := range p.faults {
+		n += len(fs)
+	}
+	return n
+}
+
+// WeakCells returns the number of retention faults in the map.
+func (p *Process) WeakCells() int {
+	n := 0
+	for _, fs := range p.faults {
+		for _, f := range fs {
+			if f.Kind == dram.Retention {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BuildArrays renders the defect map into one functional array per
+// bank, sized rows+spares x pageBits, ready for dram.Device.SetBacking.
+func (p *Process) BuildArrays() ([]*dram.Array, error) {
+	arrays := make([]*dram.Array, p.banks)
+	for b := 0; b < p.banks; b++ {
+		a, err := dram.NewArray(p.rows, p.cols)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range p.faults[b] {
+			if err := a.Inject(f); err != nil {
+				return nil, fmt.Errorf("reliab: bank %d: %w", b, err)
+			}
+		}
+		arrays[b] = a
+	}
+	return arrays, nil
+}
+
+// SoftBits returns the number of transient bit flips a word access
+// observes — a pure hash of (seed, access index, attempt, bank, row),
+// so a retry of the same access re-rolls the transients (they are gone)
+// while everything stays reproducible across runs and worker counts.
+func (p *Process) SoftBits(access int64, attempt, bank, row int) int {
+	if p.softP <= 0 {
+		return 0
+	}
+	h := mix64(uint64(p.cfg.Seed)^0x9e3779b97f4a7c15, uint64(access)<<20|uint64(attempt)<<16|uint64(bank)<<12|uint64(row))
+	u := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	switch {
+	case u < p.softP/16:
+		return 2 // rare double-bit upset (one particle, two cells)
+	case u < p.softP:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Fingerprint hashes the full defect map into one word — the
+// byte-identical-defect-map check of the determinism tests.
+func (p *Process) Fingerprint() uint64 {
+	h := uint64(0x8c995b3c551da617)
+	for b, fs := range p.faults {
+		sorted := append([]dram.Fault(nil), fs...)
+		sort.Slice(sorted, func(i, j int) bool {
+			a, c := sorted[i], sorted[j]
+			if a.Row != c.Row {
+				return a.Row < c.Row
+			}
+			if a.Col != c.Col {
+				return a.Col < c.Col
+			}
+			return a.Kind < c.Kind
+		})
+		for _, f := range sorted {
+			h = mix64(h, uint64(b))
+			h = mix64(h, uint64(f.Kind)<<48|uint64(uint32(f.Row))<<24|uint64(uint32(f.Col)))
+			h = mix64(h, uint64(int64(f.RetentionMs*1e6)))
+		}
+	}
+	return h
+}
+
+// mix64 is a splitmix64-style avalanche combiner.
+func mix64(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

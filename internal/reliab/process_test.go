@@ -1,0 +1,145 @@
+package reliab
+
+import (
+	"reflect"
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Seed: 1, MeanDefectsPerBank: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MeanDefectsPerBank: -1},
+		{RetentionTailPerBank: -1},
+		{SoftErrorsPerMAccess: -0.5},
+		{SpareRowsPerBank: -2},
+		{MaxRetries: -1},
+		{TailMinMs: 5, TailMaxMs: 1},
+		{ECC: ECC(99)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v must be rejected", i, c)
+		}
+	}
+}
+
+func TestProcessDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:                 7,
+		MeanDefectsPerBank:   3,
+		RetentionTailPerBank: 2,
+		SpareRowsPerBank:     2,
+		SoftErrorsPerMAccess: 100,
+	}
+	a, err := NewProcess(cfg, 4, 64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewProcess(cfg, 4, 64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed must give byte-identical defect maps")
+	}
+	if !reflect.DeepEqual(a.faults, b.faults) {
+		t.Error("fault slices must be identical, not just fingerprint-equal")
+	}
+	cfg.Seed = 8
+	c, err := NewProcess(cfg, 4, 64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds should give different maps")
+	}
+	// Soft errors are a pure function of the access coordinates.
+	for i := int64(0); i < 1000; i++ {
+		if a.SoftBits(i, 0, 1, 2) != b.SoftBits(i, 0, 1, 2) {
+			t.Fatal("soft-error draws must be deterministic")
+		}
+	}
+}
+
+func TestProcessSoftErrorRate(t *testing.T) {
+	cfg := Config{Seed: 3, SoftErrorsPerMAccess: 10000} // 1% per access
+	p, err := NewProcess(cfg, 1, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const n = 200000
+	for i := int64(0); i < n; i++ {
+		if p.SoftBits(i, 0, 0, int(i%8)) > 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.008 || rate > 0.012 {
+		t.Errorf("soft-error rate = %g, want ~0.01", rate)
+	}
+	// Zero rate draws nothing.
+	p0, _ := NewProcess(Config{Seed: 3}, 1, 8, 64)
+	for i := int64(0); i < 1000; i++ {
+		if p0.SoftBits(i, 0, 0, 0) != 0 {
+			t.Fatal("zero soft-error rate must never flip bits")
+		}
+	}
+}
+
+func TestProcessBuildArrays(t *testing.T) {
+	cfg := Config{
+		Seed:             5,
+		SpareRowsPerBank: 3,
+		ExtraFaults: map[int][]dram.Fault{
+			1: {{Kind: dram.StuckAt1, Row: 2, Col: 7}},
+		},
+	}
+	p, err := NewProcess(cfg, 2, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays, err := p.BuildArrays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrays) != 2 {
+		t.Fatalf("got %d arrays", len(arrays))
+	}
+	for _, a := range arrays {
+		if a.Rows() != 16+3 || a.Cols() != 64 {
+			t.Errorf("array geometry %dx%d, want 19x64", a.Rows(), a.Cols())
+		}
+	}
+	if arrays[1].FaultCount() != 1 || arrays[0].FaultCount() != 0 {
+		t.Errorf("extra fault placement wrong: bank0=%d bank1=%d",
+			arrays[0].FaultCount(), arrays[1].FaultCount())
+	}
+	if p.FaultCount() != 1 {
+		t.Errorf("FaultCount = %d, want 1", p.FaultCount())
+	}
+}
+
+func TestProcessRetentionTailWindow(t *testing.T) {
+	cfg := Config{Seed: 11, RetentionTailPerBank: 50, TailMinMs: 0.1, TailMaxMs: 0.5}
+	p, err := NewProcess(cfg, 1, 128, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WeakCells() == 0 {
+		t.Fatal("mean 50 weak cells drew none")
+	}
+	for _, f := range p.faults[0] {
+		if f.Kind != dram.Retention {
+			continue
+		}
+		if f.RetentionMs < 0.1 || f.RetentionMs > 0.5 {
+			t.Errorf("retention %g ms outside [0.1,0.5]", f.RetentionMs)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package reliab
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TrialResult is the outcome of one fault-injection trial of a
+// campaign.
+type TrialResult struct {
+	// Trial is the campaign index of this result; results come back
+	// sorted by it regardless of worker scheduling.
+	Trial int
+	// Seed is the derived per-trial seed the trial ran under.
+	Seed int64
+	// Stats are the trial's final reliability counters.
+	Stats Stats
+	// Events is the trial's full fault-event stream in service order.
+	Events []FaultEvent
+}
+
+// TrialFunc runs one complete fault-injection experiment under the
+// given derived seed — typically a scheduler run with Config.Seed set
+// to it — and returns the stats and event stream.
+type TrialFunc func(trial int, seed int64) (Stats, []FaultEvent, error)
+
+// RunTrials runs a Monte-Carlo fault-injection campaign: trials
+// independent experiments, each under a seed derived from baseSeed and
+// the trial index alone, fanned out over workers goroutines. Because
+// every trial's randomness is a pure function of its derived seed, the
+// result slice is byte-identical for any worker count — the property
+// the determinism tests pin down.
+func RunTrials(trials, workers int, baseSeed int64, run TrialFunc) ([]TrialResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("reliab: campaign needs at least 1 trial, got %d", trials)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	results := make([]TrialResult, trials)
+	errs := make([]error, trials)
+	idx := make(chan int, trials)
+	for i := 0; i < trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				seed := TrialSeed(baseSeed, i)
+				stats, events, err := run(i, seed)
+				if err != nil {
+					errs[i] = fmt.Errorf("reliab: trial %d: %w", i, err)
+					continue
+				}
+				results[i] = TrialResult{Trial: i, Seed: seed, Stats: stats, Events: events}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// TrialSeed derives the seed of one campaign trial from the base seed —
+// exported so single-trial reruns can reproduce a campaign member.
+func TrialSeed(baseSeed int64, trial int) int64 {
+	return int64(mix64(uint64(baseSeed), uint64(trial)+0x5ca1ab1e))
+}

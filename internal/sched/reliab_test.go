@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"edram/internal/dram"
+	"edram/internal/reliab"
+	"edram/internal/traffic"
+)
+
+// faultyOptions arms the reliability pipeline with enough defect
+// density to exercise every rung in a short run.
+func faultyOptions(seed int64, events *[]reliab.FaultEvent) Options {
+	opt := Options{
+		Policy: RoundRobin,
+		Reliability: &reliab.Config{
+			Seed:                 seed,
+			ECC:                  reliab.ECCSECDED,
+			MeanDefectsPerBank:   4,
+			RetentionTailPerBank: 6,
+			SoftErrorsPerMAccess: 5000,
+			SpareRowsPerBank:     2,
+		},
+	}
+	if events != nil {
+		opt.FaultObserver = func(ev reliab.FaultEvent) { *events = append(*events, ev) }
+	}
+	return opt
+}
+
+func faultyClients() []Client {
+	return []Client{
+		{Name: "reader", Gen: &traffic.Random{
+			ClientID: 0, WindowB: 1 << 20, Bits: 512, RateGB: 2, Count: 800,
+			Rng: rand.New(rand.NewSource(9)),
+		}},
+		{Name: "writer", Gen: &traffic.Random{
+			ClientID: 1, StartB: 1 << 20, WindowB: 1 << 20, Bits: 512, RateGB: 1,
+			Count: 400, Write: true, Rng: rand.New(rand.NewSource(10)),
+		}},
+	}
+}
+
+// TestReliabilityEndToEnd: an injected-fault run completes without
+// error, reports consistent counters, and streams fault events.
+func TestReliabilityEndToEnd(t *testing.T) {
+	var events []reliab.FaultEvent
+	res, err := RunWithOptions(devCfg(), interleaved(t), faultyOptions(42, &events), faultyClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Reliability
+	if rs == nil {
+		t.Fatal("Reliability stats missing")
+	}
+	if rs.InjectedFaults == 0 || rs.WeakCells == 0 {
+		t.Fatalf("fault process drew nothing: %+v", rs)
+	}
+	if rs.FaultyAccesses == 0 {
+		t.Fatalf("no faulty accesses observed: %+v", rs)
+	}
+	sum := rs.Corrected + rs.RetryRecovered + rs.Remapped + rs.Offlined +
+		rs.Uncorrected + rs.Miscorrected + rs.Silent
+	if sum != rs.FaultyAccesses {
+		t.Errorf("outcome counters sum %d != FaultyAccesses %d", sum, rs.FaultyAccesses)
+	}
+	if int64(len(events)) != rs.FaultyAccesses {
+		t.Errorf("observer saw %d events, stats count %d", len(events), rs.FaultyAccesses)
+	}
+	if rs.SparesTotal != devCfg().Banks*2 {
+		t.Errorf("SparesTotal = %d", rs.SparesTotal)
+	}
+	// Events are time-stamped in service order per the observer
+	// contract; timestamps must be non-negative and populated.
+	for _, ev := range events {
+		if ev.TimeNs < 0 || ev.Client == "" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.HardBits == 0 && ev.SoftBits == 0 {
+			t.Fatalf("event without any bit errors: %+v", ev)
+		}
+	}
+	// A fault-free control run must not carry stats.
+	clean, err := RunWithOptions(devCfg(), interleaved(t), Options{Policy: RoundRobin}, faultyClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Reliability != nil {
+		t.Error("fault-free run must not report reliability stats")
+	}
+}
+
+// TestReliabilityDeterminism: the same seed reproduces byte-identical
+// defect maps, fault-event streams and statistics.
+func TestReliabilityDeterminism(t *testing.T) {
+	run := func() (Result, []reliab.FaultEvent) {
+		var events []reliab.FaultEvent
+		res, err := RunWithOptions(devCfg(), interleaved(t), faultyOptions(7, &events), faultyClients())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, events
+	}
+	res1, ev1 := run()
+	res2, ev2 := run()
+	if !reflect.DeepEqual(res1.Reliability, res2.Reliability) {
+		t.Errorf("stats differ:\n%+v\n%+v", res1.Reliability, res2.Reliability)
+	}
+	if res1.Reliability.DefectFingerprint != res2.Reliability.DefectFingerprint {
+		t.Error("defect maps differ under the same seed")
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Errorf("event streams differ: %d vs %d events", len(ev1), len(ev2))
+	}
+	if !reflect.DeepEqual(res1.Offlined, res2.Offlined) {
+		t.Error("offlined pages differ")
+	}
+	// A different seed must give a different fault history (defect maps
+	// are fingerprint-distinct with overwhelming probability).
+	var ev3 []reliab.FaultEvent
+	res3, err := RunWithOptions(devCfg(), interleaved(t), faultyOptions(8, &ev3), faultyClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Reliability.DefectFingerprint == res1.Reliability.DefectFingerprint {
+		t.Error("different seeds drew identical defect maps")
+	}
+}
+
+// TestReliabilityTrialsWorkerInvariance: a trial campaign returns
+// byte-identical results at 1 worker and N workers.
+func TestReliabilityTrialsWorkerInvariance(t *testing.T) {
+	campaign := func(workers int) []reliab.TrialResult {
+		results, err := reliab.RunTrials(6, workers, 42, func(trial int, seed int64) (reliab.Stats, []reliab.FaultEvent, error) {
+			var events []reliab.FaultEvent
+			res, err := RunWithOptions(devCfg(), interleaved(t), faultyOptions(seed, &events), faultyClients())
+			if err != nil {
+				return reliab.Stats{}, nil, err
+			}
+			return *res.Reliability, events, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial := campaign(1)
+	parallel := campaign(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("campaign results differ between 1 and 4 workers")
+	}
+	// Trials are seed-distinct.
+	seen := map[uint64]bool{}
+	for _, r := range serial {
+		if seen[r.Stats.DefectFingerprint] {
+			t.Fatalf("trial %d reused a defect map", r.Trial)
+		}
+		seen[r.Stats.DefectFingerprint] = true
+	}
+}
+
+// TestReliabilityDegradation: spare exhaustion degrades capacity
+// gracefully instead of failing the run.
+func TestReliabilityDegradation(t *testing.T) {
+	// Stuck wordlines on more rows than the bank has spares.
+	extra := map[int][]dram.Fault{0: {
+		{Kind: dram.WordlineStuck0, Row: 0},
+		{Kind: dram.WordlineStuck0, Row: 1},
+		{Kind: dram.WordlineStuck0, Row: 2},
+	}}
+	opt := Options{
+		Policy: RoundRobin,
+		Reliability: &reliab.Config{
+			Seed: 1, ECC: reliab.ECCSECDED, SpareRowsPerBank: 1,
+			ExtraFaults: extra,
+		},
+	}
+	// A sequential reader sweeping the first rows of bank 0 under the
+	// linear mapping hits every stuck row.
+	clients := []Client{{Name: "sweep", Gen: &traffic.Sequential{
+		ClientID: 0, Bits: 512, RateGB: 4, Count: 400,
+	}}}
+	res, err := RunWithOptions(devCfg(), linear(t), opt, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Reliability
+	if rs.Remapped == 0 {
+		t.Errorf("no remaps despite stuck rows: %+v", rs)
+	}
+	if rs.Offlined == 0 || len(res.Offlined) == 0 {
+		t.Errorf("spare exhaustion must offline rows: %+v", rs)
+	}
+	if rs.CapacityLossFrac <= 0 {
+		t.Error("capacity loss must be reported")
+	}
+	if rs.SparesUsed != 1 {
+		t.Errorf("SparesUsed = %d, want the bank's whole budget", rs.SparesUsed)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"edram/internal/dram"
 	"edram/internal/mapping"
 	"edram/internal/power"
+	"edram/internal/reliab"
 	"edram/internal/traffic"
 	"edram/internal/units"
 )
@@ -91,7 +92,17 @@ type Result struct {
 	Device     dram.Stats
 	// Trace holds the per-request log when Options.Trace was set.
 	Trace []TraceEntry
+	// Reliability holds the fault-injection counters when
+	// Options.Reliability was set; nil on fault-free runs.
+	Reliability *ReliabilityStats
+	// Offlined lists the pages the graceful-degradation rung took out
+	// of service (empty on fault-free or fully-repairable runs).
+	Offlined [][2]int
 }
+
+// ReliabilityStats is the controller-level view of the reliability
+// pipeline's counters.
+type ReliabilityStats = reliab.Stats
 
 type clientState struct {
 	reqs    []traffic.Request
@@ -148,6 +159,15 @@ type Options struct {
 	// explorer's WithObserver). It runs on the simulation goroutine, so
 	// it must not block; it sees events in service order.
 	Observer func(TraceEntry)
+	// Reliability, when non-nil, arms the fault-injection pipeline: a
+	// deterministic fault process backs the device with functional
+	// arrays, every read is checked under the configured ECC, and
+	// faulty accesses climb the detect→retry→remap→degrade ladder.
+	Reliability *reliab.Config
+	// FaultObserver, when non-nil (and Reliability is armed), receives
+	// every runtime FaultEvent in service order — the reliability
+	// counterpart of Observer, with the same contract.
+	FaultObserver func(reliab.FaultEvent)
 }
 
 // TraceEntry is one served request in the command trace.
@@ -187,6 +207,17 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 	geo := m.Geometry()
 	if geo.Banks != devCfg.Banks || geo.RowsBank != devCfg.RowsPerBank || geo.PageBytes != devCfg.PageBits/8 {
 		return Result{}, fmt.Errorf("sched: mapping geometry %+v does not match device %+v", geo, devCfg)
+	}
+
+	var ladder *reliab.Ladder
+	var degraded *mapping.Degraded
+	if opt.Reliability != nil {
+		degraded = mapping.NewDegraded(m)
+		m = degraded
+		ladder, err = reliab.NewLadder(*opt.Reliability, dev, degraded, opt.FaultObserver)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: reliability: %w", err)
+		}
 	}
 
 	window := opt.ReorderWindow
@@ -261,7 +292,14 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 		if err != nil {
 			return Result{}, fmt.Errorf("sched: serving client %q: %w", clients[pick].Name, err)
 		}
-		st.lats = append(st.lats, res.DoneNs-req.IssueNs)
+		doneNs := res.DoneNs
+		if ladder != nil {
+			doneNs, err = ladder.AfterAccess(clients[pick].Name, bank, row, req.Write, beatsOf(req.Bits), res)
+			if err != nil {
+				return Result{}, fmt.Errorf("sched: serving client %q: %w", clients[pick].Name, err)
+			}
+		}
+		st.lats = append(st.lats, doneNs-req.IssueNs)
 		st.bits += int64(req.Bits)
 		st.markServed(reqIdx)
 		served++
@@ -269,7 +307,7 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 			e := TraceEntry{
 				Client: clients[pick].Name, AddrB: req.AddrB,
 				Bank: bank, Row: row, Write: req.Write,
-				IssueNs: req.IssueNs, StartNs: res.StartNs, DoneNs: res.DoneNs,
+				IssueNs: req.IssueNs, StartNs: res.StartNs, DoneNs: doneNs,
 				Hit: res.Hit,
 			}
 			if opt.Observer != nil {
@@ -280,7 +318,7 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 			}
 		}
 		if opt.ClosedPage {
-			if err := dev.Precharge(res.DoneNs, bank); err != nil {
+			if err := dev.Precharge(doneNs, bank); err != nil {
 				return Result{}, err
 			}
 		}
@@ -317,6 +355,11 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 	out.DurationNs = dur
 	out.Device = ds
 	out.Trace = trace
+	if ladder != nil {
+		rs := ladder.Stats()
+		out.Reliability = &rs
+		out.Offlined = degraded.Offlined()
+	}
 	return out, nil
 }
 

@@ -1,0 +1,107 @@
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edram/internal/dram"
+)
+
+// This file extends the manufacturing-time yield model with the two
+// pieces the runtime reliability pipeline needs: a spare-row allocator
+// that tracks the §5 redundancy pool while the system is in the field
+// (spares consumed by the detect→retry→remap ladder instead of the
+// laser-repair flow), and a retention-time tail generator modelling the
+// weak-cell population whose retention falls below the refresh period —
+// the classic eDRAM field-failure mechanism.
+
+// Allocator tracks runtime spare-row allocation per bank. It is the
+// in-field counterpart of Repair: instead of a one-shot must-repair
+// analysis at test time, spares are handed out one by one as the
+// controller's repair ladder encounters uncorrectable rows.
+type Allocator struct {
+	banks  int
+	spares int
+	used   []int
+}
+
+// NewAllocator creates an allocator with sparesPerBank rows per bank.
+func NewAllocator(banks, sparesPerBank int) (*Allocator, error) {
+	if banks < 1 {
+		return nil, fmt.Errorf("yield: allocator needs >= 1 bank, got %d", banks)
+	}
+	if sparesPerBank < 0 {
+		return nil, fmt.Errorf("yield: spare count must be non-negative, got %d", sparesPerBank)
+	}
+	return &Allocator{banks: banks, spares: sparesPerBank, used: make([]int, banks)}, nil
+}
+
+// Allocate hands out the next spare row of a bank, returning its index
+// within the bank's spare pool (0-based) and whether one was available.
+func (al *Allocator) Allocate(bank int) (int, bool) {
+	if bank < 0 || bank >= al.banks || al.used[bank] >= al.spares {
+		return 0, false
+	}
+	idx := al.used[bank]
+	al.used[bank]++
+	return idx, true
+}
+
+// Used returns the number of spares consumed in a bank.
+func (al *Allocator) Used(bank int) int {
+	if bank < 0 || bank >= al.banks {
+		return 0
+	}
+	return al.used[bank]
+}
+
+// Remaining returns the spares left in a bank.
+func (al *Allocator) Remaining(bank int) int {
+	if bank < 0 || bank >= al.banks {
+		return 0
+	}
+	return al.spares - al.used[bank]
+}
+
+// Totals returns the pool-wide (used, total) spare counts.
+func (al *Allocator) Totals() (used, total int) {
+	for _, u := range al.used {
+		used += u
+	}
+	return used, al.banks * al.spares
+}
+
+// GenerateRetentionTail draws Poisson(mean) weak cells over a rows x
+// cols block whose retention lies in [minMs, maxMs), concentrated
+// toward the weak end (the measured retention distribution has an
+// exponential tail below the nominal value). The result is injectable
+// dram.Retention faults; cells this weak decay between two refresh
+// visits and surface as correctable-then-hard errors at runtime.
+func GenerateRetentionTail(rng *rand.Rand, rows, cols int, mean, minMs, maxMs float64) ([]dram.Fault, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("yield: block geometry %dx%d invalid", rows, cols)
+	}
+	if mean < 0 {
+		return nil, fmt.Errorf("yield: mean weak cells must be non-negative")
+	}
+	if minMs <= 0 || maxMs <= minMs {
+		return nil, fmt.Errorf("yield: retention tail window [%g,%g) ms invalid", minMs, maxMs)
+	}
+	n := poissonDraw(rng, mean)
+	faults := make([]dram.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		// Exponential profile folded into the window: most weak cells
+		// sit near minMs, few near maxMs.
+		u := rng.ExpFloat64() / 3
+		if u > 1 {
+			u = 1
+		}
+		ret := minMs + u*(maxMs-minMs)
+		faults = append(faults, dram.Fault{
+			Kind: dram.Retention,
+			Row:  rng.Intn(rows), Col: rng.Intn(cols),
+			RetentionMs: ret,
+		})
+	}
+	return faults, nil
+}

@@ -1,0 +1,94 @@
+package yield
+
+import (
+	"math/rand"
+	"testing"
+
+	"edram/internal/dram"
+)
+
+func TestAllocator(t *testing.T) {
+	if _, err := NewAllocator(0, 2); err == nil {
+		t.Error("zero banks must be rejected")
+	}
+	if _, err := NewAllocator(2, -1); err == nil {
+		t.Error("negative spares must be rejected")
+	}
+	al, err := NewAllocator(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bank budgets are independent.
+	if idx, ok := al.Allocate(0); !ok || idx != 0 {
+		t.Fatalf("first spare of bank 0 = %d, %t", idx, ok)
+	}
+	if idx, ok := al.Allocate(0); !ok || idx != 1 {
+		t.Fatalf("second spare of bank 0 = %d, %t", idx, ok)
+	}
+	if _, ok := al.Allocate(0); ok {
+		t.Error("bank 0 exhausted, allocation must fail")
+	}
+	if idx, ok := al.Allocate(1); !ok || idx != 0 {
+		t.Fatalf("bank 1 must still have spares, got %d, %t", idx, ok)
+	}
+	if al.Used(0) != 2 || al.Remaining(0) != 0 || al.Remaining(1) != 1 {
+		t.Errorf("bookkeeping: used0=%d rem0=%d rem1=%d", al.Used(0), al.Remaining(0), al.Remaining(1))
+	}
+	used, total := al.Totals()
+	if used != 3 || total != 4 {
+		t.Errorf("Totals = %d/%d, want 3/4", used, total)
+	}
+	// Out-of-range banks never allocate.
+	if _, ok := al.Allocate(-1); ok {
+		t.Error("negative bank must fail")
+	}
+	if _, ok := al.Allocate(2); ok {
+		t.Error("bank beyond range must fail")
+	}
+}
+
+func TestGenerateRetentionTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	faults, err := GenerateRetentionTail(rng, 64, 64, 20, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) == 0 {
+		t.Fatal("mean 20 drew no weak cells")
+	}
+	for _, f := range faults {
+		if f.Kind != dram.Retention {
+			t.Fatalf("kind = %v", f.Kind)
+		}
+		if f.Row < 0 || f.Row >= 64 || f.Col < 0 || f.Col >= 64 {
+			t.Fatalf("cell (%d,%d) out of range", f.Row, f.Col)
+		}
+		if f.RetentionMs < 0.1 || f.RetentionMs > 0.9 {
+			t.Fatalf("retention %g outside window", f.RetentionMs)
+		}
+	}
+	// Deterministic under the same source.
+	rng2 := rand.New(rand.NewSource(1))
+	again, err := GenerateRetentionTail(rng2, 64, 64, 20, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(faults) {
+		t.Errorf("re-draw differs: %d vs %d", len(again), len(faults))
+	}
+	// Invalid windows and geometry.
+	if _, err := GenerateRetentionTail(rng, 0, 64, 1, 0.1, 0.9); err == nil {
+		t.Error("zero rows must be rejected")
+	}
+	if _, err := GenerateRetentionTail(rng, 64, 64, 1, 0.9, 0.1); err == nil {
+		t.Error("inverted window must be rejected")
+	}
+	if _, err := GenerateRetentionTail(rng, 64, 64, -1, 0.1, 0.9); err == nil {
+		t.Error("negative mean must be rejected")
+	}
+	// Zero mean draws nothing.
+	none, err := GenerateRetentionTail(rng, 64, 64, 0, 0.1, 0.9)
+	if err != nil || len(none) != 0 {
+		t.Errorf("zero mean: %d faults, %v", len(none), err)
+	}
+}
