@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench fuzz fuzz-smoke check
+.PHONY: build test vet lint race bench fuzz fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own analyzer suite (cmd/edramvet): unit-suffix
+# conflicts, nondeterminism in model packages, exact float comparisons,
+# and uses of deprecated symbols. See README "Static analysis".
+lint:
+	$(GO) run ./cmd/edramvet ./...
 
 race:
 	$(GO) test -race ./...
@@ -27,8 +33,8 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/dram/
 
-# check is the tier-1 verify path: build, vet, then race-checked tests,
-# so the exploration engine's, experiment runner's and reliability
-# trial pool's concurrency is exercised under the race detector on
-# every PR, plus a replay of the fuzz seed corpus.
-check: build vet race fuzz-smoke
+# check is the tier-1 verify path: build, vet, lint, then race-checked
+# tests, so the exploration engine's, experiment runner's and
+# reliability trial pool's concurrency is exercised under the race
+# detector on every PR, plus a replay of the fuzz seed corpus.
+check: build vet lint race fuzz-smoke

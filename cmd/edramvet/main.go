@@ -1,0 +1,186 @@
+// Command edramvet runs the project's custom lint suite: four
+// go/analysis-style checkers enforcing the invariants the compiler
+// cannot see (internal/units naming discipline, model-package
+// determinism, float-equality hygiene, and deprecated-API migration).
+// It is stdlib-only and offline: packages are loaded with go/parser +
+// go/types, resolving module-internal imports from the module root and
+// the standard library from GOROOT source.
+//
+// Usage:
+//
+//	edramvet [-tests] [-only name[,name]] [patterns...]
+//
+// Patterns are ./... (default, the whole module), dir/... for a
+// subtree, or a package directory. Exit status: 0 clean, 1 findings,
+// 2 usage or load errors.
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//nolint:edramvet                 suppress all analyzers (line or next line)
+//	//nolint:edramvet/floateq // why  suppress one analyzer, with a reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edram/internal/analysis"
+	"edram/internal/analysis/deprecated"
+	"edram/internal/analysis/determinism"
+	"edram/internal/analysis/floateq"
+	"edram/internal/analysis/unitscheck"
+)
+
+var suite = []*analysis.Analyzer{
+	determinism.Analyzer,
+	deprecated.Analyzer,
+	floateq.Analyzer,
+	unitscheck.Analyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fail("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail("%v", err)
+	}
+	root := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			fail("no go.mod found above %s", cwd)
+		}
+		root = parent
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fail("%v", err)
+	}
+	loader.IncludeTests = *tests
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		loaded, err := loadPattern(loader, cwd, pat)
+		if err != nil {
+			fail("%s: %v", pat, err)
+		}
+		for _, p := range loaded {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	// The tree is expected to compile (tier-1 gate); type errors mean
+	// the loader saw a different program than the compiler, so refuse
+	// to lint quietly on top of them.
+	badLoad := false
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "edramvet: %s: %v\n", p.Path, e)
+			badLoad = true
+		}
+	}
+	if badLoad {
+		os.Exit(2)
+	}
+
+	findings, err := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Println(relativize(cwd, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "edramvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// loadPattern resolves one command-line pattern to packages.
+func loadPattern(loader *analysis.Loader, cwd, pat string) ([]*analysis.Package, error) {
+	switch {
+	case pat == "./..." || pat == "...":
+		return loader.LoadAll()
+	case strings.HasSuffix(pat, "/..."):
+		dir := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+		return loader.LoadTree(dir)
+	default:
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, pat)
+		}
+		rel, err := filepath.Rel(loader.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("outside module root")
+		}
+		path := loader.ModulePath
+		if rel != "." {
+			path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := loader.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range loader.Packages() {
+			if lp.Types == p {
+				return []*analysis.Package{lp}, nil
+			}
+		}
+		return nil, fmt.Errorf("package %s not loaded", path)
+	}
+}
+
+// relativize shortens finding paths for readability.
+func relativize(cwd string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edramvet: "+format+"\n", args...)
+	os.Exit(2)
+}

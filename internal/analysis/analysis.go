@@ -1,0 +1,67 @@
+// Package analysis is a self-contained, stdlib-only analyzer framework
+// for the project's custom lint suite (cmd/edramvet). It mirrors the
+// shape of golang.org/x/tools/go/analysis at a fraction of the surface:
+// an Analyzer owns a Run function that inspects one type-checked
+// package at a time and reports Diagnostics; the driver loads packages
+// with go/parser + go/types (no network, no module downloads), applies
+// the //nolint:edramvet escape hatch, and renders findings.
+//
+// The suite exists because two invariants of the model packages are
+// invisible to the compiler: every float64 carries an implicit physical
+// unit (internal/units conventions), and every sweep / fault pipeline
+// must be byte-identical across runs and worker counts. See the
+// sibling packages unitscheck, determinism, floateq and deprecated for
+// the individual invariants.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nolint:edramvet/<name> comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// All lists every package the loader has materialized this run
+	// (the analyzed set plus transitively imported module packages).
+	// Cross-package indexes — e.g. the deprecated-symbol table — are
+	// built from it; object identity is shared because all packages
+	// were type-checked through one loader.
+	All []*Package
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Files is shorthand for the analyzed package's syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Info is shorthand for the analyzed package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a rendered diagnostic, ready for printing and sorting.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}

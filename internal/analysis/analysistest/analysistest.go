@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src/<name> and checks its diagnostics against expectations
+// written in the fixtures themselves, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := aNs == bNs // want "float64 equality"
+//
+// Each quoted string after "want" is a regular expression that must
+// match a diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// fail the test. Fixtures may import module packages (edram/...) and
+// the standard library; they must type-check cleanly.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edram/internal/analysis"
+)
+
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run checks the analyzer against the named fixture packages (each a
+// directory under testdata/src relative to the calling test).
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t, cwd)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fixtures {
+		runOne(t, loader, a, filepath.Join(cwd, "testdata", "src", name))
+	}
+}
+
+func runOne(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, e)
+	}
+	if t.Failed() {
+		return
+	}
+	findings, err := analysis.RunAnalyzers(loader, []*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	// file -> line -> pending expectations
+	wants := map[string]map[int][]*want{}
+	fset := loader.Fset()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(text, -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					m := wants[pos.Filename]
+					if m == nil {
+						m = map[int][]*want{}
+						wants[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		var hit *want
+		for _, w := range wants[f.Pos.Filename][f.Pos.Line] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic: %s", f)
+			continue
+		}
+		hit.matched = true
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", file, line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

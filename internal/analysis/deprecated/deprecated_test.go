@@ -1,0 +1,11 @@
+package deprecated
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestDeprecatedFixtures(t *testing.T) {
+	analysistest.Run(t, Analyzer, "deprecfix")
+}

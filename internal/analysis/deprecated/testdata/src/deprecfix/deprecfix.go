@@ -1,0 +1,42 @@
+package deprecfix
+
+// Run drains the queue.
+//
+// Deprecated: use RunWithOptions, which exposes the full options.
+// It remains as a compatibility shim; recursive uses inside the shim
+// are exempt.
+func Run(n int) int {
+	if n > 1 {
+		return Run(n - 1) // inside the deprecated declaration: exempt
+	}
+	return RunWithOptions(n, 0)
+}
+
+// RunWithOptions is the replacement API.
+func RunWithOptions(n, opts int) int { return n + opts }
+
+// LegacyLimit is kept for old callers.
+//
+// Deprecated: size limits moved to Options.
+const LegacyLimit = 64
+
+// OldSpec describes the v0 layout.
+//
+// Deprecated: use Spec.
+type OldSpec struct{ N int }
+
+// Spec is the current layout.
+type Spec struct{ N int }
+
+func callers() int {
+	a := Run(3)               // want "Run is deprecated: use RunWithOptions"
+	b := RunWithOptions(3, 1) // replacement API: clean
+	c := LegacyLimit          // want "LegacyLimit is deprecated: size limits moved to Options"
+	var s OldSpec             // want "OldSpec is deprecated: use Spec"
+	var s2 Spec               // clean
+	return a + b + c + s.N + s2.N
+}
+
+func annotated() int {
+	return Run(1) //nolint:edramvet/deprecated // fixture: migration pending
+}

@@ -1,0 +1,11 @@
+package determinism
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestDeterminismFixtures(t *testing.T) {
+	analysistest.Run(t, Analyzer, "core", "notmodel")
+}

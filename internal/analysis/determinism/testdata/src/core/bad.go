@@ -1,0 +1,59 @@
+// Package core is a determinism fixture named after a model package so
+// the analyzer applies (only model packages carry the reproducibility
+// contract).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in model package core"
+	return t.UnixNano()
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "global rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func unsortedCollect(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys while ranging over a map"
+	}
+	return keys
+}
+
+func argmax(m map[int]int) int {
+	best, bestN := -1, 0
+	for k, n := range m {
+		if n > bestN {
+			best, bestN = k, n // want "assignment to outer variable best" "assignment to outer variable bestN"
+		}
+	}
+	return best
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map range"
+	}
+}
+
+type digest struct{ h uint64 }
+
+func (d *digest) Hash(x uint64) { d.h ^= x }
+
+func fingerprint(m map[int]uint64) uint64 {
+	var d digest
+	for _, v := range m {
+		d.Hash(v) // want "feeding Hash inside a map range"
+	}
+	return d.h
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Fixture: deterministic idioms the analyzer must NOT flag.
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are fine
+	return rng.Float64()                  // method on an injected source
+}
+
+func sortedCollect(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func commutative(m map[int]int) (int, bool) {
+	count := 0
+	found := false
+	for _, v := range m {
+		count += v // op-assign accumulation of ints is order-insensitive
+		if v > 10 {
+			found = true // loop-invariant value
+		}
+	}
+	return count, found
+}
+
+func pruned(m map[int]bool) {
+	for k := range m {
+		if !m[k] {
+			delete(m, k) // deletion during range is order-insensitive
+		}
+	}
+}
+
+func annotatedClock() int64 {
+	// Wall-time that only feeds progress reporting may be annotated.
+	return time.Now().UnixNano() //nolint:edramvet/determinism // fixture: stats only
+}

@@ -1,0 +1,12 @@
+// Package notmodel is outside the model-package set: the determinism
+// contract does not apply, so nothing here is flagged.
+package notmodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() float64 { return rand.Float64() }

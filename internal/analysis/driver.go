@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunAnalyzers runs every analyzer over every package, applies the
+// //nolint:edramvet escape hatch, and returns findings sorted by
+// position. The loader must be the one that produced pkgs, so that
+// cross-package indexes (Pass.All) share object identity.
+func RunAnalyzers(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	all := l.Packages()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ix := buildNolint(l.Fset(), pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset(),
+				Pkg:      pkg,
+				All:      all,
+			}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := l.Fset().Position(d.Pos)
+				if ix.suppressed(pos, a.Name) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// String renders a finding in the familiar file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}

@@ -1,0 +1,116 @@
+// Package floateq flags == and != between floating-point expressions.
+// The model suite computes everything in float64; after any arithmetic,
+// exact equality silently depends on evaluation order and optimization
+// level, so comparisons belong behind a tolerance helper
+// (math.Abs(a-b) <= eps). Three idioms stay legal:
+//
+//   - comparison against an exact zero constant (the sweep convention
+//     for "unset / degenerate corner" sentinels);
+//   - x != x (the standard NaN test);
+//   - comparisons inside tolerance helpers themselves (functions whose
+//     name ends in Eq/Equal/Equals or mentions approx/almost/near/
+//     close/tol/within/epsilon).
+//
+// Deliberate exact comparisons elsewhere (e.g. total-order tie-breaks
+// in canonical sorts) are annotated //nolint:edramvet/floateq with a
+// reason.
+package floateq
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edram/internal/analysis"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact ==/!= between floats outside tolerance helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		var inTolerance []bool
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				inTolerance = append(inTolerance, toleranceHelper(n.Name.Name))
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				inTolerance = inTolerance[:len(inTolerance)-1]
+				return false
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if len(inTolerance) > 0 && inTolerance[len(inTolerance)-1] {
+					return true
+				}
+				if !isFloat(info, n.X) || !isFloat(info, n.Y) {
+					return true
+				}
+				if isZeroConst(info, n.X) || isZeroConst(info, n.Y) {
+					return true // zero-sentinel convention
+				}
+				if sameIdent(n.X, n.Y) {
+					return true // x != x is the NaN test
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: n.OpPos,
+					Message: fmt.Sprintf("float64 equality (%s): use a tolerance comparison or annotate //nolint:edramvet/floateq",
+						n.Op),
+				})
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	x, ok1 := ast.Unparen(a).(*ast.Ident)
+	y, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && x.Name == y.Name
+}
+
+// toleranceHelper reports whether a function name announces an
+// approximate-comparison helper.
+func toleranceHelper(name string) bool {
+	l := strings.ToLower(name)
+	if strings.HasSuffix(l, "eq") || strings.HasSuffix(l, "equal") || strings.HasSuffix(l, "equals") {
+		return true
+	}
+	for _, w := range []string{"approx", "almost", "near", "close", "tol", "within", "epsilon"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package floateq
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestFloateqFixtures(t *testing.T) {
+	analysistest.Run(t, Analyzer, "floatfix")
+}

@@ -1,0 +1,42 @@
+package floatfix
+
+import "math"
+
+func bad(a, b float64) bool {
+	if a == b { // want "float64 equality"
+		return true
+	}
+	return a*2 != b+1 // want "float64 equality"
+}
+
+func badSwitch(a, b float64) int {
+	switch {
+	case a != b: // want "float64 equality"
+		return 1
+	default:
+		return 0
+	}
+}
+
+// clean cases
+
+func zeroSentinel(mhz float64) float64 {
+	if mhz == 0 { // exact-zero sentinel is the sweep convention
+		return 0
+	}
+	return 1 / mhz
+}
+
+func nanTest(x float64) bool {
+	return x != x // the standard NaN test
+}
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps || a == b // inside a tolerance helper
+}
+
+func intsAreFine(a, b int) bool { return a == b }
+
+func annotated(a, b float64) bool {
+	return a == b //nolint:edramvet/floateq // fixture: exact tie-break
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+func TestLoaderUnitsPackage(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Import("edram/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "units" {
+		t.Fatalf("package name = %q, want units", p.Name())
+	}
+	if p.Scope().Lookup("MHzToNs") == nil {
+		t.Fatal("MHzToNs not found in type-checked units package")
+	}
+	pkg := l.Packages()[0]
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+}
+
+// TestLoaderCrossPackage checks that a package importing both stdlib
+// and module-internal packages type-checks, and that object identity is
+// shared across loads (the deprecated index relies on it).
+func TestLoaderCrossPackage(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := l.Import("edram/internal/iram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := l.Import("edram/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iram's imports must include the very same *types.Package.
+	found := false
+	for _, imp := range ip.Imports() {
+		if imp == up {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("iram does not share the loader's units package object")
+	}
+	for _, pkg := range l.Packages() {
+		if len(pkg.TypeErrors) != 0 {
+			t.Fatalf("%s: type errors: %v", pkg.Path, pkg.TypeErrors)
+		}
+	}
+}
+
+func TestNolintIndex(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := `package nolintfix
+
+var a = 1 //nolint:edramvet
+//nolint:edramvet/floateq // tolerance intentionally exact here
+var b = 2
+var c = 3
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildNolint(l.Fset(), pkg.Files)
+	at := func(line int) token.Position {
+		return token.Position{Filename: filepath.Join(dir, "f.go"), Line: line}
+	}
+	if !ix.suppressed(at(3), "determinism") {
+		t.Error("bare nolint should suppress any analyzer on its line")
+	}
+	if !ix.suppressed(at(5), "floateq") {
+		t.Error("standalone nolint should suppress the next line")
+	}
+	if ix.suppressed(at(5), "determinism") {
+		t.Error("scoped nolint must not suppress other analyzers")
+	}
+	if ix.suppressed(at(6), "floateq") {
+		t.Error("nolint must not leak beyond the following line")
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape-hatch convention: a comment of the form
+//
+//	//nolint:edramvet                  — suppress every edramvet analyzer
+//	//nolint:edramvet/floateq          — suppress one analyzer
+//	//nolint:edramvet/floateq,determinism // reason
+//
+// suppresses matching diagnostics on the comment's own line and on the
+// line directly below it (so it works both as a trailing comment and as
+// a standalone comment above the offending statement). A reason after
+// the directive is strongly encouraged; the directive itself is
+// greppable as "nolint:edramvet".
+const nolintPrefix = "nolint:edramvet"
+
+// nolintIndex maps file name → line → analyzer names suppressed there
+// ("*" means all).
+type nolintIndex map[string]map[int][]string
+
+// buildNolint scans a package's comments for nolint directives.
+func buildNolint(fset *token.FileSet, files []*ast.File) nolintIndex {
+	ix := nolintIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, nolintPrefix) {
+					continue
+				}
+				rest := text[len(nolintPrefix):]
+				names := []string{"*"}
+				if strings.HasPrefix(rest, "/") {
+					// Strip a trailing reason ("// why" or "- why").
+					spec := rest[1:]
+					if i := strings.IndexAny(spec, " \t"); i >= 0 {
+						spec = spec[:i]
+					}
+					names = nil
+					for _, n := range strings.Split(spec, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names = append(names, n)
+						}
+					}
+				}
+				pos := fset.Position(c.Pos())
+				m := ix[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ix[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	return ix
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a nolint directive.
+func (ix nolintIndex) suppressed(pos token.Position, analyzer string) bool {
+	m := ix[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, n := range m[line] {
+			if n == "*" || n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package unitsfix
+
+// Fixture: unit-suffix conflicts and raw conversions the analyzer must
+// flag. Comments with `want` are matched against diagnostics.
+
+func wantPeriod(ns float64) float64    { return ns * 2 }
+func wantClock(mhz float64) float64    { return mhz }
+func clockMHz() float64                { return 143 }
+func areaMm2() float64                 { return 12.5 }
+func priceUSD(areaMm2 float64) float64 { return areaMm2 * 0.1 }
+
+type Spec struct {
+	LatencyNs float64
+	PeakGBps  float64
+}
+
+func conflicts() float64 {
+	latNs := 7.5
+	_ = wantPeriod(latNs)    // same unit: clean
+	_ = wantClock(latNs)     // want "carries unit Ns but parameter mhz .* expects MHz"
+	_ = priceUSD(clockMHz()) // want "carries unit MHz but parameter areaMm2 .* expects Mm2"
+
+	var busMHz float64
+	busMHz = latNs // want "unit Ns.*assigned to busMHz.*unit MHz"
+	_ = busMHz
+
+	s := Spec{
+		LatencyNs: latNs,     // clean
+		PeakGBps:  areaMm2(), // want "unit Mm2.*field PeakGBps.*unit GBps"
+	}
+	return s.LatencyNs
+}
+
+// cycleNs returns a period but hand-rolls the conversion.
+func cycleNs(clockMHz float64) float64 {
+	return 1e3 / clockMHz // want "use units.MHzToNs"
+}
+
+// maxClockMHz hand-rolls the inverse conversion.
+func maxClockMHz(tckNs float64) float64 {
+	return 1e3 / tckNs // want "use units.NsToMHz"
+}
+
+func litPeriod() Spec {
+	return Spec{LatencyNs: 6 * 1e3 / 300} // want "use units.MHzToNs"
+}
+
+// wrongReturn returns a frequency from an Ns-named function.
+func totalNs(busMHz float64) float64 {
+	return busMHz // want "unit MHz.*returned from totalNs.*unit Ns"
+}

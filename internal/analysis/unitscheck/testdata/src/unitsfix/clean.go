@@ -1,0 +1,28 @@
+package unitsfix
+
+import "edram/internal/units"
+
+// Fixture: idiomatic code the analyzer must NOT flag.
+
+func cleanUsage(clock float64, fps int) float64 {
+	// Helper-based conversions carry matching units end to end.
+	periodNs := units.MHzToNs(clock)
+	backMHz := units.NsToMHz(periodNs)
+
+	// Division by a unitless quantity into a destination outside the
+	// Ns/MHz pair (e.g. milliseconds) is not a period conversion.
+	budgetMs := 5 * 1e3 / float64(fps)
+
+	// Words that merely end in lower-case "ns"/"mw" are not units.
+	columns := 512
+	runs := columns / 4
+
+	// Mixed-unit arithmetic is fine — only direct flows are checked.
+	density := areaMm2() / float64(runs)
+	return periodNs + backMHz + budgetMs + density
+}
+
+// An explicitly annotated exception stays quiet and greppable.
+func annotated(tckNs float64) float64 {
+	return 1e3 / tckNs //nolint:edramvet/unitscheck // fixture: escape hatch
+}

@@ -1,0 +1,291 @@
+// Package unitscheck enforces the internal/units naming convention:
+// every float64 in the model suite carries an implicit physical unit,
+// spelled as an identifier suffix (RowNs, ClockMHz, AreaMm2, PowerMW,
+// PeakGBps, SizeMbit, CostUSD — acronym-style spellings like TCKns
+// count too). The compiler sees only float64; this analyzer flags the
+// two ways the convention is broken in practice:
+//
+//   - a value whose name carries one unit flowing into a parameter,
+//     field, variable or result whose name carries a different unit
+//     (e.g. passing latencyNs where the parameter is mhz);
+//   - raw "1e3 / x" period/frequency conversions where the units
+//     package already provides MHzToNs / NsToMHz (which also define the
+//     zero-denominator behaviour sweeps rely on).
+//
+// The units package itself is exempt from the conversion check — it is
+// where the helpers live.
+package unitscheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edram/internal/analysis"
+)
+
+// Analyzer is the unitscheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitscheck",
+	Doc:  "flag identifier unit-suffix conflicts and raw 1e3/x conversions with a units helper available",
+	Run:  run,
+}
+
+// suffixes are the canonical unit spellings, longest-match first.
+var suffixes = []string{"GBps", "Mbit", "MHz", "Mm2", "USD", "Ns", "MW"}
+
+// unitOf extracts the canonical unit suffix carried by a name, or "".
+// Accepted spellings for e.g. Ns: "RowNs" (lower-case boundary),
+// "TCKns" (acronym boundary, lower-case suffix), "ns"/"Ns" (the whole
+// name, any case).
+func unitOf(name string) string {
+	for _, s := range suffixes {
+		if strings.EqualFold(name, s) {
+			return s
+		}
+		lower := strings.ToLower(s)
+		if n, ok := strings.CutSuffix(name, s); ok && isLowerOrDigit(n[len(n)-1]) {
+			return s
+		}
+		if n, ok := strings.CutSuffix(name, lower); ok && len(n) > 0 && isUpperOrDigit(n[len(n)-1]) {
+			return s
+		}
+	}
+	return ""
+}
+
+func isLowerOrDigit(b byte) bool { return b >= 'a' && b <= 'z' || b >= '0' && b <= '9' }
+func isUpperOrDigit(b byte) bool { return b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' }
+
+// exprUnit extracts the unit a value expression carries, from the name
+// of the identifier, selector or called function that produces it.
+func exprUnit(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return exprUnit(e.X)
+	case *ast.UnaryExpr:
+		return exprUnit(e.X)
+	case *ast.Ident:
+		return unitOf(e.Name)
+	case *ast.SelectorExpr:
+		return unitOf(e.Sel.Name)
+	case *ast.CallExpr:
+		return exprUnit(e.Fun)
+	}
+	return ""
+}
+
+// exprName renders a short name for diagnostics.
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.UnaryExpr:
+		return exprName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "()"
+	}
+	return "expression"
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	inUnits   bool // the units package itself
+	reported  map[token.Pos]bool
+	funcStack []string // enclosing function names, innermost last
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		info:     pass.Info(),
+		inUnits:  strings.HasSuffix(pass.Pkg.Path, "internal/units") || pass.Pkg.Name == "units",
+		reported: map[token.Pos]bool{},
+	}
+	for _, f := range pass.Files() {
+		c.file(f)
+	}
+	return nil
+}
+
+func (c *checker) file(f *ast.File) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.funcStack = append(c.funcStack, n.Name.Name)
+			if n.Body != nil {
+				ast.Inspect(n.Body, walk)
+			}
+			c.funcStack = c.funcStack[:len(c.funcStack)-1]
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.ReturnStmt:
+			c.returnStmt(n)
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+// numeric reports whether e has a basic numeric type (unit suffixes on
+// strings, formatters etc. are not unit-bearing values).
+func (c *checker) numeric(e ast.Expr) bool {
+	t := c.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// call checks each argument's unit against the parameter name's unit.
+func (c *checker) call(call *ast.CallExpr) {
+	t := c.info.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		au := exprUnit(arg)
+		if au == "" || !c.numeric(arg) {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi < 0 || pi >= params.Len() {
+			continue
+		}
+		pname := params.At(pi).Name()
+		pu := unitOf(pname)
+		if pu != "" && pu != au {
+			c.report(arg.Pos(), "argument %s carries unit %s but parameter %s of %s expects %s",
+				exprName(arg), au, pname, exprName(call.Fun), pu)
+		}
+	}
+}
+
+// assign checks destination names against source units.
+func (c *checker) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lu := exprUnit(lhs)
+		rhs := as.Rhs[i]
+		if lu != "" {
+			if ru := exprUnit(rhs); ru != "" && ru != lu && c.numeric(rhs) {
+				c.report(rhs.Pos(), "%s (unit %s) assigned to %s (unit %s)",
+					exprName(rhs), ru, exprName(lhs), lu)
+			}
+		}
+		c.rawConversion(lu, rhs)
+	}
+}
+
+// composite checks struct-literal field names against value units.
+func (c *checker) composite(lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		ku := unitOf(key.Name)
+		if ku != "" {
+			if vu := exprUnit(kv.Value); vu != "" && vu != ku && c.numeric(kv.Value) {
+				c.report(kv.Value.Pos(), "%s (unit %s) used for field %s (unit %s)",
+					exprName(kv.Value), vu, key.Name, ku)
+			}
+		}
+		c.rawConversion(ku, kv.Value)
+	}
+}
+
+// returnStmt checks returned expressions against the enclosing
+// function's name unit (single-result functions only).
+func (c *checker) returnStmt(ret *ast.ReturnStmt) {
+	if len(ret.Results) != 1 || len(c.funcStack) == 0 {
+		return
+	}
+	fu := unitOf(c.funcStack[len(c.funcStack)-1])
+	if fu == "" {
+		return
+	}
+	res := ret.Results[0]
+	if ru := exprUnit(res); ru != "" && ru != fu && c.numeric(res) {
+		c.report(res.Pos(), "%s (unit %s) returned from %s (unit %s)",
+			exprName(res), ru, c.funcStack[len(c.funcStack)-1], fu)
+	}
+	c.rawConversion(fu, res)
+}
+
+// rawConversion flags "1e3 / x" period<->frequency conversions flowing
+// into an Ns- or MHz-named destination, or dividing an MHz/Ns-named
+// operand — the units package provides MHzToNs / NsToMHz for exactly
+// this, with defined zero-denominator behaviour.
+func (c *checker) rawConversion(destUnit string, e ast.Expr) {
+	if c.inUnits {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.QUO || !hasThousandFactor(bin.X) {
+			return true
+		}
+		du := exprUnit(bin.Y) // unit of the denominator
+		switch {
+		case du == "MHz" || (du == "" && destUnit == "Ns"):
+			c.report(bin.Pos(), "raw period conversion 1e3/%s: use units.MHzToNs", exprName(bin.Y))
+		case du == "Ns" || (du == "" && destUnit == "MHz"):
+			c.report(bin.Pos(), "raw frequency conversion 1e3/%s: use units.NsToMHz", exprName(bin.Y))
+		}
+		return true
+	})
+}
+
+// hasThousandFactor reports whether the expression is the literal 1e3
+// (or 1000), possibly multiplied by other factors.
+func hasThousandFactor(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return hasThousandFactor(e.X)
+	case *ast.BasicLit:
+		return e.Kind == token.FLOAT && e.Value == "1e3" ||
+			e.Kind == token.INT && e.Value == "1000"
+	case *ast.BinaryExpr:
+		if e.Op == token.MUL {
+			return hasThousandFactor(e.X) || hasThousandFactor(e.Y)
+		}
+	}
+	return false
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

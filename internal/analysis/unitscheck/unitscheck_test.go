@@ -1,0 +1,43 @@
+package unitscheck
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestUnitscheckFixtures(t *testing.T) {
+	analysistest.Run(t, Analyzer, "unitsfix")
+}
+
+func TestUnitOf(t *testing.T) {
+	cases := map[string]string{
+		"RowNs":      "Ns",
+		"TCKns":      "Ns",
+		"ns":         "Ns",
+		"ClockMHz":   "MHz",
+		"mhz":        "MHz",
+		"AreaMm2":    "Mm2",
+		"mm2":        "Mm2",
+		"PowerMW":    "MW",
+		"PeakGBps":   "GBps",
+		"SizeMbit":   "Mbit",
+		"CostUSD":    "USD",
+		"MHzToNs":    "Ns",
+		"NsToMHz":    "MHz",
+		"columns":    "", // lower-case word ending in ns
+		"runs":       "",
+		"Banks":      "",
+		"budgetMs":   "",
+		"Frequency":  "",
+		"MbitToBits": "",
+		"BitsToMbit": "Mbit",
+		"FormatGBps": "GBps",
+		"WindowB":    "",
+	}
+	for name, want := range cases {
+		if got := unitOf(name); got != want {
+			t.Errorf("unitOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -241,7 +241,7 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 	}
 	e := tech.DefaultElectrical()
 	ce := power.DefaultCoreEnergy()
-	start := time.Now()
+	start := time.Now() //nolint:edramvet/determinism // feeds ExploreStats.WallTime only, never results
 
 	// Workers: evaluate batches of points, forwarding outcomes
 	// (including unbuildable corners, so the collector can count
@@ -261,7 +261,7 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 			var acc time.Duration
 			defer func() { busy[w] = acc }()
 			for batch := range batches {
-				t0 := time.Now()
+				t0 := time.Now() //nolint:edramvet/determinism // feeds ExploreStats.WorkerBusy only, never results
 				outs := make([]outcome, 0, len(batch))
 				for _, pt := range batch {
 					cand, err := evaluate(pt.Spec, pt.Macros, req, e, ce)
@@ -427,14 +427,17 @@ func (f *Frontier) Candidates() []Candidate {
 func sortCandidates(cs []Candidate) {
 	sort.Slice(cs, func(i, j int) bool {
 		a, b := cs[i], cs[j]
+		// The chain of exact comparisons builds a total order over
+		// identical evaluation results — tolerance would break
+		// transitivity and with it the canonical front order.
 		switch {
-		case a.AreaMm2 != b.AreaMm2:
+		case a.AreaMm2 != b.AreaMm2: //nolint:edramvet/floateq // exact total-order tie-break
 			return a.AreaMm2 < b.AreaMm2
-		case a.PowerMW != b.PowerMW:
+		case a.PowerMW != b.PowerMW: //nolint:edramvet/floateq // exact total-order tie-break
 			return a.PowerMW < b.PowerMW
-		case a.CostUSD != b.CostUSD:
+		case a.CostUSD != b.CostUSD: //nolint:edramvet/floateq // exact total-order tie-break
 			return a.CostUSD < b.CostUSD
-		case a.SustainedGBps != b.SustainedGBps:
+		case a.SustainedGBps != b.SustainedGBps: //nolint:edramvet/floateq // exact total-order tie-break
 			return a.SustainedGBps > b.SustainedGBps
 		default:
 			return a.Seq < b.Seq

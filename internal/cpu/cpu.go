@@ -9,6 +9,8 @@ package cpu
 import (
 	"fmt"
 	"math/rand"
+
+	"edram/internal/units"
 )
 
 // Memory is the interface the core loads from and stores to. AccessNs
@@ -37,8 +39,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// CycleNs returns the core cycle time.
-func (c Config) CycleNs() float64 { return 1e3 / c.ClockMHz }
+// CycleNs returns the core cycle time (0 for a non-positive clock,
+// following the units-package degenerate-corner convention).
+func (c Config) CycleNs() float64 { return units.MHzToNs(c.ClockMHz) }
 
 // Workload generates the data addresses of the instruction stream: a
 // resident working set (stack/locals) mixed with a larger heap region

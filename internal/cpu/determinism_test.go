@@ -1,0 +1,33 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Two workloads built from the same seed must emit identical address
+// streams — the property everything downstream (iram, experiments)
+// leans on for reproducible runs.
+func TestWorkloadAddressStreamDeterministic(t *testing.T) {
+	mk := func() *Workload {
+		w := Workload{
+			HotBytes:   8 << 10,
+			HotFrac:    0.8,
+			HeapBytes:  1 << 20,
+			StreamFrac: 0.1,
+			WarmFrac:   0.9,
+			WarmBytes:  64 << 10,
+			Rng:        rand.New(rand.NewSource(21)),
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return &w
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10000; i++ {
+		if x, y := a.NextAddr(), b.NextAddr(); x != y {
+			t.Fatalf("address streams diverge at ref %d: %d vs %d", i, x, y)
+		}
+	}
+}

@@ -25,11 +25,11 @@ type WordErrorFunc func(bank, row, bits int)
 
 // backingState is the per-device functional state.
 type backingState struct {
-	arrays  []*Array        // one per bank; rows may exceed RowsPerBank (spares)
+	arrays  []*Array // one per bank; rows may exceed RowsPerBank (spares)
 	onError WordErrorFunc
-	beat    []int           // per-bank rotating beat (word) index
-	redir   []map[int]int   // per-bank logical row -> physical row
-	refRow  []int           // per-bank rotating refresh row
+	beat    []int         // per-bank rotating beat (word) index
+	redir   []map[int]int // per-bank logical row -> physical row
+	refRow  []int         // per-bank rotating refresh row
 }
 
 // backgroundAt is the functional data background (checkerboard).

@@ -199,7 +199,7 @@ func Build(spec Spec) (*Macro, error) {
 	clock := timing.MaxClockMHz(tm)
 	if spec.TargetClockMHz > 0 && spec.TargetClockMHz < clock {
 		clock = spec.TargetClockMHz
-		tm.TCKns = 1e3 / clock
+		tm.TCKns = units.MHzToNs(clock)
 	}
 
 	area, err := g.Area()

@@ -107,6 +107,7 @@ func E14QualityGrades() (Experiment, error) {
 			}
 			t.AddRow(mean, spares, res.ProgramYield, res.GraphicsYield,
 				units.Ratio(res.GraphicsYield, res.ProgramYield))
+			//nolint:edramvet/floateq // anchor row: loop variable vs its own literal
 			if mean == 3.0 && spares == 1 {
 				progAt3, gfxAt3 = res.ProgramYield, res.GraphicsYield
 			}

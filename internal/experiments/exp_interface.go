@@ -28,7 +28,7 @@ func E1IOPower() (Experiment, error) {
 			return Experiment{}, err
 		}
 		t.AddRow(bw, 256, cmp.DiscreteChips, cmp.Discrete.PowerMW, cmp.Embedded.PowerMW, cmp.PowerRatio)
-		if bw == 4 {
+		if bw == 4 { //nolint:edramvet/floateq // anchor row: loop variable vs its own literal
 			anchor = cmp.PowerRatio
 		}
 	}

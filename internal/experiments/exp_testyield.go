@@ -74,9 +74,11 @@ func E11Yield() (Experiment, error) {
 			}
 			t.AddRow(mean, spares, res.RawYield, res.RepairedYield,
 				units.Ratio(res.RepairedYield, res.RawYield))
+			//nolint:edramvet/floateq // anchor row: loop variable vs its own literal
 			if mean == 1.2 && spares == 0 {
 				rawAt12 = res.RawYield
 			}
+			//nolint:edramvet/floateq // anchor row: loop variable vs its own literal
 			if mean == 1.2 && spares == 4 {
 				stdAt12 = res.RepairedYield
 			}

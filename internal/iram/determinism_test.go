@@ -1,0 +1,39 @@
+package iram
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Compare drives two full CPU + cache-hierarchy simulations off one
+// seed; every derived ratio must be bit-identical across runs (the
+// determinism invariant edramvet enforces for model packages).
+func TestCompareDeterministic(t *testing.T) {
+	a, err := Compare(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed must reproduce all metrics:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// Different seeds must actually change the simulated runs — otherwise
+// the two-run test above proves nothing.
+func TestCompareSeedSensitive(t *testing.T) {
+	a, err := Compare(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(20000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Conventional.CPU == b.Conventional.CPU {
+		t.Error("different seeds produced identical conventional runs")
+	}
+}

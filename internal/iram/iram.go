@@ -69,8 +69,8 @@ func Conventional() System {
 	return System{
 		Name:           "conventional",
 		CPU:            cpu.Config{ClockMHz: 300, LoadFrac: 0.22, StoreFrac: 0.10},
-		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: 1e3 / 300},
-		L2:             &cache.Config{SizeBytes: 512 << 10, LineBytes: lineBytes, Ways: 4, HitNs: 6 * 1e3 / 300},
+		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: units.MHzToNs(300)},
+		L2:             &cache.Config{SizeBytes: 512 << 10, LineBytes: lineBytes, Ways: 4, HitNs: 6 * units.MHzToNs(300)},
 		MemLatencyNs:   memLat,
 		MemPeakGBps:    units.BandwidthGBps(busBits, 100),
 		LineBytes:      lineBytes,
@@ -115,7 +115,7 @@ func Merged() System {
 	return System{
 		Name:           "iram",
 		CPU:            cpu.Config{ClockMHz: cpuClock, LoadFrac: 0.22, StoreFrac: 0.10},
-		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: 1e3 / cpuClock},
+		L1:             cache.Config{SizeBytes: 16 << 10, LineBytes: lineBytes, Ways: 2, HitNs: units.MHzToNs(cpuClock)},
 		L2:             nil,
 		MemLatencyNs:   memLat,
 		MemPeakGBps:    float64(banks) * units.BandwidthGBps(busBits, clock),

@@ -1,0 +1,43 @@
+package mpeg2
+
+import (
+	"reflect"
+	"testing"
+
+	"edram/internal/edram"
+	"edram/internal/mapping"
+	"edram/internal/sched"
+)
+
+// The full decoder pipeline — client generation, traffic, controller,
+// device — must reproduce bit-identical results from one seed. This is
+// the end-to-end regression for the determinism invariant edramvet
+// enforces on the model packages.
+func TestDecoderRunDeterministic(t *testing.T) {
+	run := func() sched.Result {
+		m, err := edram.Build(edram.Spec{CapacityMbit: 16, InterfaceBits: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := m.DeviceConfig()
+		cfg.AutoRefresh = false
+		gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+		mp, err := mapping.NewBankInterleaved(gm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients, err := Clients(PAL(), FullOutput, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sched.RunWithOptions(cfg, mp, sched.Options{Policy: sched.OpenPageFirst}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed must reproduce the decoder run:\n%+v\nvs\n%+v", a, b)
+	}
+}

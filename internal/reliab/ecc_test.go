@@ -10,9 +10,9 @@ func TestCheckBits(t *testing.T) {
 	}{
 		{ECCNone, 64, 0},
 		{ECCParity, 64, 1},
-		{ECCSECDED, 64, 8},  // the classic (72,64) code
-		{ECCSECDED, 32, 7},  // (39,32)
-		{ECCSECDED, 16, 6},  // (22,16)
+		{ECCSECDED, 64, 8},        // the classic (72,64) code
+		{ECCSECDED, 32, 7},        // (39,32)
+		{ECCSECDED, 16, 6},        // (22,16)
 		{ECCChipkillLite, 64, 14}, // two (39,32) half-words
 	}
 	for _, tc := range cases {

@@ -117,13 +117,13 @@ type Stats struct {
 // process, the ECC scheme, the spare-row allocator and the degradation
 // state, and is invoked by the scheduler after every served request.
 type Ladder struct {
-	cfg      Config
-	proc     *Process
-	dev      *dram.Device
-	deg      *mapping.Degraded
-	alloc    *yield.Allocator
-	observer func(FaultEvent)
-	stats    Stats
+	cfg         Config
+	proc        *Process
+	dev         *dram.Device
+	deg         *mapping.Degraded
+	alloc       *yield.Allocator
+	observer    func(FaultEvent)
+	stats       Stats
 	rowsPerBank int
 	// pending accumulates per-word bit-error counts reported by the
 	// device backing during the burst currently being served.

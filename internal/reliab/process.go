@@ -100,8 +100,8 @@ func (c Config) Validate() error {
 type Process struct {
 	cfg    Config
 	banks  int
-	rows   int // physical rows per bank = logical rows + spares
-	cols   int // page bits
+	rows   int            // physical rows per bank = logical rows + spares
+	cols   int            // page bits
 	faults [][]dram.Fault // per bank, generation order
 	softP  float64        // per-access transient probability
 }

@@ -101,7 +101,7 @@ func SpeedGrade(p Part, clockMHz float64) (Part, error) {
 	}
 	out := p
 	out.ClockMHz = clockMHz
-	out.Timing.TCKns = 1e3 / clockMHz
+	out.Timing.TCKns = units.MHzToNs(clockMHz)
 	out.Name = fmt.Sprintf("%s-%.0f", p.Name, clockMHz)
 	out.PriceUSD = p.PriceUSD * (1 + 0.15*(clockMHz-p.ClockMHz)/33)
 	if out.PriceUSD < 0.5*p.PriceUSD {
@@ -218,6 +218,7 @@ func BestSystem(req Requirement) (System, error) {
 		}
 		if !found ||
 			s.PriceUSD() < best.PriceUSD() ||
+			//nolint:edramvet/floateq // exact price tie-break: prefer less installed capacity
 			(s.PriceUSD() == best.PriceUSD() && s.InstalledMbit() < best.InstalledMbit()) {
 			best = s
 			found = true

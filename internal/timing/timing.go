@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"edram/internal/tech"
+	"edram/internal/units"
 )
 
 // elmoreFactor converts an RC product to a 50%-swing delay.
@@ -134,10 +135,7 @@ func ArrayTiming(base tech.SDRAMTiming, o Organization) (tech.SDRAMTiming, error
 // MaxClockMHz returns the highest interface clock the timing set
 // supports.
 func MaxClockMHz(t tech.SDRAMTiming) float64 {
-	if t.TCKns <= 0 {
-		return 0
-	}
-	return 1e3 / t.TCKns
+	return units.NsToMHz(t.TCKns) // 0 for a degenerate timing set
 }
 
 // RandomRowCycleNs is the worst-case time between accesses to different

@@ -21,7 +21,10 @@
 // corners without special-casing them.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Bit-capacity constants, in bits.
 const (
@@ -40,8 +43,9 @@ const (
 // BitsToMbit converts a bit count to Mbit.
 func BitsToMbit(bits int64) float64 { return float64(bits) / Mbit }
 
-// MbitToBits converts Mbit to a bit count, rounding to the nearest bit.
-func MbitToBits(mbit float64) int64 { return int64(mbit*Mbit + 0.5) }
+// MbitToBits converts Mbit to a bit count, rounding half away from zero
+// (the +0.5 trick would round negative halves the wrong way).
+func MbitToBits(mbit float64) int64 { return int64(math.Round(mbit * Mbit)) }
 
 // BytesToMbit converts a byte count to Mbit.
 func BytesToMbit(bytes int64) float64 { return float64(bytes*8) / Mbit }

@@ -1,0 +1,84 @@
+package units
+
+import "testing"
+
+// The division helpers promise "never panic; 0 for degenerate
+// denominators" so sweep code can tabulate corner rows without
+// branching. These tests pin the negative-input side of that contract.
+
+func TestDivisionHelpersNegativeDenominators(t *testing.T) {
+	for _, mhz := range []float64{-0.001, -1, -1e9} {
+		if got := MHzToNs(mhz); got != 0 {
+			t.Errorf("MHzToNs(%v) = %v, want 0", mhz, got)
+		}
+	}
+	for _, ns := range []float64{-0.001, -1, -1e9} {
+		if got := NsToMHz(ns); got != 0 {
+			t.Errorf("NsToMHz(%v) = %v, want 0", ns, got)
+		}
+	}
+	for _, size := range []float64{-0.001, -4, -1e9} {
+		if got := FillFrequencyHz(3.2, size); got != 0 {
+			t.Errorf("FillFrequencyHz(3.2, %v) = %v, want 0", size, got)
+		}
+	}
+}
+
+func TestRatioSigns(t *testing.T) {
+	// Ratio guards only the b == 0 case; negative denominators divide
+	// normally (a signed ratio is meaningful, a divide-by-zero is not).
+	cases := []struct{ a, b, want float64 }{
+		{1, 0, 0},
+		{-1, 0, 0},
+		{0, 0, 0},
+		{1, -2, -0.5},
+		{-4, -2, 2},
+		{0, -2, 0},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.a, c.b); got != c.want {
+			t.Errorf("Ratio(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivNegativeDivisorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with negative divisor must panic")
+		}
+	}()
+	CeilDiv(10, -3)
+}
+
+func TestMbitToBitsHalfBoundaries(t *testing.T) {
+	// mbit values chosen so mbit*Mbit lands exactly on x.5 bits; the
+	// helper rounds half away from zero in both directions. (The old
+	// int64(x+0.5) form rounded -1.5 to -1.)
+	cases := []struct {
+		bits float64 // exact bit count before rounding
+		want int64
+	}{
+		{1.5, 2},
+		{2.5, 3},
+		{-1.5, -2},
+		{-2.5, -3},
+		{0.5, 1},
+		{-0.5, -1},
+	}
+	for _, c := range cases {
+		mbit := c.bits / Mbit
+		if got := MbitToBits(mbit); got != c.want {
+			t.Errorf("MbitToBits(%v bits) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestMbitToBitsWholeValues(t *testing.T) {
+	for _, mbit := range []float64{0, 1, 4, 64, 128} {
+		want := int64(mbit) * Mbit
+		if got := MbitToBits(mbit); got != want {
+			t.Errorf("MbitToBits(%v) = %d, want %d", mbit, got, want)
+		}
+	}
+}

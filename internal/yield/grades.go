@@ -3,6 +3,7 @@ package yield
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"edram/internal/dram"
 )
@@ -68,6 +69,14 @@ func splitCells(faults []dram.Fault, rows, cols int) (hard, weak [][2]int) {
 			weak = append(weak, c)
 		}
 	}
+	// Leftover spares cover weak cells in list order; sort so grading
+	// does not depend on map iteration order.
+	sort.Slice(weak, func(i, j int) bool {
+		if weak[i][0] != weak[j][0] {
+			return weak[i][0] < weak[j][0]
+		}
+		return weak[i][1] < weak[j][1]
+	})
 	return hard, weak
 }
 

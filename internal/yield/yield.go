@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"edram/internal/dram"
 )
@@ -174,44 +175,35 @@ func Repair(failing [][2]int, spareRows, spareCols int) RepairResult {
 
 	// Must-repair: a row with more failures than remaining spare
 	// columns can only be fixed by a spare row, and vice versa. Iterate
-	// to a fixed point.
+	// to a fixed point, visiting lines in index order so the allocation
+	// is identical on every run (map iteration order is random).
 	for {
 		changed := false
-		rows, cols := counts()
-		for r, n := range rows {
-			if n > spareCols-res.UsedCols && res.UsedRows < spareRows {
+		rows, _ := counts()
+		for _, r := range sortedKeys(rows) {
+			if rows[r] > spareCols-res.UsedCols && res.UsedRows < spareRows {
 				removeRow(r)
 				changed = true
 			}
 		}
-		rows, cols = counts()
-		for c, n := range cols {
-			if n > spareRows-res.UsedRows && res.UsedCols < spareCols {
+		_, cols := counts()
+		for _, c := range sortedKeys(cols) {
+			if cols[c] > spareRows-res.UsedRows && res.UsedCols < spareCols {
 				removeCol(c)
 				changed = true
 			}
 		}
-		_ = rows
 		if !changed {
 			break
 		}
 	}
 
-	// Greedy: repair whichever line covers the most remaining failures.
+	// Greedy: repair whichever line covers the most remaining failures,
+	// ties broken to the lowest index (not map order).
 	for len(remaining) > 0 {
 		rows, cols := counts()
-		bestRow, bestRowN := -1, 0
-		for r, n := range rows {
-			if n > bestRowN {
-				bestRow, bestRowN = r, n
-			}
-		}
-		bestCol, bestColN := -1, 0
-		for c, n := range cols {
-			if n > bestColN {
-				bestCol, bestColN = c, n
-			}
-		}
+		bestRow, bestRowN := maxLine(rows)
+		bestCol, bestColN := maxLine(cols)
 		rowsLeft := res.UsedRows < spareRows
 		colsLeft := res.UsedCols < spareCols
 		switch {
@@ -226,6 +218,29 @@ func Repair(failing [][2]int, spareRows, spareCols int) RepairResult {
 	}
 	res.Repaired = true
 	return res
+}
+
+// sortedKeys returns the map's keys in ascending order, so selection
+// loops visit lines deterministically.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// maxLine returns the index with the highest count, ties broken to the
+// lowest index so repair choices do not depend on map iteration order.
+func maxLine(counts map[int]int) (idx, n int) {
+	idx, n = -1, 0
+	for _, k := range sortedKeys(counts) {
+		if counts[k] > n {
+			idx, n = k, counts[k]
+		}
+	}
+	return idx, n
 }
 
 // FaultCells converts a defect list into the failing-cell set of a
@@ -256,6 +271,14 @@ func FaultCells(faults []dram.Fault, rows, cols int) [][2]int {
 	for k := range seen {
 		out = append(out, k)
 	}
+	// Map iteration order is random; downstream spare allocation and
+	// grading must see the same cell list on every run.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
 	return out
 }
 
