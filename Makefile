@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench fuzz fuzz-smoke check
+.PHONY: build test vet lint race bench fuzz fuzz-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,8 +33,15 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/dram/
 
+# serve-smoke boots the real edramd daemon on a random loopback port,
+# drives /healthz, /v1/recommend and /metrics with live HTTP calls,
+# then SIGTERMs itself to exercise the graceful-drain path.
+serve-smoke:
+	$(GO) run ./cmd/edramd -smoke
+
 # check is the tier-1 verify path: build, vet, lint, then race-checked
 # tests, so the exploration engine's, experiment runner's and
 # reliability trial pool's concurrency is exercised under the race
-# detector on every PR, plus a replay of the fuzz seed corpus.
-check: build vet lint race fuzz-smoke
+# detector on every PR, plus a replay of the fuzz seed corpus and the
+# daemon's end-to-end smoke.
+check: build vet lint race fuzz-smoke serve-smoke

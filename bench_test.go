@@ -3,9 +3,14 @@ package edram_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	edrampkg "edram"
 	"edram/internal/bist"
 	"edram/internal/cache"
 	"edram/internal/core"
@@ -233,4 +238,66 @@ func BenchmarkE21Volume(b *testing.B) {
 
 func BenchmarkE22ScanConverter(b *testing.B) {
 	benchExperiment(b, experiments.E22ScanConverter, "realtime-margin")
+}
+
+// BenchmarkServiceExplore measures the HTTP service layer end-to-end
+// over an in-process server: cold issues a distinct request every
+// iteration (cache miss, full sweep through the shared worker pool),
+// warm replays one request (canonical-key cache hit). The concurrent
+// variants fan the same load across parallel clients, where cold
+// requests split the worker pool and identical in-flight requests
+// coalesce.
+func BenchmarkServiceExplore(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		for _, clients := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
+				srv := httptest.NewServer(edrampkg.NewService(edrampkg.ServiceConfig{
+					CacheEntries: 1 << 16,
+					CacheTTL:     -1, // entries never expire mid-benchmark
+				}))
+				defer srv.Close()
+				client := srv.Client()
+				post := func(body string) error {
+					resp, err := client.Post(srv.URL+"/v1/explore", "application/json", strings.NewReader(body))
+					if err != nil {
+						return err
+					}
+					defer resp.Body.Close()
+					if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+						return err
+					}
+					if resp.StatusCode != 200 {
+						return fmt.Errorf("status %d", resp.StatusCode)
+					}
+					return nil
+				}
+				// Distinct bandwidths force distinct canonical keys.
+				cold := func(i int64) string {
+					return fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":%.9f,"hit_rate":0.5}`, 1+float64(i)*1e-6)
+				}
+				const warmBody = `{"capacity_mbit":16,"bandwidth_gbps":1,"hit_rate":0.5}`
+				if mode == "warm" {
+					if err := post(warmBody); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.SetParallelism(clients) // clients × GOMAXPROCS goroutines
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						var err error
+						if mode == "cold" {
+							err = post(cold(seq.Add(1)))
+						} else {
+							err = post(warmBody)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
 }

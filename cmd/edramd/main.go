@@ -1,0 +1,172 @@
+// Command edramd serves the eDRAM design engine over HTTP: a
+// stdlib-only JSON daemon exposing /v1/explore, /v1/recommend,
+// /v1/simulate, /v1/datasheet and /v1/experiments, with a result
+// cache, request coalescing, a shared worker pool and Prometheus
+// metrics on /metrics. SIGINT/SIGTERM drain in-flight requests before
+// the process exits.
+//
+// Usage:
+//
+//	edramd [-addr :8080] [-workers N] [-cache-entries N] [-cache-ttl 15m]
+//	       [-timeout 60s] [-drain 10s] [-smoke]
+//
+// -smoke runs the self-test used by `make serve-smoke`: bind a random
+// loopback port, exercise /healthz, /v1/recommend and /metrics with
+// real HTTP calls, then deliver SIGTERM to the process itself and
+// verify the graceful-drain path shuts the server down.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"edram/internal/service"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edramd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries (0 = default 256)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = default 15m, negative = no expiry)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 60s)")
+	drain := flag.Duration("drain", 0, "graceful shutdown drain budget (0 = default 10s)")
+	smoke := flag.Bool("smoke", false, "run the serve-smoke self-test and exit")
+	flag.Parse()
+
+	cfg := service.Config{
+		CacheEntries:   *cacheEntries,
+		CacheTTL:       *cacheTTL,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		AccessLog:      os.Stdout,
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fail("smoke: %v", err)
+		}
+		fmt.Println("edramd: smoke ok")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := service.NewServer(cfg)
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "edramd: listening on %s\n", a)
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "edramd: drained, shutting down")
+}
+
+// runSmoke is the end-to-end self-test: it exercises the real signal
+// handling, listener, handlers and drain path in-process.
+func runSmoke(cfg service.Config) error {
+	cfg.AccessLog = io.Discard
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.NewServer(cfg)
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		return fmt.Errorf("server did not start: %v", err)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// 1. Liveness.
+	if err := expectJSON(client, "GET", base+"/healthz", ""); err != nil {
+		return fmt.Errorf("healthz: %v", err)
+	}
+	// 2. One real recommendation sweep through the full stack.
+	req := `{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5}`
+	if err := expectJSON(client, "POST", base+"/v1/recommend", req); err != nil {
+		return fmt.Errorf("recommend: %v", err)
+	}
+	// 3. The scrape endpoint reports the request we just made.
+	body, err := fetch(client, "GET", base+"/metrics", "")
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	if !strings.Contains(body, "edramd_requests_total") {
+		return fmt.Errorf("metrics: edramd_requests_total series missing from scrape")
+	}
+
+	// 4. Deliver a real SIGTERM to ourselves and verify the drain path
+	// brings ListenAndServe back with a clean shutdown.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return fmt.Errorf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not drain within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// fetch performs one request and returns the body (any status).
+func fetch(client *http.Client, method, url, body string) (string, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return string(b), fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return string(b), nil
+}
+
+// expectJSON performs one request and requires a 200 with a valid JSON
+// body.
+func expectJSON(client *http.Client, method, url, body string) error {
+	b, err := fetch(client, method, url, body)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal([]byte(b), &v); err != nil {
+		return fmt.Errorf("response is not valid JSON: %v", err)
+	}
+	return nil
+}

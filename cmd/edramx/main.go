@@ -20,6 +20,7 @@ import (
 
 	"edram/internal/core"
 	"edram/internal/report"
+	"edram/internal/service"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
 	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
+	jsonOut := flag.Bool("json", false, "emit the exploration as JSON on stdout (the exact POST /v1/explore schema)")
 	flag.Parse()
 
 	req := core.Requirements{
@@ -43,19 +45,37 @@ func main() {
 		MaxPowerMW:    *maxPower,
 		DefectsPerCm2: *defects,
 	}
+	// Same validation (and the same messages) as the service layer.
+	if err := req.Validate(); err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		// The JSON path is the service's explore builder verbatim, so a
+		// scripted `edramx -json` and a curl of POST /v1/explore are
+		// byte-identical (the parity tests pin this down).
+		var progress func(core.ExploreStats)
+		if !*quiet {
+			progress = progressLine
+		}
+		resp, err := service.BuildExplore(context.Background(), req, *workers, progress)
+		if err != nil {
+			fail(err)
+		}
+		b, err := service.Encode(resp)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
 
 	// One streaming pass feeds the incremental Pareto front, the
 	// nearest-miss diagnostics and the progress line at once; the old
 	// Recommend+Explore pair walked the space twice.
 	opts := []core.ExploreOption{core.WithWorkers(*workers), core.WithProgressEvery(128)}
 	if !*quiet {
-		opts = append(opts, core.WithProgress(func(s core.ExploreStats) {
-			fmt.Fprintf(os.Stderr, "\rexplore: %d points (%d built, %d infeasible, %d pruned) front=%d %.0f pts/s",
-				s.Enumerated, s.Built, s.Infeasible, s.Pruned, s.FrontSize, s.PointsPerSec())
-			if s.Done {
-				fmt.Fprintf(os.Stderr, " [%d workers, %.1f ms]\n", s.Workers, float64(s.WallTime.Microseconds())/1e3)
-			}
-		}))
+		opts = append(opts, core.WithProgress(progressLine))
 	}
 	ch, err := core.ExploreContext(context.Background(), req, opts...)
 	if err != nil {
@@ -119,6 +139,16 @@ func main() {
 			}
 		}
 		fail(fmt.Errorf("no recommendation with role %q", *role))
+	}
+}
+
+// progressLine is the stderr progress reporter shared by the table and
+// JSON paths.
+func progressLine(s core.ExploreStats) {
+	fmt.Fprintf(os.Stderr, "\rexplore: %d points (%d built, %d infeasible, %d pruned) front=%d %.0f pts/s",
+		s.Enumerated, s.Built, s.Infeasible, s.Pruned, s.FrontSize, s.PointsPerSec())
+	if s.Done {
+		fmt.Fprintf(os.Stderr, " [%d workers, %.1f ms]\n", s.Workers, float64(s.WallTime.Microseconds())/1e3)
 	}
 }
 

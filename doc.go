@@ -17,6 +17,12 @@
 //     WithObserver (a per-candidate tap).
 //  3. Simulate a multi-client memory system on a macro: Simulate, with
 //     SimOptions.Observer as the matching per-request trace callback.
+//  4. Serve the engine over HTTP: NewService builds the server behind
+//     cmd/edramd (result cache keyed by canonical request strings,
+//     request coalescing, a shared worker pool, Prometheus metrics);
+//     the re-exported wire types (ExploreResponse, ...) are the
+//     JSON-stable schema shared with edramx -json, and Requirements /
+//     MacroSpec carry the matching JSON tags.
 //
 // Migration note: the original serial signatures remain as thin
 // wrappers over the engine and keep their exact behavior —

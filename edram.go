@@ -22,6 +22,7 @@ import (
 	"edram/internal/reliab"
 	"edram/internal/scanconv"
 	"edram/internal/sched"
+	"edram/internal/service"
 	"edram/internal/traffic"
 	"edram/internal/views"
 )
@@ -237,3 +238,47 @@ func ScanPAL50() ScanStandard { return scanconv.PAL50() }
 func ScanBudgetFor(s ScanStandard, fields int) (ScanBudget, error) {
 	return scanconv.BudgetFor(s, fields)
 }
+
+// RedundancyLevel names a redundancy provisioning level of a MacroSpec.
+type RedundancyLevel = iedram.RedundancyLevel
+
+// ParseRedundancy maps a level name ("none", "low", "std", "high") to
+// its RedundancyLevel — the inverse of RedundancyLevel.String and the
+// JSON wire form.
+func ParseRedundancy(name string) (RedundancyLevel, error) { return iedram.ParseRedundancy(name) }
+
+// Service layer (the fourth workflow): ServeHTTP-able server behind
+// cmd/edramd with a canonical-key result cache, request coalescing and
+// a shared evaluation worker pool. The wire schema re-exported below is
+// JSON-stable: edramx -json, the daemon and these types all encode
+// through the same builders.
+type (
+	Service        = service.Server
+	ServiceConfig  = service.Config
+	ServiceMetrics = service.Metrics
+)
+
+// NewService builds a server (its own cache, worker pool and metrics
+// registry) from the config; the zero config gets production defaults.
+func NewService(cfg ServiceConfig) *Service { return service.NewServer(cfg) }
+
+// Wire schema of the service endpoints (and of edramx -json).
+type (
+	ExploreResponse     = service.ExploreResponse
+	RecommendResponse   = service.RecommendResponse
+	SimulateRequest     = service.SimulateRequest
+	SimulateResponse    = service.SimulateResponse
+	DatasheetResponse   = service.DatasheetResponse
+	ExperimentsResponse = service.ExperimentsResponse
+)
+
+// BuildExploreResponse runs the exploration and assembles the
+// /v1/explore wire response — what edramx -json prints and the daemon
+// serves, byte-identical through EncodeResponse.
+func BuildExploreResponse(ctx context.Context, req Requirements, workers int) (*ExploreResponse, error) {
+	return service.BuildExplore(ctx, req, workers, nil)
+}
+
+// EncodeResponse renders any wire response in its canonical encoding
+// (compact JSON plus trailing newline).
+func EncodeResponse(v any) ([]byte, error) { return service.Encode(v) }

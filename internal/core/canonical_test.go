@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"edram/internal/tech"
+)
+
+func TestRequirementsViolationsListsEverything(t *testing.T) {
+	bad := Requirements{CapacityMbit: -1, BandwidthGBps: 0, HitRate: 2,
+		MaxAreaMm2: -3, MaxPowerMW: -4, MinClockMHz: -5, DefectsPerCm2: -6}
+	v := bad.Violations()
+	if len(v) != 7 {
+		t.Fatalf("want 7 violations, got %d: %v", len(v), v)
+	}
+	// Field order, so the message is stable.
+	for i, frag := range []string{"capacity", "bandwidth", "hit rate", "area cap",
+		"power cap", "min clock", "defect density"} {
+		if !strings.Contains(v[i], frag) {
+			t.Errorf("violation %d = %q, want it to mention %q", i, v[i], frag)
+		}
+	}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate() = nil for invalid requirements")
+	}
+	// Validate folds the complete list into one message.
+	for _, msg := range v {
+		if !strings.Contains(err.Error(), msg) {
+			t.Errorf("Validate() error %q missing violation %q", err, msg)
+		}
+	}
+
+	good := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8}
+	if v := good.Violations(); len(v) != 0 {
+		t.Errorf("valid requirements report violations: %v", v)
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate() = %v for valid requirements", err)
+	}
+}
+
+func TestRequirementsCanonicalKey(t *testing.T) {
+	a := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8}
+	if got, want := a.CanonicalKey(), a.CanonicalKey(); got != want {
+		t.Fatalf("key not stable: %q vs %q", got, want)
+	}
+	// JSON round-trip (however the request was spelled) preserves the key.
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Requirements
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CanonicalKey() != a.CanonicalKey() {
+		t.Errorf("JSON round-trip changed the key:\n  %q\n  %q", a.CanonicalKey(), back.CanonicalKey())
+	}
+	// Every field is part of the identity.
+	variants := []Requirements{
+		{CapacityMbit: 32, BandwidthGBps: 1.5, HitRate: 0.8},
+		{CapacityMbit: 16, BandwidthGBps: 2.5, HitRate: 0.8},
+		{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.9},
+		{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8, MaxAreaMm2: 20},
+		{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8, MaxPowerMW: 500},
+		{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8, MinClockMHz: 100},
+		{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8, DefectsPerCm2: 0.5},
+	}
+	seen := map[string]int{a.CanonicalKey(): -1}
+	for i, r := range variants {
+		k := r.CanonicalKey()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d collide on key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+	// Process list order changes the enumeration sequence, so it
+	// changes the key.
+	p1, p2 := tech.Siemens024(), tech.Logic024()
+	fwd := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8,
+		Processes: []tech.Process{p1, p2}}
+	rev := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8,
+		Processes: []tech.Process{p2, p1}}
+	if fwd.CanonicalKey() == rev.CanonicalKey() {
+		t.Error("process order should be part of the canonical key")
+	}
+}

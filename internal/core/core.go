@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"edram/internal/cost"
 	"edram/internal/edram"
@@ -24,48 +26,102 @@ import (
 )
 
 // Requirements captures what the application needs from the memory.
+// The JSON names are the wire schema of the service layer
+// (internal/service) and of edramx -json; they are stable.
 type Requirements struct {
 	// CapacityMbit of usable storage.
-	CapacityMbit int
+	CapacityMbit int `json:"capacity_mbit"`
 	// BandwidthGBps of *sustained* bandwidth under the expected access
 	// mix.
-	BandwidthGBps float64
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
 	// HitRate is the expected page-hit rate of the workload (used by
 	// the closed-form sustained-bandwidth estimate).
-	HitRate float64
+	HitRate float64 `json:"hit_rate"`
 	// MaxAreaMm2 caps the macro area (0 = unconstrained).
-	MaxAreaMm2 float64
+	MaxAreaMm2 float64 `json:"max_area_mm2,omitempty"`
 	// MaxPowerMW caps the macro's busy power (0 = unconstrained).
-	MaxPowerMW float64
+	MaxPowerMW float64 `json:"max_power_mw,omitempty"`
 	// MinClockMHz requires the macro interface to reach at least this
 	// clock (0 = unconstrained).
-	MinClockMHz float64
+	MinClockMHz float64 `json:"min_clock_mhz,omitempty"`
 	// Processes optionally widens the exploration to several base
 	// processes (§3's DRAM-based / logic-based / merged choice); empty
 	// means the default DRAM-based eDRAM process.
-	Processes []tech.Process
+	Processes []tech.Process `json:"processes,omitempty"`
 	// DefectsPerCm2 parameterizes the yield/cost model.
-	DefectsPerCm2 float64
+	DefectsPerCm2 float64 `json:"defects_per_cm2,omitempty"`
 }
 
-// Validate checks the requirements.
-func (r Requirements) Validate() error {
+// Violations lists every constraint the requirements violate, in field
+// order (empty = valid). Callers that can only surface one error should
+// use Validate, which folds the whole list into a single message.
+func (r Requirements) Violations() []string {
+	var v []string
 	if r.CapacityMbit <= 0 {
-		return fmt.Errorf("core: capacity must be positive")
+		v = append(v, fmt.Sprintf("capacity must be positive, got %d Mbit", r.CapacityMbit))
 	}
 	if r.BandwidthGBps <= 0 {
-		return fmt.Errorf("core: bandwidth must be positive")
+		v = append(v, fmt.Sprintf("bandwidth must be positive, got %g GB/s", r.BandwidthGBps))
 	}
 	if r.HitRate < 0 || r.HitRate > 1 {
-		return fmt.Errorf("core: hit rate %g out of [0,1]", r.HitRate)
+		v = append(v, fmt.Sprintf("hit rate %g out of [0,1]", r.HitRate))
+	}
+	if r.MaxAreaMm2 < 0 {
+		v = append(v, fmt.Sprintf("area cap must be non-negative, got %g mm²", r.MaxAreaMm2))
+	}
+	if r.MaxPowerMW < 0 {
+		v = append(v, fmt.Sprintf("power cap must be non-negative, got %g mW", r.MaxPowerMW))
 	}
 	if r.MinClockMHz < 0 {
-		return fmt.Errorf("core: min clock must be non-negative")
+		v = append(v, fmt.Sprintf("min clock must be non-negative, got %g MHz", r.MinClockMHz))
 	}
-	if r.MaxAreaMm2 < 0 || r.MaxPowerMW < 0 || r.DefectsPerCm2 < 0 {
-		return fmt.Errorf("core: constraints must be non-negative")
+	if r.DefectsPerCm2 < 0 {
+		v = append(v, fmt.Sprintf("defect density must be non-negative, got %g /cm²", r.DefectsPerCm2))
+	}
+	return v
+}
+
+// Validate checks the requirements, reporting every violation (not just
+// the first) in one error so the CLI and the service layer surface
+// identical, complete messages.
+func (r Requirements) Validate() error {
+	if v := r.Violations(); len(v) > 0 {
+		return fmt.Errorf("core: invalid requirements: %s", strings.Join(v, "; "))
 	}
 	return nil
+}
+
+// CanonicalKey is the normalized fingerprint of the requirements used
+// as the service layer's cache and coalescing identity: two requests
+// describing the same exploration produce the same key no matter how
+// their JSON was spelled. Normalization is purely formatting — integers
+// in base 10, floats in shortest round-trip form, processes by name in
+// declared order (order changes the sweep's enumeration sequence, so it
+// is part of the identity).
+func (r Requirements) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("req/v1")
+	fmt.Fprintf(&b, "|cap=%d", r.CapacityMbit)
+	b.WriteString("|bw=" + canonFloat(r.BandwidthGBps))
+	b.WriteString("|hit=" + canonFloat(r.HitRate))
+	b.WriteString("|area=" + canonFloat(r.MaxAreaMm2))
+	b.WriteString("|power=" + canonFloat(r.MaxPowerMW))
+	b.WriteString("|clock=" + canonFloat(r.MinClockMHz))
+	b.WriteString("|defects=" + canonFloat(r.DefectsPerCm2))
+	if len(r.Processes) > 0 {
+		names := make([]string, len(r.Processes))
+		for i, p := range r.Processes {
+			names[i] = p.Name
+		}
+		b.WriteString("|procs=" + strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// canonFloat renders a float in its shortest exact round-trip form, the
+// canonical-key formatting rule shared with edram.Spec.CanonicalKey.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Candidate is one evaluated point of the design space.

@@ -1,0 +1,78 @@
+package edram
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseRedundancy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want RedundancyLevel
+	}{
+		{"none", RedundancyNone}, {"", RedundancyNone},
+		{"low", RedundancyLow}, {"std", RedundancyStd}, {"high", RedundancyHigh},
+	}
+	for _, c := range cases {
+		got, err := ParseRedundancy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseRedundancy(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseRedundancy("extreme"); err == nil {
+		t.Error("ParseRedundancy accepted an unknown level")
+	}
+}
+
+func TestRedundancyJSONRoundTrip(t *testing.T) {
+	for _, lvl := range []RedundancyLevel{RedundancyNone, RedundancyLow, RedundancyStd, RedundancyHigh} {
+		b, err := json.Marshal(lvl)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", lvl, err)
+		}
+		var back RedundancyLevel
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != lvl {
+			t.Errorf("round trip %v -> %s -> %v", lvl, b, back)
+		}
+	}
+}
+
+func TestSpecCanonicalKey(t *testing.T) {
+	base := Spec{CapacityMbit: 16, InterfaceBits: 64}
+	if base.CanonicalKey() != base.CanonicalKey() {
+		t.Fatal("key not stable")
+	}
+	// JSON round-trip preserves the key (string enum forms decode back).
+	b, err := json.Marshal(Spec{CapacityMbit: 16, InterfaceBits: 64, Redundancy: RedundancyStd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Redundancy != RedundancyStd {
+		t.Errorf("redundancy lost in round trip: %v", back.Redundancy)
+	}
+	variants := []Spec{
+		{CapacityMbit: 32, InterfaceBits: 64},
+		{CapacityMbit: 16, InterfaceBits: 128},
+		{CapacityMbit: 16, InterfaceBits: 64, Banks: 4},
+		{CapacityMbit: 16, InterfaceBits: 64, PageBits: 2048},
+		{CapacityMbit: 16, InterfaceBits: 64, BlockBits: 1 << 20},
+		{CapacityMbit: 16, InterfaceBits: 64, Redundancy: RedundancyHigh},
+		{CapacityMbit: 16, InterfaceBits: 64, TargetClockMHz: 200},
+		{CapacityMbit: 16, InterfaceBits: 64, SkipBIST: true},
+	}
+	seen := map[string]int{base.CanonicalKey(): -1}
+	for i, s := range variants {
+		k := s.CanonicalKey()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d collide on key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}

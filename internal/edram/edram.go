@@ -12,7 +12,9 @@
 package edram
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"edram/internal/dram"
@@ -66,38 +68,97 @@ func (r RedundancyLevel) String() string {
 	}
 }
 
+// ParseRedundancy maps a level name ("none", "low", "std", "high") to
+// its RedundancyLevel.
+func ParseRedundancy(s string) (RedundancyLevel, error) {
+	switch s {
+	case "none", "":
+		return RedundancyNone, nil
+	case "low":
+		return RedundancyLow, nil
+	case "std":
+		return RedundancyStd, nil
+	case "high":
+		return RedundancyHigh, nil
+	default:
+		return RedundancyNone, fmt.Errorf("edram: unknown redundancy level %q (none, low, std, high)", s)
+	}
+}
+
+// MarshalJSON renders the level by name, keeping the service layer's
+// wire schema human-readable and stable across any renumbering.
+func (r RedundancyLevel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON accepts the level name.
+func (r *RedundancyLevel) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	lvl, err := ParseRedundancy(s)
+	if err != nil {
+		return err
+	}
+	*r = lvl
+	return nil
+}
+
 // Spec is the designer-facing macro specification. Zero-valued optional
-// fields are auto-derived by Build.
+// fields are auto-derived by Build. The JSON names are the wire schema
+// of the service layer (internal/service); Redundancy and ECC travel by
+// name ("std", "secded"), not by ordinal.
 type Spec struct {
 	// CapacityMbit is the usable macro capacity. Must be a multiple of
 	// the building-block size.
-	CapacityMbit int
+	CapacityMbit int `json:"capacity_mbit"`
 	// InterfaceBits is the data interface width, 16..512, power of two.
-	InterfaceBits int
+	InterfaceBits int `json:"interface_bits"`
 	// Banks (optional) is the number of independent banks; default 4
 	// (or fewer for tiny macros).
-	Banks int
+	Banks int `json:"banks,omitempty"`
 	// PageBits (optional) is the activated page length; default
 	// 8x the interface width, capped by the bank's column span.
-	PageBits int
+	PageBits int `json:"page_bits,omitempty"`
 	// BlockBits (optional) selects the building block: geom.Block256K
 	// or geom.Block1M. Default: 1 Mbit for macros >= 8 Mbit, else
 	// 256 Kbit.
-	BlockBits int
+	BlockBits int `json:"block_bits,omitempty"`
 	// Redundancy selects spare rows/columns per block.
-	Redundancy RedundancyLevel
+	Redundancy RedundancyLevel `json:"redundancy,omitempty"`
 	// ECC selects the per-word code stored alongside the payload; its
 	// check bits widen the array (area, cost) and its decoder sits on
 	// the read path (see internal/reliab).
-	ECC reliab.ECC
+	ECC reliab.ECC `json:"ecc,omitempty"`
 	// Process (optional) defaults to tech.Siemens024().
-	Process *tech.Process
+	Process *tech.Process `json:"process,omitempty"`
 	// TargetClockMHz (optional) caps the interface clock below the
 	// array's maximum.
-	TargetClockMHz float64
+	TargetClockMHz float64 `json:"target_clock_mhz,omitempty"`
 	// WithBIST includes the synthesizable BIST controller (default on
 	// via Build; set SkipBIST to omit).
-	SkipBIST bool
+	SkipBIST bool `json:"skip_bist,omitempty"`
+}
+
+// CanonicalKey is the normalized fingerprint of the spec used by the
+// service layer's cache identity (the Requirements.CanonicalKey
+// counterpart for the simulate/datasheet endpoints). Formatting rules
+// match: integers in base 10, floats in shortest round-trip form, the
+// process by name ("" = default).
+func (s Spec) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("spec/v1")
+	fmt.Fprintf(&b, "|cap=%d|iface=%d|banks=%d|page=%d|block=%d",
+		s.CapacityMbit, s.InterfaceBits, s.Banks, s.PageBits, s.BlockBits)
+	b.WriteString("|red=" + s.Redundancy.String())
+	b.WriteString("|ecc=" + s.ECC.String())
+	if s.Process != nil {
+		b.WriteString("|proc=" + s.Process.Name)
+	}
+	b.WriteString("|clk=" + strconv.FormatFloat(s.TargetClockMHz, 'g', -1, 64))
+	fmt.Fprintf(&b, "|bist=%t", !s.SkipBIST)
+	return b.String()
 }
 
 // Macro is a constructed embedded memory module with all views.

@@ -13,6 +13,7 @@
 package reliab
 
 import (
+	"encoding/json"
 	"fmt"
 )
 
@@ -66,6 +67,26 @@ func ParseECC(s string) (ECC, error) {
 	default:
 		return ECCNone, fmt.Errorf("reliab: unknown ECC scheme %q (none, parity, secded, chipkill)", s)
 	}
+}
+
+// MarshalJSON renders the scheme by name, keeping the service layer's
+// wire schema human-readable and stable across any renumbering.
+func (e ECC) MarshalJSON() ([]byte, error) {
+	return json.Marshal(e.String())
+}
+
+// UnmarshalJSON accepts the scheme name.
+func (e *ECC) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	scheme, err := ParseECC(s)
+	if err != nil {
+		return err
+	}
+	*e = scheme
+	return nil
 }
 
 // secdedCheckBits returns the Hamming SEC-DED check-bit count for a

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(3, 0)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("c", []byte("C"))
+	// Touch a so b becomes the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if evicted := c.Put("d", []byte("D")); evicted != 1 {
+		t.Fatalf("Put(d) evicted %d entries, want 1", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	if got, want := c.Keys(), []string{"d", "a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys() = %v, want %v", got, want)
+	}
+}
+
+func TestResultCacheHitIsOriginalBytes(t *testing.T) {
+	c := NewResultCache(8, 0)
+	orig := []byte(`{"frontier":[1,2,3]}` + "\n")
+	c.Put("k", orig)
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if string(got) != string(orig) {
+		t.Errorf("hit returned %q, want the original bytes %q", got, orig)
+	}
+}
+
+func TestResultCacheTTL(t *testing.T) {
+	c := NewResultCache(8, time.Minute)
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+
+	c.Put("k", []byte("v"))
+	clock = clock.Add(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clock = clock.Add(2 * time.Second) // 61s after insertion
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry not dropped, Len() = %d", c.Len())
+	}
+
+	// Overwriting refreshes the TTL.
+	c.Put("k", []byte("v1"))
+	clock = clock.Add(50 * time.Second)
+	c.Put("k", []byte("v2"))
+	clock = clock.Add(50 * time.Second) // 100s after first put, 50 after refresh
+	got, ok := c.Get("k")
+	if !ok || string(got) != "v2" {
+		t.Errorf("Get after refresh = %q, %t; want v2, true", got, ok)
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(16, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("Get(%s) = %q", key, v)
+				}
+				c.Len()
+				c.Keys()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache exceeded its cap: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,157 @@
+// The endpoint handlers. Each one decodes + validates up front
+// (400 with every violation listed), then hands a compute closure to
+// serveCached, which supplies the cache, the coalescing and the
+// detached bounded context. Handlers that sweep the design space
+// (explore, recommend, experiments) draw workers from the shared pool.
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"edram/internal/core"
+	"edram/internal/edram"
+)
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing
+// data — a typo in a field name is a 400, not a silently ignored knob.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// violationsError joins a violation list into one 400 message.
+func violationsError(v []string) error {
+	return fmt.Errorf("invalid request: %s", strings.Join(v, "; "))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req core.Requirements
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if v := req.Violations(); len(v) > 0 {
+		writeError(w, http.StatusBadRequest, violationsError(v))
+		return
+	}
+	key := HashKey("explore", req.CanonicalKey())
+	s.serveCached(w, r, "/v1/explore", key, func(ctx context.Context) ([]byte, error) {
+		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := BuildExplore(ctx, req, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req core.Requirements
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if v := req.Violations(); len(v) > 0 {
+		writeError(w, http.StatusBadRequest, violationsError(v))
+		return
+	}
+	key := HashKey("recommend", req.CanonicalKey())
+	s.serveCached(w, r, "/v1/recommend", key, func(ctx context.Context) ([]byte, error) {
+		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := BuildRecommend(ctx, req, workers)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if v := req.Violations(s.cfg.MaxSimRequests); len(v) > 0 {
+		writeError(w, http.StatusBadRequest, violationsError(v))
+		return
+	}
+	key := HashKey("simulate", req.canonicalKey())
+	s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) ([]byte, error) {
+		// The event-driven simulation is single-threaded: one pool
+		// slot, however many were asked for.
+		_, release, err := s.acquireWorkers(ctx, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := BuildSimulate(req)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+func (s *Server) handleDatasheet(w http.ResponseWriter, r *http.Request) {
+	var spec edram.Spec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	key := HashKey("datasheet", spec.CanonicalKey())
+	s.serveCached(w, r, "/v1/datasheet", key, func(ctx context.Context) ([]byte, error) {
+		resp, err := BuildDatasheet(spec)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	key := HashKey("experiments", req.canonicalKey())
+	s.serveCached(w, r, "/v1/experiments", key, func(ctx context.Context) ([]byte, error) {
+		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := BuildExperiments(ctx, req, workers)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}

@@ -1,0 +1,34 @@
+// Cache-key derivation. A request's identity is its canonical string
+// (CanonicalKey on the model types, canonicalKey on the wire types):
+// every semantically significant field in declared order, floats in
+// shortest-exact form, names over enum ordinals. HashKey folds that
+// string to a fixed-width digest and prefixes the endpoint so the
+// explore and recommend caches of the same requirements never collide.
+
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"strconv"
+)
+
+// HashKey returns the cache key for a canonical request string:
+// "endpoint:" plus the hex SHA-256 of the string.
+func HashKey(endpoint, canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return endpoint + ":" + hex.EncodeToString(sum[:])
+}
+
+// canonFloat renders a float in its shortest exact form for canonical
+// keys (mirrors the model packages' canonicalization).
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// newSeededRand returns a deterministic PRNG for the random traffic
+// generator — same seed, same request stream, same simulation result.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

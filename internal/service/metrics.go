@@ -1,0 +1,262 @@
+// Metrics is the service layer's dependency-free instrumentation
+// registry: counters, gauges and histograms with constant label sets,
+// updated atomically on the hot path and rendered in the Prometheus
+// text exposition format by WriteProm (GET /metrics). The registry is
+// deliberately generic — the CLIs can reuse it for their own
+// instrumentation without pulling in the HTTP layer.
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (rendered as name="value").
+type Label struct {
+	Name  string
+	Value string
+}
+
+// DefaultLatencyBuckets are the request-latency histogram bounds in
+// seconds: microsecond-scale cache hits through multi-second sweeps.
+var DefaultLatencyBuckets = []float64{
+	1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds a (possibly negative) delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution (cumulative on render, as
+// the Prometheus format requires).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// family is one metric name: its metadata plus every label combination
+// seen so far.
+type family struct {
+	name, help, kind string
+	buckets          []float64
+	series           map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+}
+
+// Metrics is the registry. The zero value is not usable; NewMetrics.
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{families: map[string]*family{}}
+}
+
+// Counter returns (registering on first use) the counter for the label
+// set. Calls with the same name must agree on the metric kind.
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter {
+	return getSeries(m, name, help, "counter", nil, labels, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns (registering on first use) the gauge for the label set.
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Gauge {
+	return getSeries(m, name, help, "gauge", nil, labels, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns (registering on first use) the histogram for the
+// label set. buckets are upper bounds in increasing order; they are
+// fixed by the first registration of the family.
+func (m *Metrics) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return getSeries(m, name, help, "histogram", buckets, labels, func() *Histogram {
+		bounds := append([]float64(nil), buckets...)
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+}
+
+// getSeries is the shared registration path: one lock, kind checked,
+// series created on first use.
+func getSeries[T any](m *Metrics, name, help, kind string, buckets []float64, labels []Label, create func() *T) *T {
+	key := renderLabels(labels)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]any{}}
+		m.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("service: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if s, ok := f.series[key]; ok {
+		return s.(*T)
+	}
+	s := create()
+	f.series[key] = s
+	return s
+}
+
+// renderLabels renders a label set as {a="b",c="d"} ("" when empty).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format escapes for label values.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promFloat renders a sample value (shortest exact form; Prometheus
+// accepts Go's 'g' formatting including +Inf).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every family in the text exposition format,
+// families and series in sorted order so consecutive scrapes of an idle
+// registry are byte-identical.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structure under the lock; the atomic values
+	// themselves are read while rendering.
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = m.families[name]
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		m.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		m.mu.Unlock()
+		for i, k := range keys {
+			switch s := series[i].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, k, s.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, k, s.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, k, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series with cumulative buckets.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", promFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, promFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// mergeLabels appends one label to an already-rendered label string.
+func mergeLabels(labels, name, value string) string {
+	extra := name + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}

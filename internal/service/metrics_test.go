@@ -1,0 +1,139 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCounterGauge(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("reqs_total", "Requests.", Label{"code", "200"})
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // counters only go up
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	// Same name+labels resolves to the same series.
+	if m.Counter("reqs_total", "Requests.", Label{"code", "200"}) != c {
+		t.Error("re-registration returned a different series")
+	}
+	g := m.Gauge("in_flight", "In flight.")
+	g.Inc()
+	g.Add(4)
+	g.Dec()
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d after Set, want 7", g.Value())
+	}
+}
+
+func TestMetricsKindMismatchPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as a gauge after counter did not panic")
+		}
+	}()
+	m.Gauge("x", "X.")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; got != want {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: 0.1 holds {0.05, 0.1}, 1 adds 0.5, 10 adds 5,
+	// +Inf adds 50.
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("scrape missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	m := NewMetrics()
+	// Register in scrambled order; the render must sort.
+	m.Counter("zz_total", "Z.").Inc()
+	m.Counter("aa_total", "A.", Label{"k", "v2"}).Inc()
+	m.Counter("aa_total", "A.", Label{"k", "v1"}).Inc()
+	m.Gauge("mm", "M.").Set(5)
+
+	var a, b strings.Builder
+	if err := m.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("consecutive idle scrapes differ")
+	}
+	out := a.String()
+	if strings.Index(out, "aa_total") > strings.Index(out, "mm") ||
+		strings.Index(out, "mm") > strings.Index(out, "zz_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if strings.Index(out, `k="v1"`) > strings.Index(out, `k="v2"`) {
+		t.Errorf("series not sorted:\n%s", out)
+	}
+}
+
+func TestMetricsLabelEscaping(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("e_total", "E.", Label{"path", `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped: %s", b.String())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Counter("c_total", "C.").Inc()
+				m.Histogram("h_seconds", "H.", DefaultLatencyBuckets).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c_total", "C.").Value(); got != 4000 {
+		t.Errorf("counter = %d, want 4000", got)
+	}
+	if got := m.Histogram("h_seconds", "H.", DefaultLatencyBuckets).Count(); got != 4000 {
+		t.Errorf("histogram count = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"edram/internal/core"
+)
+
+// TestExploreParityAcrossWorkerCounts pins the schema's determinism
+// property: the explore response contains no wall-clock or
+// worker-count fields, so the same requirements encode to the same
+// bytes at any pool size.
+func TestExploreParityAcrossWorkerCounts(t *testing.T) {
+	req := core.Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5}
+	var bodies [][]byte
+	for _, workers := range []int{1, 4} {
+		resp, err := BuildExplore(context.Background(), req, workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := Encode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Error("explore response differs between 1 and 4 workers; a nondeterministic field leaked into the schema")
+	}
+}
+
+// TestExploreParityServiceVsBuilder pins CLI/service parity at the
+// layer both share: the HTTP response body of POST /v1/explore must be
+// byte-identical to Encode(BuildExplore(...)), which is exactly what
+// edramx -json prints (the root-package parity test drives the real
+// binary).
+func TestExploreParityServiceVsBuilder(t *testing.T) {
+	req := core.Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5}
+	resp, err := BuildExplore(context.Background(), req, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	hres, err := ts.Client().Post(ts.URL+"/v1/explore", "application/json",
+		strings.NewReader(`{"capacity_mbit":16,"bandwidth_gbps":1,"hit_rate":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	got, err := io.ReadAll(hres.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.StatusCode != 200 {
+		t.Fatalf("status %d: %s", hres.StatusCode, got)
+	}
+	if string(got) != string(want) {
+		t.Errorf("service body and builder encoding differ:\n service: %.200s\n builder: %.200s", got, want)
+	}
+}

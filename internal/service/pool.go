@@ -1,0 +1,65 @@
+// The shared worker pool: one per-process budget of evaluation workers
+// that every request draws from, so total CPU is governed per process
+// instead of per request. A request blocks until at least one slot is
+// free, then opportunistically grabs whatever else is idle up to its
+// ask — a lone explore uses the whole budget, concurrent requests
+// split it.
+
+package service
+
+import "context"
+
+// WorkerPool is a counting semaphore over evaluation-worker slots.
+type WorkerPool struct {
+	slots chan struct{}
+}
+
+// NewWorkerPool returns a pool with the given slot capacity (minimum 1).
+func NewWorkerPool(capacity int) *WorkerPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &WorkerPool{slots: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// AcquireUpTo blocks until one slot is free (or ctx expires), then
+// grabs up to want-1 additional free slots without blocking. It returns
+// the number of slots acquired; the caller must Release exactly that
+// many.
+func (p *WorkerPool) AcquireUpTo(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	select {
+	case <-p.slots:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	got := 1
+	for got < want {
+		select {
+		case <-p.slots:
+			got++
+		default:
+			return got, nil
+		}
+	}
+	return got, nil
+}
+
+// Release returns n slots to the pool.
+func (p *WorkerPool) Release(n int) {
+	for i := 0; i < n; i++ {
+		p.slots <- struct{}{}
+	}
+}
+
+// Capacity is the pool's total slot count.
+func (p *WorkerPool) Capacity() int { return cap(p.slots) }
+
+// InUse is the number of slots currently acquired.
+func (p *WorkerPool) InUse() int { return cap(p.slots) - len(p.slots) }

@@ -1,0 +1,49 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWorkerPoolAcquireUpTo(t *testing.T) {
+	p := NewWorkerPool(4)
+	got, err := p.AcquireUpTo(context.Background(), 8)
+	if err != nil || got != 4 {
+		t.Fatalf("AcquireUpTo(8) = %d, %v; want the full pool of 4", got, err)
+	}
+	if p.InUse() != 4 {
+		t.Errorf("InUse() = %d, want 4", p.InUse())
+	}
+	// The pool is empty: a bounded acquire times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.AcquireUpTo(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("acquire on exhausted pool = %v, want deadline exceeded", err)
+	}
+	p.Release(4)
+
+	// Concurrent requests split the budget instead of blocking.
+	a, _ := p.AcquireUpTo(context.Background(), 3)
+	b, _ := p.AcquireUpTo(context.Background(), 3)
+	if a != 3 || b != 1 {
+		t.Errorf("split = %d + %d, want 3 + 1", a, b)
+	}
+	p.Release(a + b)
+	if p.InUse() != 0 {
+		t.Errorf("InUse() = %d after full release", p.InUse())
+	}
+}
+
+func TestWorkerPoolMinimums(t *testing.T) {
+	p := NewWorkerPool(0)
+	if p.Capacity() != 1 {
+		t.Errorf("Capacity() = %d, want clamp to 1", p.Capacity())
+	}
+	got, err := p.AcquireUpTo(context.Background(), 0)
+	if err != nil || got != 1 {
+		t.Errorf("AcquireUpTo(0) = %d, %v; want 1 slot", got, err)
+	}
+	p.Release(got)
+}

@@ -1,0 +1,332 @@
+// Package service is the production HTTP layer over the edram facade:
+// a stdlib-only JSON daemon (cmd/edramd) exposing exploration,
+// recommendation, simulation, datasheets and the experiment suite.
+// Three scaling layers sit between the socket and the model:
+//
+//  1. a canonical-key LRU result cache (ResultCache) — identical
+//     requests are served from memory, byte-identical to the original
+//     computation;
+//  2. request coalescing (flightGroup) — concurrent identical misses
+//     run the computation once and share the bytes;
+//  3. a bounded shared worker pool (WorkerPool) — the process-wide
+//     evaluation budget that concurrent sweeps split between them.
+//
+// Every request carries a deadline (the context flows end-to-end into
+// the engine), bodies are size-capped, and shutdown drains in-flight
+// work before the listener closes.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the server; the zero value gets sensible defaults.
+type Config struct {
+	// CacheEntries caps the result cache (default 256); CacheTTL is the
+	// per-entry lifetime (default 15m; negative disables expiry).
+	CacheEntries int
+	CacheTTL     time.Duration
+	// Workers is the shared evaluation-worker budget
+	// (default GOMAXPROCS).
+	Workers int
+	// RequestTimeout bounds each request end-to-end, compute included
+	// (default 60s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxSimRequests caps the total request count of one /v1/simulate
+	// call (default 2,000,000; negative disables the cap).
+	MaxSimRequests int64
+	// AccessLog receives one JSON line per request (nil = no log).
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 15 * time.Minute
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSimRequests == 0 {
+		c.MaxSimRequests = 2_000_000
+	}
+	return c
+}
+
+// Server is the HTTP service. Construct with NewServer.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *ResultCache
+	flights flightGroup
+	pool    *WorkerPool
+	metrics *Metrics
+	logger  *slog.Logger
+
+	// Metric handles resolved once at construction.
+	inFlight      *Gauge
+	workersInUse  *Gauge
+	workersCap    *Gauge
+	cacheHits     *Counter
+	cacheMisses   *Counter
+	cacheEvicts   *Counter
+	coalescedReqs *Counter
+
+	// computeStarted, when set (tests only), observes every cache-miss
+	// computation as it begins — the barrier the coalescing tests
+	// synchronize on.
+	computeStarted func(endpoint, key string)
+}
+
+// NewServer builds a server with its own cache, flight group, worker
+// pool and metrics registry.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   NewResultCache(cfg.CacheEntries, cfg.CacheTTL),
+		pool:    NewWorkerPool(cfg.Workers),
+		metrics: m,
+
+		inFlight:      m.Gauge("edramd_in_flight_requests", "Requests currently being served."),
+		workersInUse:  m.Gauge("edramd_workers_in_use", "Evaluation workers currently acquired."),
+		workersCap:    m.Gauge("edramd_workers_capacity", "Evaluation worker pool capacity."),
+		cacheHits:     m.Counter("edramd_cache_hits_total", "Responses served from the result cache."),
+		cacheMisses:   m.Counter("edramd_cache_misses_total", "Responses computed on a cache miss."),
+		cacheEvicts:   m.Counter("edramd_cache_evictions_total", "Cache entries evicted by the LRU cap."),
+		coalescedReqs: m.Counter("edramd_coalesced_requests_total", "Requests that joined an in-flight identical computation."),
+	}
+	s.workersCap.Set(int64(cfg.Workers))
+	logOut := cfg.AccessLog
+	if logOut == nil {
+		logOut = io.Discard
+	}
+	s.logger = slog.New(slog.NewJSONHandler(logOut, nil))
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/datasheet", s.handleDatasheet)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+	return s
+}
+
+// Metrics exposes the server's registry (the daemon and tests read it;
+// GET /metrics renders it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusRecorder captures the status code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: body cap, per-request deadline,
+// in-flight gauge, latency histogram and access log around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	//nolint:edramvet/determinism // request latency measurement is intentionally wall-clock
+	start := time.Now()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+
+	elapsed := time.Since(start).Seconds()
+	endpoint := r.URL.Path
+	s.metrics.Counter("edramd_requests_total", "Requests served by endpoint and status code.",
+		Label{"endpoint", endpoint}, Label{"code", fmt.Sprintf("%d", rec.status)}).Inc()
+	s.metrics.Histogram("edramd_request_seconds", "Request latency in seconds.",
+		DefaultLatencyBuckets, Label{"endpoint", endpoint}).Observe(elapsed)
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", endpoint),
+		slog.Int("status", rec.status),
+		slog.Float64("seconds", elapsed),
+		slog.String("cache", rec.Header().Get("X-Cache")),
+	)
+}
+
+// writeJSON writes v in the canonical wire encoding with the given
+// status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := Encode(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeError maps an error to its status and the ErrorResponse schema.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// errStatus maps a compute error to an HTTP status: timeouts are 504,
+// everything else from the model layer is a 422 (the request was
+// well-formed JSON but describes something the model rejects or cannot
+// build).
+func errStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// decodeBody decodes the JSON request body into v, mapping the
+// oversized-body error to 413 and malformed JSON to 400. It returns
+// false after writing the error response.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		}
+		return false
+	}
+	if len(b) == 0 {
+		b = []byte("{}")
+	}
+	if err := strictUnmarshal(b, v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// serveCached is the shared read path: cache lookup, then coalesced
+// computation, then cache fill. compute returns the canonical encoded
+// response bytes. The computation runs on a context detached from the
+// initiating request (a disconnecting initiator must not kill the
+// waiters that coalesced onto it) but still bounded by RequestTimeout.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
+	if val, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		w.Header().Set("X-Cache", "hit")
+		writeBytes(w, val)
+		return
+	}
+	val, err, coalesced := s.flights.Do(r.Context(), key, func() ([]byte, error) {
+		s.cacheMisses.Inc()
+		if s.computeStarted != nil {
+			s.computeStarted(endpoint, key)
+		}
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RequestTimeout)
+		defer cancel()
+		b, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.cacheEvicts.Add(int64(s.cache.Put(key, b)))
+		return b, nil
+	})
+	if coalesced {
+		s.coalescedReqs.Inc()
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeBytes(w, val)
+}
+
+// writeBytes writes pre-encoded canonical JSON.
+func writeBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// acquireWorkers grants the request a share of the pool for its
+// computation, updating the in-use gauge. The returned release must be
+// called exactly once.
+func (s *Server) acquireWorkers(ctx context.Context, want int) (got int, release func(), err error) {
+	got, err = s.pool.AcquireUpTo(ctx, want)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.workersInUse.Add(int64(got))
+	return got, func() {
+		s.pool.Release(got)
+		s.workersInUse.Add(int64(-got))
+	}, nil
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests run to completion
+// (bounded by DrainTimeout), and only then does the call return. ready,
+// when non-nil, receives the bound address once the listener is up
+// (addr may carry port 0).
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-done // Serve has returned http.ErrServerClosed
+		return err
+	case err := <-done:
+		return err
+	}
+}

@@ -1,0 +1,55 @@
+// Request coalescing: when N identical requests (same canonical key)
+// arrive while the first is still computing, the flight group runs the
+// computation once and hands every waiter the same bytes. Combined with
+// the result cache this turns a thundering herd of identical sweeps
+// into one evaluation plus N-1 microsecond waits.
+
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// flightGroup deduplicates concurrent calls by key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do runs fn once per key among concurrent callers. The originating
+// caller runs fn to completion; waiters block until it finishes or
+// their own ctx expires, and report coalesced=true. fn's result is not
+// retained after the last concurrent caller leaves — long-term reuse is
+// the cache's job.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, coalesced bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters+1)
+	coalesced := make([]bool, waiters+1)
+
+	// The originator blocks in fn until every waiter has joined.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		val, err, co := g.Do(context.Background(), "k", func() ([]byte, error) {
+			computes.Add(1)
+			close(started)
+			<-gate
+			return []byte("result"), nil
+		})
+		if err != nil {
+			t.Errorf("originator: %v", err)
+		}
+		results[0], coalesced[0] = val, co
+	}()
+	<-started
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, err, co := g.Do(context.Background(), "k", func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("wrong"), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], coalesced[i] = val, co
+		}(i)
+	}
+	// Give the waiters time to register before releasing the gate; a
+	// waiter that misses the flight would run its own fn and bump
+	// computes, which the assertion below catches.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", n)
+	}
+	if coalesced[0] {
+		t.Error("originator reported coalesced")
+	}
+	for i := 1; i <= waiters; i++ {
+		if !coalesced[i] {
+			t.Errorf("waiter %d not coalesced", i)
+		}
+		if string(results[i]) != "result" {
+			t.Errorf("waiter %d got %q", i, results[i])
+		}
+	}
+}
+
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			val, err, co := g.Do(context.Background(), key, func() ([]byte, error) {
+				computes.Add(1)
+				return []byte(key), nil
+			})
+			if err != nil || co || string(val) != key {
+				t.Errorf("Do(%s) = %q, %v, coalesced=%t", key, val, err, co)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 3 {
+		t.Errorf("fn ran %d times, want 3", n)
+	}
+}
+
+func TestFlightGroupWaiterHonorsContext(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), "k", func() ([]byte, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, co := g.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	if !co {
+		t.Error("cancelled waiter should still report coalesced")
+	}
+	close(gate)
+}
+
+func TestFlightGroupErrorSharedThenForgotten(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed flight is not retained: the next call runs fn again.
+	val, err, co := g.Do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || co || string(val) != "ok" {
+		t.Errorf("second Do = %q, %v, coalesced=%t; want ok, nil, false", val, err, co)
+	}
+}

@@ -1,0 +1,559 @@
+// The wire schema of the service layer and the builders that produce
+// it. These types (plus core.Requirements and edram.Spec, which carry
+// their own JSON tags) are the single source of truth for
+// serialization: the HTTP handlers, edramx -json and the parity tests
+// all go through BuildExplore/BuildRecommend/... and Encode, so the
+// daemon and the CLI cannot drift apart. Responses deliberately contain
+// no wall-clock or worker-count fields — the same request must encode
+// to the same bytes at any pool size, which is what makes them
+// cacheable and the CLI/service parity byte-exact.
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"edram/internal/core"
+	"edram/internal/edram"
+	"edram/internal/experiments"
+	"edram/internal/mapping"
+	"edram/internal/sched"
+	"edram/internal/traffic"
+)
+
+// CandidateJSON is the wire form of one evaluated design point
+// (core.Candidate without the constructed Macro, plus its clock).
+type CandidateJSON struct {
+	Seq            int        `json:"seq"`
+	Spec           edram.Spec `json:"spec"`
+	Macros         int        `json:"macros"`
+	ClockMHz       float64    `json:"clock_mhz"`
+	AreaMm2        float64    `json:"area_mm2"`
+	PowerMW        float64    `json:"power_mw"`
+	PeakGBps       float64    `json:"peak_gbps"`
+	SustainedGBps  float64    `json:"sustained_gbps"`
+	DieYield       float64    `json:"die_yield"`
+	CostUSD        float64    `json:"cost_usd"`
+	CostPerMbitUSD float64    `json:"cost_per_mbit_usd"`
+	Feasible       bool       `json:"feasible"`
+	Reasons        []string   `json:"reasons,omitempty"`
+}
+
+// RecommendationJSON is one quantized pick.
+type RecommendationJSON struct {
+	Role string `json:"role"`
+	CandidateJSON
+}
+
+// ExploreResponse is the POST /v1/explore (and edramx -json) schema.
+type ExploreResponse struct {
+	Request core.Requirements `json:"request"`
+	// Key is the canonical-key hash identifying this request in the
+	// result cache (see DESIGN.md for the canonicalization rules).
+	Key        string               `json:"key"`
+	Points     int64                `json:"points"`
+	Built      int64                `json:"built"`
+	Infeasible int64                `json:"infeasible"`
+	Pruned     int64                `json:"pruned"`
+	Frontier   []CandidateJSON      `json:"frontier"`
+	Picks      []RecommendationJSON `json:"recommendations"`
+}
+
+// RecommendResponse is the POST /v1/recommend schema.
+type RecommendResponse struct {
+	Request core.Requirements    `json:"request"`
+	Key     string               `json:"key"`
+	Picks   []RecommendationJSON `json:"recommendations"`
+}
+
+// SimulateOptions is the wire form of the controller options.
+type SimulateOptions struct {
+	// Policy is the arbitration scheme by name: "round-robin",
+	// "fixed-priority", "oldest-first", "open-page-first", "deadline"
+	// ("" = round-robin).
+	Policy        string `json:"policy,omitempty"`
+	ClosedPage    bool   `json:"closed_page,omitempty"`
+	ReorderWindow int    `json:"reorder_window,omitempty"`
+}
+
+// ClientSpec is the wire form of one memory client: a named request
+// generator. Kind selects the generator; the geometry fields not used
+// by a kind are ignored.
+type ClientSpec struct {
+	Name string `json:"name"`
+	// Kind: "sequential", "strided", "random", "alternating".
+	Kind string `json:"kind"`
+	// Bits per request (default: the macro interface width).
+	Bits int `json:"bits,omitempty"`
+	// RateGBps is the bandwidth the client demands.
+	RateGBps float64 `json:"rate_gbps"`
+	// Count is the number of requests to emit (required: the service
+	// refuses unbounded streams).
+	Count   int   `json:"count"`
+	StartB  int64 `json:"start_b,omitempty"`
+	StrideB int64 `json:"stride_b,omitempty"`
+	// LimitB wraps sequential/strided streams; WindowB bounds random
+	// ones.
+	LimitB  int64 `json:"limit_b,omitempty"`
+	WindowB int64 `json:"window_b,omitempty"`
+	// Seed seeds the random generator (default 1; runs are
+	// deterministic for a given seed).
+	Seed            int64   `json:"seed,omitempty"`
+	Write           bool    `json:"write,omitempty"`
+	LatencyBudgetNs float64 `json:"latency_budget_ns,omitempty"`
+}
+
+// SimulateRequest is the POST /v1/simulate schema.
+type SimulateRequest struct {
+	Spec    edram.Spec      `json:"spec"`
+	Options SimulateOptions `json:"options"`
+	Clients []ClientSpec    `json:"clients"`
+}
+
+// ClientResultJSON is one client's service quality.
+type ClientResultJSON struct {
+	Name         string  `json:"name"`
+	Requests     int     `json:"requests"`
+	AchievedGBps float64 `json:"achieved_gbps"`
+	BitsMoved    int64   `json:"bits_moved"`
+	MeanNs       float64 `json:"mean_ns"`
+	P50Ns        float64 `json:"p50_ns"`
+	P95Ns        float64 `json:"p95_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	MaxNs        float64 `json:"max_ns"`
+	MaxFIFODepth int     `json:"max_fifo_depth"`
+}
+
+// SimulateResponse is the POST /v1/simulate response schema.
+type SimulateResponse struct {
+	Spec              edram.Spec         `json:"spec"`
+	Key               string             `json:"key"`
+	Policy            string             `json:"policy"`
+	PeakGBps          float64            `json:"peak_gbps"`
+	SustainedGBps     float64            `json:"sustained_gbps"`
+	SustainedFraction float64            `json:"sustained_fraction"`
+	HitRate           float64            `json:"hit_rate"`
+	DurationNs        float64            `json:"duration_ns"`
+	Clients           []ClientResultJSON `json:"clients"`
+}
+
+// DatasheetResponse is the POST /v1/datasheet response schema.
+type DatasheetResponse struct {
+	Spec                 edram.Spec `json:"spec"`
+	Key                  string     `json:"key"`
+	ClockMHz             float64    `json:"clock_mhz"`
+	AreaMm2              float64    `json:"area_mm2"`
+	EfficiencyMbitPerMm2 float64    `json:"efficiency_mbit_per_mm2"`
+	PeakGBps             float64    `json:"peak_gbps"`
+	FillFrequencyHz      float64    `json:"fill_frequency_hz"`
+	Banks                int        `json:"banks"`
+	RowsPerBank          int        `json:"rows_per_bank"`
+	PageBits             int        `json:"page_bits"`
+	Text                 string     `json:"text"`
+}
+
+// ExperimentsRequest is the POST /v1/experiments schema (empty body =
+// the full suite).
+type ExperimentsRequest struct {
+	// IDs filters the suite ("E1", "A3", ...); empty runs everything.
+	IDs []string `json:"ids,omitempty"`
+}
+
+// FindingJSON is one headline number of an experiment.
+type FindingJSON struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// ExperimentJSON is one regenerated table.
+type ExperimentJSON struct {
+	ID       string        `json:"id"`
+	Title    string        `json:"title"`
+	Findings []FindingJSON `json:"findings"`
+	Table    string        `json:"table"`
+}
+
+// ExperimentsResponse is the POST /v1/experiments response schema.
+type ExperimentsResponse struct {
+	Key         string           `json:"key"`
+	Experiments []ExperimentJSON `json:"experiments"`
+}
+
+// ErrorResponse is the schema of every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Encode renders a response in its canonical wire form: compact JSON
+// plus a trailing newline. Every byte served (or cached, or printed by
+// edramx -json) goes through here.
+func Encode(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// candidateJSON converts one evaluated candidate to its wire form.
+func candidateJSON(c core.Candidate) CandidateJSON {
+	out := CandidateJSON{
+		Seq:            c.Seq,
+		Spec:           c.Spec,
+		Macros:         c.Macros,
+		AreaMm2:        c.AreaMm2,
+		PowerMW:        c.PowerMW,
+		PeakGBps:       c.PeakGBps,
+		SustainedGBps:  c.SustainedGBps,
+		DieYield:       c.DieYield,
+		CostUSD:        c.CostUSD,
+		CostPerMbitUSD: c.CostPerMbitUSD,
+		Feasible:       c.Feasible,
+		Reasons:        c.Reasons,
+	}
+	if c.Macro != nil {
+		out.ClockMHz = c.Macro.ClockMHz
+	}
+	return out
+}
+
+// BuildExplore runs the full design-space exploration for req on
+// workers evaluation workers and assembles the /v1/explore response:
+// deterministic sweep counters, the feasible Pareto frontier in
+// canonical order, and the quantized recommendations. progress, when
+// non-nil, receives the engine's periodic ExploreStats snapshots (the
+// CLI's progress line).
+func BuildExplore(ctx context.Context, req core.Requirements, workers int, progress func(core.ExploreStats)) (*ExploreResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var final core.ExploreStats
+	opts := []core.ExploreOption{
+		core.WithWorkers(workers),
+		core.WithProgress(func(s core.ExploreStats) {
+			if s.Done {
+				final = s
+			}
+			if progress != nil {
+				progress(s)
+			}
+		}),
+	}
+	ch, err := core.ExploreContext(ctx, req, opts...)
+	if err != nil {
+		return nil, err
+	}
+	front := core.NewFrontier()
+	for c := range ch {
+		front.Add(c)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if final.Built == 0 {
+		return nil, fmt.Errorf("no buildable configuration for %+v", req)
+	}
+	resp := &ExploreResponse{
+		Request:    req,
+		Key:        HashKey("explore", req.CanonicalKey()),
+		Points:     final.Enumerated,
+		Built:      final.Built,
+		Infeasible: final.Infeasible,
+		// Pruned is deterministic even though arrival order is not:
+		// every feasible candidate either survives in the front or was
+		// discarded exactly once.
+		Pruned:   final.Pruned,
+		Frontier: []CandidateJSON{},
+		Picks:    []RecommendationJSON{},
+	}
+	frontier := front.Candidates()
+	for _, c := range frontier {
+		resp.Frontier = append(resp.Frontier, candidateJSON(c))
+	}
+	for _, r := range core.Quantize(frontier) {
+		resp.Picks = append(resp.Picks, RecommendationJSON{Role: r.Role, CandidateJSON: candidateJSON(r.Candidate)})
+	}
+	return resp, nil
+}
+
+// BuildRecommend runs the exploration and returns only the quantized
+// picks — the /v1/recommend response. Unlike explore, an empty feasible
+// set is an error (mirroring core.RecommendContext).
+func BuildRecommend(ctx context.Context, req core.Requirements, workers int) (*RecommendResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	recs, err := core.RecommendContext(ctx, req, core.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	resp := &RecommendResponse{
+		Request: req,
+		Key:     HashKey("recommend", req.CanonicalKey()),
+		Picks:   []RecommendationJSON{},
+	}
+	for _, r := range recs {
+		resp.Picks = append(resp.Picks, RecommendationJSON{Role: r.Role, CandidateJSON: candidateJSON(r.Candidate)})
+	}
+	return resp, nil
+}
+
+// parsePolicy maps a policy name to its sched.Policy.
+func parsePolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "round-robin", "":
+		return sched.RoundRobin, nil
+	case "fixed-priority", "priority":
+		return sched.FixedPriority, nil
+	case "oldest-first", "oldest":
+		return sched.OldestFirst, nil
+	case "open-page-first", "open-page":
+		return sched.OpenPageFirst, nil
+	case "deadline":
+		return sched.Deadline, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (round-robin, fixed-priority, oldest-first, open-page-first, deadline)", name)
+	}
+}
+
+// clientKinds lists the generator kinds the service accepts.
+const clientKinds = "sequential, strided, random, alternating"
+
+// Violations lists every constraint the client spec violates
+// (maxRequests caps Count; 0 = uncapped).
+func (c ClientSpec) Violations(i int, maxRequests int64) []string {
+	var v []string
+	at := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf("client %d (%s): %s", i, c.Name, fmt.Sprintf(format, args...)))
+	}
+	switch c.Kind {
+	case "sequential", "strided", "random", "alternating":
+	default:
+		at("unknown kind %q (%s)", c.Kind, clientKinds)
+	}
+	if c.Name == "" {
+		at("name is required")
+	}
+	if c.RateGBps <= 0 {
+		at("rate must be positive, got %g GB/s", c.RateGBps)
+	}
+	if c.Count <= 0 {
+		at("count must be positive, got %d (unbounded streams are not served)", c.Count)
+	} else if maxRequests > 0 && int64(c.Count) > maxRequests {
+		at("count %d exceeds the per-request limit %d", c.Count, maxRequests)
+	}
+	if c.Bits < 0 || c.StartB < 0 || c.StrideB < 0 || c.LimitB < 0 || c.WindowB < 0 {
+		at("geometry fields must be non-negative")
+	}
+	if c.LatencyBudgetNs < 0 {
+		at("latency budget must be non-negative, got %g ns", c.LatencyBudgetNs)
+	}
+	return v
+}
+
+// generator builds the traffic generator for the spec. bits is the
+// default request width (the macro interface).
+func (c ClientSpec) generator(i, bits int) traffic.Generator {
+	if c.Bits > 0 {
+		bits = c.Bits
+	}
+	switch c.Kind {
+	case "strided":
+		return &traffic.Strided{ClientID: i, StartB: c.StartB, StrideB: c.StrideB,
+			LimitB: c.LimitB, Bits: bits, Write: c.Write, RateGB: c.RateGBps, Count: c.Count}
+	case "random":
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		window := c.WindowB
+		if window <= 0 {
+			window = 1 << 20
+		}
+		return &traffic.Random{ClientID: i, StartB: c.StartB, WindowB: window, Bits: bits,
+			Write: c.Write, RateGB: c.RateGBps, Count: c.Count, Rng: newSeededRand(seed)}
+	case "alternating":
+		return &traffic.Alternating{ClientID: i, BaseA: c.StartB, BaseB: c.StartB + c.StrideB,
+			Bits: bits, RateGB: c.RateGBps, Count: c.Count}
+	default: // "sequential"
+		return &traffic.Sequential{ClientID: i, StartB: c.StartB, LimitB: c.LimitB,
+			Bits: bits, Write: c.Write, RateGB: c.RateGBps, Count: c.Count}
+	}
+}
+
+// canonicalKey is the simulate request's cache identity: the spec key
+// plus every option and client field in declared order.
+func (r SimulateRequest) canonicalKey() string {
+	var b strings.Builder
+	b.WriteString("sim/v1|")
+	b.WriteString(r.Spec.CanonicalKey())
+	fmt.Fprintf(&b, "|policy=%s|closed=%t|window=%d", r.Options.Policy, r.Options.ClosedPage, r.Options.ReorderWindow)
+	for _, c := range r.Clients {
+		fmt.Fprintf(&b, "|client=%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%t,%s",
+			c.Name, c.Kind, c.Bits, canonFloat(c.RateGBps), c.Count,
+			c.StartB, c.StrideB, c.LimitB, c.WindowB, c.Seed, c.Write,
+			canonFloat(c.LatencyBudgetNs))
+	}
+	return b.String()
+}
+
+// Violations lists every constraint the simulate request violates.
+func (r SimulateRequest) Violations(maxRequests int64) []string {
+	var v []string
+	if len(r.Clients) == 0 {
+		v = append(v, "at least one client is required")
+	}
+	var total int64
+	for i, c := range r.Clients {
+		v = append(v, c.Violations(i, maxRequests)...)
+		total += int64(c.Count)
+	}
+	if maxRequests > 0 && total > maxRequests {
+		v = append(v, fmt.Sprintf("total request count %d exceeds the per-request limit %d", total, maxRequests))
+	}
+	if _, err := parsePolicy(r.Options.Policy); err != nil {
+		v = append(v, err.Error())
+	}
+	if r.Options.ReorderWindow < 0 {
+		v = append(v, fmt.Sprintf("reorder window must be non-negative, got %d", r.Options.ReorderWindow))
+	}
+	return v
+}
+
+// BuildSimulate runs the event-driven controller simulation for the
+// request — the /v1/simulate response.
+func BuildSimulate(req SimulateRequest) (*SimulateResponse, error) {
+	m, err := edram.Build(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := parsePolicy(req.Options.Policy)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]sched.Client, len(req.Clients))
+	for i, c := range req.Clients {
+		clients[i] = sched.Client{
+			Name:            c.Name,
+			Gen:             c.generator(i, m.Geometry.InterfaceBits),
+			LatencyBudgetNs: c.LatencyBudgetNs,
+		}
+	}
+	cfg := m.DeviceConfig()
+	gm := mapping.Geometry{Banks: cfg.Banks, RowsBank: cfg.RowsPerBank, PageBytes: cfg.PageBits / 8}
+	mp, err := mapping.NewBankInterleaved(gm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.RunWithOptions(cfg, mp, sched.Options{
+		Policy:        policy,
+		ClosedPage:    req.Options.ClosedPage,
+		ReorderWindow: req.Options.ReorderWindow,
+	}, clients)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SimulateResponse{
+		Spec:              req.Spec,
+		Key:               HashKey("simulate", req.canonicalKey()),
+		Policy:            res.Policy.String(),
+		PeakGBps:          res.PeakGBps,
+		SustainedGBps:     res.SustainedGBps,
+		SustainedFraction: res.SustainedFraction,
+		HitRate:           res.HitRate,
+		DurationNs:        res.DurationNs,
+		Clients:           []ClientResultJSON{},
+	}
+	for _, cr := range res.Clients {
+		resp.Clients = append(resp.Clients, ClientResultJSON{
+			Name:         cr.Name,
+			Requests:     cr.Stats.Count,
+			AchievedGBps: cr.AchievedGBps,
+			BitsMoved:    cr.BitsMoved,
+			MeanNs:       cr.Stats.MeanNs,
+			P50Ns:        cr.Stats.P50Ns,
+			P95Ns:        cr.Stats.P95Ns,
+			P99Ns:        cr.Stats.P99Ns,
+			MaxNs:        cr.Stats.MaxNs,
+			MaxFIFODepth: cr.Stats.MaxFIFODepth,
+		})
+	}
+	return resp, nil
+}
+
+// BuildDatasheet constructs the macro and renders its datasheet — the
+// /v1/datasheet response.
+func BuildDatasheet(spec edram.Spec) (*DatasheetResponse, error) {
+	m, err := edram.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &DatasheetResponse{
+		Spec:                 spec,
+		Key:                  HashKey("datasheet", spec.CanonicalKey()),
+		ClockMHz:             m.ClockMHz,
+		AreaMm2:              m.Area.TotalMm2,
+		EfficiencyMbitPerMm2: m.Area.EfficiencyMbitPerMm2,
+		PeakGBps:             m.PeakBandwidthGBps(),
+		FillFrequencyHz:      m.FillFrequencyHz(),
+		Banks:                m.Geometry.Banks,
+		RowsPerBank:          m.RowsPerBank(),
+		PageBits:             m.Geometry.PageBits,
+		Text:                 m.Datasheet(),
+	}, nil
+}
+
+// canonicalKey is the experiments request's cache identity: the sorted,
+// deduplicated id filter.
+func (r ExperimentsRequest) canonicalKey() string {
+	ids := append([]string(nil), r.IDs...)
+	sort.Strings(ids)
+	return "exp/v1|ids=" + strings.Join(ids, ",")
+}
+
+// BuildExperiments regenerates the experiment suite (filtered to ids
+// when given) on workers workers — the /v1/experiments response.
+func BuildExperiments(ctx context.Context, req ExperimentsRequest, workers int) (*ExperimentsResponse, error) {
+	all, err := experiments.AllContext(ctx, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, id := range req.IDs {
+		want[id] = true
+	}
+	resp := &ExperimentsResponse{
+		Key:         HashKey("experiments", req.canonicalKey()),
+		Experiments: []ExperimentJSON{},
+	}
+	matched := map[string]bool{}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		matched[e.ID] = true
+		ej := ExperimentJSON{ID: e.ID, Title: e.Title, Findings: []FindingJSON{}}
+		for _, f := range e.Findings {
+			ej.Findings = append(ej.Findings, FindingJSON{Name: f.Name, Value: f.Value, Unit: f.Unit})
+		}
+		var tb strings.Builder
+		if e.Table != nil {
+			if err := e.Table.Render(&tb); err != nil {
+				return nil, err
+			}
+		}
+		ej.Table = tb.String()
+		resp.Experiments = append(resp.Experiments, ej)
+	}
+	for _, id := range req.IDs {
+		if !matched[id] {
+			return nil, fmt.Errorf("unknown experiment id %q", id)
+		}
+	}
+	return resp, nil
+}

@@ -46,55 +46,55 @@ func (k ProcessKind) String() string {
 
 // Process is a complete technology description. Units are given per field.
 type Process struct {
-	Name string
-	Kind ProcessKind
+	Name string      `json:"name"`
+	Kind ProcessKind `json:"kind"`
 
 	// FeatureUm is the drawn feature size F in µm.
-	FeatureUm float64
+	FeatureUm float64 `json:"feature_um"`
 
 	// MetalLayers available for routing. DRAM processes have fewer
 	// (paper §1); layers can be added at extra cost.
-	MetalLayers int
+	MetalLayers int `json:"metal_layers"`
 
 	// CellFactor is the DRAM cell area expressed in F² units. A true
 	// DRAM process achieves ~8 F²; a logic-based cell is several times
 	// larger.
-	CellFactor float64
+	CellFactor float64 `json:"cell_factor"`
 
 	// LogicDensityKGatesPerMm2 is the routed standard-cell density in
 	// kgates/mm² (2-input NAND equivalents).
-	LogicDensityKGatesPerMm2 float64
+	LogicDensityKGatesPerMm2 float64 `json:"logic_density_kgates_per_mm2"`
 
 	// LogicDelayRel is the relative gate delay, normalized so that a
 	// pure logic process at this node is 1.0. DRAM transistors are
 	// optimized for low leakage and are slower (paper §1).
-	LogicDelayRel float64
+	LogicDelayRel float64 `json:"logic_delay_rel"`
 
 	// LeakageRel is the relative transistor off-current, normalized so
 	// that a pure DRAM process is 1.0. Logic transistors leak more.
-	LeakageRel float64
+	LeakageRel float64 `json:"leakage_rel"`
 
 	// Supply voltages (paper §1: currently DRAM 2.5 V < logic 3.3 V).
-	VddLogicV float64
-	VddDRAMV  float64
+	VddLogicV float64 `json:"vdd_logic_v"`
+	VddDRAMV  float64 `json:"vdd_dram_v"`
 
 	// RetentionMs is the nominal DRAM cell retention time at the
 	// reference junction temperature RefJunctionC.
-	RetentionMs  float64
-	RefJunctionC float64
+	RetentionMs  float64 `json:"retention_ms"`
+	RefJunctionC float64 `json:"ref_junction_c"`
 	// RetentionHalvingC is the junction-temperature increase that
 	// halves retention time (classic ~10 °C rule).
-	RetentionHalvingC float64
+	RetentionHalvingC float64 `json:"retention_halving_c"`
 
 	// WaferCostUSD is the processed-wafer cost; WaferDiameterMm its
 	// diameter (200 mm era).
-	WaferCostUSD    float64
-	WaferDiameterMm float64
+	WaferCostUSD    float64 `json:"wafer_cost_usd"`
+	WaferDiameterMm float64 `json:"wafer_diameter_mm"`
 
 	// MetalLayerAdderUSD is the wafer-cost adder per extra metal layer
 	// beyond MetalLayers (paper §1: "layers can be added at the expense
 	// of process cost").
-	MetalLayerAdderUSD float64
+	MetalLayerAdderUSD float64 `json:"metal_layer_adder_usd"`
 }
 
 // CellAreaUm2 returns the DRAM cell area in µm².
