@@ -88,3 +88,18 @@ func TestRequirementsCanonicalKey(t *testing.T) {
 		t.Error("process order should be part of the canonical key")
 	}
 }
+
+func TestRequirementsCanonicalKeyCoversProcessParameters(t *testing.T) {
+	// The wire schema accepts full custom tech.Process objects: two
+	// same-named processes with different parameters are different
+	// explorations and must never share a cache entry.
+	p1, p2 := tech.Siemens024(), tech.Siemens024()
+	p2.CellFactor *= 2
+	a := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8,
+		Processes: []tech.Process{p1}}
+	b := Requirements{CapacityMbit: 16, BandwidthGBps: 1.5, HitRate: 0.8,
+		Processes: []tech.Process{p2}}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("same-named processes with different parameters collide on the canonical key")
+	}
+}

@@ -95,12 +95,14 @@ func (r Requirements) Validate() error {
 // as the service layer's cache and coalescing identity: two requests
 // describing the same exploration produce the same key no matter how
 // their JSON was spelled. Normalization is purely formatting — integers
-// in base 10, floats in shortest round-trip form, processes by name in
-// declared order (order changes the sweep's enumeration sequence, so it
-// is part of the identity).
+// in base 10, floats in shortest round-trip form, processes by their
+// full parameter fingerprint (tech.Process.CanonicalKey — the name
+// alone would alias same-named but differently-parameterized custom
+// processes) in declared order (order changes the sweep's enumeration
+// sequence, so it is part of the identity).
 func (r Requirements) CanonicalKey() string {
 	var b strings.Builder
-	b.WriteString("req/v1")
+	b.WriteString("req/v2")
 	fmt.Fprintf(&b, "|cap=%d", r.CapacityMbit)
 	b.WriteString("|bw=" + canonFloat(r.BandwidthGBps))
 	b.WriteString("|hit=" + canonFloat(r.HitRate))
@@ -109,11 +111,11 @@ func (r Requirements) CanonicalKey() string {
 	b.WriteString("|clock=" + canonFloat(r.MinClockMHz))
 	b.WriteString("|defects=" + canonFloat(r.DefectsPerCm2))
 	if len(r.Processes) > 0 {
-		names := make([]string, len(r.Processes))
+		keys := make([]string, len(r.Processes))
 		for i, p := range r.Processes {
-			names[i] = p.Name
+			keys[i] = p.CanonicalKey()
 		}
-		b.WriteString("|procs=" + strings.Join(names, ","))
+		b.WriteString("|procs=" + strings.Join(keys, ","))
 	}
 	return b.String()
 }

@@ -3,6 +3,8 @@ package edram
 import (
 	"encoding/json"
 	"testing"
+
+	"edram/internal/tech"
 )
 
 func TestParseRedundancy(t *testing.T) {
@@ -74,5 +76,20 @@ func TestSpecCanonicalKey(t *testing.T) {
 			t.Errorf("variants %d and %d collide on key %q", i, j, k)
 		}
 		seen[k] = i
+	}
+}
+
+func TestSpecCanonicalKeyCoversProcessParameters(t *testing.T) {
+	// A custom process with a reused name but tweaked parameters is a
+	// different spec and must not alias the original in the cache.
+	p1, p2 := tech.Siemens024(), tech.Siemens024()
+	p2.WaferCostUSD *= 2
+	a := Spec{CapacityMbit: 16, InterfaceBits: 64, Process: &p1}
+	b := Spec{CapacityMbit: 16, InterfaceBits: 64, Process: &p2}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("same-named processes with different parameters collide on the spec key")
+	}
+	if a.CanonicalKey() == (Spec{CapacityMbit: 16, InterfaceBits: 64}).CanonicalKey() {
+		t.Error("explicit process must be distinguished from the default")
 	}
 }

@@ -145,16 +145,18 @@ type Spec struct {
 // service layer's cache identity (the Requirements.CanonicalKey
 // counterpart for the simulate/datasheet endpoints). Formatting rules
 // match: integers in base 10, floats in shortest round-trip form, the
-// process by name ("" = default).
+// process by its full parameter fingerprint (tech.Process.CanonicalKey;
+// absent = default) — the name alone would alias same-named custom
+// processes with different parameters.
 func (s Spec) CanonicalKey() string {
 	var b strings.Builder
-	b.WriteString("spec/v1")
+	b.WriteString("spec/v2")
 	fmt.Fprintf(&b, "|cap=%d|iface=%d|banks=%d|page=%d|block=%d",
 		s.CapacityMbit, s.InterfaceBits, s.Banks, s.PageBits, s.BlockBits)
 	b.WriteString("|red=" + s.Redundancy.String())
 	b.WriteString("|ecc=" + s.ECC.String())
 	if s.Process != nil {
-		b.WriteString("|proc=" + s.Process.Name)
+		b.WriteString("|proc=" + s.Process.CanonicalKey())
 	}
 	b.WriteString("|clk=" + strconv.FormatFloat(s.TargetClockMHz, 'g', -1, 64))
 	fmt.Fprintf(&b, "|bist=%t", !s.SkipBIST)

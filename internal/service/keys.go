@@ -27,6 +27,14 @@ func canonFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// canonString renders a client-controlled string for canonical keys.
+// Quoting makes the rendering self-delimiting: a value containing the
+// key's ',' or '|' separators (or a quote) cannot shift the positional
+// fields and collide two semantically different requests.
+func canonString(s string) string {
+	return strconv.Quote(s)
+}
+
 // newSeededRand returns a deterministic PRNG for the random traffic
 // generator — same seed, same request stream, same simulation result.
 func newSeededRand(seed int64) *rand.Rand {

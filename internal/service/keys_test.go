@@ -1,0 +1,54 @@
+package service
+
+import (
+	"testing"
+
+	"edram/internal/edram"
+)
+
+// TestSimulateCanonicalKeyEscapesStrings pins the quoting rule: a
+// client name containing the key's ',' / '|' separators must not shift
+// the positional fields and collide with a different request.
+func TestSimulateCanonicalKeyEscapesStrings(t *testing.T) {
+	spec := edram.Spec{CapacityMbit: 16, InterfaceBits: 64}
+	// a: one client whose name embeds what looks like the tail of its
+	// own rendering plus a second client. b: the two clients spelled
+	// honestly. Without quoting both render the same canonical string.
+	a := SimulateRequest{Spec: spec, Clients: []ClientSpec{
+		{Name: "cpu,sequential,0,1,100,0,0,0,0,0,false,0|client=dsp", Kind: "sequential", RateGBps: 1, Count: 100},
+	}}
+	b := SimulateRequest{Spec: spec, Clients: []ClientSpec{
+		{Name: "cpu", Kind: "sequential", RateGBps: 1, Count: 100},
+		{Name: "dsp", Kind: "sequential", RateGBps: 1, Count: 100},
+	}}
+	if a.canonicalKey() == b.canonicalKey() {
+		t.Errorf("delimiter injection collides:\n  %q", a.canonicalKey())
+	}
+}
+
+// TestExperimentsCanonicalKeyEscapesIDs pins the same rule for the id
+// filter: an id containing ',' must not render as two ids.
+func TestExperimentsCanonicalKeyEscapesIDs(t *testing.T) {
+	a := ExperimentsRequest{IDs: []string{"E1,E2"}}
+	b := ExperimentsRequest{IDs: []string{"E1", "E2"}}
+	if a.canonicalKey() == b.canonicalKey() {
+		t.Errorf("id delimiter injection collides:\n  %q", a.canonicalKey())
+	}
+}
+
+// TestEndpointLabelClosedSet: metrics are labeled only with the known
+// route set; arbitrary client-controlled paths collapse to "other" so
+// they cannot mint unbounded metric series.
+func TestEndpointLabelClosedSet(t *testing.T) {
+	for _, known := range []string{"/healthz", "/metrics", "/v1/explore",
+		"/v1/recommend", "/v1/simulate", "/v1/datasheet", "/v1/experiments"} {
+		if got := endpointLabel(known); got != known {
+			t.Errorf("endpointLabel(%q) = %q, want itself", known, got)
+		}
+	}
+	for _, unknown := range []string{"/", "/v1/explore/", "/v2/explore", "/favicon.ico", "/../../etc/passwd"} {
+		if got := endpointLabel(unknown); got != "other" {
+			t.Errorf("endpointLabel(%q) = %q, want \"other\"", unknown, got)
+		}
+	}
+}

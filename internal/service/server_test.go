@@ -267,6 +267,38 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpointLabelBounded: requests to arbitrary paths must
+// not mint new metric series — unmatched paths share the "other"
+// endpoint label.
+func TestMetricsEndpointLabelBounded(t *testing.T) {
+	srv := NewServer(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/no/such/route", "/no/such/route2"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	if strings.Contains(body, "/no/such/route") {
+		t.Error("metrics expose a client-controlled path label")
+	}
+	if !strings.Contains(body, `endpoint="other"`) {
+		t.Error("unmatched paths are not collapsed into the \"other\" label")
+	}
+}
+
 // TestGracefulDrain verifies the acceptance criterion that shutdown
 // lets in-flight requests finish: a request is held mid-computation,
 // the serve context is cancelled, and the request still completes with

@@ -142,6 +142,29 @@ func NewServer(cfg Config) *Server {
 // GET /metrics renders it).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// knownEndpoints is the closed route set used as the metrics
+// "endpoint" label. Raw request paths are client-controlled: labeling
+// by them would let any unauthenticated client mint unbounded metric
+// series (each a permanent counter + histogram), so unmatched paths
+// collapse into one "other" bucket.
+var knownEndpoints = map[string]bool{
+	"/healthz":        true,
+	"/metrics":        true,
+	"/v1/explore":     true,
+	"/v1/recommend":   true,
+	"/v1/simulate":    true,
+	"/v1/datasheet":   true,
+	"/v1/experiments": true,
+}
+
+// endpointLabel normalizes a request path to the known route set.
+func endpointLabel(path string) string {
+	if knownEndpoints[path] {
+		return path
+	}
+	return "other"
+}
+
 // statusRecorder captures the status code for logging and metrics.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -170,14 +193,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(rec, r.WithContext(ctx))
 
 	elapsed := time.Since(start).Seconds()
-	endpoint := r.URL.Path
+	endpoint := endpointLabel(r.URL.Path)
 	s.metrics.Counter("edramd_requests_total", "Requests served by endpoint and status code.",
 		Label{"endpoint", endpoint}, Label{"code", fmt.Sprintf("%d", rec.status)}).Inc()
 	s.metrics.Histogram("edramd_request_seconds", "Request latency in seconds.",
 		DefaultLatencyBuckets, Label{"endpoint", endpoint}).Observe(elapsed)
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("method", r.Method),
-		slog.String("path", endpoint),
+		slog.String("path", r.URL.Path),
 		slog.Int("status", rec.status),
 		slog.Float64("seconds", elapsed),
 		slog.String("cache", rec.Header().Get("X-Cache")),
@@ -315,7 +338,12 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+		// ReadTimeout bounds the body read too: without it a slow-body
+		// (slowloris-style) client holds its connection and goroutine
+		// past the per-request deadline, which cannot interrupt the
+		// handler's blocking body read on its own.
+		ReadTimeout: s.cfg.RequestTimeout,
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

@@ -387,15 +387,18 @@ func (c ClientSpec) generator(i, bits int) traffic.Generator {
 }
 
 // canonicalKey is the simulate request's cache identity: the spec key
-// plus every option and client field in declared order.
+// plus every option and client field in declared order. Client-chosen
+// strings are quoted (canonString) so a name containing the ',' or '|'
+// separators cannot shift the positional fields and collide with a
+// different request.
 func (r SimulateRequest) canonicalKey() string {
 	var b strings.Builder
-	b.WriteString("sim/v1|")
+	b.WriteString("sim/v2|")
 	b.WriteString(r.Spec.CanonicalKey())
-	fmt.Fprintf(&b, "|policy=%s|closed=%t|window=%d", r.Options.Policy, r.Options.ClosedPage, r.Options.ReorderWindow)
+	fmt.Fprintf(&b, "|policy=%s|closed=%t|window=%d", canonString(r.Options.Policy), r.Options.ClosedPage, r.Options.ReorderWindow)
 	for _, c := range r.Clients {
 		fmt.Fprintf(&b, "|client=%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%t,%s",
-			c.Name, c.Kind, c.Bits, canonFloat(c.RateGBps), c.Count,
+			canonString(c.Name), canonString(c.Kind), c.Bits, canonFloat(c.RateGBps), c.Count,
 			c.StartB, c.StrideB, c.LimitB, c.WindowB, c.Seed, c.Write,
 			canonFloat(c.LatencyBudgetNs))
 	}
@@ -508,12 +511,15 @@ func BuildDatasheet(spec edram.Spec) (*DatasheetResponse, error) {
 	}, nil
 }
 
-// canonicalKey is the experiments request's cache identity: the sorted,
-// deduplicated id filter.
+// canonicalKey is the experiments request's cache identity: the sorted
+// id filter, each id quoted so one containing ',' cannot render as two.
 func (r ExperimentsRequest) canonicalKey() string {
-	ids := append([]string(nil), r.IDs...)
+	ids := make([]string, len(r.IDs))
+	for i, id := range r.IDs {
+		ids[i] = canonString(id)
+	}
 	sort.Strings(ids)
-	return "exp/v1|ids=" + strings.Join(ids, ",")
+	return "exp/v2|ids=" + strings.Join(ids, ",")
 }
 
 // BuildExperiments regenerates the experiment suite (filtered to ids

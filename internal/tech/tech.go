@@ -12,7 +12,12 @@
 // on and are preserved.
 package tech
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // ProcessKind distinguishes the three base-process options of paper §3.
 type ProcessKind int
@@ -42,6 +47,42 @@ func (k ProcessKind) String() string {
 	default:
 		return fmt.Sprintf("ProcessKind(%d)", int(k))
 	}
+}
+
+// ParseKind maps a kind name ("dram-based", "logic-based", "merged") to
+// its ProcessKind.
+func ParseKind(s string) (ProcessKind, error) {
+	switch s {
+	case "dram-based", "":
+		return DRAMBased, nil
+	case "logic-based":
+		return LogicBased, nil
+	case "merged":
+		return Merged, nil
+	default:
+		return DRAMBased, fmt.Errorf("tech: unknown process kind %q (dram-based, logic-based, merged)", s)
+	}
+}
+
+// MarshalJSON renders the kind by name: like the other wire enums
+// (edram.RedundancyLevel, reliab.ECC), ProcessKind travels by name,
+// never ordinal, so renumbering cannot silently alias wire values.
+func (k ProcessKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the kind name.
+func (k *ProcessKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	kind, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = kind
+	return nil
 }
 
 // Process is a complete technology description. Units are given per field.
@@ -95,6 +136,44 @@ type Process struct {
 	// beyond MetalLayers (paper §1: "layers can be added at the expense
 	// of process cost").
 	MetalLayerAdderUSD float64 `json:"metal_layer_adder_usd"`
+}
+
+// CanonicalKey is the normalized fingerprint of the full parameter set,
+// used by the service layer's cache identity. Every semantically
+// significant field is rendered in declared order — the name alone is
+// NOT an identity, since the wire schema accepts arbitrary custom
+// processes that may reuse a name with different parameters. The name
+// is quoted so client-chosen strings cannot forge the field structure;
+// floats use the shortest exact round-trip form; the kind travels by
+// name. The surrounding braces make concatenations of process keys
+// (Requirements.Processes) self-delimiting.
+func (p Process) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("proc/v1{")
+	b.WriteString("name=" + strconv.Quote(p.Name))
+	b.WriteString("|kind=" + p.Kind.String())
+	b.WriteString("|feature=" + canonFloat(p.FeatureUm))
+	fmt.Fprintf(&b, "|metals=%d", p.MetalLayers)
+	b.WriteString("|cellf=" + canonFloat(p.CellFactor))
+	b.WriteString("|ldens=" + canonFloat(p.LogicDensityKGatesPerMm2))
+	b.WriteString("|ldelay=" + canonFloat(p.LogicDelayRel))
+	b.WriteString("|leak=" + canonFloat(p.LeakageRel))
+	b.WriteString("|vddl=" + canonFloat(p.VddLogicV))
+	b.WriteString("|vddd=" + canonFloat(p.VddDRAMV))
+	b.WriteString("|ret=" + canonFloat(p.RetentionMs))
+	b.WriteString("|refj=" + canonFloat(p.RefJunctionC))
+	b.WriteString("|rethalf=" + canonFloat(p.RetentionHalvingC))
+	b.WriteString("|wcost=" + canonFloat(p.WaferCostUSD))
+	b.WriteString("|wdiam=" + canonFloat(p.WaferDiameterMm))
+	b.WriteString("|madder=" + canonFloat(p.MetalLayerAdderUSD))
+	b.WriteString("}")
+	return b.String()
+}
+
+// canonFloat renders a float in its shortest exact round-trip form, the
+// canonical-key formatting rule shared with the service layer.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // CellAreaUm2 returns the DRAM cell area in µm².

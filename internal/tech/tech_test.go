@@ -1,6 +1,7 @@
 package tech
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -19,6 +20,80 @@ func TestProcessKindString(t *testing.T) {
 	}
 	if !strings.Contains(ProcessKind(99).String(), "99") {
 		t.Error("unknown kind should embed its number")
+	}
+}
+
+func TestProcessKindJSONRoundTrip(t *testing.T) {
+	for _, kind := range []ProcessKind{DRAMBased, LogicBased, Merged} {
+		b, err := json.Marshal(kind)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", kind, err)
+		}
+		// The wire form is the name, never the ordinal.
+		if string(b) != `"`+kind.String()+`"` {
+			t.Errorf("kind %v marshals to %s, want its name", kind, b)
+		}
+		var back ProcessKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != kind {
+			t.Errorf("round trip %v -> %s -> %v", kind, b, back)
+		}
+	}
+	var k ProcessKind
+	if err := json.Unmarshal([]byte(`"quantum"`), &k); err == nil {
+		t.Error("unknown kind name must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`1`), &k); err == nil {
+		t.Error("ordinal kind encoding must be rejected")
+	}
+}
+
+func TestProcessCanonicalKeyCoversEveryField(t *testing.T) {
+	base := Siemens024()
+	if base.CanonicalKey() != base.CanonicalKey() {
+		t.Fatal("key not stable")
+	}
+	// Each mutation flips exactly one field; every one must change the
+	// key — a same-named process with tweaked parameters is a different
+	// cache identity.
+	mutations := map[string]func(*Process){
+		"Name":                     func(p *Process) { p.Name = "custom" },
+		"Kind":                     func(p *Process) { p.Kind = Merged },
+		"FeatureUm":                func(p *Process) { p.FeatureUm *= 2 },
+		"MetalLayers":              func(p *Process) { p.MetalLayers++ },
+		"CellFactor":               func(p *Process) { p.CellFactor *= 2 },
+		"LogicDensityKGatesPerMm2": func(p *Process) { p.LogicDensityKGatesPerMm2 *= 2 },
+		"LogicDelayRel":            func(p *Process) { p.LogicDelayRel *= 2 },
+		"LeakageRel":               func(p *Process) { p.LeakageRel *= 2 },
+		"VddLogicV":                func(p *Process) { p.VddLogicV *= 2 },
+		"VddDRAMV":                 func(p *Process) { p.VddDRAMV *= 2 },
+		"RetentionMs":              func(p *Process) { p.RetentionMs *= 2 },
+		"RefJunctionC":             func(p *Process) { p.RefJunctionC *= 2 },
+		"RetentionHalvingC":        func(p *Process) { p.RetentionHalvingC *= 2 },
+		"WaferCostUSD":             func(p *Process) { p.WaferCostUSD *= 2 },
+		"WaferDiameterMm":          func(p *Process) { p.WaferDiameterMm *= 2 },
+		"MetalLayerAdderUSD":       func(p *Process) { p.MetalLayerAdderUSD *= 2 },
+	}
+	for field, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if p.CanonicalKey() == base.CanonicalKey() {
+			t.Errorf("mutating %s does not change the canonical key", field)
+		}
+	}
+}
+
+func TestProcessCanonicalKeyQuotesName(t *testing.T) {
+	// A name containing the key's separators must not forge the field
+	// structure of a different process.
+	a, b := Siemens024(), Siemens024()
+	a.Name = `x|kind=merged`
+	b.Name = "x"
+	b.Kind = Merged
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("separator characters in a name alias another process")
 	}
 }
 
