@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench fuzz fuzz-smoke serve-smoke check
+.PHONY: build test vet lint race bench bench-compare fuzz fuzz-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,31 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark in the repo with allocation accounting and
+# snapshots the results as JSON through cmd/benchdiff — the trajectory
+# harness described in README "Performance & profiling". BENCHTIME=1x
+# is the CI smoke setting: ns/op is noise at one iteration but
+# allocs/op stays meaningful.
+BENCHTIME ?= 1s
+BENCH_RAW ?= bench_raw.txt
+BENCH_OUT ?= bench_snapshot.json
 bench:
-	$(GO) test -bench . -benchmem -run NONE .
+	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) ./... > $(BENCH_RAW)
+	@cat $(BENCH_RAW)
+	$(GO) run ./cmd/benchdiff -o $(BENCH_OUT) $(BENCH_RAW)
+	@rm -f $(BENCH_RAW)
+	@echo "bench: snapshot written to $(BENCH_OUT)"
+
+# bench-compare gates a fresh snapshot against the committed trajectory
+# snapshot. The default tolerances suit the CI smoke (BENCHTIME=1x):
+# ns/op is effectively ungated (single-iteration timing is dominated by
+# warm-up), while an allocation blow-up beyond 3x still fails. For a
+# real perf gate run with BENCHTIME=1s and tight tolerances locally.
+BENCH_BASE ?= BENCH_5.json
+BENCH_TIME_TOL ?= 50
+BENCH_ALLOC_TOL ?= 2.0
+bench-compare: bench
+	$(GO) run ./cmd/benchdiff -compare -time-tol $(BENCH_TIME_TOL) -alloc-tol $(BENCH_ALLOC_TOL) $(BENCH_BASE) $(BENCH_OUT)
 
 # fuzz runs the cell-array fuzzer with a real time budget; fuzz-smoke
 # only replays the checked-in seed corpus (no -fuzz), which is cheap

@@ -24,6 +24,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +47,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 60s)")
 	drain := flag.Duration("drain", 0, "graceful shutdown drain budget (0 = default 10s)")
 	smoke := flag.Bool("smoke", false, "run the serve-smoke self-test and exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this extra loopback address (e.g. 127.0.0.1:6060); off by default and never exposed on the serving mux")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -66,6 +68,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			fail("pprof: %v", err)
+		}
+	}
 	srv := service.NewServer(cfg)
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(os.Stderr, "edramd: listening on %s\n", a)
@@ -74,6 +81,32 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Fprintln(os.Stderr, "edramd: drained, shutting down")
+}
+
+// startPprof serves the runtime profiling endpoints on their own mux
+// and listener, fully separate from the API server: the debug surface
+// is opt-in, bound to an operator-chosen (typically loopback) address,
+// and can never leak onto the serving mux or be reached through it.
+// Its lifetime is tied to the process, not the API drain path — an
+// operator profiling a shutdown wants /debug/pprof alive through it.
+func startPprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "edramd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "edramd: pprof server stopped: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 // runSmoke is the end-to-end self-test: it exercises the real signal

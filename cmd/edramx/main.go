@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"edram/internal/core"
+	"edram/internal/profiling"
 	"edram/internal/report"
 	"edram/internal/service"
 )
@@ -35,7 +36,19 @@ func main() {
 	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
 	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
 	jsonOut := flag.Bool("json", false, "emit the exploration as JSON on stdout (the exact POST /v1/explore schema)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	req := core.Requirements{
 		CapacityMbit:  *capacity,

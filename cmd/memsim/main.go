@@ -25,6 +25,7 @@ import (
 
 	"edram/internal/edram"
 	"edram/internal/mapping"
+	"edram/internal/profiling"
 	"edram/internal/reliab"
 	"edram/internal/report"
 	"edram/internal/sched"
@@ -54,7 +55,19 @@ func main() {
 	softErrs := flag.Float64("soft-errors", 0, "transient bit flips per million accesses (requires -faults)")
 	spares := flag.Int("spares", 4, "spare rows per bank for runtime repair (with -faults)")
 	weakCells := flag.Float64("weak-cells", 8, "mean retention-tail weak cells per bank (with -faults)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	// Flag-combination validation: the reliability knobs only mean
 	// something once the fault process is armed.

@@ -194,7 +194,9 @@ func repairFractionFor(level edram.RedundancyLevel) float64 {
 }
 
 // evaluate builds and scores one spec, replicated over `macros`
-// identical instances that share the load.
+// identical instances that share the load. It is the unmemoized
+// reference path; the explore engine runs the byte-identical
+// evalMemo.evaluate (see memo.go).
 func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, ce power.CoreEnergy) (Candidate, error) {
 	if macros < 1 {
 		macros = 1
@@ -203,6 +205,19 @@ func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, 
 	if err != nil {
 		return Candidate{}, err
 	}
+	dieCost, yieldEff, err := cost.MacroDieCost(m.Geometry.Process, 0,
+		float64(macros)*m.Area.TotalMm2, req.DefectsPerCm2, repairFractionFor(spec.Redundancy))
+	if err != nil {
+		return Candidate{}, err
+	}
+	return scoreCandidate(spec, macros, m, req, e, ce, dieCost, yieldEff), nil
+}
+
+// scoreCandidate assembles the per-point metrics and feasibility checks
+// from a built macro and its die-cost results — the shared tail of the
+// unmemoized evaluate and the memoized evalMemo.evaluate, so the two
+// paths cannot drift apart.
+func scoreCandidate(spec edram.Spec, macros int, m *edram.Macro, req Requirements, e tech.Electrical, ce power.CoreEnergy, dieCostUSD, dieYield float64) Candidate {
 	n := float64(macros)
 	c := Candidate{Spec: spec, Macro: m, Macros: macros}
 	c.AreaMm2 = n * m.Area.TotalMm2
@@ -211,33 +226,43 @@ func evaluate(spec edram.Spec, macros int, req Requirements, e tech.Electrical, 
 	pr := m.Power(e, ce, 1.0, req.HitRate)
 	c.PowerMW = n * pr.TotalMW
 
-	proc := m.Geometry.Process
-	dieCost, yieldEff, err := cost.MacroDieCost(proc, 0, c.AreaMm2, req.DefectsPerCm2, repairFractionFor(spec.Redundancy))
-	if err != nil {
-		return Candidate{}, err
-	}
-	c.CostUSD = dieCost
-	c.DieYield = yieldEff
-	c.CostPerMbitUSD = cost.CostPerMbitUSD(dieCost, float64(req.CapacityMbit))
+	c.CostUSD = dieCostUSD
+	c.DieYield = dieYield
+	c.CostPerMbitUSD = cost.CostPerMbitUSD(dieCostUSD, float64(req.CapacityMbit))
 
 	c.Feasible = true
-	fail := func(format string, args ...interface{}) {
+	fail := func(pre string, have float64, mid string, want float64, prec int) {
 		c.Feasible = false
-		c.Reasons = append(c.Reasons, fmt.Sprintf(format, args...))
+		c.Reasons = append(c.Reasons, failReason(pre, have, mid, want, prec))
 	}
 	if c.SustainedGBps < req.BandwidthGBps {
-		fail("sustained %.2f GB/s < required %.2f", c.SustainedGBps, req.BandwidthGBps)
+		fail("sustained ", c.SustainedGBps, " GB/s < required ", req.BandwidthGBps, 2)
 	}
 	if req.MaxAreaMm2 > 0 && c.AreaMm2 > req.MaxAreaMm2 {
-		fail("area %.1f mm² > cap %.1f", c.AreaMm2, req.MaxAreaMm2)
+		fail("area ", c.AreaMm2, " mm² > cap ", req.MaxAreaMm2, 1)
 	}
 	if req.MaxPowerMW > 0 && c.PowerMW > req.MaxPowerMW {
-		fail("power %.0f mW > cap %.0f", c.PowerMW, req.MaxPowerMW)
+		fail("power ", c.PowerMW, " mW > cap ", req.MaxPowerMW, 0)
 	}
 	if req.MinClockMHz > 0 && m.ClockMHz < req.MinClockMHz {
-		fail("clock %.0f MHz < required %.0f", m.ClockMHz, req.MinClockMHz)
+		fail("clock ", m.ClockMHz, " MHz < required ", req.MinClockMHz, 0)
 	}
-	return c, nil
+	return c
+}
+
+// failReason renders one "<pre><have><mid><want>" infeasibility message
+// with both values at fixed precision. It is fmt.Sprintf("%s%.Pf%s%.Pf")
+// minus fmt's formatting machinery — the sweep evaluates thousands of
+// infeasible candidates per explore and the Sprintf calls used to be
+// its largest single CPU item. strconv.AppendFloat('f', prec) emits the
+// same bytes %.Pf would (TestFailReasonMatchesSprintf pins this).
+func failReason(pre string, have float64, mid string, want float64, prec int) string {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, pre...)
+	buf = strconv.AppendFloat(buf, have, 'f', prec, 64)
+	buf = append(buf, mid...)
+	buf = strconv.AppendFloat(buf, want, 'f', prec, 64)
+	return string(buf)
 }
 
 // Explore enumerates the §3 design space for the requirements: interface
@@ -253,15 +278,31 @@ func Explore(req Requirements) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Candidate
+	// Seq values are unique positions in [0, sweepCount), so canonical
+	// order is restored by placing each candidate at its Seq slot and
+	// compacting over the unbuildable gaps — O(n) with one exactly-sized
+	// allocation, instead of append-doubling plus a reflective sort that
+	// both churn the ~300-byte Candidate struct.
+	buf := make([]Candidate, sweepCount(req, resolveProcesses(req)))
+	n := 0
 	for c := range ch {
-		out = append(out, c)
+		buf[c.Seq] = c
+		n++
 	}
-	if len(out) == 0 {
+	if n == 0 {
 		return nil, fmt.Errorf("core: no buildable configuration for %+v", req)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out, nil
+	w := 0
+	for i := range buf {
+		if buf[i].Macro == nil { // unbuildable corner: slot never filled
+			continue
+		}
+		if w != i {
+			buf[w] = buf[i]
+		}
+		w++
+	}
+	return buf[:w], nil
 }
 
 // Feasible filters to the candidates meeting every requirement.
@@ -276,29 +317,36 @@ func Feasible(cands []Candidate) []Candidate {
 }
 
 // dominates reports whether a is at least as good as b on (area, power,
-// cost, -sustained) and strictly better somewhere.
-func dominates(a, b Candidate) bool {
-	ge := a.AreaMm2 <= b.AreaMm2 && a.PowerMW <= b.PowerMW &&
-		a.CostUSD <= b.CostUSD && a.SustainedGBps >= b.SustainedGBps
-	gt := a.AreaMm2 < b.AreaMm2 || a.PowerMW < b.PowerMW ||
+// cost, -sustained) and strictly better somewhere. It takes pointers
+// because the dominance scans in Frontier.Add and Pareto are the hot
+// loops of the explore collector — passing the ~200-byte Candidate by
+// value made struct copying the top profile entry. The strictly-worse
+// test runs first: on a healthy front most comparisons are between
+// mutually non-dominated candidates, and those exit on the first
+// objective where b wins.
+func dominates(a, b *Candidate) bool {
+	if a.AreaMm2 > b.AreaMm2 || a.PowerMW > b.PowerMW ||
+		a.CostUSD > b.CostUSD || a.SustainedGBps < b.SustainedGBps {
+		return false
+	}
+	return a.AreaMm2 < b.AreaMm2 || a.PowerMW < b.PowerMW ||
 		a.CostUSD < b.CostUSD || a.SustainedGBps > b.SustainedGBps
-	return ge && gt
 }
 
 // Pareto extracts the non-dominated candidates (objectives: minimize
 // area, power and cost; maximize sustained bandwidth), sorted by area.
 func Pareto(cands []Candidate) []Candidate {
 	var front []Candidate
-	for i, c := range cands {
+	for i := range cands {
 		dominated := false
-		for j, d := range cands {
-			if i != j && dominates(d, c) {
+		for j := range cands {
+			if i != j && dominates(&cands[j], &cands[i]) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			front = append(front, c)
+			front = append(front, cands[i])
 		}
 	}
 	sort.Slice(front, func(i, j int) bool { return front[i].AreaMm2 < front[j].AreaMm2 })

@@ -113,7 +113,7 @@ func TestParetoIsNonDominated(t *testing.T) {
 	}
 	for _, f := range front {
 		for _, c := range feas {
-			if dominates(c, f) {
+			if dominates(&c, &f) {
 				t.Fatalf("front member dominated: %+v by %+v", f.Spec, c.Spec)
 			}
 		}
@@ -212,10 +212,10 @@ func TestDominanceProperty(t *testing.T) {
 	f := func(i, j uint16) bool {
 		a := cands[int(i)%len(cands)]
 		b := cands[int(j)%len(cands)]
-		if dominates(a, a) {
+		if dominates(&a, &a) {
 			return false
 		}
-		return !(dominates(a, b) && dominates(b, a))
+		return !(dominates(&a, &b) && dominates(&b, &a))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

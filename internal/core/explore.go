@@ -39,42 +39,125 @@ type Point struct {
 // otherwise rival the few-µs evaluation time of one candidate.
 const sweepBatch = 32
 
+// The sweep's free dimensions (§3). sweepBatchesOver enumerates the
+// cross product of these tables; sweepCount sizes result buffers from
+// the same tables so the two cannot drift apart.
+var (
+	sweepMacroOrgs = []int{1, 2}
+	sweepPageMults = []int{4, 8, 16}
+	sweepBlockBits = []int{geom.Block256K, geom.Block1M}
+	sweepRedLevels = []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh}
+	sweepECCModes  = []reliab.ECC{reliab.ECCNone, reliab.ECCSECDED}
+)
+
+// Interface width and bank count are geometric ranges, not tables.
+const (
+	sweepIfaceMin = 16
+	sweepIfaceMax = 512
+	sweepBanksMax = 8
+)
+
+// sweepCount returns the exact number of points Sweep enumerates for
+// the requirements over the resolved process slice — every Point.Seq
+// lies in [0, sweepCount).
+func sweepCount(req Requirements, procs []tech.Process) int {
+	ifaces, banks := 0, 0
+	for v := sweepIfaceMin; v <= sweepIfaceMax; v *= 2 {
+		ifaces++
+	}
+	for v := 1; v <= sweepBanksMax; v *= 2 {
+		banks++
+	}
+	per := ifaces * banks * len(sweepPageMults) * len(sweepBlockBits) *
+		len(sweepRedLevels) * len(sweepECCModes) * len(procs)
+	n := 0
+	for _, m := range sweepMacroOrgs {
+		if m > 0 && req.CapacityMbit%m == 0 {
+			n += per
+		}
+	}
+	return n
+}
+
+// resolveProcesses returns the explore's process slice: the request's,
+// or the default DRAM-based process. ExploreContext passes the same
+// slice to the sweep and to the memo table so process identity resolves
+// by pointer on the hot path.
+func resolveProcesses(req Requirements) []tech.Process {
+	if len(req.Processes) > 0 {
+		return req.Processes
+	}
+	return []tech.Process{tech.Siemens024()}
+}
+
 // sweepBatches is the batched form of Sweep the worker pool consumes.
-func sweepBatches(ctx context.Context, req Requirements) (<-chan []Point, error) {
+func sweepBatches(ctx context.Context, req Requirements) (<-chan *[]Point, error) {
+	return sweepBatchesOver(ctx, req, resolveProcesses(req))
+}
+
+// putPointBatch returns a consumed sweep batch to the pool.
+func putPointBatch(bp *[]Point) { pointBatchPool.Put(bp) }
+
+// outcome pairs one evaluated point with its buildability; workers
+// forward them to the collector at batch granularity.
+type outcome struct {
+	cand Candidate
+	ok   bool
+}
+
+// outcomePool recycles the per-batch outcome slices the same way
+// pointBatchPool recycles sweep batches.
+var outcomePool = sync.Pool{
+	New: func() any { s := make([]outcome, 0, sweepBatch); return &s },
+}
+
+// pointBatchPool recycles sweep batches between the producer and the
+// consumers (workers return a batch once its points are evaluated), so
+// the steady-state sweep allocates no per-batch slices. Pooled content
+// is always truncated and rewritten before use — nothing carries over.
+var pointBatchPool = sync.Pool{
+	New: func() any { s := make([]Point, 0, sweepBatch); return &s },
+}
+
+// sweepBatchesOver enumerates over an explicit process slice. Receivers
+// own each batch and should return it via putPointBatch when done.
+func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Process) (<-chan *[]Point, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	procs := req.Processes
-	if len(procs) == 0 {
-		procs = []tech.Process{tech.Siemens024()}
-	}
-	out := make(chan []Point, 8)
+	out := make(chan *[]Point, 8)
 	go func() {
 		defer close(out)
 		seq := 0
-		batch := make([]Point, 0, sweepBatch)
+		bp := pointBatchPool.Get().(*[]Point)
+		// bp is swapped for a fresh slice the moment it is sent, so the
+		// one held at exit was never handed out and can be recycled.
+		defer func() { pointBatchPool.Put(bp) }()
+		batch := (*bp)[:0]
 		flush := func() bool {
 			if len(batch) == 0 {
 				return true
 			}
+			*bp = batch
 			select {
-			case out <- batch:
-				batch = make([]Point, 0, sweepBatch)
+			case out <- bp:
+				bp = pointBatchPool.Get().(*[]Point)
+				batch = (*bp)[:0]
 				return true
 			case <-ctx.Done():
 				return false
 			}
 		}
-		for _, macros := range []int{1, 2} {
+		for _, macros := range sweepMacroOrgs {
 			if req.CapacityMbit%macros != 0 {
 				continue
 			}
-			for iface := 16; iface <= 512; iface *= 2 {
-				for banks := 1; banks <= 8; banks *= 2 {
-					for _, pageMult := range []int{4, 8, 16} {
-						for _, block := range []int{geom.Block256K, geom.Block1M} {
-							for _, red := range []edram.RedundancyLevel{edram.RedundancyNone, edram.RedundancyLow, edram.RedundancyStd, edram.RedundancyHigh} {
-								for _, ecc := range []reliab.ECC{reliab.ECCNone, reliab.ECCSECDED} {
+			for iface := sweepIfaceMin; iface <= sweepIfaceMax; iface *= 2 {
+				for banks := 1; banks <= sweepBanksMax; banks *= 2 {
+					for _, pageMult := range sweepPageMults {
+						for _, block := range sweepBlockBits {
+							for _, red := range sweepRedLevels {
+								for _, ecc := range sweepECCModes {
 									for pi := range procs {
 										batch = append(batch, Point{
 											Seq:    seq,
@@ -121,14 +204,15 @@ func Sweep(ctx context.Context, req Requirements) (<-chan Point, error) {
 	out := make(chan Point, sweepBatch)
 	go func() {
 		defer close(out)
-		for batch := range batches {
-			for _, p := range batch {
+		for bp := range batches {
+			for _, p := range *bp {
 				select {
 				case out <- p:
 				case <-ctx.Done():
 					return
 				}
 			}
+			putPointBatch(bp)
 		}
 	}()
 	return out, nil
@@ -235,23 +319,23 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 	if cfg.progressEvery < 1 {
 		return nil, fmt.Errorf("core: progress interval %d < 1", cfg.progressEvery)
 	}
-	batches, err := sweepBatches(ctx, req)
+	procs := resolveProcesses(req)
+	batches, err := sweepBatchesOver(ctx, req, procs)
 	if err != nil {
 		return nil, err
 	}
 	e := tech.DefaultElectrical()
 	ce := power.DefaultCoreEnergy()
+	memo := newEvalMemo(req, procs)
 	start := time.Now() //nolint:edramvet/determinism // feeds ExploreStats.WallTime only, never results
 
 	// Workers: evaluate batches of points, forwarding outcomes
 	// (including unbuildable corners, so the collector can count
 	// enumeration) to the collector at batch granularity — per-point
-	// channel traffic would rival the evaluation cost itself.
-	type outcome struct {
-		cand Candidate
-		ok   bool
-	}
-	results := make(chan []outcome, cfg.workers*2)
+	// channel traffic would rival the evaluation cost itself. Both the
+	// point batches and the outcome slices are pooled: the consumer
+	// returns each slice once it has copied the contents out.
+	results := make(chan *[]outcome, cfg.workers*2)
 	busy := make([]time.Duration, cfg.workers)
 	var wg sync.WaitGroup
 	wg.Add(cfg.workers)
@@ -259,18 +343,23 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 		go func(w int) {
 			defer wg.Done()
 			var acc time.Duration
+			var arena macroArena
 			defer func() { busy[w] = acc }()
-			for batch := range batches {
+			for bp := range batches {
 				t0 := time.Now() //nolint:edramvet/determinism // feeds ExploreStats.WorkerBusy only, never results
-				outs := make([]outcome, 0, len(batch))
-				for _, pt := range batch {
-					cand, err := evaluate(pt.Spec, pt.Macros, req, e, ce)
-					cand.Seq = pt.Seq
-					outs = append(outs, outcome{cand: cand, ok: err == nil})
+				op := outcomePool.Get().(*[]outcome)
+				outs := (*op)[:len(*bp)]
+				for i := range *bp {
+					pt := &(*bp)[i]
+					o := &outs[i]
+					o.ok = memo.evaluateInto(&o.cand, pt, e, ce, &arena)
+					o.cand.Seq = pt.Seq
 				}
+				putPointBatch(bp)
+				*op = outs
 				acc += time.Since(t0)
 				select {
-				case results <- outs:
+				case results <- op:
 				case <-ctx.Done():
 					return
 				}
@@ -301,8 +390,9 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 			return s
 		}
 		lastProgress := int64(0)
-		for outs := range results {
-			for _, o := range outs {
+		for op := range results {
+			for i := range *op {
+				o := &(*op)[i]
 				stats.Enumerated++
 				if !o.ok { // unbuildable corner of the space
 					continue
@@ -321,6 +411,7 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 					return
 				}
 			}
+			outcomePool.Put(op)
 			if cfg.progress != nil && stats.Enumerated-lastProgress >= int64(cfg.progressEvery) {
 				lastProgress = stats.Enumerated
 				cfg.progress(snapshot(false))
@@ -389,21 +480,32 @@ func (f *Frontier) Add(c Candidate) bool {
 	if !c.Feasible {
 		return false
 	}
+	// Single pass over the members: dominance is a strict partial order
+	// and the members are mutually non-dominated, so if some member
+	// dominates c, then c dominates no member (otherwise transitivity
+	// would order two members against each other). The scan can
+	// therefore evict c-dominated members in place as it goes and still
+	// abort unchanged the moment a dominator of c appears — no member
+	// can have been evicted by then. Compaction moves an element only
+	// after the first eviction, so the common no-eviction Add copies
+	// nothing at all.
+	w := 0
 	for i := range f.members {
-		if dominates(f.members[i], c) {
+		m := &f.members[i]
+		if dominates(m, &c) {
 			f.pruned++
 			return false
 		}
-	}
-	keep := f.members[:0]
-	for _, m := range f.members {
-		if dominates(c, m) {
+		if dominates(&c, m) {
 			f.pruned++
 			continue
 		}
-		keep = append(keep, m)
+		if w != i {
+			f.members[w] = f.members[i]
+		}
+		w++
 	}
-	f.members = append(keep, c)
+	f.members = append(f.members[:w], c)
 	return true
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"edram/internal/power"
+	"edram/internal/tech"
+)
+
+// exploreUnmemoized replays the sweep through the plain (unmemoized)
+// evaluate path, in canonical order — the reference the memoized engine
+// must reproduce byte-for-byte.
+func exploreUnmemoized(t *testing.T, r Requirements) []Candidate {
+	t.Helper()
+	pts, err := Sweep(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	var out []Candidate
+	for pt := range pts {
+		c, err := evaluate(pt.Spec, pt.Macros, r, e, ce)
+		if err != nil {
+			continue // unbuildable corner, same as the engine's !ok
+		}
+		c.Seq = pt.Seq
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestExploreMemoParity pins the tentpole determinism guarantee: the
+// memoized engine (Explore / Recommend) and the unmemoized reference
+// path produce byte-identical JSON, candidate by candidate and through
+// the frontier + quantization pipeline.
+func TestExploreMemoParity(t *testing.T) {
+	cases := map[string]Requirements{
+		"default-process": req(),
+		"multi-process": func() Requirements {
+			r := req()
+			r.Processes = []tech.Process{tech.Siemens024(), tech.Logic024()}
+			return r
+		}(),
+		"constrained": func() Requirements {
+			r := req()
+			r.MaxAreaMm2 = 40
+			r.MaxPowerMW = 900
+			r.MinClockMHz = 100
+			return r
+		}(),
+	}
+	for name, r := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := exploreUnmemoized(t, r)
+			got, err := Explore(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("memoized explore built %d candidates, reference %d", len(got), len(want))
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, wantJSON) {
+				for i := range got {
+					gj, _ := json.Marshal(got[i])
+					wj, _ := json.Marshal(want[i])
+					if !bytes.Equal(gj, wj) {
+						t.Fatalf("first divergent candidate at Seq %d:\nmemoized:  %s\nreference: %s", got[i].Seq, gj, wj)
+					}
+				}
+				t.Fatal("candidate JSON differs but no per-candidate divergence found")
+			}
+
+			// Recommendation parity: the reference set pushed through the
+			// same Frontier + Quantize pipeline must match Recommend.
+			front := NewFrontier()
+			for i := range want {
+				front.Add(want[i])
+			}
+			if front.Size() == 0 {
+				t.Fatal("reference frontier empty; case does not exercise recommendations")
+			}
+			wantRecs := Quantize(front.Candidates())
+			gotRecs, err := Recommend(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRecsJSON, err := json.Marshal(wantRecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRecsJSON, err := json.Marshal(gotRecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotRecsJSON, wantRecsJSON) {
+				t.Fatalf("recommendation JSON diverges:\nmemoized:  %s\nreference: %s", gotRecsJSON, wantRecsJSON)
+			}
+		})
+	}
+}
+
+// TestFailReasonMatchesSprintf pins failReason's strconv-based rendering
+// to fmt's %.Pf output byte-for-byte across the value classes the
+// feasibility checks can produce (plus the pathological floats).
+func TestFailReasonMatchesSprintf(t *testing.T) {
+	vals := []float64{
+		0, 0.125, 1.0 / 3.0, 0.5, 2.675, 15.995, 99.994999,
+		123456.789, 1e6, -3.25, -0.0004,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	for _, prec := range []int{0, 1, 2} {
+		for _, have := range vals {
+			for _, want := range vals {
+				got := failReason("have ", have, " vs ", want, prec)
+				exp := fmt.Sprintf("have %.*f vs %.*f", prec, have, prec, want)
+				if got != exp {
+					t.Fatalf("failReason(%g, %g, prec=%d) = %q, Sprintf gives %q", have, want, prec, got, exp)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFrontierAdd measures the incremental Pareto front's insert
+// cost over a full sweep's worth of candidates in canonical order — the
+// collector's hot loop.
+func BenchmarkFrontierAdd(b *testing.B) {
+	cands, err := Explore(req())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFrontier()
+		for j := range cands {
+			f.Add(cands[j])
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "cands/front")
+}

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"testing"
+)
+
+// The event loop of the controller calls Access/Burst once per served
+// request; any allocation here multiplies across every simulated
+// access. These guards pin the word read/write paths at zero
+// allocations per operation, with and without functional backing
+// arrays attached.
+
+var (
+	sinkResult AccessResult
+	sinkErr    error
+)
+
+func TestDeviceAccessNoAllocs(t *testing.T) {
+	d := mustNew(t, testConfig())
+	now := 0.0
+	if n := testing.AllocsPerRun(2000, func() {
+		res, err := d.Access(now, int(now)%4, int(now)%1024, now > 1e5)
+		sinkResult, sinkErr = res, err
+		now = res.DoneNs
+	}); n != 0 {
+		t.Fatalf("Device.Access allocates %v allocs/op, want 0", n)
+	}
+	if sinkErr != nil {
+		t.Fatal(sinkErr)
+	}
+}
+
+func TestDeviceBurstNoAllocs(t *testing.T) {
+	d := mustNew(t, testConfig())
+	now := 0.0
+	if n := testing.AllocsPerRun(2000, func() {
+		res, err := d.Burst(now, int(now)%4, int(now)%1024, 4, false)
+		sinkResult, sinkErr = res, err
+		now = res.DoneNs
+	}); n != 0 {
+		t.Fatalf("Device.Burst allocates %v allocs/op, want 0", n)
+	}
+	if sinkErr != nil {
+		t.Fatal(sinkErr)
+	}
+}
+
+func TestDeviceAccessWithBackingNoAllocs(t *testing.T) {
+	cfg := testConfig()
+	d := mustNew(t, cfg)
+	arrays := make([]*Array, cfg.Banks)
+	for i := range arrays {
+		a, err := NewArray(cfg.RowsPerBank, cfg.PageBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays[i] = a
+	}
+	if err := d.SetBacking(arrays, nil); err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	if n := testing.AllocsPerRun(500, func() {
+		res, err := d.Access(now, int(now)%4, int(now)%1024, int(now)%2 == 0)
+		sinkResult, sinkErr = res, err
+		now = res.DoneNs
+	}); n != 0 {
+		t.Fatalf("backed Device.Access allocates %v allocs/op, want 0", n)
+	}
+	if sinkErr != nil {
+		t.Fatal(sinkErr)
+	}
+}

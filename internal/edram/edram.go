@@ -179,8 +179,39 @@ type Macro struct {
 const ConceptMaxCapacityMbit = 256
 
 // Build validates the spec, derives the organization and returns the
-// macro.
+// macro. It is NewTemplate followed by Instantiate; callers evaluating
+// many page-length variants of one spec (the design explorer's sweep)
+// should build the Template once and Instantiate per variant.
 func Build(spec Spec) (*Macro, error) {
+	t, err := NewTemplate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return t.Instantiate(spec.PageBits)
+}
+
+// Template is the page-length-independent part of a macro build: the
+// derived organization, the block timing with its operating clock, and
+// the area breakdown — none of which depend on Spec.PageBits (the page
+// spans blocks fired in parallel; it changes activation energy and
+// row-buffer behaviour, not the floorplan or the block timing).
+// Instantiate stamps out the full Macro for one page length. A Template
+// is immutable after NewTemplate and safe for concurrent Instantiate
+// calls; the design explorer memoizes Templates per unique projection
+// so the sweep's page-length variants share the expensive sub-models.
+type Template struct {
+	spec    Spec // as given to NewTemplate; PageBits replaced per Instantiate
+	geo     geom.MacroGeometry
+	area    geom.AreaBreakdown
+	timing  tech.SDRAMTiming
+	clock   float64
+	maxPage int
+}
+
+// NewTemplate validates and derives everything about the spec except
+// the page length. Spec.PageBits is ignored; its rules are checked by
+// Instantiate.
+func NewTemplate(spec Spec) (*Template, error) {
 	proc := tech.Siemens024()
 	if spec.Process != nil {
 		proc = *spec.Process
@@ -237,18 +268,7 @@ func Build(spec Spec) (*Macro, error) {
 	g.SpareRowsPerBlock, g.SpareColsPerBlock = spec.Redundancy.Spares()
 	g.ECCOverheadFrac = spec.ECC.StorageOverhead(spec.InterfaceBits)
 
-	// Page length.
-	page := spec.PageBits
-	maxPage := g.BlockColumns() * (blocks / banks)
-	if page == 0 {
-		page = spec.InterfaceBits * 8
-		if page > maxPage {
-			page = maxPage
-		}
-	}
-	g.PageBits = page
-
-	if err := g.Validate(); err != nil {
+	if err := g.ValidateSansPage(); err != nil {
 		return nil, err
 	}
 
@@ -265,11 +285,68 @@ func Build(spec Spec) (*Macro, error) {
 		tm.TCKns = units.MHzToNs(clock)
 	}
 
-	area, err := g.Area()
+	// The area model never reads PageBits, but geom's strict validation
+	// does — compute the breakdown under the minimal valid page length
+	// (the interface width, always within the bank's column span once
+	// ValidateSansPage has passed).
+	ga := g
+	ga.PageBits = g.InterfaceBits
+	area, err := ga.Area()
 	if err != nil {
 		return nil, err
 	}
-	return &Macro{Spec: spec, Geometry: g, Area: area, Timing: tm, ClockMHz: clock}, nil
+	return &Template{
+		spec:    spec,
+		geo:     g,
+		area:    area,
+		timing:  tm,
+		clock:   clock,
+		maxPage: g.BlockColumns() * (blocks / banks),
+	}, nil
+}
+
+// TotalAreaMm2 is the macro area of every instantiation of this
+// template (the area model is page-length-independent).
+func (t *Template) TotalAreaMm2() float64 { return t.area.TotalMm2 }
+
+// Process is the resolved base process of the template (the spec's, or
+// the default when the spec left it nil).
+func (t *Template) Process() tech.Process { return t.geo.Process }
+
+// Instantiate completes the build for one page length: 0 auto-derives
+// the default (8x the interface width, capped by the bank's column
+// span), any other value is validated against the geometry. The
+// returned Macro is identical to Build of the template's spec with
+// PageBits set to pageBits.
+func (t *Template) Instantiate(pageBits int) (*Macro, error) {
+	m := new(Macro)
+	if err := t.InstantiateInto(m, pageBits); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// InstantiateInto is Instantiate writing into caller-provided storage
+// (the design explorer chunk-allocates Macro slots to keep the sweep's
+// allocation count flat). On success *m is fully overwritten; on error
+// it is left untouched.
+func (t *Template) InstantiateInto(m *Macro, pageBits int) error {
+	g := t.geo
+	page := pageBits
+	if page == 0 {
+		page = g.InterfaceBits * 8
+		if page > t.maxPage {
+			page = t.maxPage
+		}
+	}
+	g.PageBits = page
+	if err := g.ValidatePage(); err != nil {
+		return err
+	}
+	spec := t.spec
+	spec.PageBits = pageBits
+	*m = Macro{Spec: spec, Geometry: g, Area: t.area, Timing: t.timing, ClockMHz: t.clock}
+	return nil
 }
 
 // CapacityMbit returns the usable capacity.

@@ -92,6 +92,18 @@ func (g MacroGeometry) BlockRows() int {
 
 // Validate checks physical and §5-concept constraints.
 func (g MacroGeometry) Validate() error {
+	if err := g.ValidateSansPage(); err != nil {
+		return err
+	}
+	return g.ValidatePage()
+}
+
+// ValidateSansPage checks every constraint except the page-length rules.
+// The macro area, block timing and cost models are all independent of
+// the page length, so a geometry valid under ValidateSansPage can be
+// shared across page-length variants (the design explorer's memoized
+// evaluation relies on this split); ValidatePage covers the rest.
+func (g MacroGeometry) ValidateSansPage() error {
 	if err := g.Process.Validate(); err != nil {
 		return err
 	}
@@ -110,18 +122,24 @@ func (g MacroGeometry) Validate() error {
 	if g.InterfaceBits < 16 || g.InterfaceBits > 512 || !units.IsPow2(g.InterfaceBits) {
 		return fmt.Errorf("geom: interface width %d outside the concept's 16..512 power-of-two range", g.InterfaceBits)
 	}
+	if g.SpareRowsPerBlock < 0 || g.SpareColsPerBlock < 0 {
+		return fmt.Errorf("geom: spare counts must be non-negative")
+	}
+	if g.ECCOverheadFrac < 0 || g.ECCOverheadFrac >= 1 {
+		return fmt.Errorf("geom: ECC overhead fraction %g out of [0,1)", g.ECCOverheadFrac)
+	}
+	return nil
+}
+
+// ValidatePage checks only the page-length rules (positive, at least the
+// interface width, within the bank's column span).
+func (g MacroGeometry) ValidatePage() error {
 	if g.PageBits <= 0 || g.PageBits < g.InterfaceBits {
 		return fmt.Errorf("geom: page length %d must be positive and >= interface width %d", g.PageBits, g.InterfaceBits)
 	}
 	maxPage := g.BlockColumns() * (g.Blocks / g.Banks)
 	if g.PageBits > maxPage {
 		return fmt.Errorf("geom: page length %d exceeds the bank's column span %d", g.PageBits, maxPage)
-	}
-	if g.SpareRowsPerBlock < 0 || g.SpareColsPerBlock < 0 {
-		return fmt.Errorf("geom: spare counts must be non-negative")
-	}
-	if g.ECCOverheadFrac < 0 || g.ECCOverheadFrac >= 1 {
-		return fmt.Errorf("geom: ECC overhead fraction %g out of [0,1)", g.ECCOverheadFrac)
 	}
 	return nil
 }

@@ -1,0 +1,56 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the CLI
+// tools (edramx, memsim) to runtime/pprof, so hot-path work can be
+// profiled exactly as it runs in production use rather than only
+// through synthetic benchmarks. The daemon exposes the live
+// net/http/pprof endpoints instead (edramd -pprof-addr).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (empty = disabled) and
+// returns a stop function that ends the CPU profile and writes an
+// allocation-accounting heap profile to memPath (empty = disabled).
+// The stop function must run on the success path — typically deferred
+// right after Start; error exits that bypass it simply lose the
+// profile, they do not corrupt anything.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			// Up-to-date accounting: the heap profile reflects live
+			// objects after a full collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

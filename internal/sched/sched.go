@@ -115,13 +115,23 @@ type clientState struct {
 	bits    int64
 }
 
-// candidates returns up to window unserved, arrived request indices in
-// age order.
-func (st *clientState) candidates(window int) []int {
-	var out []int
-	for i := st.next; i < st.arrived && len(out) < window; i++ {
+// head returns the client's oldest unserved, arrived request index.
+// markServed keeps next at the first unserved request, so the head is
+// a bounds check, not a scan — this sits in every policy's inner loop.
+func (st *clientState) head() (int, bool) {
+	return st.next, st.next < st.arrived
+}
+
+// appendCandidates appends up to window unserved, arrived request
+// indices in age order to out (typically a scratch slice reused across
+// picks — the per-pick allocation here used to dominate the
+// simulator's allocation profile).
+func (st *clientState) appendCandidates(out []int, window int) []int {
+	n := 0
+	for i := st.next; i < st.arrived && n < window; i++ {
 		if !st.done[i] {
 			out = append(out, i)
+			n++
 		}
 	}
 	return out
@@ -236,6 +246,7 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 	for i, c := range clients {
 		states[i].reqs = traffic.Slice(c.Gen)
 		states[i].done = make([]bool, len(states[i].reqs))
+		states[i].lats = make([]float64, 0, len(states[i].reqs))
 		total += len(states[i].reqs)
 	}
 	if total == 0 {
@@ -245,6 +256,8 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 	now := 0.0
 	served := 0
 	rrNext := 0
+	// Scratch for the OpenPageFirst window scan, reused across picks.
+	scratch := make([]int, 0, window)
 	var trace []TraceEntry
 	if opt.Trace {
 		trace = make([]TraceEntry, 0, total)
@@ -281,7 +294,7 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 			continue
 		}
 
-		pick, reqIdx := choose(policy, states, rrNext, dev, m, window, budgets)
+		pick, reqIdx := choose(policy, states, rrNext, dev, m, window, budgets, scratch)
 		if policy == RoundRobin {
 			rrNext = (pick + 1) % len(states)
 		}
@@ -333,6 +346,7 @@ func RunWithOptions(devCfg dram.Config, m mapping.Mapping, opt Options, clients 
 	out.Policy = policy
 	out.MappingName = m.Name()
 	out.PeakGBps = devCfg.PeakBandwidthGBps()
+	out.Clients = make([]ClientResult, 0, len(states))
 	var totalBits int64
 	for i := range states {
 		st := &states[i]
@@ -391,15 +405,12 @@ func (r Result) WriteTraceCSV(w io.Writer) error {
 // choose picks the next (client, request index) among ready requests.
 // All policies except OpenPageFirst consider only each client's head;
 // OpenPageFirst additionally looks `window` requests deep per client
-// (FR-FCFS style) when window > 1.
-func choose(policy Policy, states []clientState, rrNext int, dev *dram.Device, m mapping.Mapping, window int, budgets []float64) (int, int) {
+// (FR-FCFS style) when window > 1, collecting indices into the
+// caller-owned scratch slice.
+func choose(policy Policy, states []clientState, rrNext int, dev *dram.Device, m mapping.Mapping, window int, budgets []float64, scratch []int) (int, int) {
 	n := len(states)
 	head := func(i int) (int, bool) {
-		c := states[i].candidates(1)
-		if len(c) == 0 {
-			return 0, false
-		}
-		return c[0], true
+		return states[i].head()
 	}
 
 	switch policy {
@@ -443,8 +454,9 @@ func choose(policy Policy, states []clientState, rrNext int, dev *dram.Device, m
 		best, bestIdx, bestT := -1, 0, math.Inf(1)
 		hitBest, hitIdx, hitT := -1, 0, math.Inf(1)
 		for i := 0; i < n; i++ {
-			for _, idx := range states[i].candidates(window) {
-				req := states[i].reqs[idx]
+			scratch = states[i].appendCandidates(scratch[:0], window)
+			for _, idx := range scratch {
+				req := &states[i].reqs[idx]
 				if idx == states[i].next && req.IssueNs < bestT {
 					best, bestIdx, bestT = i, idx, req.IssueNs
 				}
