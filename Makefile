@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-compare fuzz fuzz-smoke serve-smoke check
+.PHONY: build test vet lint race bench bench-compare fuzz fuzz-smoke serve-smoke scenarios check
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,12 @@ serve-smoke:
 # check is the tier-1 verify path: build, vet, lint, then race-checked
 # tests, so the exploration engine's, experiment runner's and
 # reliability trial pool's concurrency is exercised under the race
-# detector on every PR, plus a replay of the fuzz seed corpus and the
-# daemon's end-to-end smoke.
-check: build vet lint race fuzz-smoke serve-smoke
+# detector on every PR, plus a replay of the fuzz seed corpus, the
+# daemon's end-to-end smoke and the scenario-corpus gate.
+check: build vet lint race fuzz-smoke serve-smoke scenarios
+
+# scenarios validates the declarative-scenario corpus: every *.json
+# under examples/scenarios/ must load and compile through the shared
+# internal/scenario loader (the same path POST /v1/scenario takes).
+scenarios:
+	$(GO) run ./cmd/edramx -scenario-validate examples/scenarios

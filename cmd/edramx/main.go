@@ -9,6 +9,13 @@
 // Usage:
 //
 //	edramx -capacity 16 -bandwidth 2.5 -hitrate 0.8 [-workers 8] [-maxarea 20] [-maxpower 800] [-role min-area]
+//	edramx -scenario examples/scenarios/mpeg2-pal-decoder.json [-json]
+//	edramx -scenario-validate examples/scenarios
+//
+// -scenario evaluates a declarative scenario file (see
+// internal/scenario and the examples/scenarios corpus) through the
+// same loader and builders as edramd's POST /v1/scenario — with -json
+// the output is byte-identical to the endpoint's response.
 package main
 
 import (
@@ -16,11 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 
 	"edram/internal/core"
 	"edram/internal/profiling"
 	"edram/internal/report"
+	"edram/internal/scenario"
 	"edram/internal/service"
 )
 
@@ -36,6 +47,8 @@ func main() {
 	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
 	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
 	jsonOut := flag.Bool("json", false, "emit the exploration as JSON on stdout (the exact POST /v1/explore schema)")
+	scenFile := flag.String("scenario", "", "evaluate a declarative scenario file instead of flag-built requirements (with -json: the exact POST /v1/scenario schema)")
+	scenDir := flag.String("scenario-validate", "", "load and compile every *.json scenario in this directory, then exit (corpus check)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -49,6 +62,15 @@ func main() {
 			fail(err)
 		}
 	}()
+
+	if *scenDir != "" {
+		validateCorpus(*scenDir)
+		return
+	}
+	if *scenFile != "" {
+		runScenario(*scenFile, *jsonOut, *workers)
+		return
+	}
 
 	req := core.Requirements{
 		CapacityMbit:  *capacity,
@@ -153,6 +175,98 @@ func main() {
 		}
 		fail(fmt.Errorf("no recommendation with role %q", *role))
 	}
+}
+
+// runScenario evaluates one declarative scenario file. The loader (and
+// so the error vocabulary) is exactly the service's: an invalid file
+// fails here with the same aggregate message a POST /v1/scenario 400
+// carries, and -json output is byte-identical to the endpoint's
+// response.
+func runScenario(path string, jsonOut bool, workers int) {
+	scn, err := scenario.Load(path)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := service.BuildScenario(context.Background(), scn, workers)
+	if err != nil {
+		fail(err)
+	}
+	if jsonOut {
+		b, err := service.Encode(resp)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	fmt.Printf("scenario %s (%d levels)\n", resp.Name, len(resp.Levels))
+	for _, l := range resp.Levels {
+		fmt.Println()
+		switch l.Kind {
+		case "edram":
+			fmt.Printf("level %s: eDRAM %d Mbit, %d-bit interface @ %.0f MHz — %.2f mm², %.1f GB/s peak\n",
+				l.Name, l.Spec.CapacityMbit, l.Spec.InterfaceBits, l.ClockMHz, l.AreaMm2, l.PeakGBps)
+			fmt.Printf("  sweep: %d points, %d built, %d infeasible\n", l.Points, l.Built, l.Infeasible)
+			if len(l.Picks) == 0 {
+				fmt.Println("  no feasible configuration under the scenario's constraints")
+			} else {
+				t := report.New(fmt.Sprintf("recommendations for %s (%d Mbit @ %s GB/s sustained)",
+					l.Name, l.Requirements.CapacityMbit, strconv.FormatFloat(l.Requirements.BandwidthGBps, 'g', -1, 64)),
+					"role", "macros", "iface", "banks", "page", "block Kbit", "redundancy",
+					"area mm2", "power mW", "sustained GB/s", "die $")
+				for _, r := range l.Picks {
+					t.AddRow(r.Role, r.Macros, r.Spec.InterfaceBits, r.Spec.Banks,
+						r.Spec.PageBits, r.Spec.BlockBits/1024, r.Spec.Redundancy.String(),
+						r.AreaMm2, r.PowerMW, r.SustainedGBps, r.CostUSD)
+				}
+				if err := t.Render(os.Stdout); err != nil {
+					fail(err)
+				}
+			}
+			if sim := l.Simulation; sim != nil {
+				fmt.Printf("  simulation (%s): %.2f of %.2f GB/s sustained (%.0f%%), hit rate %.2f\n",
+					sim.Policy, sim.SustainedGBps, sim.PeakGBps, 100*sim.SustainedFraction, sim.HitRate)
+				for _, c := range sim.Clients {
+					fmt.Printf("    client %-12s %.2f GB/s, mean %.0f ns, p99 %.0f ns, fifo %d\n",
+						c.Name, c.AchievedGBps, c.MeanNs, c.P99Ns, c.MaxFIFODepth)
+				}
+			}
+		case "sram":
+			fmt.Printf("level %s: SRAM — %.3f mm², %.2f ns access, %.2f mW standby\n",
+				l.Name, l.SRAMAreaMm2, l.SRAMAccessNs, l.SRAMStandbyMW)
+		}
+	}
+}
+
+// validateCorpus loads and compiles every *.json scenario under dir —
+// the `make scenarios` corpus gate. All failures are reported, not
+// just the first.
+func validateCorpus(dir string) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		fail(err)
+	}
+	if len(files) == 0 {
+		fail(fmt.Errorf("no *.json scenarios under %s", dir))
+	}
+	sort.Strings(files)
+	failures := 0
+	for _, f := range files {
+		scn, err := scenario.Load(f)
+		if err == nil {
+			_, err = scn.Compile()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edramx: %s: %v\n", f, err)
+			failures++
+			continue
+		}
+		fmt.Printf("ok %s (%s)\n", f, scn.Name)
+	}
+	if failures > 0 {
+		fail(fmt.Errorf("%d of %d scenarios invalid", failures, len(files)))
+	}
+	fmt.Printf("%d scenarios valid\n", len(files))
 }
 
 // progressLine is the stderr progress reporter shared by the table and

@@ -14,6 +14,12 @@
 //
 //	memsim -capacity 16 -iface 64 -banks 4 -mapping interleaved -policy open-page -clients 3
 //	memsim -faults 4 -ecc secded -soft-errors 2000 -seed 7
+//	memsim -scenario examples/scenarios/mpeg2-pal-decoder.json
+//
+// -scenario simulates the target level of a declarative scenario file
+// (see internal/scenario): the document's pinned macro geometry,
+// arbitration policy and client allocation replace the corresponding
+// flags, through the same loader as edramd and edramx.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"edram/internal/profiling"
 	"edram/internal/reliab"
 	"edram/internal/report"
+	"edram/internal/scenario"
 	"edram/internal/sched"
 	"edram/internal/traffic"
 )
@@ -55,6 +62,7 @@ func main() {
 	softErrs := flag.Float64("soft-errors", 0, "transient bit flips per million accesses (requires -faults)")
 	spares := flag.Int("spares", 4, "spare rows per bank for runtime repair (with -faults)")
 	weakCells := flag.Float64("weak-cells", 8, "mean retention-tail weak cells per bank (with -faults)")
+	scenFile := flag.String("scenario", "", "simulate a declarative scenario file's target level (overrides the geometry, policy and client flags)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -90,8 +98,35 @@ func main() {
 		}
 	}
 
+	// A scenario file overrides the geometry, policy and client flags:
+	// the document's target level (its pinned spec plus its allocated
+	// clients) is what gets simulated, through the same loader — and so
+	// with the same error messages — as edramd and edramx.
+	var scnLevel *scenario.CompiledLevel
+	var scnCompiled *scenario.Compiled
+	if *scenFile != "" {
+		scn, err := scenario.Load(*scenFile)
+		if err != nil {
+			fail(err)
+		}
+		scnCompiled, err = scn.Compile()
+		if err != nil {
+			fail(err)
+		}
+		scnLevel, err = scnCompiled.TargetLevel()
+		if err != nil {
+			fail(err)
+		}
+		if len(scnLevel.Clients) == 0 {
+			fail(fmt.Errorf("scenario level %q has no clients to simulate", scnLevel.Name))
+		}
+	}
+
 	spec := edram.Spec{
 		CapacityMbit: *capacity, InterfaceBits: *iface, Banks: *banks, PageBits: *page,
+	}
+	if scnLevel != nil {
+		spec = scnLevel.Spec
 	}
 	if *faults > 0 {
 		spec.ECC = ecc
@@ -117,38 +152,48 @@ func main() {
 		fail(err)
 	}
 
-	var pol sched.Policy
-	switch *polName {
-	case "round-robin":
-		pol = sched.RoundRobin
-	case "priority":
-		pol = sched.FixedPriority
-	case "oldest":
-		pol = sched.OldestFirst
-	case "open-page":
-		pol = sched.OpenPageFirst
-	default:
-		usageFail(fmt.Errorf("unknown policy %q", *polName))
+	// The policy vocabulary is scenario.ParsePolicy's — the same names
+	// (and the same error message) the scenario documents and the
+	// service accept. The historical short aliases keep working because
+	// ParsePolicy accepts both spellings.
+	pol, err := scenario.ParsePolicy(*polName)
+	if err != nil {
+		usageFail(err)
 	}
 
-	clients := []sched.Client{{Name: "stream", Gen: &traffic.Sequential{
-		ClientID: 0, Bits: *iface, RateGB: *rate, Count: *requests}}}
-	window := int64(*capacity) << 20 / 8 / int64(*nClients+1)
-	for i := 0; i < *nClients; i++ {
-		clients = append(clients, sched.Client{
-			Name: fmt.Sprintf("rand-%d", i),
-			Gen: &traffic.Random{
-				ClientID: i + 1, StartB: window * int64(i+1), WindowB: window,
-				Bits: *iface, RateGB: *rate, Count: *requests,
-				Rng: rand.New(rand.NewSource(*seed + int64(i))),
-			},
-		})
+	var clients []sched.Client
+	closed, window := *closedPage, *reorder
+	if scnLevel != nil {
+		pol = scnCompiled.Policy
+		closed = scnCompiled.ClosedPage
+		window = scnCompiled.ReorderWindow
+		for i, c := range scnLevel.Clients {
+			clients = append(clients, sched.Client{
+				Name:            c.Name,
+				Gen:             c.Generator(i, m.Geometry.InterfaceBits),
+				LatencyBudgetNs: c.LatencyBudgetNs,
+			})
+		}
+	} else {
+		clients = []sched.Client{{Name: "stream", Gen: &traffic.Sequential{
+			ClientID: 0, Bits: *iface, RateGB: *rate, Count: *requests}}}
+		span := int64(*capacity) << 20 / 8 / int64(*nClients+1)
+		for i := 0; i < *nClients; i++ {
+			clients = append(clients, sched.Client{
+				Name: fmt.Sprintf("rand-%d", i),
+				Gen: &traffic.Random{
+					ClientID: i + 1, StartB: span * int64(i+1), WindowB: span,
+					Bits: *iface, RateGB: *rate, Count: *requests,
+					Rng: rand.New(rand.NewSource(*seed + int64(i))),
+				},
+			})
+		}
 	}
 
 	// The per-event Observer streams the request-level trace while the
 	// simulation runs, instead of buffering it in Result.Trace; "-"
 	// dumps to stderr alongside the progress of long runs.
-	opt := sched.Options{Policy: pol, ClosedPage: *closedPage, ReorderWindow: *reorder}
+	opt := sched.Options{Policy: pol, ClosedPage: closed, ReorderWindow: window}
 	traced := 0
 	if *tracePath != "" {
 		var dst *os.File
@@ -210,8 +255,12 @@ func main() {
 	fmt.Printf("  makespan   %.2f us\n\n", res.DurationNs/1e3)
 
 	t := report.New("per-client service", "client", "req", "mean ns", "p99 ns", "max ns", "fifo", "GB/s")
-	for _, c := range res.Clients {
-		depth := traffic.FIFODepthFor(c.Stats.MaxNs, *iface, *rate)
+	for i, c := range res.Clients {
+		clientRate := *rate
+		if scnLevel != nil {
+			clientRate = scnLevel.Clients[i].RateGBps
+		}
+		depth := traffic.FIFODepthFor(c.Stats.MaxNs, m.Geometry.InterfaceBits, clientRate)
 		t.AddRow(c.Name, c.Stats.Count, c.Stats.MeanNs, c.Stats.P99Ns, c.Stats.MaxNs, depth, c.AchievedGBps)
 	}
 	if err := t.Render(os.Stdout); err != nil {

@@ -22,7 +22,14 @@
 //     request coalescing, a shared worker pool, Prometheus metrics);
 //     the re-exported wire types (ExploreResponse, ...) are the
 //     JSON-stable schema shared with edramx -json, and Requirements /
-//     MacroSpec carry the matching JSON tags.
+//     MacroSpec carry the matching JSON tags. Every response carries
+//     schema_version (WireSchemaVersion); requests may pin one.
+//  5. Describe whole scenarios declaratively: LoadScenario reads a
+//     versioned JSON document (hierarchy levels + workload clients +
+//     constraints, see examples/scenarios/), Scenario.Compile lowers
+//     it onto Requirements/MacroSpec/client inputs, and
+//     BuildScenarioResponse evaluates every level — the same path as
+//     POST /v1/scenario and `edramx -scenario`.
 //
 // Migration note: the original serial signatures remain as thin
 // wrappers over the engine and keep their exact behavior —

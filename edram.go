@@ -21,6 +21,7 @@ import (
 	"edram/internal/mpeg2"
 	"edram/internal/reliab"
 	"edram/internal/scanconv"
+	"edram/internal/scenario"
 	"edram/internal/sched"
 	"edram/internal/service"
 	"edram/internal/traffic"
@@ -282,3 +283,36 @@ func BuildExploreResponse(ctx context.Context, req Requirements, workers int) (*
 // EncodeResponse renders any wire response in its canonical encoding
 // (compact JSON plus trailing newline).
 func EncodeResponse(v any) ([]byte, error) { return service.Encode(v) }
+
+// Declarative scenarios (the fifth workflow): a versioned JSON document
+// describing a memory hierarchy, a workload and a constraint set,
+// compiled onto the engine's inputs. One loader backs POST /v1/scenario
+// on edramd, `edramx -scenario` and `memsim -scenario`; the corpus
+// under examples/scenarios/ is the reference document set.
+type (
+	Scenario         = scenario.Scenario
+	ScenarioLevel    = scenario.Level
+	ScenarioClient   = scenario.Client
+	CompiledScenario = scenario.Compiled
+	ClientSpec       = scenario.ClientSpec
+	ScenarioResponse = service.ScenarioResponse
+)
+
+// WireSchemaVersion is the wire-schema version every service response
+// reports in schema_version and every scenario document must declare.
+const WireSchemaVersion = service.SchemaVersion
+
+// ParseScenario decodes a scenario document with strict field checking
+// (unknown fields are errors, not ignored knobs).
+func ParseScenario(b []byte) (*Scenario, error) { return scenario.Parse(b) }
+
+// LoadScenario reads, parses and validates a scenario file, reporting
+// every violation in one aggregate error.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// BuildScenarioResponse compiles and evaluates a scenario — the
+// /v1/scenario wire response, byte-identical to `edramx -scenario
+// -json` through EncodeResponse.
+func BuildScenarioResponse(ctx context.Context, scn *Scenario, workers int) (*ScenarioResponse, error) {
+	return service.BuildScenario(ctx, scn, workers)
+}

@@ -44,6 +44,9 @@ var modelPackages = map[string]bool{
 	// two intentional wall-clock sites (cache TTL, latency measurement)
 	// carry scoped nolint escapes.
 	"service": true,
+	// Scenario documents compile to cacheable byte-stable responses, so
+	// the loader/compiler is held to the same determinism bar.
+	"scenario": true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that do not

@@ -1,0 +1,65 @@
+// The scenario's canonical cache identity. Same rules as the other
+// request keys (DESIGN.md §"Cache-key canonicalization"): every
+// semantically significant field in declared order, floats in shortest
+// exact form, client-chosen strings quoted so embedded separators
+// cannot shift positional fields. The full document content is
+// rendered — never just the name — so two same-named scenarios with
+// different bodies can never alias in the cache (the PR 4 rule).
+// Description is the one field excluded: it cannot change any computed
+// result.
+
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// canonFloat renders a float in its shortest exact round-trip form.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// canonString renders a document-controlled string self-delimited.
+func canonString(s string) string {
+	return strconv.Quote(s)
+}
+
+// CanonicalKey is the scenario's normalized fingerprint, the service
+// layer's cache and coalescing identity for POST /v1/scenario.
+func (s *Scenario) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("scn/v1")
+	fmt.Fprintf(&b, "|ver=%d", s.SchemaVersion)
+	b.WriteString("|name=" + canonString(s.Name))
+	b.WriteString("|hier=" + canonString(s.Hierarchy.Name))
+	for _, l := range s.Hierarchy.Levels {
+		fmt.Fprintf(&b, "|level=%s,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s",
+			canonString(l.Name), canonString(l.Kind),
+			l.CapacityMbit, l.CapacityKbit, l.InterfaceBits,
+			l.Banks, l.PageBits, l.BlockKbit,
+			canonString(l.Redundancy), canonString(l.ECC),
+			canonFloat(l.TargetClockMHz),
+			canonFloat(l.ReadGBps), canonFloat(l.WriteGBps),
+			canonFloat(l.ReadEnergyPJBit), canonFloat(l.WriteEnergyPJBit))
+		for _, op := range l.Operands {
+			b.WriteString(",op=" + canonString(op))
+		}
+		b.WriteString(",below=" + canonString(l.Below))
+	}
+	fmt.Fprintf(&b, "|policy=%s|closed=%t|window=%d|target=%s",
+		canonString(s.Workload.Policy), s.Workload.ClosedPage,
+		s.Workload.ReorderWindow, canonString(s.Workload.Target))
+	for _, c := range s.Workload.Clients {
+		fmt.Fprintf(&b, "|client=%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%t,%s,level=%s,operand=%s",
+			canonString(c.Name), canonString(c.Kind), c.Bits, canonFloat(c.RateGBps), c.Count,
+			c.StartB, c.StrideB, c.LimitB, c.WindowB, c.Seed, c.Write,
+			canonFloat(c.LatencyBudgetNs), canonString(c.Level), canonString(c.Operand))
+	}
+	fmt.Fprintf(&b, "|hit=%s|area=%s|power=%s|clock=%s|defects=%s",
+		canonFloat(s.Constraints.HitRate), canonFloat(s.Constraints.MaxAreaMm2),
+		canonFloat(s.Constraints.MaxPowerMW), canonFloat(s.Constraints.MinClockMHz),
+		canonFloat(s.Constraints.DefectsPerCm2))
+	return b.String()
+}

@@ -14,9 +14,6 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-
-	"edram/internal/core"
-	"edram/internal/edram"
 )
 
 // strictUnmarshal decodes JSON rejecting unknown fields and trailing
@@ -48,10 +45,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	var req core.Requirements
-	if !decodeBody(w, r, &req) {
+	var body RequirementsRequest
+	if !decodeBody(w, r, &body) {
 		return
 	}
+	if err := checkSchemaVersion(body.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := body.Requirements
 	if v := req.Violations(); len(v) > 0 {
 		writeError(w, http.StatusBadRequest, violationsError(v))
 		return
@@ -72,10 +74,15 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	var req core.Requirements
-	if !decodeBody(w, r, &req) {
+	var body RequirementsRequest
+	if !decodeBody(w, r, &body) {
 		return
 	}
+	if err := checkSchemaVersion(body.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := body.Requirements
 	if v := req.Violations(); len(v) > 0 {
 		writeError(w, http.StatusBadRequest, violationsError(v))
 		return
@@ -100,6 +107,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if v := req.Violations(s.cfg.MaxSimRequests); len(v) > 0 {
 		writeError(w, http.StatusBadRequest, violationsError(v))
 		return
@@ -122,10 +133,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasheet(w http.ResponseWriter, r *http.Request) {
-	var spec edram.Spec
-	if !decodeBody(w, r, &spec) {
+	var body DatasheetRequest
+	if !decodeBody(w, r, &body) {
 		return
 	}
+	if err := checkSchemaVersion(body.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := body.Spec
 	key := HashKey("datasheet", spec.CanonicalKey())
 	s.serveCached(w, r, "/v1/datasheet", key, func(ctx context.Context) ([]byte, error) {
 		resp, err := BuildDatasheet(spec)
@@ -139,6 +155,10 @@ func (s *Server) handleDatasheet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	var req ExperimentsRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	key := HashKey("experiments", req.canonicalKey())

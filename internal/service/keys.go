@@ -10,7 +10,6 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"math/rand"
 	"strconv"
 )
 
@@ -33,10 +32,4 @@ func canonFloat(v float64) string {
 // fields and collide two semantically different requests.
 func canonString(s string) string {
 	return strconv.Quote(s)
-}
-
-// newSeededRand returns a deterministic PRNG for the random traffic
-// generator — same seed, same request stream, same simulation result.
-func newSeededRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
 }

@@ -1,0 +1,173 @@
+// POST /v1/scenario: the declarative scenario endpoint. The request
+// body IS a scenario document (internal/scenario's JSON schema); the
+// response reports, per hierarchy level, the design-space sweep
+// counters and quantized picks (edram levels), the pinned macro's
+// datasheet summary, the controller simulation of the allocated
+// clients, and the SRAM macro summary (sram levels). The builder is
+// shared with `edramx -scenario -json`, so the CLI and the daemon
+// produce byte-identical output for the same document.
+
+package service
+
+import (
+	"context"
+	"net/http"
+
+	"edram/internal/core"
+	"edram/internal/edram"
+	"edram/internal/scenario"
+)
+
+// ScenarioSimJSON is the controller-simulation slice of one scenario
+// level — SimulateResponse without the spec/key/version envelope,
+// which the enclosing level already carries.
+type ScenarioSimJSON struct {
+	Policy            string             `json:"policy"`
+	PeakGBps          float64            `json:"peak_gbps"`
+	SustainedGBps     float64            `json:"sustained_gbps"`
+	SustainedFraction float64            `json:"sustained_fraction"`
+	HitRate           float64            `json:"hit_rate"`
+	DurationNs        float64            `json:"duration_ns"`
+	Clients           []ClientResultJSON `json:"clients"`
+}
+
+// ScenarioLevelJSON is one hierarchy level's results.
+type ScenarioLevelJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Spec/Requirements and the sweep counters are set for edram
+	// levels.
+	Spec         *edram.Spec        `json:"spec,omitempty"`
+	Requirements *core.Requirements `json:"requirements,omitempty"`
+	// ClockMHz/AreaMm2/PeakGBps summarize the document-pinned macro.
+	ClockMHz float64 `json:"clock_mhz,omitempty"`
+	AreaMm2  float64 `json:"area_mm2,omitempty"`
+	PeakGBps float64 `json:"peak_gbps,omitempty"`
+	// Points/Built/Infeasible count the explorer's sweep; Picks are the
+	// quantized recommendations (empty = constraints admit no feasible
+	// candidate, a legitimate finding).
+	Points     int64                `json:"points,omitempty"`
+	Built      int64                `json:"built,omitempty"`
+	Infeasible int64                `json:"infeasible,omitempty"`
+	Picks      []RecommendationJSON `json:"recommendations,omitempty"`
+	// Simulation is set when the workload allocates clients to this
+	// level.
+	Simulation *ScenarioSimJSON `json:"simulation,omitempty"`
+	// The SRAM summary fields are set for sram levels.
+	SRAMAreaMm2   float64 `json:"sram_area_mm2,omitempty"`
+	SRAMAccessNs  float64 `json:"sram_access_ns,omitempty"`
+	SRAMStandbyMW float64 `json:"sram_standby_mw,omitempty"`
+}
+
+// ScenarioResponse is the POST /v1/scenario (and edramx -scenario
+// -json) response schema.
+type ScenarioResponse struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Name          string              `json:"name"`
+	Key           string              `json:"key"`
+	Levels        []ScenarioLevelJSON `json:"levels"`
+}
+
+// BuildScenario compiles a validated scenario and evaluates every
+// level: explorer sweep + pinned-macro datasheet + client simulation
+// for edram levels, macro summary for sram levels. workers is the
+// evaluation-worker budget shared across the levels' sweeps (the
+// response is byte-identical at any worker count).
+func BuildScenario(ctx context.Context, scn *scenario.Scenario, workers int) (*ScenarioResponse, error) {
+	compiled, err := scn.Compile()
+	if err != nil {
+		return nil, err
+	}
+	resp := &ScenarioResponse{
+		SchemaVersion: SchemaVersion,
+		Name:          scn.Name,
+		Key:           HashKey("scenario", scn.CanonicalKey()),
+		Levels:        []ScenarioLevelJSON{},
+	}
+	for _, cl := range compiled.Levels {
+		lj := ScenarioLevelJSON{Name: cl.Name, Kind: cl.Kind}
+		switch cl.Kind {
+		case "edram":
+			ex, err := BuildExplore(ctx, cl.Requirements, workers, nil)
+			if err != nil {
+				return nil, err
+			}
+			spec := cl.Spec
+			req := cl.Requirements
+			lj.Spec = &spec
+			lj.Requirements = &req
+			lj.Points = ex.Points
+			lj.Built = ex.Built
+			lj.Infeasible = ex.Infeasible
+			lj.Picks = ex.Picks
+			m, err := edram.Build(spec)
+			if err != nil {
+				return nil, err
+			}
+			lj.ClockMHz = m.ClockMHz
+			lj.AreaMm2 = m.Area.TotalMm2
+			lj.PeakGBps = m.PeakBandwidthGBps()
+			if len(cl.Clients) > 0 {
+				sim, err := BuildSimulate(SimulateRequest{
+					Spec: spec,
+					Options: SimulateOptions{
+						Policy:        compiled.PolicyName,
+						ClosedPage:    compiled.ClosedPage,
+						ReorderWindow: compiled.ReorderWindow,
+					},
+					Clients: cl.Clients,
+				})
+				if err != nil {
+					return nil, err
+				}
+				lj.Simulation = &ScenarioSimJSON{
+					Policy:            sim.Policy,
+					PeakGBps:          sim.PeakGBps,
+					SustainedGBps:     sim.SustainedGBps,
+					SustainedFraction: sim.SustainedFraction,
+					HitRate:           sim.HitRate,
+					DurationNs:        sim.DurationNs,
+					Clients:           sim.Clients,
+				}
+			}
+		case "sram":
+			area, err := cl.SRAM.AreaMm2()
+			if err != nil {
+				return nil, err
+			}
+			ns, err := cl.SRAM.AccessNs()
+			if err != nil {
+				return nil, err
+			}
+			lj.SRAMAreaMm2 = area
+			lj.SRAMAccessNs = ns
+			lj.SRAMStandbyMW = cl.SRAM.StandbyMW()
+		}
+		resp.Levels = append(resp.Levels, lj)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var scn scenario.Scenario
+	if !decodeBody(w, r, &scn) {
+		return
+	}
+	if v := scn.Violations(s.cfg.MaxSimRequests); len(v) > 0 {
+		writeError(w, http.StatusBadRequest, scenario.ViolationsError(v))
+		return
+	}
+	key := HashKey("scenario", scn.CanonicalKey())
+	s.serveCached(w, r, "/v1/scenario", key, func(ctx context.Context) ([]byte, error) {
+		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := BuildScenario(ctx, &scn, workers)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}

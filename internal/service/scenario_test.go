@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edram/internal/scenario"
+)
+
+// scenarioDoc is a small, fast-to-evaluate document for the endpoint
+// tests; the full corpus is covered by TestScenarioCorpusGolden.
+const scenarioDoc = `{
+  "schema_version": 1,
+  "name": "endpoint-test",
+  "hierarchy": {"levels": [
+    {"name": "store", "kind": "edram", "capacity_mbit": 16, "interface_bits": 64,
+     "operands": ["frames"]}
+  ]},
+  "workload": {"clients": [
+    {"name": "stream", "kind": "sequential", "level": "store", "operand": "frames",
+     "rate_gbps": 0.8, "count": 500}
+  ]},
+  "constraints": {"hit_rate": 0.8}
+}`
+
+// TestScenarioCorpusGolden is the corpus gate: every document under
+// examples/scenarios/ must load through the shared loader, compile,
+// and produce a byte-stable response regardless of worker count.
+func TestScenarioCorpusGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus has %d scenarios, want at least 10", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			scn, err := scenario.Load(f)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			serial, err := BuildScenario(context.Background(), scn, 1)
+			if err != nil {
+				t.Fatalf("BuildScenario(workers=1): %v", err)
+			}
+			parallel, err := BuildScenario(context.Background(), scn, 4)
+			if err != nil {
+				t.Fatalf("BuildScenario(workers=4): %v", err)
+			}
+			a, err := Encode(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Encode(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Error("1-worker and 4-worker responses differ byte-for-byte")
+			}
+			if serial.Key != HashKey("scenario", scn.CanonicalKey()) {
+				t.Error("response key does not match the canonical scenario key")
+			}
+			if !strings.HasPrefix(string(a), `{"schema_version":`) {
+				t.Errorf("response does not lead with schema_version: %.80s", a)
+			}
+		})
+	}
+}
+
+func TestScenarioEndpointCaching(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/scenario"
+
+	status, body, hdr := post(t, client, url, scenarioDoc)
+	if status != http.StatusOK {
+		t.Fatalf("scenario: status %d: %s", status, body)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", hdr.Get("X-Cache"))
+	}
+	for _, frag := range []string{`"schema_version":1`, `"name":"endpoint-test"`, `"key":"scenario:`,
+		`"recommendations"`, `"simulation"`, `"stream"`} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("scenario body missing %s", frag)
+		}
+	}
+
+	// A repeat is a cache hit with identical bytes.
+	status2, body2, hdr2 := post(t, client, url, scenarioDoc)
+	if status2 != http.StatusOK || hdr2.Get("X-Cache") != "hit" || body2 != body {
+		t.Errorf("repeat: status %d, X-Cache %q, identical=%t",
+			status2, hdr2.Get("X-Cache"), body2 == body)
+	}
+
+	// A semantic respelling (0.8 → 0.80) still hits: same canonical key.
+	respelled := strings.Replace(scenarioDoc, `"rate_gbps": 0.8`, `"rate_gbps": 0.80`, 1)
+	status3, body3, hdr3 := post(t, client, url, respelled)
+	if status3 != http.StatusOK || hdr3.Get("X-Cache") != "hit" || body3 != body {
+		t.Errorf("respelled: status %d, X-Cache %q, identical=%t",
+			status3, hdr3.Get("X-Cache"), body3 == body)
+	}
+
+	// The PR 4 aliasing rule: same name, different content must be a
+	// separate computation, never a replay of the cached entry.
+	changed := strings.Replace(scenarioDoc, `"capacity_mbit": 16`, `"capacity_mbit": 32`, 1)
+	status4, body4, hdr4 := post(t, client, url, changed)
+	if status4 != http.StatusOK {
+		t.Fatalf("changed scenario: status %d: %s", status4, body4)
+	}
+	if hdr4.Get("X-Cache") != "miss" || body4 == body {
+		t.Errorf("same-named scenario with different content aliased the cache entry (X-Cache %q)",
+			hdr4.Get("X-Cache"))
+	}
+}
+
+func TestScenarioEndpointValidation(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/scenario"
+
+	// Unknown field: strict decode, 400 naming the field.
+	status, body, _ := post(t, client, url,
+		strings.Replace(scenarioDoc, `"capacity_mbit"`, `"capacity_mb"`, 1))
+	if status != http.StatusBadRequest || !strings.Contains(body, "capacity_mb") {
+		t.Errorf("unknown field: status %d body %q, want 400 naming the field", status, body)
+	}
+
+	// Invalid document: one 400 listing every violation, with the same
+	// vocabulary the CLI loader prints.
+	bad := strings.Replace(scenarioDoc, `"capacity_mbit": 16`, `"capacity_mbit": -1`, 1)
+	bad = strings.Replace(bad, `"rate_gbps": 0.8`, `"rate_gbps": -2`, 1)
+	status, body, _ = post(t, client, url, bad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid scenario: status %d, want 400 (%s)", status, body)
+	}
+	for _, frag := range []string{"invalid scenario:", "capacity_mbit must be positive", "rate must be positive"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("validation body %q missing %q", body, frag)
+		}
+	}
+
+	// Missing schema_version is a document error.
+	status, body, _ = post(t, client, url,
+		strings.Replace(scenarioDoc, `"schema_version": 1,`, "", 1))
+	if status != http.StatusBadRequest || !strings.Contains(body, "schema_version is required") {
+		t.Errorf("missing version: status %d body %q", status, body)
+	}
+
+	// MaxSimRequests bounds the scenario's total client count too.
+	srvSmall := NewServer(Config{Workers: 1, MaxSimRequests: 100})
+	tsSmall := httptest.NewServer(srvSmall)
+	defer tsSmall.Close()
+	status, body, _ = post(t, tsSmall.Client(), tsSmall.URL+"/v1/scenario", scenarioDoc)
+	if status != http.StatusBadRequest || !strings.Contains(body, "per-request limit") {
+		t.Errorf("request cap: status %d body %q, want 400 naming the limit", status, body)
+	}
+}
+
+// TestSchemaVersionPinning: every endpoint accepts a request pinned to
+// the wire schema it speaks and rejects any other pin with a 400 that
+// names both versions.
+func TestSchemaVersionPinning(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	pinned := `{"schema_version":1,"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5}`
+	status, body, _ := post(t, client, ts.URL+"/v1/recommend", pinned)
+	if status != http.StatusOK {
+		t.Fatalf("pinned recommend: status %d: %s", status, body)
+	}
+	if !strings.Contains(body, `"schema_version":1`) {
+		t.Errorf("response missing schema_version: %.120s", body)
+	}
+
+	// The pin must not change the cache identity: the unpinned spelling
+	// of the same requirements is a cache hit.
+	status, body2, hdr := post(t, client, ts.URL+"/v1/recommend", testReq)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" || body2 != body {
+		t.Errorf("unpinned twin: status %d, X-Cache %q, identical=%t",
+			status, hdr.Get("X-Cache"), body2 == body)
+	}
+
+	for endpoint, req := range map[string]string{
+		"/v1/explore":     `{"schema_version":2,"capacity_mbit":16,"bandwidth_gbps":1,"hit_rate":0.5}`,
+		"/v1/recommend":   `{"schema_version":2,"capacity_mbit":16,"bandwidth_gbps":1,"hit_rate":0.5}`,
+		"/v1/datasheet":   `{"schema_version":2,"capacity_mbit":16,"interface_bits":64}`,
+		"/v1/simulate":    `{"schema_version":2,"spec":{"capacity_mbit":16,"interface_bits":64},"clients":[{"name":"c","kind":"sequential","rate_gbps":1,"count":10}]}`,
+		"/v1/experiments": `{"schema_version":2}`,
+	} {
+		status, body, _ := post(t, client, ts.URL+endpoint, req)
+		if status != http.StatusBadRequest || !strings.Contains(body, "unsupported schema_version 2") {
+			t.Errorf("%s with wrong pin: status %d body %q, want 400 naming the version", endpoint, status, body)
+		}
+		// Error bodies speak the schema too.
+		if !strings.Contains(body, `"schema_version":1`) {
+			t.Errorf("%s error body missing the server's schema_version: %q", endpoint, body)
+		}
+	}
+}

@@ -135,6 +135,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/datasheet", s.handleDatasheet)
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	return s
 }
 
@@ -155,6 +156,7 @@ var knownEndpoints = map[string]bool{
 	"/v1/simulate":    true,
 	"/v1/datasheet":   true,
 	"/v1/experiments": true,
+	"/v1/scenario":    true,
 }
 
 // endpointLabel normalizes a request path to the known route set.
@@ -222,7 +224,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps an error to its status and the ErrorResponse schema.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{SchemaVersion: SchemaVersion, Error: err.Error()})
 }
 
 // errStatus maps a compute error to an HTTP status: timeouts are 504,

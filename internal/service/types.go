@@ -21,9 +21,41 @@ import (
 	"edram/internal/edram"
 	"edram/internal/experiments"
 	"edram/internal/mapping"
+	"edram/internal/scenario"
 	"edram/internal/sched"
-	"edram/internal/traffic"
 )
+
+// SchemaVersion is the wire-schema version every response carries in
+// its schema_version field and every request may pin. It tracks the
+// scenario document version: additive changes keep the number,
+// key-affecting changes bump it together with the canonical-key tags
+// (DESIGN.md "Wire-schema versioning").
+const SchemaVersion = scenario.SchemaVersion
+
+// checkSchemaVersion validates a request's optional version pin
+// (0 = unpinned, accept).
+func checkSchemaVersion(v int) error {
+	if v != 0 && v != SchemaVersion {
+		return fmt.Errorf("unsupported schema_version %d (this server speaks %d)", v, SchemaVersion)
+	}
+	return nil
+}
+
+// RequirementsRequest is the explore/recommend request body: the core
+// requirements plus an optional schema_version pin. The pin is not
+// part of the canonical key — pinning the version the server already
+// speaks cannot change the result.
+type RequirementsRequest struct {
+	SchemaVersion int `json:"schema_version,omitempty"`
+	core.Requirements
+}
+
+// DatasheetRequest is the datasheet request body: a macro spec plus an
+// optional schema_version pin.
+type DatasheetRequest struct {
+	SchemaVersion int `json:"schema_version,omitempty"`
+	edram.Spec
+}
 
 // CandidateJSON is the wire form of one evaluated design point
 // (core.Candidate without the constructed Macro, plus its clock).
@@ -51,7 +83,8 @@ type RecommendationJSON struct {
 
 // ExploreResponse is the POST /v1/explore (and edramx -json) schema.
 type ExploreResponse struct {
-	Request core.Requirements `json:"request"`
+	SchemaVersion int               `json:"schema_version"`
+	Request       core.Requirements `json:"request"`
 	// Key is the canonical-key hash identifying this request in the
 	// result cache (see DESIGN.md for the canonicalization rules).
 	Key        string               `json:"key"`
@@ -65,9 +98,10 @@ type ExploreResponse struct {
 
 // RecommendResponse is the POST /v1/recommend schema.
 type RecommendResponse struct {
-	Request core.Requirements    `json:"request"`
-	Key     string               `json:"key"`
-	Picks   []RecommendationJSON `json:"recommendations"`
+	SchemaVersion int                  `json:"schema_version"`
+	Request       core.Requirements    `json:"request"`
+	Key           string               `json:"key"`
+	Picks         []RecommendationJSON `json:"recommendations"`
 }
 
 // SimulateOptions is the wire form of the controller options.
@@ -81,37 +115,20 @@ type SimulateOptions struct {
 }
 
 // ClientSpec is the wire form of one memory client: a named request
-// generator. Kind selects the generator; the geometry fields not used
-// by a kind are ignored.
-type ClientSpec struct {
-	Name string `json:"name"`
-	// Kind: "sequential", "strided", "random", "alternating".
-	Kind string `json:"kind"`
-	// Bits per request (default: the macro interface width).
-	Bits int `json:"bits,omitempty"`
-	// RateGBps is the bandwidth the client demands.
-	RateGBps float64 `json:"rate_gbps"`
-	// Count is the number of requests to emit (required: the service
-	// refuses unbounded streams).
-	Count   int   `json:"count"`
-	StartB  int64 `json:"start_b,omitempty"`
-	StrideB int64 `json:"stride_b,omitempty"`
-	// LimitB wraps sequential/strided streams; WindowB bounds random
-	// ones.
-	LimitB  int64 `json:"limit_b,omitempty"`
-	WindowB int64 `json:"window_b,omitempty"`
-	// Seed seeds the random generator (default 1; runs are
-	// deterministic for a given seed).
-	Seed            int64   `json:"seed,omitempty"`
-	Write           bool    `json:"write,omitempty"`
-	LatencyBudgetNs float64 `json:"latency_budget_ns,omitempty"`
-}
+// generator. It is the scenario package's type — the scenario language
+// and the simulate wire schema share one client vocabulary (and one
+// Violations implementation).
+type ClientSpec = scenario.ClientSpec
 
-// SimulateRequest is the POST /v1/simulate schema.
+// SimulateRequest is the POST /v1/simulate schema. SchemaVersion is an
+// optional version pin; it is deliberately absent from the canonical
+// key (pinning the version the server already speaks is
+// identity-neutral).
 type SimulateRequest struct {
-	Spec    edram.Spec      `json:"spec"`
-	Options SimulateOptions `json:"options"`
-	Clients []ClientSpec    `json:"clients"`
+	SchemaVersion int             `json:"schema_version,omitempty"`
+	Spec          edram.Spec      `json:"spec"`
+	Options       SimulateOptions `json:"options"`
+	Clients       []ClientSpec    `json:"clients"`
 }
 
 // ClientResultJSON is one client's service quality.
@@ -130,6 +147,7 @@ type ClientResultJSON struct {
 
 // SimulateResponse is the POST /v1/simulate response schema.
 type SimulateResponse struct {
+	SchemaVersion     int                `json:"schema_version"`
 	Spec              edram.Spec         `json:"spec"`
 	Key               string             `json:"key"`
 	Policy            string             `json:"policy"`
@@ -143,6 +161,7 @@ type SimulateResponse struct {
 
 // DatasheetResponse is the POST /v1/datasheet response schema.
 type DatasheetResponse struct {
+	SchemaVersion        int        `json:"schema_version"`
 	Spec                 edram.Spec `json:"spec"`
 	Key                  string     `json:"key"`
 	ClockMHz             float64    `json:"clock_mhz"`
@@ -159,6 +178,9 @@ type DatasheetResponse struct {
 // ExperimentsRequest is the POST /v1/experiments schema (empty body =
 // the full suite).
 type ExperimentsRequest struct {
+	// SchemaVersion optionally pins the wire version (absent from the
+	// canonical key, like the simulate pin).
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// IDs filters the suite ("E1", "A3", ...); empty runs everything.
 	IDs []string `json:"ids,omitempty"`
 }
@@ -180,13 +202,15 @@ type ExperimentJSON struct {
 
 // ExperimentsResponse is the POST /v1/experiments response schema.
 type ExperimentsResponse struct {
-	Key         string           `json:"key"`
-	Experiments []ExperimentJSON `json:"experiments"`
+	SchemaVersion int              `json:"schema_version"`
+	Key           string           `json:"key"`
+	Experiments   []ExperimentJSON `json:"experiments"`
 }
 
 // ErrorResponse is the schema of every non-2xx body.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
 }
 
 // Encode renders a response in its canonical wire form: compact JSON
@@ -259,11 +283,12 @@ func BuildExplore(ctx context.Context, req core.Requirements, workers int, progr
 		return nil, fmt.Errorf("no buildable configuration for %+v", req)
 	}
 	resp := &ExploreResponse{
-		Request:    req,
-		Key:        HashKey("explore", req.CanonicalKey()),
-		Points:     final.Enumerated,
-		Built:      final.Built,
-		Infeasible: final.Infeasible,
+		SchemaVersion: SchemaVersion,
+		Request:       req,
+		Key:           HashKey("explore", req.CanonicalKey()),
+		Points:        final.Enumerated,
+		Built:         final.Built,
+		Infeasible:    final.Infeasible,
 		// Pruned is deterministic even though arrival order is not:
 		// every feasible candidate either survives in the front or was
 		// discarded exactly once.
@@ -293,9 +318,10 @@ func BuildRecommend(ctx context.Context, req core.Requirements, workers int) (*R
 		return nil, err
 	}
 	resp := &RecommendResponse{
-		Request: req,
-		Key:     HashKey("recommend", req.CanonicalKey()),
-		Picks:   []RecommendationJSON{},
+		SchemaVersion: SchemaVersion,
+		Request:       req,
+		Key:           HashKey("recommend", req.CanonicalKey()),
+		Picks:         []RecommendationJSON{},
 	}
 	for _, r := range recs {
 		resp.Picks = append(resp.Picks, RecommendationJSON{Role: r.Role, CandidateJSON: candidateJSON(r.Candidate)})
@@ -303,87 +329,10 @@ func BuildRecommend(ctx context.Context, req core.Requirements, workers int) (*R
 	return resp, nil
 }
 
-// parsePolicy maps a policy name to its sched.Policy.
+// parsePolicy maps a policy name to its sched.Policy (the scenario
+// package owns the vocabulary, shared with scenario documents).
 func parsePolicy(name string) (sched.Policy, error) {
-	switch name {
-	case "round-robin", "":
-		return sched.RoundRobin, nil
-	case "fixed-priority", "priority":
-		return sched.FixedPriority, nil
-	case "oldest-first", "oldest":
-		return sched.OldestFirst, nil
-	case "open-page-first", "open-page":
-		return sched.OpenPageFirst, nil
-	case "deadline":
-		return sched.Deadline, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (round-robin, fixed-priority, oldest-first, open-page-first, deadline)", name)
-	}
-}
-
-// clientKinds lists the generator kinds the service accepts.
-const clientKinds = "sequential, strided, random, alternating"
-
-// Violations lists every constraint the client spec violates
-// (maxRequests caps Count; 0 = uncapped).
-func (c ClientSpec) Violations(i int, maxRequests int64) []string {
-	var v []string
-	at := func(format string, args ...any) {
-		v = append(v, fmt.Sprintf("client %d (%s): %s", i, c.Name, fmt.Sprintf(format, args...)))
-	}
-	switch c.Kind {
-	case "sequential", "strided", "random", "alternating":
-	default:
-		at("unknown kind %q (%s)", c.Kind, clientKinds)
-	}
-	if c.Name == "" {
-		at("name is required")
-	}
-	if c.RateGBps <= 0 {
-		at("rate must be positive, got %g GB/s", c.RateGBps)
-	}
-	if c.Count <= 0 {
-		at("count must be positive, got %d (unbounded streams are not served)", c.Count)
-	} else if maxRequests > 0 && int64(c.Count) > maxRequests {
-		at("count %d exceeds the per-request limit %d", c.Count, maxRequests)
-	}
-	if c.Bits < 0 || c.StartB < 0 || c.StrideB < 0 || c.LimitB < 0 || c.WindowB < 0 {
-		at("geometry fields must be non-negative")
-	}
-	if c.LatencyBudgetNs < 0 {
-		at("latency budget must be non-negative, got %g ns", c.LatencyBudgetNs)
-	}
-	return v
-}
-
-// generator builds the traffic generator for the spec. bits is the
-// default request width (the macro interface).
-func (c ClientSpec) generator(i, bits int) traffic.Generator {
-	if c.Bits > 0 {
-		bits = c.Bits
-	}
-	switch c.Kind {
-	case "strided":
-		return &traffic.Strided{ClientID: i, StartB: c.StartB, StrideB: c.StrideB,
-			LimitB: c.LimitB, Bits: bits, Write: c.Write, RateGB: c.RateGBps, Count: c.Count}
-	case "random":
-		seed := c.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		window := c.WindowB
-		if window <= 0 {
-			window = 1 << 20
-		}
-		return &traffic.Random{ClientID: i, StartB: c.StartB, WindowB: window, Bits: bits,
-			Write: c.Write, RateGB: c.RateGBps, Count: c.Count, Rng: newSeededRand(seed)}
-	case "alternating":
-		return &traffic.Alternating{ClientID: i, BaseA: c.StartB, BaseB: c.StartB + c.StrideB,
-			Bits: bits, RateGB: c.RateGBps, Count: c.Count}
-	default: // "sequential"
-		return &traffic.Sequential{ClientID: i, StartB: c.StartB, LimitB: c.LimitB,
-			Bits: bits, Write: c.Write, RateGB: c.RateGBps, Count: c.Count}
-	}
+	return scenario.ParsePolicy(name)
 }
 
 // canonicalKey is the simulate request's cache identity: the spec key
@@ -443,7 +392,7 @@ func BuildSimulate(req SimulateRequest) (*SimulateResponse, error) {
 	for i, c := range req.Clients {
 		clients[i] = sched.Client{
 			Name:            c.Name,
-			Gen:             c.generator(i, m.Geometry.InterfaceBits),
+			Gen:             c.Generator(i, m.Geometry.InterfaceBits),
 			LatencyBudgetNs: c.LatencyBudgetNs,
 		}
 	}
@@ -462,6 +411,7 @@ func BuildSimulate(req SimulateRequest) (*SimulateResponse, error) {
 		return nil, err
 	}
 	resp := &SimulateResponse{
+		SchemaVersion:     SchemaVersion,
 		Spec:              req.Spec,
 		Key:               HashKey("simulate", req.canonicalKey()),
 		Policy:            res.Policy.String(),
@@ -497,6 +447,7 @@ func BuildDatasheet(spec edram.Spec) (*DatasheetResponse, error) {
 		return nil, err
 	}
 	return &DatasheetResponse{
+		SchemaVersion:        SchemaVersion,
 		Spec:                 spec,
 		Key:                  HashKey("datasheet", spec.CanonicalKey()),
 		ClockMHz:             m.ClockMHz,
@@ -534,8 +485,9 @@ func BuildExperiments(ctx context.Context, req ExperimentsRequest, workers int) 
 		want[id] = true
 	}
 	resp := &ExperimentsResponse{
-		Key:         HashKey("experiments", req.canonicalKey()),
-		Experiments: []ExperimentJSON{},
+		SchemaVersion: SchemaVersion,
+		Key:           HashKey("experiments", req.canonicalKey()),
+		Experiments:   []ExperimentJSON{},
 	}
 	matched := map[string]bool{}
 	for _, e := range all {
