@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-compare fuzz fuzz-smoke serve-smoke scenarios check
+.PHONY: build test vet lint race bench bench-compare fuzz fuzz-smoke serve-smoke load-smoke scenarios check
 
 build:
 	$(GO) build ./...
@@ -62,12 +62,22 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) run ./cmd/edramd -smoke
 
+# load-smoke replays the deterministic SLO profile (cmd/edramload,
+# seed 1) against a self-hosted daemon whose /v1/explore budget is
+# deliberately tiny: hot-key, cache-busting, coalescing-storm,
+# slow-client, mid-flight-disconnect and deliberate-overload mixes.
+# It exits non-zero on any SLO breach or any 5xx other than the
+# overload mix's intended 503s.
+load-smoke:
+	$(GO) run ./cmd/edramload -seed 1
+
 # check is the tier-1 verify path: build, vet, lint, then race-checked
 # tests, so the exploration engine's, experiment runner's and
 # reliability trial pool's concurrency is exercised under the race
 # detector on every PR, plus a replay of the fuzz seed corpus, the
-# daemon's end-to-end smoke and the scenario-corpus gate.
-check: build vet lint race fuzz-smoke serve-smoke scenarios
+# daemon's end-to-end smoke, the load/SLO smoke and the scenario-corpus
+# gate.
+check: build vet lint race fuzz-smoke serve-smoke load-smoke scenarios
 
 # scenarios validates the declarative-scenario corpus: every *.json
 # under examples/scenarios/ must load and compile through the shared

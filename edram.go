@@ -273,6 +273,17 @@ type (
 	ExperimentsResponse = service.ExperimentsResponse
 )
 
+// Wire schema of the async job API (POST /v1/jobs and friends):
+// long-running explores, Monte-Carlo reliability campaigns and
+// scenario evaluations with resumable range-partitioned checkpoints.
+type (
+	JobRequest        = service.JobRequest
+	JobStatusResponse = service.JobStatusResponse
+	JobListResponse   = service.JobListResponse
+	TrialsJobRequest  = service.TrialsJobRequest
+	TrialsResponse    = service.TrialsResponse
+)
+
 // BuildExploreResponse runs the exploration and assembles the
 // /v1/explore wire response — what edramx -json prints and the daemon
 // serves, byte-identical through EncodeResponse.

@@ -47,6 +47,15 @@ var modelPackages = map[string]bool{
 	// Scenario documents compile to cacheable byte-stable responses, so
 	// the loader/compiler is held to the same determinism bar.
 	"scenario": true,
+	// The job store's checkpoints must replay byte-identically after a
+	// restart, so its persistence path cannot depend on wall-clock or
+	// iteration order.
+	"jobs": true,
+	// The load generator's schedules are seeded and replayable: the same
+	// profile + seed must issue the same request sequence, or an SLO
+	// regression cannot be distinguished from schedule noise. The
+	// edramload driver's latency clocks carry scoped nolint escapes.
+	"loadgen": true, "edramload": true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that do not

@@ -90,10 +90,21 @@ func resolveProcesses(req Requirements) []tech.Process {
 	return []tech.Process{tech.Siemens024()}
 }
 
+// SweepCount is the total number of points Sweep enumerates for the
+// requirements — the exclusive upper bound of every Point.Seq. It is
+// the denominator of explore progress reporting and the range limit of
+// checkpointed (range-partitioned) explores.
+func SweepCount(req Requirements) int {
+	return sweepCount(req, resolveProcesses(req))
+}
+
 // sweepBatches is the batched form of Sweep the worker pool consumes.
 func sweepBatches(ctx context.Context, req Requirements) (<-chan *[]Point, error) {
-	return sweepBatchesOver(ctx, req, resolveProcesses(req))
+	return sweepBatchesOver(ctx, req, resolveProcesses(req), 0, maxSeq)
 }
+
+// maxSeq is the open upper bound of an unrestricted sweep range.
+const maxSeq = int(^uint(0) >> 1)
 
 // putPointBatch returns a consumed sweep batch to the pool.
 func putPointBatch(bp *[]Point) { pointBatchPool.Put(bp) }
@@ -119,9 +130,13 @@ var pointBatchPool = sync.Pool{
 	New: func() any { s := make([]Point, 0, sweepBatch); return &s },
 }
 
-// sweepBatchesOver enumerates over an explicit process slice. Receivers
-// own each batch and should return it via putPointBatch when done.
-func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Process) (<-chan *[]Point, error) {
+// sweepBatchesOver enumerates over an explicit process slice, emitting
+// only points whose Seq lies in [from, to) — Seq numbering stays
+// absolute, so a ranged sweep is exactly the corresponding slice of the
+// full enumeration (the property range-partitioned checkpoints rely
+// on). Receivers own each batch and should return it via putPointBatch
+// when done.
+func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Process, from, to int) (<-chan *[]Point, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,24 +174,30 @@ func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Proces
 							for _, red := range sweepRedLevels {
 								for _, ecc := range sweepECCModes {
 									for pi := range procs {
-										batch = append(batch, Point{
-											Seq:    seq,
-											Macros: macros,
-											Spec: edram.Spec{
-												CapacityMbit:  req.CapacityMbit / macros,
-												InterfaceBits: iface,
-												Banks:         banks,
-												PageBits:      iface * pageMult,
-												BlockBits:     block,
-												Redundancy:    red,
-												ECC:           ecc,
-												Process:       &procs[pi],
-											},
-										})
-										seq++
-										if len(batch) == sweepBatch && !flush() {
+										if seq >= to {
+											flush()
 											return
 										}
+										if seq >= from {
+											batch = append(batch, Point{
+												Seq:    seq,
+												Macros: macros,
+												Spec: edram.Spec{
+													CapacityMbit:  req.CapacityMbit / macros,
+													InterfaceBits: iface,
+													Banks:         banks,
+													PageBits:      iface * pageMult,
+													BlockBits:     block,
+													Redundancy:    red,
+													ECC:           ecc,
+													Process:       &procs[pi],
+												},
+											})
+											if len(batch) == sweepBatch && !flush() {
+												return
+											}
+										}
+										seq++
 									}
 								}
 							}
@@ -270,6 +291,8 @@ type exploreConfig struct {
 	progress      func(ExploreStats)
 	progressEvery int
 	observer      func(Candidate)
+	seqFrom       int
+	seqTo         int
 }
 
 // ExploreOption configures ExploreContext / RecommendContext.
@@ -302,6 +325,25 @@ func WithObserver(fn func(Candidate)) ExploreOption {
 	return func(c *exploreConfig) { c.observer = fn }
 }
 
+// WithSeqRange restricts the exploration to points whose canonical
+// sequence number lies in [from, to). Seq numbering stays absolute —
+// the ranged run evaluates exactly the corresponding slice of the full
+// enumeration, so a union of disjoint ranges covering [0, SweepCount)
+// reproduces the unrestricted run result-for-result. This is the
+// primitive behind resumable range-partitioned explore checkpoints and
+// subspace sharding. from < 0 or to <= 0 select the open bound.
+func WithSeqRange(from, to int) ExploreOption {
+	return func(c *exploreConfig) {
+		if from < 0 {
+			from = 0
+		}
+		if to <= 0 {
+			to = maxSeq
+		}
+		c.seqFrom, c.seqTo = from, to
+	}
+}
+
 // ExploreContext enumerates and evaluates the design space on a worker
 // pool, streaming every buildable candidate (feasible or not) on the
 // returned channel. The channel is closed when the sweep is exhausted
@@ -309,7 +351,7 @@ func WithObserver(fn func(Candidate)) ExploreOption {
 // workers, but Candidate.Seq restores canonical enumeration order.
 // The error return covers invalid requirements or options only.
 func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption) (<-chan Candidate, error) {
-	cfg := exploreConfig{workers: runtime.GOMAXPROCS(0), progressEvery: 512}
+	cfg := exploreConfig{workers: runtime.GOMAXPROCS(0), progressEvery: 512, seqTo: maxSeq}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -319,8 +361,11 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 	if cfg.progressEvery < 1 {
 		return nil, fmt.Errorf("core: progress interval %d < 1", cfg.progressEvery)
 	}
+	if cfg.seqFrom >= cfg.seqTo {
+		return nil, fmt.Errorf("core: empty seq range [%d, %d)", cfg.seqFrom, cfg.seqTo)
+	}
 	procs := resolveProcesses(req)
-	batches, err := sweepBatchesOver(ctx, req, procs)
+	batches, err := sweepBatchesOver(ctx, req, procs, cfg.seqFrom, cfg.seqTo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScheduleDeterministic: same profile + seed, same sequence; a
+// different seed reshuffles it.
+func TestScheduleDeterministic(t *testing.T) {
+	p := SmokeProfile(1)
+	a, err := Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two schedules of the same profile differ")
+	}
+	if len(a) != p.Requests {
+		t.Fatalf("schedule has %d requests, want %d", len(a), p.Requests)
+	}
+	c, err := Schedule(SmokeProfile(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestScheduleMixes: the smoke profile exercises every mix, unique
+// bodies never repeat, storms repeat within a burst, and overload
+// probes are marked shed-expected.
+func TestScheduleMixes(t *testing.T) {
+	reqs, err := Schedule(SmokeProfile(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenMix := map[string]int{}
+	uniqueBodies := map[string]int{}
+	for _, r := range reqs {
+		seenMix[r.Mix]++
+		if r.Mix == "unique" {
+			uniqueBodies[r.Body]++
+		}
+		if r.Mix == "overload" && (!r.WantShed || r.Path != "/v1/explore") {
+			t.Fatalf("overload request not marked shed-expected: %+v", r)
+		}
+		if r.Mix == "disconnect" && !r.Disconnect {
+			t.Fatalf("disconnect request not marked: %+v", r)
+		}
+		if r.Mix == "slow" && !r.SlowBody {
+			t.Fatalf("slow request not marked: %+v", r)
+		}
+	}
+	for _, mix := range []string{"hot", "unique", "storm", "slow", "disconnect", "overload"} {
+		if seenMix[mix] == 0 {
+			t.Errorf("smoke profile never drew mix %q", mix)
+		}
+	}
+	for body, n := range uniqueBodies {
+		if n > 1 {
+			t.Errorf("unique body repeated %d times: %s", n, body)
+		}
+	}
+}
+
+// TestScheduleRejectsBadProfiles: zero weights and empty runs are
+// configuration errors, not silent no-ops.
+func TestScheduleRejectsBadProfiles(t *testing.T) {
+	if _, err := Schedule(Profile{Requests: 10, Mixes: []MixWeight{{"hot", 0}}}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := Schedule(Profile{Requests: 0, Mixes: []MixWeight{{"hot", 1}}}); err == nil {
+		t.Error("zero-request profile accepted")
+	}
+	if _, err := Schedule(Profile{Requests: 5, Mixes: []MixWeight{{"lukewarm", 1}}}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+// TestSummarizeAndCheck pins the outcome classification and the SLO
+// arithmetic.
+func TestSummarizeAndCheck(t *testing.T) {
+	ms := int64(1e6)
+	outcomes := []Outcome{
+		{Mix: "hot", Status: 200, LatencyNs: 10 * ms},
+		{Mix: "hot", Status: 200, LatencyNs: 20 * ms},
+		{Mix: "hot", Status: 200, LatencyNs: 30 * ms},
+		{Mix: "overload", Status: 503, WantShed: true},
+		{Mix: "overload", Status: 200, LatencyNs: 40 * ms, WantShed: true},
+		{Mix: "disconnect", Disconnected: true},
+		{Mix: "unique", Status: 500},
+	}
+	r := Summarize(outcomes)
+	if r.OK != 4 || r.ShedExpected != 1 || r.Disconnected != 1 || r.UnexpectedErrors != 1 {
+		t.Fatalf("classification: ok=%d shed=%d disc=%d err=%d", r.OK, r.ShedExpected, r.Disconnected, r.UnexpectedErrors)
+	}
+	// 6 judged outcomes (disconnects excluded), 1 unexpected error.
+	if got, want := r.ErrorFrac, 1.0/6.0; got != want {
+		t.Errorf("error frac %v, want %v", got, want)
+	}
+	if r.P50Ns != 20*ms || r.P99Ns != 40*ms || r.P999Ns != 40*ms {
+		t.Errorf("percentiles p50=%d p99=%d p999=%d", r.P50Ns, r.P99Ns, r.P999Ns)
+	}
+	if len(r.Mixes) != 4 || r.Mixes[0].Mix != "disconnect" {
+		t.Errorf("mix rollup not sorted: %+v", r.Mixes)
+	}
+
+	v := r.Check(SLO{P50Ms: 15, P99Ms: 5000, MaxErrorFrac: 0})
+	if len(v) != 2 {
+		t.Fatalf("violations %v, want p50 breach + error budget breach", v)
+	}
+	if !strings.Contains(v[0], "p50") || !strings.Contains(v[1], "error fraction") {
+		t.Errorf("violations %v", v)
+	}
+	if v := r.Check(SLO{P50Ms: 100, P99Ms: 100, P999Ms: 100, MaxErrorFrac: 0.5}); len(v) != 0 {
+		t.Errorf("generous SLO still violated: %v", v)
+	}
+
+	empty := Summarize(nil)
+	if empty.P50Ns != 0 || empty.ErrorFrac != 0 {
+		t.Errorf("empty run: %+v", empty)
+	}
+}

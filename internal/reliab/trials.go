@@ -34,16 +34,29 @@ func RunTrials(trials, workers int, baseSeed int64, run TrialFunc) ([]TrialResul
 	if trials < 1 {
 		return nil, fmt.Errorf("reliab: campaign needs at least 1 trial, got %d", trials)
 	}
+	return RunTrialsRange(0, trials, workers, baseSeed, run)
+}
+
+// RunTrialsRange runs the campaign members with absolute trial index in
+// [from, to). Seeds derive from the absolute index, so a campaign split
+// into disjoint ranges produces exactly the same per-trial results as
+// one uninterrupted RunTrials call — the primitive behind resumable
+// trial-range checkpoints in the job API.
+func RunTrialsRange(from, to, workers int, baseSeed int64, run TrialFunc) ([]TrialResult, error) {
+	if from < 0 || to <= from {
+		return nil, fmt.Errorf("reliab: invalid trial range [%d, %d)", from, to)
+	}
+	n := to - from
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > trials {
-		workers = trials
+	if workers > n {
+		workers = n
 	}
-	results := make([]TrialResult, trials)
-	errs := make([]error, trials)
-	idx := make(chan int, trials)
-	for i := 0; i < trials; i++ {
+	results := make([]TrialResult, n)
+	errs := make([]error, n)
+	idx := make(chan int, n)
+	for i := from; i < to; i++ {
 		idx <- i
 	}
 	close(idx)
@@ -56,10 +69,10 @@ func RunTrials(trials, workers int, baseSeed int64, run TrialFunc) ([]TrialResul
 				seed := TrialSeed(baseSeed, i)
 				stats, events, err := run(i, seed)
 				if err != nil {
-					errs[i] = fmt.Errorf("reliab: trial %d: %w", i, err)
+					errs[i-from] = fmt.Errorf("reliab: trial %d: %w", i, err)
 					continue
 				}
-				results[i] = TrialResult{Trial: i, Seed: seed, Stats: stats, Events: events}
+				results[i-from] = TrialResult{Trial: i, Seed: seed, Stats: stats, Events: events}
 			}
 		}()
 	}

@@ -1,0 +1,59 @@
+package reliab
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// syntheticTrial is a pure function of (trial, seed) so range-union
+// comparisons are exact without a full scheduler run.
+func syntheticTrial(trial int, seed int64) (Stats, []FaultEvent, error) {
+	return Stats{
+		InjectedFaults:    trial + 1,
+		DefectFingerprint: uint64(seed),
+		FaultyAccesses:    int64(trial) * 3,
+	}, nil, nil
+}
+
+// TestRunTrialsRangeUnionMatchesFull: disjoint ranges concatenate to
+// exactly the uninterrupted campaign — same absolute trial indices,
+// same derived seeds, same stats.
+func TestRunTrialsRangeUnionMatchesFull(t *testing.T) {
+	const trials = 13
+	full, err := RunTrials(trials, 3, 99, syntheticTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []TrialResult
+	for _, r := range [][2]int{{0, 5}, {5, 6}, {6, 13}} {
+		part, err := RunTrialsRange(r[0], r[1], 2, 99, syntheticTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, part...)
+	}
+	if !reflect.DeepEqual(full, union) {
+		t.Fatalf("range union differs from full campaign:\nfull:  %+v\nunion: %+v", full, union)
+	}
+}
+
+func TestRunTrialsRangeValidation(t *testing.T) {
+	for _, r := range [][2]int{{-1, 2}, {3, 3}, {4, 2}} {
+		if _, err := RunTrialsRange(r[0], r[1], 1, 1, syntheticTrial); err == nil {
+			t.Errorf("range [%d,%d) accepted", r[0], r[1])
+		}
+	}
+}
+
+func TestRunTrialsRangePropagatesError(t *testing.T) {
+	_, err := RunTrialsRange(2, 5, 2, 1, func(trial int, seed int64) (Stats, []FaultEvent, error) {
+		if trial == 4 {
+			return Stats{}, nil, fmt.Errorf("boom")
+		}
+		return Stats{}, nil, nil
+	})
+	if err == nil || err.Error() != "reliab: trial 4: boom" {
+		t.Errorf("error = %v, want trial 4 boom", err)
+	}
+}

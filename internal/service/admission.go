@@ -1,0 +1,199 @@
+// Admission control: the gate between "the socket accepted a request"
+// and "the request may occupy evaluation workers". Without it the
+// worker pool is an unbounded queue — every admitted compute blocks in
+// AcquireUpTo however hopeless its deadline, so sustained overload
+// grows latency without bound while every client times out at full
+// cost. The gate keeps overload bounded and observable instead:
+//
+//   - per-endpoint concurrency budgets — one hot endpoint cannot
+//     occupy every worker and starve the rest of the API;
+//   - a bounded admission queue — beyond it, requests shed immediately
+//     with 503 + Retry-After rather than joining an invisible backlog;
+//   - deadline-aware rejection — using an EWMA of the endpoint's
+//     recent compute time, a request whose estimated queue wait
+//     already exceeds its remaining deadline is shed at the door (it
+//     would only burn workers to produce a 504).
+//
+// Shedding is visible: edramd_shed_total{endpoint,reason} counts every
+// rejection, edramd_admitted_total{endpoint} every grant, and
+// edramd_admission_queued the current occupancy.
+
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// overloadError is the typed rejection the admission gate (and the job
+// store path) returns; the HTTP layer maps it to 503 with a
+// Retry-After header.
+type overloadError struct {
+	reason     string // "queue_full" | "endpoint_budget" | "deadline" | "jobs"
+	detail     string
+	retryAfter time.Duration
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("overloaded (%s): %s", e.reason, e.detail)
+}
+
+// retryAfterSeconds renders the Retry-After value (whole seconds,
+// minimum 1 — a zero would invite an immediate retry storm).
+func (e *overloadError) retryAfterSeconds() string {
+	secs := int64(math.Ceil(e.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// admission is the gate's state. One instance per server, shared by
+// every endpoint.
+type admission struct {
+	mu sync.Mutex
+	// queued counts admitted computations that have not released yet
+	// (waiting for workers or computing) — the bounded queue.
+	queued   int
+	maxQueue int
+	workers  int
+	// inUse / limits are the per-endpoint concurrency budgets.
+	inUse  map[string]int
+	limits map[string]int
+	// ewmaSec tracks each endpoint's recent compute seconds; it seeds
+	// the wait estimate behind deadline rejection and Retry-After.
+	ewmaSec map[string]float64
+}
+
+// ewmaAlpha weights the newest observation; ~0.3 follows load shifts
+// within a few requests without oscillating on one outlier.
+const ewmaAlpha = 0.3
+
+func newAdmission(workers, maxQueue int, limits map[string]int) *admission {
+	return &admission{
+		maxQueue: maxQueue,
+		workers:  workers,
+		inUse:    map[string]int{},
+		limits:   limits,
+		ewmaSec:  map[string]float64{},
+	}
+}
+
+// waitEstimateLocked predicts how long a newly admitted request would
+// wait for workers: the endpoint's recent compute time scaled by how
+// many admitted computations stand ahead of it per worker.
+func (a *admission) waitEstimateLocked(endpoint string) time.Duration {
+	ewma := a.ewmaSec[endpoint]
+	if ewma == 0 {
+		// No observation yet: assume a modest compute so the first
+		// requests under cold overload still get a sane Retry-After.
+		ewma = 0.1
+	}
+	backlog := a.queued + 1 - a.workers
+	if backlog < 0 {
+		backlog = 0
+	}
+	return time.Duration(ewma * float64(backlog+1) / float64(a.workers) * float64(time.Second))
+}
+
+// admit asks the gate for an execution slot. On success the returned
+// release must be called exactly once with the observed compute
+// duration; on rejection the error is an *overloadError.
+func (a *admission) admit(ctx context.Context, endpoint string) (release func(elapsed time.Duration), err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if limit, ok := a.limits[endpoint]; ok && limit > 0 && a.inUse[endpoint] >= limit {
+		return nil, &overloadError{
+			reason:     "endpoint_budget",
+			detail:     fmt.Sprintf("%s is at its concurrency budget (%d)", endpoint, limit),
+			retryAfter: a.waitEstimateLocked(endpoint),
+		}
+	}
+	if a.maxQueue > 0 && a.queued >= a.maxQueue {
+		return nil, &overloadError{
+			reason:     "queue_full",
+			detail:     fmt.Sprintf("admission queue is full (%d)", a.maxQueue),
+			retryAfter: a.waitEstimateLocked(endpoint),
+		}
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		wait := a.waitEstimateLocked(endpoint)
+		//nolint:edramvet/determinism // deadline math is intentionally wall-clock
+		remaining := time.Until(deadline)
+		if wait > remaining {
+			return nil, &overloadError{
+				reason: "deadline",
+				detail: fmt.Sprintf("estimated queue wait %v exceeds the request's remaining deadline %v",
+					wait.Round(time.Millisecond), remaining.Round(time.Millisecond)),
+				retryAfter: wait,
+			}
+		}
+	}
+
+	a.queued++
+	a.inUse[endpoint]++
+	return func(elapsed time.Duration) {
+		a.mu.Lock()
+		a.queued--
+		a.inUse[endpoint]--
+		sec := elapsed.Seconds()
+		if prev := a.ewmaSec[endpoint]; prev == 0 {
+			a.ewmaSec[endpoint] = sec
+		} else {
+			a.ewmaSec[endpoint] = ewmaAlpha*sec + (1-ewmaAlpha)*prev
+		}
+		a.mu.Unlock()
+	}, nil
+}
+
+// admitWorkers is the handler-side composition: admission gate first,
+// then the worker pool. The release it returns undoes both and feeds
+// the observed compute time back into the gate's EWMA.
+func (s *Server) admitWorkers(ctx context.Context, endpoint string, want int) (got int, release func(), err error) {
+	admitRelease, err := s.admission.admit(ctx, endpoint)
+	if err != nil {
+		s.shedFor(endpoint, err)
+		return 0, nil, err
+	}
+	s.admittedTotal(endpoint).Inc()
+	s.admissionQueued.Inc()
+	if s.admittedHook != nil {
+		s.admittedHook(endpoint)
+	}
+	//nolint:edramvet/determinism // compute-time observation feeding the wait estimator
+	start := time.Now()
+	got, poolRelease, err := s.acquireWorkers(ctx, want)
+	if err != nil {
+		s.admissionQueued.Dec()
+		admitRelease(0)
+		return 0, nil, err
+	}
+	return got, func() {
+		poolRelease()
+		s.admissionQueued.Dec()
+		//nolint:edramvet/determinism // compute-time observation feeding the wait estimator
+		admitRelease(time.Since(start))
+	}, nil
+}
+
+// shedFor counts one shed request when err is an overload rejection.
+func (s *Server) shedFor(endpoint string, err error) {
+	var oe *overloadError
+	if errors.As(err, &oe) {
+		s.shedTotal(endpoint, oe.reason).Inc()
+	}
+}
+
+// writeOverload maps an overload rejection onto the wire: 503, a
+// Retry-After the client can obey, and the standard error schema.
+func writeOverload(w http.ResponseWriter, oe *overloadError) {
+	w.Header().Set("Retry-After", oe.retryAfterSeconds())
+	writeError(w, http.StatusServiceUnavailable, oe)
+}

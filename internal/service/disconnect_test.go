@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisconnectMidComputeEveryEndpoint pins the detached-compute
+// contract on every compute endpoint: the initiating client
+// disconnects mid-computation, a coalesced follower still receives the
+// full response, and the result lands in the cache. Losing the
+// initiator must never waste the computation or kill its followers.
+func TestDisconnectMidComputeEveryEndpoint(t *testing.T) {
+	simReq := `{"spec":{"capacity_mbit":16,"interface_bits":64},
+		"options":{"policy":"round-robin"},
+		"clients":[{"name":"cpu","kind":"sequential","rate_gbps":0.8,"count":2000}]}`
+	cases := []struct {
+		name, path, body string
+	}{
+		{"explore", "/v1/explore", testReq},
+		{"recommend", "/v1/recommend", testReq},
+		{"simulate", "/v1/simulate", simReq},
+		{"datasheet", "/v1/datasheet", `{"capacity_mbit":16,"interface_bits":128,"redundancy":"std"}`},
+		{"experiments", "/v1/experiments", `{"ids":["E1"]}`},
+		{"scenario", "/v1/scenario", scenarioDoc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := NewServer(Config{Workers: 2})
+			defer srv.Close()
+			started := make(chan struct{})
+			gate := make(chan struct{})
+			var once sync.Once
+			srv.computeStarted = func(endpoint, key string) {
+				once.Do(func() {
+					close(started)
+					<-gate
+				})
+			}
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+
+			// The initiator: cancelled as soon as its computation is
+			// running and a follower has joined the flight.
+			ctx, cancel := context.WithCancel(context.Background())
+			initiatorDone := make(chan error, 1)
+			go func() {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+tc.path, strings.NewReader(tc.body))
+				if err != nil {
+					initiatorDone <- err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				initiatorDone <- err
+			}()
+			<-started
+
+			type reply struct {
+				status int
+				body   string
+				cache  string
+			}
+			followerDone := make(chan reply, 1)
+			go func() {
+				status, body, hdr := post(t, client, ts.URL+tc.path, tc.body)
+				followerDone <- reply{status, body, hdr.Get("X-Cache")}
+			}()
+			// Give the follower time to join the in-flight computation,
+			// then disconnect the initiator and let the compute finish.
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			<-initiatorDone
+			time.Sleep(50 * time.Millisecond)
+			close(gate)
+
+			follower := <-followerDone
+			if follower.status != http.StatusOK {
+				t.Fatalf("follower after initiator disconnect: status %d: %s", follower.status, follower.body)
+			}
+			if follower.cache != "coalesced" {
+				t.Errorf("follower X-Cache %q, want coalesced", follower.cache)
+			}
+
+			// The computation was cached despite the disconnect.
+			status, body, hdr := post(t, client, ts.URL+tc.path, tc.body)
+			if status != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+				t.Fatalf("post-disconnect repeat: status %d, X-Cache %q, want 200 hit", status, hdr.Get("X-Cache"))
+			}
+			if body != follower.body {
+				t.Error("cached bytes differ from the follower's response")
+			}
+		})
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"edram/internal/core"
 )
 
 // strictUnmarshal decodes JSON rejecting unknown fields and trailing
@@ -39,7 +41,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer signal, distinct from /healthz:
+// the process can be alive (healthz 200) yet not ready to take
+// traffic — still warming its cache or resuming jobs at startup, or
+// draining in-flight requests at shutdown. Both of those answer 503
+// here so rotation skips the instance without killing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch s.readiness.Load() {
+	case readyOK:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case readyDraining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.jobsStore != nil {
+		s.jobsActive.Set(int64(s.jobsStore.Active()))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteProm(w)
 }
@@ -59,8 +80,21 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := HashKey("explore", req.CanonicalKey())
+	// The sync→async escape hatch: a sweep too large for the
+	// request/response cycle is converted into a job (202 + job id)
+	// unless the cache already holds the answer.
+	if t := s.cfg.AsyncPointThreshold; t > 0 && core.SweepCount(req) > t {
+		if val, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			w.Header().Set("X-Cache", "hit")
+			writeBytes(w, val)
+			return
+		}
+		s.submitJob(w, JobRequest{Kind: "explore", Explore: &req})
+		return
+	}
 	s.serveCached(w, r, "/v1/explore", key, func(ctx context.Context) ([]byte, error) {
-		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		workers, release, err := s.admitWorkers(ctx, "/v1/explore", s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +123,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	key := HashKey("recommend", req.CanonicalKey())
 	s.serveCached(w, r, "/v1/recommend", key, func(ctx context.Context) ([]byte, error) {
-		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		workers, release, err := s.admitWorkers(ctx, "/v1/recommend", s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +153,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) ([]byte, error) {
 		// The event-driven simulation is single-threaded: one pool
 		// slot, however many were asked for.
-		_, release, err := s.acquireWorkers(ctx, 1)
+		_, release, err := s.admitWorkers(ctx, "/v1/simulate", 1)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +197,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}
 	key := HashKey("experiments", req.canonicalKey())
 	s.serveCached(w, r, "/v1/experiments", key, func(ctx context.Context) ([]byte, error) {
-		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		workers, release, err := s.admitWorkers(ctx, "/v1/experiments", s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,15 @@
+package service
+
+import (
+	"testing"
+
+	"edram/internal/testleak"
+)
+
+// TestMain gates the whole package on goroutine hygiene: after every
+// test has passed, the runtime must settle back to the baseline
+// goroutine count. A handler that leaks a compute goroutine, a job
+// runner that outlives its store, or a pool waiter stuck past
+// shutdown turns the package run into a failure with a full stack
+// dump.
+func TestMain(m *testing.M) { testleak.Check(m) }

@@ -84,68 +84,81 @@ func BuildScenario(ctx context.Context, scn *scenario.Scenario, workers int) (*S
 		Key:           HashKey("scenario", scn.CanonicalKey()),
 		Levels:        []ScenarioLevelJSON{},
 	}
-	for _, cl := range compiled.Levels {
-		lj := ScenarioLevelJSON{Name: cl.Name, Kind: cl.Kind}
-		switch cl.Kind {
-		case "edram":
-			ex, err := BuildExplore(ctx, cl.Requirements, workers, nil)
-			if err != nil {
-				return nil, err
-			}
-			spec := cl.Spec
-			req := cl.Requirements
-			lj.Spec = &spec
-			lj.Requirements = &req
-			lj.Points = ex.Points
-			lj.Built = ex.Built
-			lj.Infeasible = ex.Infeasible
-			lj.Picks = ex.Picks
-			m, err := edram.Build(spec)
-			if err != nil {
-				return nil, err
-			}
-			lj.ClockMHz = m.ClockMHz
-			lj.AreaMm2 = m.Area.TotalMm2
-			lj.PeakGBps = m.PeakBandwidthGBps()
-			if len(cl.Clients) > 0 {
-				sim, err := BuildSimulate(SimulateRequest{
-					Spec: spec,
-					Options: SimulateOptions{
-						Policy:        compiled.PolicyName,
-						ClosedPage:    compiled.ClosedPage,
-						ReorderWindow: compiled.ReorderWindow,
-					},
-					Clients: cl.Clients,
-				})
-				if err != nil {
-					return nil, err
-				}
-				lj.Simulation = &ScenarioSimJSON{
-					Policy:            sim.Policy,
-					PeakGBps:          sim.PeakGBps,
-					SustainedGBps:     sim.SustainedGBps,
-					SustainedFraction: sim.SustainedFraction,
-					HitRate:           sim.HitRate,
-					DurationNs:        sim.DurationNs,
-					Clients:           sim.Clients,
-				}
-			}
-		case "sram":
-			area, err := cl.SRAM.AreaMm2()
-			if err != nil {
-				return nil, err
-			}
-			ns, err := cl.SRAM.AccessNs()
-			if err != nil {
-				return nil, err
-			}
-			lj.SRAMAreaMm2 = area
-			lj.SRAMAccessNs = ns
-			lj.SRAMStandbyMW = cl.SRAM.StandbyMW()
+	for i := range compiled.Levels {
+		lj, err := buildScenarioLevel(ctx, compiled, i, workers)
+		if err != nil {
+			return nil, err
 		}
 		resp.Levels = append(resp.Levels, lj)
 	}
 	return resp, nil
+}
+
+// buildScenarioLevel evaluates one hierarchy level of a compiled
+// scenario. Levels are independent of each other, which is what lets
+// the scenario job runner checkpoint after each level and resume with
+// byte-identical output.
+func buildScenarioLevel(ctx context.Context, compiled *scenario.Compiled, i, workers int) (ScenarioLevelJSON, error) {
+	cl := compiled.Levels[i]
+	lj := ScenarioLevelJSON{Name: cl.Name, Kind: cl.Kind}
+	switch cl.Kind {
+	case "edram":
+		ex, err := BuildExplore(ctx, cl.Requirements, workers, nil)
+		if err != nil {
+			return lj, err
+		}
+		spec := cl.Spec
+		req := cl.Requirements
+		lj.Spec = &spec
+		lj.Requirements = &req
+		lj.Points = ex.Points
+		lj.Built = ex.Built
+		lj.Infeasible = ex.Infeasible
+		lj.Picks = ex.Picks
+		m, err := edram.Build(spec)
+		if err != nil {
+			return lj, err
+		}
+		lj.ClockMHz = m.ClockMHz
+		lj.AreaMm2 = m.Area.TotalMm2
+		lj.PeakGBps = m.PeakBandwidthGBps()
+		if len(cl.Clients) > 0 {
+			sim, err := BuildSimulate(SimulateRequest{
+				Spec: spec,
+				Options: SimulateOptions{
+					Policy:        compiled.PolicyName,
+					ClosedPage:    compiled.ClosedPage,
+					ReorderWindow: compiled.ReorderWindow,
+				},
+				Clients: cl.Clients,
+			})
+			if err != nil {
+				return lj, err
+			}
+			lj.Simulation = &ScenarioSimJSON{
+				Policy:            sim.Policy,
+				PeakGBps:          sim.PeakGBps,
+				SustainedGBps:     sim.SustainedGBps,
+				SustainedFraction: sim.SustainedFraction,
+				HitRate:           sim.HitRate,
+				DurationNs:        sim.DurationNs,
+				Clients:           sim.Clients,
+			}
+		}
+	case "sram":
+		area, err := cl.SRAM.AreaMm2()
+		if err != nil {
+			return lj, err
+		}
+		ns, err := cl.SRAM.AccessNs()
+		if err != nil {
+			return lj, err
+		}
+		lj.SRAMAreaMm2 = area
+		lj.SRAMAccessNs = ns
+		lj.SRAMStandbyMW = cl.SRAM.StandbyMW()
+	}
+	return lj, nil
 }
 
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
@@ -159,7 +172,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	key := HashKey("scenario", scn.CanonicalKey())
 	s.serveCached(w, r, "/v1/scenario", key, func(ctx context.Context) ([]byte, error) {
-		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		workers, release, err := s.admitWorkers(ctx, "/v1/scenario", s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -25,7 +25,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
+
+	"edram/internal/core"
+	"edram/internal/jobs"
 )
 
 // Config tunes the server; the zero value gets sensible defaults.
@@ -49,6 +54,31 @@ type Config struct {
 	MaxSimRequests int64
 	// AccessLog receives one JSON line per request (nil = no log).
 	AccessLog io.Writer
+
+	// MaxQueueDepth bounds computations admitted beyond the worker
+	// capacity (default 32; negative disables the bound). Past it,
+	// requests shed immediately with 503 + Retry-After instead of
+	// queueing invisibly.
+	MaxQueueDepth int
+	// EndpointBudget caps concurrent computations per endpoint; any
+	// endpoint absent from the map gets DefaultEndpointBudget
+	// (default 2*Workers+2; negative disables).
+	EndpointBudget        map[string]int
+	DefaultEndpointBudget int
+
+	// JobDir is the async-job checkpoint directory ("" keeps jobs
+	// memory-only: no resume across restarts).
+	JobDir string
+	// MaxJobs / MaxActiveJobs bound the job store (defaults 64 / 2).
+	MaxJobs       int
+	MaxActiveJobs int
+	// JobCheckpointEvery is the explore job checkpoint cadence in
+	// design points (default 250,000).
+	JobCheckpointEvery int
+	// AsyncPointThreshold converts a synchronous POST /v1/explore
+	// whose sweep exceeds this many design points into an async job
+	// (202 + job id). 0 disables the escape hatch.
+	AsyncPointThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,32 +103,79 @@ func (c Config) withDefaults() Config {
 	if c.MaxSimRequests == 0 {
 		c.MaxSimRequests = 2_000_000
 	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 32
+	}
+	if c.DefaultEndpointBudget == 0 {
+		c.DefaultEndpointBudget = 2*c.Workers + 2
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 64
+	}
+	if c.MaxActiveJobs == 0 {
+		c.MaxActiveJobs = 2
+	}
+	if c.JobCheckpointEvery <= 0 {
+		c.JobCheckpointEvery = 250_000
+	}
 	return c
 }
 
+// endpointBudgets resolves the per-endpoint concurrency limits: the
+// explicit map entries over the default for every compute endpoint.
+func (c Config) endpointBudgets() map[string]int {
+	limits := map[string]int{}
+	for _, ep := range []string{"/v1/explore", "/v1/recommend", "/v1/simulate", "/v1/experiments", "/v1/scenario"} {
+		limits[ep] = c.DefaultEndpointBudget
+	}
+	for ep, n := range c.EndpointBudget {
+		limits[ep] = n
+	}
+	return limits
+}
+
+// Readiness states reported by GET /readyz.
+const (
+	readyStarting int32 = iota // warm-up / job resume not finished
+	readyOK                    // serving
+	readyDraining              // graceful shutdown in progress
+)
+
 // Server is the HTTP service. Construct with NewServer.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *ResultCache
-	flights flightGroup
-	pool    *WorkerPool
-	metrics *Metrics
-	logger  *slog.Logger
+	cfg       Config
+	mux       *http.ServeMux
+	cache     *ResultCache
+	flights   flightGroup
+	pool      *WorkerPool
+	metrics   *Metrics
+	logger    *slog.Logger
+	admission *admission
+	readiness atomic.Int32
+
+	// jobsStore is the async-job registry; jobsErr records a failed
+	// store initialization (bad JobDir) so the jobs endpoints report
+	// it instead of panicking.
+	jobsStore *jobs.Store
+	jobsErr   error
 
 	// Metric handles resolved once at construction.
-	inFlight      *Gauge
-	workersInUse  *Gauge
-	workersCap    *Gauge
-	cacheHits     *Counter
-	cacheMisses   *Counter
-	cacheEvicts   *Counter
-	coalescedReqs *Counter
+	inFlight        *Gauge
+	workersInUse    *Gauge
+	workersCap      *Gauge
+	cacheHits       *Counter
+	cacheMisses     *Counter
+	cacheEvicts     *Counter
+	coalescedReqs   *Counter
+	admissionQueued *Gauge
+	jobsActive      *Gauge
 
 	// computeStarted, when set (tests only), observes every cache-miss
 	// computation as it begins — the barrier the coalescing tests
-	// synchronize on.
+	// synchronize on. admittedHook fires after a computation passes the
+	// admission gate — the barrier the overload tests synchronize on.
 	computeStarted func(endpoint, key string)
+	admittedHook   func(endpoint string)
 }
 
 // NewServer builds a server with its own cache, flight group, worker
@@ -107,21 +184,29 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		cache:   NewResultCache(cfg.CacheEntries, cfg.CacheTTL),
-		pool:    NewWorkerPool(cfg.Workers),
-		metrics: m,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		cache:     NewResultCache(cfg.CacheEntries, cfg.CacheTTL),
+		pool:      NewWorkerPool(cfg.Workers),
+		metrics:   m,
+		admission: newAdmission(cfg.Workers, cfg.MaxQueueDepth, cfg.endpointBudgets()),
 
-		inFlight:      m.Gauge("edramd_in_flight_requests", "Requests currently being served."),
-		workersInUse:  m.Gauge("edramd_workers_in_use", "Evaluation workers currently acquired."),
-		workersCap:    m.Gauge("edramd_workers_capacity", "Evaluation worker pool capacity."),
-		cacheHits:     m.Counter("edramd_cache_hits_total", "Responses served from the result cache."),
-		cacheMisses:   m.Counter("edramd_cache_misses_total", "Responses computed on a cache miss."),
-		cacheEvicts:   m.Counter("edramd_cache_evictions_total", "Cache entries evicted by the LRU cap."),
-		coalescedReqs: m.Counter("edramd_coalesced_requests_total", "Requests that joined an in-flight identical computation."),
+		inFlight:        m.Gauge("edramd_in_flight_requests", "Requests currently being served."),
+		workersInUse:    m.Gauge("edramd_workers_in_use", "Evaluation workers currently acquired."),
+		workersCap:      m.Gauge("edramd_workers_capacity", "Evaluation worker pool capacity."),
+		cacheHits:       m.Counter("edramd_cache_hits_total", "Responses served from the result cache."),
+		cacheMisses:     m.Counter("edramd_cache_misses_total", "Responses computed on a cache miss."),
+		cacheEvicts:     m.Counter("edramd_cache_evictions_total", "Cache entries evicted by the LRU cap."),
+		coalescedReqs:   m.Counter("edramd_coalesced_requests_total", "Requests that joined an in-flight identical computation."),
+		admissionQueued: m.Gauge("edramd_admission_queued", "Computations admitted and not yet released."),
+		jobsActive:      m.Gauge("edramd_jobs_active", "Async jobs currently running."),
 	}
 	s.workersCap.Set(int64(cfg.Workers))
+	s.jobsStore, s.jobsErr = jobs.NewStore(jobs.Config{
+		Dir:       cfg.JobDir,
+		MaxJobs:   cfg.MaxJobs,
+		MaxActive: cfg.MaxActiveJobs,
+	})
 	logOut := cfg.AccessLog
 	if logOut == nil {
 		logOut = io.Discard
@@ -129,6 +214,7 @@ func NewServer(cfg Config) *Server {
 	s.logger = slog.New(slog.NewJSONHandler(logOut, nil))
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
@@ -136,7 +222,72 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasheet", s.handleDatasheet)
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return s
+}
+
+// MarkReady flips /readyz to 200. The daemon calls it once job resume
+// and cache warm-up have completed; until then load balancers keep the
+// instance out of rotation while /healthz already answers.
+func (s *Server) MarkReady() { s.readiness.CompareAndSwap(readyStarting, readyOK) }
+
+// Warmup primes the result cache with the explore responses for the
+// given requirement sets. The daemon runs it before MarkReady so an
+// instance enters rotation with its hot keys already served from
+// memory instead of absorbing a thundering herd cold.
+func (s *Server) Warmup(ctx context.Context, reqs []core.Requirements) error {
+	for _, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return fmt.Errorf("warmup %s: %w", req.CanonicalKey(), err)
+		}
+		resp, err := BuildExplore(ctx, req, s.cfg.Workers, nil)
+		if err != nil {
+			return fmt.Errorf("warmup %s: %w", req.CanonicalKey(), err)
+		}
+		b, err := Encode(resp)
+		if err != nil {
+			return err
+		}
+		s.cacheEvicts.Add(int64(s.cache.Put(HashKey("explore", req.CanonicalKey()), b)))
+	}
+	return nil
+}
+
+// markDraining flips /readyz to 503 "draining" for the rest of the
+// process lifetime.
+func (s *Server) markDraining() { s.readiness.Store(readyDraining) }
+
+// Close shuts the async-job store down: running jobs are cancelled
+// cooperatively and keep their last checkpoint for the next life.
+// ListenAndServe calls it after the HTTP drain; tests that never serve
+// call it directly.
+func (s *Server) Close() error {
+	if s.jobsStore == nil {
+		return nil
+	}
+	return s.jobsStore.Close(s.cfg.DrainTimeout)
+}
+
+// shedTotal / admittedTotal / jobsSubmitted resolve the labeled
+// overload counters (labels are from closed sets: endpointLabel output
+// and fixed reason/kind strings — not client-controlled).
+func (s *Server) shedTotal(endpoint, reason string) *Counter {
+	return s.metrics.Counter("edramd_shed_total", "Requests shed by admission control.",
+		Label{"endpoint", endpoint}, Label{"reason", reason})
+}
+
+func (s *Server) admittedTotal(endpoint string) *Counter {
+	return s.metrics.Counter("edramd_admitted_total", "Computations admitted past the gate.",
+		Label{"endpoint", endpoint})
+}
+
+func (s *Server) jobsSubmitted(kind string) *Counter {
+	return s.metrics.Counter("edramd_jobs_submitted_total", "Async jobs created.",
+		Label{"kind", kind})
 }
 
 // Metrics exposes the server's registry (the daemon and tests read it;
@@ -150,6 +301,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // collapse into one "other" bucket.
 var knownEndpoints = map[string]bool{
 	"/healthz":        true,
+	"/readyz":         true,
 	"/metrics":        true,
 	"/v1/explore":     true,
 	"/v1/recommend":   true,
@@ -157,12 +309,18 @@ var knownEndpoints = map[string]bool{
 	"/v1/datasheet":   true,
 	"/v1/experiments": true,
 	"/v1/scenario":    true,
+	"/v1/jobs":        true,
 }
 
 // endpointLabel normalizes a request path to the known route set.
+// Job-instance paths (/v1/jobs/{id}...) collapse into "/v1/jobs": the
+// id segment is client-controlled and must not mint metric series.
 func endpointLabel(path string) string {
 	if knownEndpoints[path] {
 		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		return "/v1/jobs"
 	}
 	return "other"
 }
@@ -296,6 +454,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		w.Header().Set("X-Cache", "miss")
 	}
 	if err != nil {
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			writeOverload(w, oe)
+			return
+		}
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -351,10 +514,16 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 	go func() { done <- srv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
+		// Flip /readyz to draining first, so load balancers stop
+		// routing here while in-flight requests finish.
+		s.markDraining()
 		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)
 		<-done // Serve has returned http.ErrServerClosed
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
 		return err
 	case err := <-done:
 		return err

@@ -1,0 +1,62 @@
+// Package testleak is a stdlib-only goroutine-leak gate for test
+// packages that exercise shutdown and overload paths. Wire it in via
+// TestMain:
+//
+//	func TestMain(m *testing.M) { testleak.Check(m) }
+//
+// After the package's tests pass, Check waits for the goroutine count
+// to settle back to the pre-run baseline (plus a small slack for
+// runtime-owned goroutines) and fails the package with a full stack
+// dump if it never does — turning "the drain path leaks a worker per
+// request" from an invisible slow burn into a red test.
+package testleak
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+const (
+	// slack tolerates goroutines the runtime or testing machinery
+	// parks lazily (GC workers, test output pumps).
+	slack = 3
+	// settleTimeout bounds how long Check waits for goroutines that
+	// are legitimately unwinding (timer-driven cache janitors, worker
+	// pools draining after Shutdown).
+	settleTimeout = 10 * time.Second
+)
+
+// Check runs the package's tests and exits the process with a failure
+// when they leak goroutines. It must be the only statement in
+// TestMain.
+func Check(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 && !settled(baseline) {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr,
+			"testleak: goroutine leak: baseline %d, still %d after %v\n%s\n",
+			baseline, runtime.NumGoroutine(), settleTimeout, buf[:n])
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// settled polls until the goroutine count returns to baseline+slack
+// or the timeout lapses.
+func settled(baseline int) bool {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		if runtime.NumGoroutine() <= baseline+slack {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
