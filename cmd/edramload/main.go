@@ -223,7 +223,6 @@ func issue(client *http.Client, base string, r loadgen.Request) loadgen.Outcome 
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	//nolint:edramvet/determinism // latency measurement is the harness's entire job
 	out.LatencyNs = time.Since(start).Nanoseconds()
 	out.Status = resp.StatusCode
 	return out

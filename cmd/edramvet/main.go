@@ -1,61 +1,133 @@
-// Command edramvet runs the project's custom lint suite: four
+// Command edramvet runs the project's custom lint suite: nine
 // go/analysis-style checkers enforcing the invariants the compiler
-// cannot see (internal/units naming discipline, model-package
-// determinism, float-equality hygiene, and deprecated-API migration).
-// It is stdlib-only and offline: packages are loaded with go/parser +
+// cannot see (units naming discipline, model-package determinism,
+// float-equality hygiene, deprecated-API migration, cache-key identity
+// completeness, context propagation, goroutine cancellation-awareness,
+// metric-label cardinality, and no-blocking-under-mutex). It is
+// stdlib-only and offline: packages are loaded with go/parser +
 // go/types, resolving module-internal imports from the module root and
 // the standard library from GOROOT source.
 //
 // Usage:
 //
-//	edramvet [-tests] [-only name[,name]] [patterns...]
+//	edramvet [flags] [patterns...]
 //
 // Patterns are ./... (default, the whole module), dir/... for a
-// subtree, or a package directory. Exit status: 0 clean, 1 findings,
-// 2 usage or load errors.
+// subtree, or a package directory.
+//
+// Exit status:
+//
+//	0  no findings (with -audit-nolint: no bad directives either)
+//	1  findings; in -diff mode, findings not in the baseline; in
+//	   -audit-nolint mode, stale/reasonless/unknown-scope directives
+//	2  usage errors, or packages that failed to load or type-check
 //
 // Intentional exceptions are annotated in the source:
 //
 //	//nolint:edramvet                 suppress all analyzers (line or next line)
 //	//nolint:edramvet/floateq // why  suppress one analyzer, with a reason
+//
+// Reasonless or stale suppressions fail `edramvet -audit-nolint`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"edram/internal/analysis"
+	"edram/internal/analysis/cachekey"
+	"edram/internal/analysis/ctxflow"
 	"edram/internal/analysis/deprecated"
 	"edram/internal/analysis/determinism"
 	"edram/internal/analysis/floateq"
+	"edram/internal/analysis/goroutines"
+	"edram/internal/analysis/locks"
+	"edram/internal/analysis/metricslabel"
 	"edram/internal/analysis/unitscheck"
 )
 
 var suite = []*analysis.Analyzer{
-	determinism.Analyzer,
+	cachekey.Analyzer,
+	ctxflow.Analyzer,
 	deprecated.Analyzer,
+	determinism.Analyzer,
 	floateq.Analyzer,
+	goroutines.Analyzer,
+	locks.Analyzer,
+	metricslabel.Analyzer,
 	unitscheck.Analyzer,
 }
 
 func main() {
-	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edramvet: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind a testable seam: flag parsing, loading,
+// analysis, output, and the exit code, with no global state.
+func run(args []string, cwd string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edramvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	diffPath := fs.String("diff", "", "baseline `file`: fail only on findings not in the baseline")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to baseline `file` and exit 0")
+	audit := fs.Bool("audit-nolint", false, "audit //nolint:edramvet directives (stale, reasonless, unknown scope); runs the full suite")
+	fs.Usage = func() {
+		fmt.Fprint(stderr, `edramvet: the project lint suite (stdlib-only, offline).
+
+usage: edramvet [flags] [patterns...]
+
+Patterns are ./... (default, the whole module), dir/... for a subtree,
+or a package directory.
+
+Exit status:
+  0  no findings (with -audit-nolint: no bad directives either)
+  1  findings; in -diff mode, findings not in the baseline; in
+     -audit-nolint mode, stale/reasonless/unknown-scope directives
+  2  usage errors, or packages that failed to load or type-check
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	errf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "edramvet: "+format+"\n", args...)
+		return 2
+	}
+
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		return errf("unknown -format %q (want text, json, or sarif)", *format)
+	}
 
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := suite
 	if *only != "" {
+		if *audit {
+			return errf("-audit-nolint needs the full suite; drop -only (staleness is undecidable under a partial run)")
+		}
 		byName := map[string]*analysis.Analyzer{}
 		for _, a := range suite {
 			byName[a.Name] = a
@@ -64,16 +136,12 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fail("unknown analyzer %q (use -list)", name)
+				return errf("unknown analyzer %q (use -list)", name)
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		fail("%v", err)
-	}
 	root := cwd
 	for {
 		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
@@ -81,18 +149,18 @@ func main() {
 		}
 		parent := filepath.Dir(root)
 		if parent == root {
-			fail("no go.mod found above %s", cwd)
+			return errf("no go.mod found above %s", cwd)
 		}
 		root = parent
 	}
 
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fail("%v", err)
+		return errf("%v", err)
 	}
 	loader.IncludeTests = *tests
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -101,7 +169,7 @@ func main() {
 	for _, pat := range patterns {
 		loaded, err := loadPattern(loader, cwd, pat)
 		if err != nil {
-			fail("%s: %v", pat, err)
+			return errf("%s: %v", pat, err)
 		}
 		for _, p := range loaded {
 			if !seen[p.Path] {
@@ -117,25 +185,98 @@ func main() {
 	badLoad := false
 	for _, p := range pkgs {
 		for _, e := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "edramvet: %s: %v\n", p.Path, e)
+			fmt.Fprintf(stderr, "edramvet: %s: %v\n", p.Path, e)
 			badLoad = true
 		}
 	}
 	if badLoad {
-		os.Exit(2)
+		return 2
 	}
 
-	findings, err := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	res, err := analysis.RunAnalyzersDetail(loader, pkgs, analyzers)
 	if err != nil {
-		fail("%v", err)
+		return errf("%v", err)
 	}
-	for _, f := range findings {
-		fmt.Println(relativize(cwd, f))
+
+	if *writeBaseline != "" {
+		b := analysis.NewBaseline(res.Findings, root)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			return errf("%v", err)
+		}
+		fmt.Fprintf(stderr, "edramvet: wrote %d baseline entr%s (%d finding(s)) to %s\n",
+			len(b.Findings), plural(len(b.Findings), "y", "ies"), len(res.Findings), *writeBaseline)
+		return 0
 	}
+
+	findings := res.Findings
+	if *diffPath != "" {
+		b, err := analysis.LoadBaseline(*diffPath)
+		if err != nil {
+			return errf("%v", err)
+		}
+		findings = b.Diff(findings, root)
+	}
+
+	switch *format {
+	case "text":
+		err = analysis.WriteText(stdout, findings, cwd)
+	case "json":
+		err = analysis.WriteJSON(stdout, findings, cwd)
+	case "sarif":
+		err = analysis.WriteSARIF(stdout, findings, analyzers, cwd)
+	}
+	if err != nil {
+		return errf("%v", err)
+	}
+
+	status := 0
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "edramvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		what := "finding(s)"
+		if *diffPath != "" {
+			what = "new finding(s) not in baseline " + *diffPath
+		}
+		fmt.Fprintf(stderr, "edramvet: %d %s\n", len(findings), what)
+		status = 1
 	}
+
+	if *audit {
+		bad := 0
+		for _, e := range analysis.AuditNolint(res, analyzers) {
+			if !e.Bad() {
+				continue
+			}
+			bad++
+			var why []string
+			if e.Stale {
+				why = append(why, "stale: suppressed nothing this run")
+			}
+			if e.MissingReason {
+				why = append(why, "missing a reason")
+			}
+			for _, n := range e.Unknown {
+				why = append(why, fmt.Sprintf("unknown analyzer %q", n))
+			}
+			file := e.File
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d: nolint:edramvet/%s — %s\n", file, e.Line, e.Scope(), strings.Join(why, "; "))
+		}
+		if bad > 0 {
+			fmt.Fprintf(stderr, "edramvet: %d bad nolint directive(s)\n", bad)
+			status = 1
+		} else {
+			fmt.Fprintf(stderr, "edramvet: %d nolint directive(s), all scoped, reasoned, and earning their keep\n", len(res.Directives))
+		}
+	}
+	return status
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // loadPattern resolves one command-line pattern to packages.
@@ -170,17 +311,4 @@ func loadPattern(loader *analysis.Loader, cwd, pat string) ([]*analysis.Package,
 		}
 		return nil, fmt.Errorf("package %s not loaded", path)
 	}
-}
-
-// relativize shortens finding paths for readability.
-func relativize(cwd string, f analysis.Finding) string {
-	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		f.Pos.Filename = rel
-	}
-	return f.String()
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "edramvet: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,0 +1,132 @@
+// In-process driver tests: run() is exercised directly (no TestMain,
+// no exec of a built binary), so the smoke test also type-checks the
+// whole module through the analysis loader.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, moduleRoot(t), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestSmokeWholeModule is the acceptance gate in test form: the full
+// suite over ./... must be clean, and every suppression must carry a
+// reason and still be earning its keep.
+func TestSmokeWholeModule(t *testing.T) {
+	code, stdout, stderr := runVet(t, "-audit-nolint", "./...")
+	if code != 0 {
+		t.Fatalf("edramvet -audit-nolint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run wrote findings:\n%s", stdout)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad format", []string{"-format=xml", "./..."}},
+		{"unknown analyzer", []string{"-only=bogus", "./..."}},
+		{"audit with only", []string{"-audit-nolint", "-only=floateq", "./..."}},
+		{"unknown flag", []string{"-frobnicate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runVet(t, tc.args...)
+			if code != 2 {
+				t.Errorf("exit %d, want 2 (stderr: %s)", code, stderr)
+			}
+		})
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, want 0", code)
+	}
+	for _, a := range suite {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing %s:\n%s", a.Name, stdout)
+		}
+	}
+	if len(suite) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(suite))
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runVet(t, "-format=json", "internal/units")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean package produced findings: %v", findings)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, stderr := runVet(t, "-format=sarif", "internal/units")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []any  `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("sarif version %q / %d runs, want 2.1.0 / 1", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "edramvet" || len(r.Tool.Driver.Rules) != len(suite) {
+		t.Errorf("driver %q with %d rules, want edramvet with %d", r.Tool.Driver.Name, len(r.Tool.Driver.Rules), len(suite))
+	}
+	if r.Results == nil {
+		t.Error("results must be [] on a clean run, not null")
+	}
+}
+
+// TestDiffMode: against the committed (empty) baseline, a clean tree
+// stays clean; the baseline file itself must parse.
+func TestDiffMode(t *testing.T) {
+	code, _, stderr := runVet(t, "-diff", filepath.Join(moduleRoot(t), "lint_baseline.json"), "internal/units")
+	if code != 0 {
+		t.Fatalf("-diff exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+}

@@ -25,9 +25,26 @@ import (
 
 var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
+// TB is the subset of testing.TB the harness needs. It exists so the
+// harness can be tested against itself: a meta-test drives RunTB with a
+// recording fake and asserts that bad fixtures fail.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Fatal(args ...any)
+	Failed() bool
+}
+
 // Run checks the analyzer against the named fixture packages (each a
 // directory under testdata/src relative to the calling test).
 func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	RunTB(t, a, fixtures...)
+}
+
+// RunTB is Run over any TB implementation.
+func RunTB(t TB, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -43,7 +60,7 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	}
 }
 
-func runOne(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, dir string) {
+func runOne(t TB, loader *analysis.Loader, a *analysis.Analyzer, dir string) {
 	t.Helper()
 	pkg, err := loader.LoadDir(dir)
 	if err != nil {
@@ -123,7 +140,7 @@ func runOne(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, dir str
 	}
 }
 
-func moduleRoot(t *testing.T, dir string) string {
+func moduleRoot(t TB, dir string) string {
 	t.Helper()
 	for {
 		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {

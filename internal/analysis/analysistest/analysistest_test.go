@@ -1,0 +1,77 @@
+// The meta-test: the fixture harness itself must fail fixtures with
+// wrong expectations and pass correct ones. A recording TB stands in
+// for *testing.T.
+package analysistest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"edram/internal/analysis/floateq"
+)
+
+type fatalStop struct{}
+
+// recordTB captures harness verdicts without failing the real test.
+type recordTB struct {
+	errors []string
+}
+
+func (r *recordTB) Helper() {}
+
+func (r *recordTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recordTB) Fatalf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+	panic(fatalStop{})
+}
+
+func (r *recordTB) Fatal(args ...any) {
+	r.errors = append(r.errors, fmt.Sprint(args...))
+	panic(fatalStop{})
+}
+
+func (r *recordTB) Failed() bool { return len(r.errors) > 0 }
+
+func (r *recordTB) run(a func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(fatalStop); !ok {
+				panic(p)
+			}
+		}
+	}()
+	a()
+}
+
+func TestWrongWantRegexpFails(t *testing.T) {
+	rec := &recordTB{}
+	rec.run(func() { RunTB(rec, floateq.Analyzer, "metabad") })
+	if len(rec.errors) != 2 {
+		t.Fatalf("harness recorded %d errors, want 2:\n%s", len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	var unexpected, unmatched bool
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected diagnostic") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no diagnostic matching") {
+			unmatched = true
+		}
+	}
+	if !unexpected || !unmatched {
+		t.Errorf("harness errors missed a verdict (unexpected=%v unmatched=%v):\n%s",
+			unexpected, unmatched, strings.Join(rec.errors, "\n"))
+	}
+}
+
+func TestCorrectFixturePasses(t *testing.T) {
+	rec := &recordTB{}
+	rec.run(func() { RunTB(rec, floateq.Analyzer, "metaclean") })
+	if len(rec.errors) != 0 {
+		t.Fatalf("harness failed a correct fixture:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}

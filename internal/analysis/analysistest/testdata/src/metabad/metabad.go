@@ -1,0 +1,8 @@
+// Fixture for the harness meta-test: the want regexp matches no
+// diagnostic (floateq reports "float64 equality" here), so a correct
+// harness must fail twice — unexpected diagnostic + unmatched want.
+package metabad
+
+func F(a, b float64) bool {
+	return a == b // want "this-regexp-matches-no-diagnostic"
+}

@@ -1,0 +1,7 @@
+// Fixture for the harness meta-test: a correctly annotated fixture
+// must pass with zero recorded errors.
+package metaclean
+
+func G(a, b float64) bool {
+	return a == b // want "float64 equality"
+}

@@ -1,0 +1,52 @@
+package analysis
+
+// The suppression audit: every //nolint:edramvet directive must carry a
+// reason and must still be earning its keep. A directive that
+// suppressed nothing in a full-suite run is stale — the code it excused
+// was fixed or deleted — and keeping it around silently blinds the
+// suite to future regressions at that site.
+
+// AuditEntry is one directive's verdict.
+type AuditEntry struct {
+	Directive
+	// Stale marks a directive that suppressed no diagnostic in this
+	// run even though every analyzer it names ran.
+	Stale bool
+	// Unknown lists scope names matching no analyzer in the suite
+	// (typo, or an analyzer since removed).
+	Unknown []string
+	// MissingReason marks a directive with no justification text.
+	MissingReason bool
+}
+
+// Bad reports whether the entry should fail the audit.
+func (e AuditEntry) Bad() bool {
+	return e.Stale || e.MissingReason || len(e.Unknown) > 0
+}
+
+// AuditNolint judges every directive from a run against the analyzer
+// set that ran. Staleness is only meaningful when the directives'
+// analyzers all ran — the driver runs the full suite in audit mode.
+func AuditNolint(res *RunResult, analyzers []*Analyzer) []AuditEntry {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	entries := make([]AuditEntry, 0, len(res.Directives))
+	for _, d := range res.Directives {
+		e := AuditEntry{Directive: d}
+		for _, n := range d.Analyzers {
+			if !known[n] {
+				e.Unknown = append(e.Unknown, n)
+			}
+		}
+		if d.Hits == 0 && len(e.Unknown) == 0 {
+			e.Stale = true
+		}
+		if d.Reason == "" {
+			e.MissingReason = true
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}

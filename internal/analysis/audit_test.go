@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// auditTestAnalyzer flags every variable whose name starts with "bad" —
+// a minimal diagnostic source for exercising suppression accounting.
+var auditTestAnalyzer = &Analyzer{
+	Name: "testcheck",
+	Doc:  "flags variables named bad*",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "bad") {
+						pass.Report(Diagnostic{Pos: name.Pos(), Message: "bad variable " + name.Name})
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const auditFixture = `package auditfix
+
+var bad1 = 1 //nolint:edramvet/testcheck // known-bad fixture value
+
+//nolint:edramvet/testcheck
+var bad2 = 2
+
+//nolint:edramvet/testcheck // nothing left to excuse here
+var good1 = 3
+
+//nolint:edramvet/nosuch // this analyzer does not exist
+var good2 = 4
+
+var bad3 = 5
+`
+
+func TestAuditNolint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module auditfix\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(auditFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAnalyzersDetail(l, []*Package{pkg}, []*Analyzer{auditTestAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Findings) != 1 || !strings.Contains(res.Findings[0].Message, "bad3") {
+		t.Errorf("findings = %v, want just bad3", res.Findings)
+	}
+	if len(res.Suppressed) != 2 {
+		t.Errorf("suppressed = %v, want bad1 and bad2", res.Suppressed)
+	}
+
+	entries := AuditNolint(res, []*Analyzer{auditTestAnalyzer})
+	if len(entries) != 4 {
+		t.Fatalf("audit entries = %d, want 4", len(entries))
+	}
+	byReason := map[string]AuditEntry{}
+	for _, e := range entries {
+		byReason[e.Reason] = e
+	}
+
+	if e := byReason["known-bad fixture value"]; e.Bad() || e.Hits != 1 {
+		t.Errorf("earning directive judged bad: %+v", e)
+	}
+	if e := byReason[""]; !e.MissingReason || e.Stale || len(e.Unknown) != 0 {
+		t.Errorf("reasonless directive verdict: %+v", e)
+	}
+	if e := byReason["nothing left to excuse here"]; !e.Stale || e.MissingReason {
+		t.Errorf("stale directive verdict: %+v", e)
+	}
+	if e := byReason["this analyzer does not exist"]; len(e.Unknown) != 1 || e.Unknown[0] != "nosuch" || e.Stale {
+		t.Errorf("unknown-scope directive verdict: %+v", e)
+	}
+}

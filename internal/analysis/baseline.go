@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed inventory of accepted findings: the
+// `-diff` mode reports only findings beyond it, so CI fails on *new*
+// lint debt without forcing an all-at-once burn-down. Entries are keyed
+// by (analyzer, file, message) — deliberately not by line, so unrelated
+// edits that shift code do not churn the baseline — with a count
+// allowing that many identical findings per file.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry accepts Count findings of one analyzer+message in one
+// file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineVersion is bumped when the entry key shape changes.
+const baselineVersion = 1
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// NewBaseline aggregates findings (paths relativized to base) into a
+// baseline ready to write.
+func NewBaseline(findings []Finding, base string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var keys []string
+	for _, f := range findings {
+		file := relPath(base, f.Pos.Filename)
+		k := baselineKey(f.Analyzer, file, f.Message)
+		e := counts[k]
+		if e == nil {
+			e = &BaselineEntry{Analyzer: f.Analyzer, File: file, Message: f.Message}
+			counts[k] = e
+			keys = append(keys, k)
+		}
+		e.Count++
+	}
+	sort.Strings(keys)
+	b := &Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		b.Findings = append(b.Findings, *counts[k])
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d (regenerate with -write-baseline)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff returns the findings not absorbed by the baseline, preserving
+// order. Each baseline entry absorbs up to Count matching findings.
+func (b *Baseline) Diff(findings []Finding, base string) []Finding {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, relPath(base, f.Pos.Filename), f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func bf(analyzer, file string, line int, msg string) Finding {
+	return Finding{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line, Column: 1}, Message: msg}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bf("locks", "/r/a.go", 10, "held"),
+		bf("locks", "/r/a.go", 20, "held"),
+		bf("ctxflow", "/r/b.go", 5, "root ctx"),
+	}
+	b := NewBaseline(findings, "/r")
+	if len(b.Findings) != 2 {
+		t.Fatalf("aggregated entries = %d, want 2", len(b.Findings))
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact same findings diff to nothing — even though the lines
+	// moved (the baseline is line-independent).
+	moved := []Finding{
+		bf("locks", "/r/a.go", 99, "held"),
+		bf("locks", "/r/a.go", 120, "held"),
+		bf("ctxflow", "/r/b.go", 7, "root ctx"),
+	}
+	if fresh := loaded.Diff(moved, "/r"); len(fresh) != 0 {
+		t.Errorf("moved-lines diff = %v, want empty", fresh)
+	}
+
+	// A third identical locks finding exceeds the per-entry count and
+	// surfaces as new.
+	extra := append(moved, bf("locks", "/r/a.go", 130, "held"))
+	fresh := loaded.Diff(extra, "/r")
+	if len(fresh) != 1 || fresh[0].Pos.Line != 130 {
+		t.Errorf("over-budget diff = %v, want the line-130 finding", fresh)
+	}
+
+	// A new message is new debt.
+	novel := append(moved, bf("cachekey", "/r/c.go", 1, "missing field"))
+	if fresh := loaded.Diff(novel, "/r"); len(fresh) != 1 || fresh[0].Analyzer != "cachekey" {
+		t.Errorf("novel diff = %v, want the cachekey finding", fresh)
+	}
+}
+
+func TestLoadBaselineRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := &Baseline{Version: 99}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("loading a future-version baseline must fail loudly")
+	}
+}

@@ -1,0 +1,401 @@
+// Package cachekey mechanizes the canonical-cache-key discipline of
+// DESIGN.md §6. Any struct with a CanonicalKey/canonicalKey method is a
+// cache identity, and the PR 4 review showed what a partial identity
+// costs: a request field left out of the key aliases distinct requests
+// onto one cached response. The analyzer enforces, per key method:
+//
+//   - every exported or json-tagged field of the receiver struct is
+//     rendered into the key (referenced in the method body) or carries
+//     an explicit `//cachekey:exempt <reason>` comment on the field;
+//   - the method embeds a `/vN` version tag in a string literal, and a
+//     `//cachekey:fields vN <f1,f2,...>` pin in the method's doc
+//     comment records the field set that tag covers — so growing or
+//     shrinking the struct without bumping the version is a finding,
+//     not a silent cache alias;
+//   - plain string fields (client-controlled text) pass through a
+//     quoting sanitizer (canonString or strconv.Quote) before entering
+//     the key, so field values cannot forge separators. Named string
+//     types (closed-set enums) and comparison operands are exempt.
+package cachekey
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edram/internal/analysis"
+)
+
+// Analyzer is the cache-key completeness pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc:  "every exported/json-tagged field of a CanonicalKey type must be rendered, quoted and version-pinned",
+	Run:  run,
+}
+
+const (
+	exemptDirective = "cachekey:exempt"
+	pinDirective    = "cachekey:fields"
+)
+
+// versionTag matches the /vN marker inside a key literal ("spec/v2{").
+var versionTag = regexp.MustCompile(`/v(\d+)`)
+
+// sanitizers are the callee names that make a raw string safe to embed
+// in a key (canonString wraps strconv.Quote in every key-owning
+// package).
+var sanitizers = map[string]bool{"canonString": true, "Quote": true}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, info: pass.Info()}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "CanonicalKey" && fd.Name.Name != "canonicalKey" {
+				continue
+			}
+			c.checkKeyMethod(fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	info *types.Info
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// structField pairs a receiver-struct field with its declaration AST
+// (the AST carries the exemption comments).
+type structField struct {
+	obj  *types.Var
+	ast  *ast.Field
+	tag  string
+	name string
+}
+
+func (c *checker) checkKeyMethod(fd *ast.FuncDecl) {
+	obj, ok := c.info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != 1 || !isString(sig.Results().At(0).Type()) {
+		return
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := named.Obj().Name()
+	fields := c.structFields(named, st)
+
+	// Partition the identity-bearing fields: exported or json-tagged,
+	// minus explicit exemptions (which must carry a reason).
+	var required []structField
+	for _, f := range fields {
+		if !identityField(f) {
+			continue
+		}
+		if exempt, reason := exemption(f.ast); exempt {
+			if reason == "" {
+				c.report(f.ast.Pos(), "field %s.%s: //cachekey:exempt needs a reason", typeName, f.name)
+			}
+			continue
+		}
+		required = append(required, f)
+	}
+
+	// Which fields does the method body actually render?
+	referenced := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := c.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				referenced[v] = true
+			}
+		}
+		return true
+	})
+	for _, f := range required {
+		if !referenced[f.obj] {
+			c.report(fd.Pos(), "%s on %s does not render field %s: add it to the key and bump the /vN version tag, or mark the field //cachekey:exempt with a reason",
+				fd.Name.Name, typeName, f.name)
+		}
+	}
+
+	// The /vN version tag inside the key literal, and the
+	// //cachekey:fields pin that records which field set that version
+	// covers.
+	tag := c.bodyVersionTag(fd.Body)
+	if tag == "" {
+		c.report(fd.Pos(), "%s on %s has no /vN version tag in any key literal; key formats must be versioned", fd.Name.Name, typeName)
+	}
+	names := make([]string, 0, len(required))
+	for _, f := range required {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	pinVer, pinFields, hasPin := pin(fd.Doc)
+	switch {
+	case !hasPin:
+		c.report(fd.Pos(), "%s on %s has no //cachekey:fields pin; add `//cachekey:fields %s %s` above the method",
+			fd.Name.Name, typeName, orV(tag), strings.Join(names, ","))
+	default:
+		if tag != "" && pinVer != tag {
+			c.report(fd.Pos(), "%s on %s: key literal tag /%s does not match //cachekey:fields pin %s — bump the version tag when the key format changes",
+				fd.Name.Name, typeName, tag, pinVer)
+		}
+		if !equalStrings(pinFields, names) {
+			c.report(fd.Pos(), "%s on %s: field set {%s} does not match //cachekey:fields pin {%s} — the key identity changed, bump the /vN version tag and update the pin",
+				fd.Name.Name, typeName, strings.Join(names, ","), strings.Join(pinFields, ","))
+		}
+	}
+
+	c.checkStringHygiene(fd, typeName)
+}
+
+// structFields walks the receiver type's declaration to pair each
+// types.Struct field with its AST (same package by Go's method rule).
+func (c *checker) structFields(named *types.Named, st *types.Struct) []structField {
+	var stAST *ast.StructType
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || c.info.Defs[ts.Name] != named.Obj() {
+				return true
+			}
+			if s, ok := ts.Type.(*ast.StructType); ok {
+				stAST = s
+			}
+			return false
+		})
+		if stAST != nil {
+			break
+		}
+	}
+	if stAST == nil {
+		return nil
+	}
+	var out []structField
+	i := 0
+	for _, af := range stAST.Fields.List {
+		n := len(af.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n && i < st.NumFields(); j++ {
+			out = append(out, structField{obj: st.Field(i), ast: af, tag: st.Tag(i), name: st.Field(i).Name()})
+			i++
+		}
+	}
+	return out
+}
+
+// identityField reports whether a field is part of the cache identity:
+// exported, or carried on the wire via a json tag.
+func identityField(f structField) bool {
+	jsonTag := reflect.StructTag(f.tag).Get("json")
+	if jsonTag != "" && jsonTag != "-" {
+		return true
+	}
+	return f.obj.Exported()
+}
+
+// exemption parses a //cachekey:exempt directive from a field's doc or
+// trailing comment.
+func exemption(af *ast.Field) (bool, string) {
+	for _, cg := range []*ast.CommentGroup{af.Doc, af.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cmt := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(cmt.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, exemptDirective); ok {
+				return true, strings.TrimSpace(rest)
+			}
+		}
+	}
+	return false, ""
+}
+
+// pin parses the //cachekey:fields vN f1,f2 directive from the method
+// doc comment.
+func pin(doc *ast.CommentGroup) (ver string, fields []string, ok bool) {
+	if doc == nil {
+		return "", nil, false
+	}
+	for _, cmt := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(cmt.Text, "//"))
+		rest, found := strings.CutPrefix(text, pinDirective)
+		if !found {
+			continue
+		}
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			return "", nil, true
+		}
+		ver = parts[0]
+		for _, chunk := range parts[1:] {
+			for _, n := range strings.Split(chunk, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					fields = append(fields, n)
+				}
+			}
+		}
+		sort.Strings(fields)
+		return ver, fields, true
+	}
+	return "", nil, false
+}
+
+// bodyVersionTag returns the vN of the first string literal in the body
+// containing a /vN marker.
+func (c *checker) bodyVersionTag(body *ast.BlockStmt) string {
+	tag := ""
+	var tagPos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if m := versionTag.FindStringSubmatch(s); m != nil {
+			if tag == "" || lit.Pos() < tagPos {
+				tag = "v" + m[1]
+				tagPos = lit.Pos()
+			}
+		}
+		return true
+	})
+	return tag
+}
+
+// checkStringHygiene flags plain string struct fields rendered into the
+// key without passing through a quoting sanitizer. Named string types
+// are closed-set enums by project convention and comparisons don't
+// render anything, so both are exempt.
+func (c *checker) checkStringHygiene(fd *ast.FuncDecl, typeName string) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := c.info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !isPlainString(v.Type()) {
+			return true
+		}
+		if sanitizedContext(stack, sel) {
+			return true
+		}
+		c.report(sel.Pos(), "string field %s is rendered into the %s key without canonString/strconv.Quote; client-controlled text must be quoted", v.Name(), typeName)
+		return true
+	})
+}
+
+// sanitizedContext reports whether the selector sits inside a sanitizer
+// call, a comparison, or a switch/case — contexts where the raw string
+// never reaches the key bytes unquoted.
+func sanitizedContext(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CallExpr:
+			name := calleeName(p)
+			if !sanitizers[name] {
+				continue
+			}
+			for _, arg := range p.Args {
+				if arg.Pos() <= sel.Pos() && sel.End() <= arg.End() {
+					return true
+				}
+			}
+		case *ast.BinaryExpr:
+			switch p.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				return true
+			}
+		case *ast.SwitchStmt, *ast.CaseClause:
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// isPlainString matches the predeclared string type only — named string
+// types are closed-set enums, not client-controlled text.
+func isPlainString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// orV renders a tag for the fix-it hint, defaulting to v1.
+func orV(tag string) string {
+	if tag == "" {
+		return "v1"
+	}
+	return tag
+}

@@ -1,0 +1,86 @@
+// Fixture: cache-key discipline violations. Each struct isolates one
+// rule; BadSpec mirrors the real edram.Spec shape with one field-render
+// line deleted — the exact regression the analyzer exists to catch.
+package keys
+
+import "strconv"
+
+func canonString(s string) string { return strconv.Quote(s) }
+
+// BadSpec is a Spec-shaped identity whose Banks render line was
+// deleted without touching the struct.
+type BadSpec struct {
+	CapacityMbit int
+	Banks        int
+	Name         string
+}
+
+//cachekey:fields v1 Banks,CapacityMbit,Name
+func (s BadSpec) CanonicalKey() string { // want "does not render field Banks"
+	return "badspec/v1{cap=" + strconv.Itoa(s.CapacityMbit) + "|name=" + canonString(s.Name) + "}"
+}
+
+// NoVersion renders everything but carries no /vN tag to bump.
+type NoVersion struct {
+	ID int
+}
+
+//cachekey:fields v1 ID
+func (n NoVersion) CanonicalKey() string { // want "no /vN version tag"
+	return "noversion{" + strconv.Itoa(n.ID) + "}"
+}
+
+// NoPin has no recorded field set, so a future struct change cannot be
+// detected as an unbumped identity change.
+type NoPin struct {
+	ID int
+}
+
+func (n NoPin) CanonicalKey() string { // want "no //cachekey:fields pin"
+	return "nopin/v1{" + strconv.Itoa(n.ID) + "}"
+}
+
+// PinDrift grew a field (rendered, even) without bumping the version
+// tag — cached entries from the old format now collide with the new.
+type PinDrift struct {
+	ID    int
+	Extra int
+}
+
+//cachekey:fields v1 ID
+func (p PinDrift) CanonicalKey() string { // want "does not match //cachekey:fields pin"
+	return "pindrift/v1{id=" + strconv.Itoa(p.ID) + "|extra=" + strconv.Itoa(p.Extra) + "}"
+}
+
+// VerMismatch bumped the pin but not the literal.
+type VerMismatch struct {
+	ID int
+}
+
+//cachekey:fields v2 ID
+func (v VerMismatch) CanonicalKey() string { // want "tag /v1 does not match"
+	return "vermismatch/v1{id=" + strconv.Itoa(v.ID) + "}"
+}
+
+// RawString embeds client-controlled text without quoting, so a crafted
+// Name can forge the key's separators.
+type RawString struct {
+	Name string
+}
+
+//cachekey:fields v1 Name
+func (r RawString) CanonicalKey() string {
+	return "rawstring/v1{name=" + r.Name + "}" // want "without canonString"
+}
+
+// ExemptNoReason exempts a field without saying why.
+type ExemptNoReason struct {
+	ID int
+	//cachekey:exempt
+	Notes string // want "needs a reason"
+}
+
+//cachekey:fields v1 ID
+func (e ExemptNoReason) CanonicalKey() string {
+	return "exemptnoreason/v1{id=" + strconv.Itoa(e.ID) + "}"
+}

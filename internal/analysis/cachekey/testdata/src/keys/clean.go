@@ -1,0 +1,63 @@
+// Fixture: the clean half — the full discipline as practiced by the
+// real key methods (quoted strings, enum String(), nested delegation,
+// reasoned exemption, matching pin and version tag).
+package keys
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kind is a closed-set enum; its String() values are safe unquoted.
+type Kind int
+
+func (k Kind) String() string {
+	if k == 0 {
+		return "fast"
+	}
+	return "dense"
+}
+
+// SubKey is a nested identity reached by delegation.
+type SubKey struct {
+	Label string
+}
+
+//cachekey:fields v1 Label
+func (s SubKey) CanonicalKey() string {
+	return "sub/v1{label=" + canonString(s.Label) + "}"
+}
+
+// GoodSpec renders every identity field, quotes the raw string, and
+// pins the field set against its version tag.
+type GoodSpec struct {
+	CapacityMbit int     `json:"capacity_mbit"`
+	Clock        float64 `json:"clock"`
+	Kind         Kind    `json:"kind"`
+	Name         string  `json:"name"`
+	Sub          *SubKey `json:"sub,omitempty"`
+	// Comment is operator documentation; it never changes the model's
+	// answer, so it stays out of the cache identity.
+	//cachekey:exempt presentation-only, never read by the model
+	Comment string `json:"comment,omitempty"`
+	private int
+}
+
+//cachekey:fields v2 CapacityMbit,Clock,Kind,Name,Sub
+func (g GoodSpec) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("good/v2{cap=")
+	b.WriteString(strconv.Itoa(g.CapacityMbit))
+	b.WriteString("|clock=")
+	b.WriteString(strconv.FormatFloat(g.Clock, 'g', -1, 64))
+	b.WriteString("|kind=")
+	b.WriteString(g.Kind.String())
+	b.WriteString("|name=")
+	b.WriteString(canonString(g.Name))
+	if g.Sub != nil {
+		b.WriteString("|sub=")
+		b.WriteString(g.Sub.CanonicalKey())
+	}
+	b.WriteString("}")
+	return b.String()
+}

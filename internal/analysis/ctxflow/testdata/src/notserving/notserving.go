@@ -1,0 +1,7 @@
+// Fixture: packages outside the serving set may build root contexts
+// (CLI entry points, tests, model code).
+package notserving
+
+import "context"
+
+func Root() context.Context { return context.Background() }

@@ -1,0 +1,30 @@
+// Fixture: context-discipline violations in a gated serving package.
+package service
+
+import "context"
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+func badRoot() error {
+	ctx := context.Background() // want "fresh root context"
+	return doWork(ctx)
+}
+
+func badTODO() error {
+	return doWork(context.TODO()) // want "fresh root context"
+}
+
+func badDetach(ctx context.Context) error {
+	dctx := context.WithoutCancel(ctx) // want "detaches from the caller"
+	return doWork(dctx)
+}
+
+func badUnthreaded(ctx context.Context) error { // want "never threaded"
+	return doWork(context.TODO()) // want "fresh root context"
+}
+
+func badClosure(ctx context.Context) error { // want "never threaded"
+	return func(inner context.Context) error { // want "never threaded"
+		return doWork(context.TODO()) // want "fresh root context"
+	}(nil)
+}

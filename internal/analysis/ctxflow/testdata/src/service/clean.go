@@ -1,0 +1,25 @@
+// Fixture: the clean half — threaded contexts, a ctx-free helper, a
+// capture through a closure, and the scoped-nolint escape for an
+// intentional root.
+package service
+
+import "context"
+
+func threaded(ctx context.Context) error {
+	return doWork(ctx)
+}
+
+func holdsUnusedCtx(ctx context.Context) int {
+	// Keeps a ctx for interface shape but calls nothing that accepts
+	// one — not a threading violation.
+	return 42
+}
+
+func capturesInClosure(ctx context.Context) func() error {
+	return func() error { return doWork(ctx) }
+}
+
+func intentionalRoot() error {
+	ctx := context.Background() //nolint:edramvet/ctxflow // fixture: deliberate detach with a reason
+	return doWork(ctx)
+}

@@ -5,15 +5,38 @@ import (
 	"sort"
 )
 
+// RunResult is everything one driver run produced: the findings that
+// survived suppression, the diagnostics a nolint directive absorbed,
+// and every directive seen (with hit counts) for the suppression audit.
+type RunResult struct {
+	Findings   []Finding
+	Suppressed []Finding
+	Directives []Directive
+}
+
 // RunAnalyzers runs every analyzer over every package, applies the
 // //nolint:edramvet escape hatch, and returns findings sorted by
 // position. The loader must be the one that produced pkgs, so that
 // cross-package indexes (Pass.All) share object identity.
 func RunAnalyzers(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := RunAnalyzersDetail(l, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunAnalyzersDetail is RunAnalyzers plus the suppression detail needed
+// by `edramvet -audit-nolint`: which diagnostics were absorbed by
+// directives, and every directive with the number of diagnostics it
+// suppressed this run.
+func RunAnalyzersDetail(l *Loader, pkgs []*Package, analyzers []*Analyzer) (*RunResult, error) {
 	all := l.Packages()
-	var findings []Finding
+	res := &RunResult{}
+	var directives []*Directive
 	for _, pkg := range pkgs {
 		ix := buildNolint(l.Fset(), pkg.Files)
+		directives = append(directives, ix.directives...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -28,13 +51,32 @@ func RunAnalyzers(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding,
 			}
 			for _, d := range diags {
 				pos := l.Fset().Position(d.Pos)
-				if ix.suppressed(pos, a.Name) {
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if sup := ix.suppressor(pos, a.Name); sup != nil {
+					sup.Hits++
+					res.Suppressed = append(res.Suppressed, f)
 					continue
 				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				res.Findings = append(res.Findings, f)
 			}
 		}
 	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	sort.Slice(directives, func(i, j int) bool {
+		a, b := directives[i], directives[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	for _, d := range directives {
+		res.Directives = append(res.Directives, *d)
+	}
+	return res, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -48,7 +90,6 @@ func RunAnalyzers(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Finding,
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // String renders a finding in the familiar file:line:col style.

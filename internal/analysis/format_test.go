@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Analyzer: "cachekey", Pos: token.Position{Filename: "/repo/internal/edram/edram.go", Line: 10, Column: 6}, Message: "missing field"},
+		{Analyzer: "locks", Pos: token.Position{Filename: "/repo/internal/jobs/jobs.go", Line: 20, Column: 2}, Message: "held across send"},
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/edram/edram.go:10:6: missing field [cachekey]\n" +
+		"internal/jobs/jobs.go:20:2: held across send [locks]\n"
+	if b.String() != want {
+		t.Errorf("text output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("empty findings must render as [], got %q", b.String())
+	}
+	b.Reset()
+	if err := WriteJSON(&b, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+	if len(out) != 2 || out[0]["analyzer"] != "cachekey" || out[0]["file"] != "internal/edram/edram.go" {
+		t.Errorf("json output = %v", out)
+	}
+}
+
+// TestWriteSARIFShape validates the output against the SARIF 2.1.0
+// schema shape: required top-level keys, tool.driver with rules, and
+// results carrying ruleId/message/physical locations.
+func TestWriteSARIFShape(t *testing.T) {
+	suite := []*Analyzer{
+		{Name: "cachekey", Doc: "cache keys must be complete. Long tail ignored."},
+		{Name: "locks", Doc: "no blocking under mutex"},
+	}
+	var b strings.Builder
+	if err := WriteSARIF(&b, sampleFindings(), suite, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v", err)
+	}
+	if got := log["version"]; got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	schema, _ := log["$schema"].(string)
+	if !strings.Contains(schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", schema)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "edramvet" {
+		t.Errorf("driver name = %v, want edramvet", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d entries, want 2", len(rules))
+	}
+	rule := rules[0].(map[string]any)
+	if rule["id"] != "cachekey" {
+		t.Errorf("rule id = %v", rule["id"])
+	}
+	if desc := rule["shortDescription"].(map[string]any)["text"]; desc != "cache keys must be complete." {
+		t.Errorf("shortDescription = %v, want first sentence only", desc)
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != 2 {
+		t.Fatalf("results = %v, want 2", run["results"])
+	}
+	res := results[0].(map[string]any)
+	if res["ruleId"] != "cachekey" || res["level"] != "error" {
+		t.Errorf("result = %v", res)
+	}
+	if msg := res["message"].(map[string]any)["text"]; msg != "missing field" {
+		t.Errorf("message.text = %v", msg)
+	}
+	loc := res["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/edram/edram.go" {
+		t.Errorf("artifactLocation.uri = %v", uri)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"] != float64(10) || region["startColumn"] != float64(6) {
+		t.Errorf("region = %v", region)
+	}
+}
+
+// TestWriteSARIFEmpty: a clean run still emits a valid log with the
+// rule inventory and an empty (non-null) results array.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSARIF(&b, nil, []*Analyzer{{Name: "x", Doc: "d"}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("results must be [] on a clean run, not null")
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture: lifecycle-blind goroutines in a gated serving package.
+package jobs
+
+import "time"
+
+func fireAndForget() {
+	go func() { // want "not cancellation-aware"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func detachedHelper() {
+	go tick() // want "not cancellation-aware"
+}
+
+func tick() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,50 @@
+// Fixture: the clean half — goroutines tied to a context, a WaitGroup
+// or a channel, plus the scoped-nolint escape.
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func withDoneChannel() <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return done
+}
+
+func withCloseSignal() chan struct{} {
+	settled := make(chan struct{})
+	go func() {
+		defer close(settled)
+		time.Sleep(time.Millisecond)
+	}()
+	return settled
+}
+
+func namedRunnerWithCtx(ctx context.Context) {
+	go runner(ctx)
+}
+
+func runner(ctx context.Context) { <-ctx.Done() }
+
+func intentionalDetach() {
+	go tick() //nolint:edramvet/goroutines // fixture: process-lifetime helper, exits with the process
+}

@@ -1,0 +1,7 @@
+// Fixture: packages outside the serving set may spawn free goroutines
+// (CLI fan-out with its own join logic, tests).
+package notserving
+
+func FireAndForget() {
+	go func() {}()
+}

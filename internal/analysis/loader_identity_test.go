@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestCrossPackageCanonicalKeyIdentity pins the property the cachekey
+// analyzer depends on: the tech.Process method object reached through
+// edram's imported view of tech is the SAME *types.Func as the one in
+// tech's own package scope. If the loader ever type-checked tech twice
+// (two loaders, or a cache miss), method lookups across packages would
+// silently stop matching.
+func TestCrossPackageCanonicalKeyIdentity(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := l.Import("edram/internal/edram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := l.Import("edram/internal/tech")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reach tech.Process via edram.Spec's Process field.
+	spec, ok := ep.Scope().Lookup("Spec").Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatal("edram.Spec is not a struct")
+	}
+	var viaField *types.Named
+	for i := 0; i < spec.NumFields(); i++ {
+		f := spec.Field(i)
+		if f.Name() != "Process" {
+			continue
+		}
+		ptr, ok := f.Type().(*types.Pointer)
+		if !ok {
+			t.Fatalf("Spec.Process is %v, want a pointer", f.Type())
+		}
+		viaField = ptr.Elem().(*types.Named)
+	}
+	if viaField == nil {
+		t.Fatal("edram.Spec has no Process field")
+	}
+
+	direct, ok := tp.Scope().Lookup("Process").(*types.TypeName)
+	if !ok {
+		t.Fatal("tech.Process not found")
+	}
+	if viaField.Obj() != direct {
+		t.Errorf("tech.Process type object differs across packages: %p vs %p", viaField.Obj(), direct)
+	}
+
+	m1, _, _ := types.LookupFieldOrMethod(viaField, true, ep, "CanonicalKey")
+	m2, _, _ := types.LookupFieldOrMethod(direct.Type(), true, tp, "CanonicalKey")
+	if m1 == nil || m2 == nil {
+		t.Fatalf("CanonicalKey lookup failed: via edram %v, via tech %v", m1, m2)
+	}
+	if m1 != m2 {
+		t.Errorf("CanonicalKey method object differs across packages: %v vs %v", m1, m2)
+	}
+}

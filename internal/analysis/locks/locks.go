@@ -1,0 +1,318 @@
+// Package locks flags a mutex held across a blocking operation —
+// channel sends/receives, selects without a default, time.Sleep,
+// network/disk I/O, pool Acquire calls, WaitGroup waits. A blocking
+// call under a lock turns one slow operation into a stall for every
+// goroutine contending on that mutex (the jobs.Store eviction bug:
+// checkpoint file deletion under the store lock froze every Submit and
+// Get for the duration of the disk I/O).
+//
+// Two region shapes are checked:
+//
+//   - from each mu.Lock()/mu.RLock() to the next textual matching
+//     unlock in the same function (or to the function's end when the
+//     unlock is deferred). Nested function literals and go statements
+//     are excluded — their bodies run on other goroutines or later;
+//   - the whole body of any function named *Locked: the project's
+//     naming convention for "caller holds the lock".
+//
+// Calls to same-package functions that directly contain a blocking
+// operation count as blocking too (one level of propagation — enough
+// to catch lock-held helpers like removeFile).
+package locks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edram/internal/analysis"
+)
+
+// Analyzer is the lock-region pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locks",
+	Doc:  "no blocking operation (channel, I/O, Acquire, Wait) while a mutex is held",
+	Run:  run,
+}
+
+// blockingPkgs are the stdlib packages whose calls are assumed to
+// block (I/O), minus the pure predicates in osAllow.
+var blockingPkgs = map[string]bool{
+	"net": true, "net/http": true, "os": true, "io": true, "bufio": true,
+}
+
+// osAllow are non-blocking helpers inside the blocking packages.
+var osAllow = map[string]bool{
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Getpid": true,
+}
+
+// timeBlocking are the time functions that park the goroutine.
+var timeBlocking = map[string]bool{"Sleep": true, "After": true, "Tick": true}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, info: pass.Info(), direct: map[*types.Func]string{}}
+	// First pass: which same-package functions directly block?
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var ops []op
+			c.scan(fd.Body, &ops)
+			for _, o := range ops {
+				if o.kind == opBlock {
+					c.direct[fn] = o.desc
+					break
+				}
+			}
+		}
+	}
+	// Second pass: lock regions.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+		// Function literals get their own region analysis (their
+		// bodies were skipped by the enclosing function's scan).
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.checkBody("", lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+const (
+	opLock   = "lock"
+	opUnlock = "unlock"
+	opBlock  = "block"
+	opCall   = "call"
+)
+
+// op is one lock-relevant event in a function body, in source order.
+type op struct {
+	pos      token.Pos
+	kind     string
+	key      string // lock expression, e.g. "s.mu"
+	rlock    bool
+	deferred bool
+	desc     string      // blocking description
+	fn       *types.Func // same-package callee
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	direct map[*types.Func]string // same-package funcs that directly block
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.checkBody(fd.Name.Name, fd.Body)
+}
+
+func (c *checker) checkBody(name string, body *ast.BlockStmt) {
+	var ops []op
+	c.scan(body, &ops)
+
+	// The *Locked naming convention: the whole body runs under the
+	// caller's lock.
+	if strings.HasSuffix(name, "Locked") {
+		for _, o := range ops {
+			switch o.kind {
+			case opBlock:
+				c.report(o.pos, "%s runs with its caller's lock held (Locked suffix) but performs %s; move the blocking work outside the locked section", name, o.desc)
+			case opCall:
+				if desc, ok := c.direct[o.fn]; ok {
+					c.report(o.pos, "%s runs with its caller's lock held (Locked suffix) but calls %s, which blocks (%s)", name, o.fn.Name(), desc)
+				}
+			}
+		}
+	}
+
+	for i, l := range ops {
+		if l.kind != opLock || l.deferred {
+			continue
+		}
+		end := body.End()
+		for _, u := range ops {
+			if u.kind == opUnlock && !u.deferred && u.key == l.key && u.rlock == l.rlock && u.pos > l.pos && u.pos < end {
+				end = u.pos
+			}
+		}
+		for j, o := range ops {
+			if j == i || o.pos <= l.pos || o.pos >= end {
+				continue
+			}
+			switch o.kind {
+			case opBlock:
+				c.report(o.pos, "mutex %s is held across %s; release the lock before blocking", l.key, o.desc)
+			case opCall:
+				if desc, ok := c.direct[o.fn]; ok {
+					c.report(o.pos, "mutex %s is held across a call to %s, which blocks (%s); release the lock first", l.key, o.fn.Name(), desc)
+				}
+			}
+		}
+	}
+}
+
+// scan collects lock-relevant ops from a body, excluding nested
+// function literals and go statements (they run elsewhere/later) and
+// the comm clauses of select statements (the select op itself is the
+// blocking point).
+func (c *checker) scan(n ast.Node, out *[]op) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if o, ok := c.mutexCall(n.Call); ok {
+				o.pos = n.Pos()
+				o.deferred = true
+				*out = append(*out, o)
+			}
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				*out = append(*out, op{pos: n.Pos(), kind: opBlock, desc: "a select with no default"})
+			}
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						c.scan(st, out)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			*out = append(*out, op{pos: n.Arrow, kind: opBlock, desc: "a channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				*out = append(*out, op{pos: n.Pos(), kind: opBlock, desc: "a channel receive"})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					*out = append(*out, op{pos: n.Pos(), kind: opBlock, desc: "a channel range"})
+				}
+			}
+		case *ast.CallExpr:
+			if o, ok := c.mutexCall(n); ok {
+				*out = append(*out, o)
+				return true
+			}
+			fn := c.calleeFunc(n)
+			if fn == nil {
+				return true
+			}
+			if desc, blocking := c.blockingFunc(fn); blocking {
+				*out = append(*out, op{pos: n.Pos(), kind: opBlock, desc: desc})
+				return true
+			}
+			if fn.Pkg() == c.pass.Pkg.Types {
+				*out = append(*out, op{pos: n.Pos(), kind: opCall, fn: fn})
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall classifies mu.Lock/RLock/Unlock/RUnlock calls.
+func (c *checker) mutexCall(call *ast.CallExpr) (op, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return op{}, false
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return op{}, false
+	}
+	o := op{pos: call.Pos(), key: types.ExprString(sel.X)}
+	switch fn.Name() {
+	case "Lock":
+		o.kind = opLock
+	case "RLock":
+		o.kind, o.rlock = opLock, true
+	case "Unlock":
+		o.kind = opUnlock
+	case "RUnlock":
+		o.kind, o.rlock = opUnlock, true
+	default:
+		return op{}, false
+	}
+	return o, true
+}
+
+// blockingFunc classifies callees that park the goroutine or do I/O.
+func (c *checker) blockingFunc(fn *types.Func) (string, bool) {
+	name := fn.Name()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && timeBlocking[name]:
+		return "a call to time." + name, true
+	case blockingPkgs[pkg] && !osAllow[name]:
+		return "a call to " + qualName(fn), true
+	case pkg == "sync" && name == "Wait":
+		return "a call to " + qualName(fn), true
+	case strings.HasPrefix(name, "Acquire"):
+		return "a call to " + qualName(fn), true
+	}
+	return "", false
+}
+
+// qualName renders pkg.Func or RecvType.Method for messages.
+func qualName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.info.Uses[id].(*types.Func)
+	return fn
+}

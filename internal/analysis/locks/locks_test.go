@@ -1,0 +1,11 @@
+package locks
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, Analyzer, "locksfix")
+}

@@ -1,0 +1,72 @@
+// Fixture: blocking operations under a held mutex. evictLocked mirrors
+// the jobs.Store eviction bug: disk I/O inside a Locked-convention
+// helper.
+package locksfix
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+}
+
+func (s *store) badSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "held across a channel send"
+	s.mu.Unlock()
+}
+
+func (s *store) badRecv(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "held across a channel receive"
+}
+
+func (s *store) badIO(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(path) // want "held across a call to os.Remove"
+}
+
+func (s *store) badSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "held across a select with no default"
+	case <-ch:
+	}
+}
+
+type pool struct{}
+
+func (p *pool) Acquire() {}
+
+func (s *store) badAcquire(p *pool) {
+	s.mu.Lock()
+	p.Acquire() // want "held across a call to pool.Acquire"
+	s.mu.Unlock()
+}
+
+func (s *store) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "held across a call to WaitGroup.Wait"
+	s.mu.Unlock()
+}
+
+// evictLocked runs under the caller's lock and deletes a file through a
+// same-package helper — the one-level propagation case.
+func (s *store) evictLocked(path string) {
+	s.removeFile(path) // want "calls removeFile, which blocks"
+}
+
+func (s *store) removeFile(path string) {
+	os.Remove(path)
+}
+
+// badHelperUnderLock: the same helper, but under an explicit region.
+func (s *store) badHelperUnderLock(path string) {
+	s.mu.Lock()
+	s.removeFile(path) // want "held across a call to removeFile"
+	s.mu.Unlock()
+}

@@ -1,0 +1,66 @@
+// Fixture: the clean half — release-before-block, pure Locked-suffix
+// helpers, non-blocking selects, and goroutine escape.
+package locksfix
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+func (c *cache) get(k string) (string, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// unlockThenBlock releases the lock before the channel send.
+func (c *cache) unlockThenBlock(ch chan int) {
+	c.mu.Lock()
+	c.m["x"] = "y"
+	c.mu.Unlock()
+	ch <- 1
+}
+
+// snapshotLocked is a Locked-convention helper with a pure body.
+func (c *cache) snapshotLocked() map[string]string {
+	out := make(map[string]string, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// evictThenRemove picks the victim under the lock and touches the disk
+// only after releasing it — the fixed shape of the eviction bug.
+func (c *cache) evictThenRemove(path string) {
+	c.mu.Lock()
+	delete(c.m, path)
+	c.mu.Unlock()
+	os.Remove(path)
+}
+
+// tryNotify may hold the lock through a select with a default arm: it
+// cannot block.
+func (c *cache) tryNotify(ch chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// goroutineEscapes: the spawned body runs without the lock.
+func (c *cache) goroutineEscapes(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}

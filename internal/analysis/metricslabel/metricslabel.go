@@ -1,0 +1,483 @@
+// Package metricslabel bounds metric cardinality: every label value
+// passed to the service.Metrics registry (Counter/Gauge/Histogram on a
+// type named Metrics) must come from a closed set. A raw request field
+// in a label is an unbounded-cardinality leak — every distinct client
+// string mints a new time series, which is both a memory leak and a
+// scrape-size explosion.
+//
+// A value is closed when its provenance bottoms out in literals or
+// constants: string/number literals, calls to closed-set normalizers
+// (functions whose name ends in "Label", e.g. endpointLabel), enum
+// String() methods, strconv formatting of numbers, and fmt.Sprintf over
+// closed operands. Identifiers are traced one level at a time — a
+// function parameter is closed when every in-package call site passes a
+// closed argument; a struct field is closed when every in-package write
+// to it stores a closed value; a local is closed when all its
+// assignments are. Provenance the analyzer cannot see (a field only
+// ever written by the JSON decoder, a parameter with no in-package
+// callers) is not closed.
+package metricslabel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"edram/internal/analysis"
+)
+
+// Analyzer is the metric-label cardinality pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricslabel",
+	Doc:  "metric label values must come from closed sets, never raw request data",
+	Run:  run,
+}
+
+// registryMethods are the Metrics methods that mint labeled series.
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		info:      pass.Info(),
+		callSites: map[*types.Func][]*ast.CallExpr{},
+	}
+	c.index()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c.registryCall(call)
+			return true
+		})
+	}
+	return nil
+}
+
+type paramRef struct {
+	fn    *types.Func
+	index int
+}
+
+type checker struct {
+	pass *analysis.Pass
+	info *types.Info
+	// paramOwner maps a parameter object to its declaring function and
+	// position, for the call-site provenance trace.
+	paramOwner map[*types.Var]paramRef
+	// callSites caches in-package call expressions per callee.
+	callSites map[*types.Func][]*ast.CallExpr
+	indexed   bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// index builds the parameter-ownership and call-site tables.
+func (c *checker) index() {
+	c.paramOwner = map[*types.Var]paramRef{}
+	for _, f := range c.pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := c.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				c.paramOwner[sig.Params().At(i)] = paramRef{fn: fn, index: i}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := c.calleeFunc(call); fn != nil {
+				c.callSites[fn] = append(c.callSites[fn], call)
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.info.Uses[id].(*types.Func)
+	return fn
+}
+
+// registryCall checks the Label arguments of a Metrics registry call.
+func (c *checker) registryCall(call *ast.CallExpr) {
+	fn := c.calleeFunc(call)
+	if fn == nil || !registryMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Metrics" {
+		return
+	}
+	for _, arg := range call.Args {
+		tv, ok := c.info.Types[arg]
+		if !ok || !isLabelType(tv.Type) {
+			continue
+		}
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			c.report(arg.Pos(), "metric label must be a literal Label{...} so its value's provenance can be checked")
+			continue
+		}
+		name, value := labelParts(lit)
+		if value == nil {
+			continue
+		}
+		if !c.closed(value, map[string]bool{}) {
+			c.report(value.Pos(), "metric label %s value %s does not come from a closed set (use a literal, a *Label normalizer, an enum String(), or strconv over numbers); raw request data mints unbounded series",
+				name, types.ExprString(value))
+		}
+	}
+}
+
+// labelParts extracts the name (for the message) and value expression
+// from a Label composite literal.
+func labelParts(lit *ast.CompositeLit) (string, ast.Expr) {
+	name := "?"
+	var value ast.Expr
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				switch id.Name {
+				case "Name":
+					name = exprLit(kv.Value, name)
+				case "Value":
+					value = kv.Value
+				}
+			}
+			continue
+		}
+		switch i {
+		case 0:
+			name = exprLit(elt, name)
+		case 1:
+			value = elt
+		}
+	}
+	return name, value
+}
+
+func exprLit(e ast.Expr, fallback string) string {
+	if bl, ok := e.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+		return bl.Value
+	}
+	return fallback
+}
+
+func isLabelType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Label" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Struct)
+	return ok
+}
+
+// closed reports whether an expression's value provably comes from a
+// closed set. visited breaks provenance cycles (a cycle means the value
+// never originates outside the traced set, so it is accepted).
+func (c *checker) closed(e ast.Expr, visited map[string]bool) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok {
+		if tv.Value != nil {
+			return true // constant-folded
+		}
+		// Non-string basics (status codes, counts) are bounded enough;
+		// the cardinality risk is client-controlled text.
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() != types.String && b.Info()&types.IsConstType != 0 {
+			return true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.CallExpr:
+		return c.closedCall(e, visited)
+	case *ast.Ident:
+		if v, ok := c.info.Uses[e].(*types.Var); ok {
+			return c.closedVar(v, visited)
+		}
+		_, isConst := c.info.Uses[e].(*types.Const)
+		return isConst
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return c.closedField(v, visited)
+			}
+		}
+		_, isConst := c.info.Uses[e.Sel].(*types.Const)
+		return isConst
+	}
+	return false
+}
+
+// closedCall accepts the closed-set producers: *Label normalizers,
+// enum String() methods, strconv formatting, and fmt.Sprint* over
+// closed operands.
+func (c *checker) closedCall(call *ast.CallExpr, visited map[string]bool) bool {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasSuffix(name, "Label"):
+		return true
+	case name == "String":
+		return true
+	case fn.Pkg() != nil && fn.Pkg().Path() == "strconv":
+		return true
+	case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(name, "Sprint"):
+		for _, arg := range call.Args {
+			if !c.closed(arg, visited) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// closedVar traces an identifier: parameters through their call sites,
+// locals through their assignments.
+func (c *checker) closedVar(v *types.Var, visited map[string]bool) bool {
+	if pr, ok := c.paramOwner[v]; ok {
+		key := fmt.Sprintf("param:%s:%d", pr.fn.FullName(), pr.index)
+		if visited[key] {
+			return true
+		}
+		visited[key] = true
+		sites := c.callSites[pr.fn]
+		if len(sites) == 0 {
+			return false // no in-package provenance to check
+		}
+		for _, site := range sites {
+			if pr.index >= len(site.Args) {
+				return false
+			}
+			if !c.closed(site.Args[pr.index], visited) {
+				return false
+			}
+		}
+		return true
+	}
+	key := fmt.Sprintf("var:%d", v.Pos())
+	if visited[key] {
+		return true
+	}
+	visited[key] = true
+	assigns := c.assignments(v)
+	if len(assigns) == 0 {
+		return false
+	}
+	for _, rhs := range assigns {
+		if rhs == nil || !c.closed(rhs, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignments collects every expression assigned to a local variable; a
+// nil entry marks an assignment whose value cannot be traced (range
+// clause, multi-value unpacking).
+func (c *checker) assignments(v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !c.sameObj(id, v) {
+						continue
+					}
+					if len(n.Rhs) == len(n.Lhs) {
+						out = append(out, n.Rhs[i])
+					} else {
+						out = append(out, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if !c.sameObj(id, v) {
+						continue
+					}
+					if i < len(n.Values) {
+						out = append(out, n.Values[i])
+					}
+				}
+			case *ast.RangeStmt:
+				for _, lhs := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := lhs.(*ast.Ident); ok && c.sameObj(id, v) {
+						out = append(out, nil)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (c *checker) sameObj(id *ast.Ident, v *types.Var) bool {
+	return c.info.Defs[id] == v || c.info.Uses[id] == v
+}
+
+// closedField traces a struct field: every in-package write (composite
+// literal element or assignment) must store a closed value. A field
+// with no visible writes is decoded from the wire — not closed. A
+// json-tagged field is never closed: the decoder writes it invisibly
+// from request bytes, so visible literal writes cannot bound it.
+func (c *checker) closedField(v *types.Var, visited map[string]bool) bool {
+	key := fmt.Sprintf("field:%d", v.Pos())
+	if visited[key] {
+		return true
+	}
+	visited[key] = true
+	if c.wireTagged(v) {
+		return false
+	}
+	writes := c.fieldWrites(v)
+	if len(writes) == 0 {
+		return false
+	}
+	for _, w := range writes {
+		if w == nil || !c.closed(w, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// wireTagged reports whether field v carries a json tag other than "-"
+// on a package-scope struct — the JSON decoder can write such a field
+// from client bytes without any syntactic assignment.
+func (c *checker) wireTagged(v *types.Var) bool {
+	pkg := v.Pkg()
+	if pkg == nil {
+		return false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) != v {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			jsonName, _, _ := strings.Cut(tag, ",")
+			return jsonName != "" && jsonName != "-"
+		}
+	}
+	return false
+}
+
+func (c *checker) fieldWrites(v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				out = append(out, c.litWrites(n, v)...)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s, ok := c.info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal || s.Obj() != v {
+						continue
+					}
+					if len(n.Rhs) == len(n.Lhs) {
+						out = append(out, n.Rhs[i])
+					} else {
+						out = append(out, nil)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// litWrites extracts the value stored into field v by a composite
+// literal of v's struct, if any.
+func (c *checker) litWrites(lit *ast.CompositeLit, v *types.Var) []ast.Expr {
+	tv, ok := c.info.Types[lit]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fieldIndex := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			fieldIndex = i
+			break
+		}
+	}
+	if fieldIndex < 0 {
+		return nil
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && c.info.Uses[id] == v {
+				return []ast.Expr{kv.Value}
+			}
+			continue
+		}
+		if i == fieldIndex {
+			return []ast.Expr{elt}
+		}
+	}
+	return nil
+}

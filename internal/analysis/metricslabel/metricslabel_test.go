@@ -1,0 +1,11 @@
+package metricslabel
+
+import (
+	"testing"
+
+	"edram/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, Analyzer, "metricsfix")
+}

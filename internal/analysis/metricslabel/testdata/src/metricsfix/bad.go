@@ -1,0 +1,44 @@
+// Fixture: unbounded-cardinality label values.
+package metricsfix
+
+// Request mimics a wire type: its fields are decoded from client JSON
+// and never written in-package.
+type Request struct {
+	Kind string `json:"kind"`
+}
+
+func badRawParam(m *Metrics, path string) {
+	m.Counter("req_total", "Requests.", Label{"path", path}).Inc() // want "closed set"
+}
+
+func badWireField(m *Metrics, req Request) {
+	m.Counter("jobs_total", "Jobs.", Label{"kind", req.Kind}).Inc() // want "closed set"
+}
+
+func badOpaqueLabel(m *Metrics, l Label) {
+	m.Counter("x_total", "X.", l).Inc() // want "literal Label"
+}
+
+// Masked mimics the write-masking trap: the field has a visible
+// literal write (newMasked below), but its json tag means the decoder
+// can also write it from client bytes — the literal must not mask the
+// wire path.
+type Masked struct {
+	Kind string `json:"kind"`
+}
+
+func newMasked() Masked { return Masked{Kind: "explore"} }
+
+func badMaskedWireField(m *Metrics, q Masked) {
+	m.Counter("masked_total", "Masked.", Label{"kind", q.Kind}).Inc() // want "closed set"
+}
+
+// badParamChain: the label flows through sink's parameter, and one of
+// sink's call sites passes untraceable data.
+func sink(m *Metrics, endpoint string) {
+	m.Counter("y_total", "Y.", Label{"endpoint", endpoint}).Inc() // want "closed set"
+}
+
+func badCallSite(m *Metrics, raw string) {
+	sink(m, raw)
+}

@@ -1,0 +1,59 @@
+// Fixture: the closed-set producers the registry accepts.
+package metricsfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// endpointLabel is a closed-set normalizer: the *Label suffix is the
+// project convention for "output drawn from a fixed set".
+func endpointLabel(path string) string {
+	if path == "/v1/explore" {
+		return path
+	}
+	return "other"
+}
+
+// Kind is a closed-set enum.
+type Kind int
+
+func (k Kind) String() string {
+	if k == 0 {
+		return "explore"
+	}
+	return "trials"
+}
+
+const fixedLabel = "const_value"
+
+func goodProducers(m *Metrics, path string, k Kind, status int) {
+	endpoint := endpointLabel(path)
+	m.Counter("req_total", "R.", Label{"endpoint", endpoint}, Label{"kind", k.String()}).Inc()
+	m.Counter("code_total", "C.", Label{"code", fmt.Sprintf("%d", status)}).Inc()
+	m.Counter("n_total", "N.", Label{"n", strconv.Itoa(status)}).Inc()
+	m.Gauge("fixed", "F.", Label{"v", fixedLabel}, Label{Name: "lit", Value: "yes"}).Inc()
+}
+
+// goodParamChain: every in-package call site of shed passes a literal,
+// so the parameter itself is a closed set.
+func goodParamChain(m *Metrics) {
+	shed(m, "/v1/explore")
+	shed(m, "/v1/jobs")
+}
+
+func shed(m *Metrics, endpoint string) {
+	m.Counter("shed_total", "S.", Label{"endpoint", endpoint}).Inc()
+}
+
+// goodFieldChain: every in-package write to overload.reason is a
+// literal, so reading the field back is closed.
+type overload struct{ reason string }
+
+func goodFieldChain(m *Metrics, full bool) {
+	oe := overload{reason: "queue_full"}
+	if full {
+		oe.reason = "endpoint_budget"
+	}
+	m.Counter("reason_total", "R.", Label{"reason", oe.reason}).Inc()
+}

@@ -1,0 +1,19 @@
+// Fixture: a miniature of the service.Metrics registry shape — the
+// analyzer matches Counter/Gauge/Histogram methods on any type named
+// Metrics taking Label arguments.
+package metricsfix
+
+type Label struct {
+	Name  string
+	Value string
+}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Metrics struct{}
+
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Counter { return &Counter{} }

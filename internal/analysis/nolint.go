@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -15,17 +16,57 @@ import (
 // suppresses matching diagnostics on the comment's own line and on the
 // line directly below it (so it works both as a trailing comment and as
 // a standalone comment above the offending statement). A reason after
-// the directive is strongly encouraged; the directive itself is
-// greppable as "nolint:edramvet".
+// the directive is required by the audit (`edramvet -audit-nolint`);
+// the directive itself is greppable as "nolint:edramvet".
 const nolintPrefix = "nolint:edramvet"
 
-// nolintIndex maps file name → line → analyzer names suppressed there
-// ("*" means all).
-type nolintIndex map[string]map[int][]string
+// Directive is one parsed //nolint:edramvet comment. The driver counts
+// how many diagnostics each directive suppressed so the audit can flag
+// stale ones.
+type Directive struct {
+	File string
+	Line int
+	// Analyzers lists the analyzer names the directive is scoped to;
+	// empty means it suppresses every analyzer ("*").
+	Analyzers []string
+	// Reason is the free-text justification following the directive.
+	Reason string
+	// Hits counts the diagnostics this directive suppressed during the
+	// run that produced it.
+	Hits int
+}
+
+// Scope renders the directive's analyzer list for reports.
+func (d *Directive) Scope() string {
+	if len(d.Analyzers) == 0 {
+		return "*"
+	}
+	return strings.Join(d.Analyzers, ",")
+}
+
+// Matches reports whether the directive covers the named analyzer.
+func (d *Directive) Matches(analyzer string) bool {
+	if len(d.Analyzers) == 0 {
+		return true
+	}
+	for _, n := range d.Analyzers {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintIndex maps file name → line → directives anchored there, and
+// keeps the parse-order list for the audit.
+type nolintIndex struct {
+	byFile     map[string]map[int][]*Directive
+	directives []*Directive
+}
 
 // buildNolint scans a package's comments for nolint directives.
-func buildNolint(fset *token.FileSet, files []*ast.File) nolintIndex {
-	ix := nolintIndex{}
+func buildNolint(fset *token.FileSet, files []*ast.File) *nolintIndex {
+	ix := &nolintIndex{byFile: map[string]map[int][]*Directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -34,46 +75,68 @@ func buildNolint(fset *token.FileSet, files []*ast.File) nolintIndex {
 					continue
 				}
 				rest := text[len(nolintPrefix):]
-				names := []string{"*"}
+				var names []string
 				if strings.HasPrefix(rest, "/") {
-					// Strip a trailing reason ("// why" or "- why").
 					spec := rest[1:]
+					rest = ""
 					if i := strings.IndexAny(spec, " \t"); i >= 0 {
+						rest = spec[i:]
 						spec = spec[:i]
 					}
-					names = nil
 					for _, n := range strings.Split(spec, ",") {
 						if n = strings.TrimSpace(n); n != "" {
 							names = append(names, n)
 						}
 					}
 				}
-				pos := fset.Position(c.Pos())
-				m := ix[pos.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					ix[pos.Filename] = m
+				// The reason conventionally follows as "// why" or
+				// "- why"; strip the separator.
+				reason := strings.TrimSpace(rest)
+				for _, sep := range []string{"//", "-", "—"} {
+					reason = strings.TrimSpace(strings.TrimPrefix(reason, sep))
 				}
-				m[pos.Line] = append(m[pos.Line], names...)
+				pos := fset.Position(c.Pos())
+				d := &Directive{File: pos.Filename, Line: pos.Line, Analyzers: names, Reason: reason}
+				m := ix.byFile[pos.Filename]
+				if m == nil {
+					m = map[int][]*Directive{}
+					ix.byFile[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+				ix.directives = append(ix.directives, d)
 			}
 		}
 	}
+	sort.Slice(ix.directives, func(i, j int) bool {
+		a, b := ix.directives[i], ix.directives[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
 	return ix
+}
+
+// suppressor returns the directive covering a diagnostic from the named
+// analyzer at pos, or nil. The first matching directive (comment line
+// before standalone-above line) wins and is charged the hit.
+func (ix *nolintIndex) suppressor(pos token.Position, analyzer string) *Directive {
+	m := ix.byFile[pos.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range m[line] {
+			if d.Matches(analyzer) {
+				return d
+			}
+		}
+	}
+	return nil
 }
 
 // suppressed reports whether a diagnostic from the named analyzer at
 // pos is covered by a nolint directive.
-func (ix nolintIndex) suppressed(pos token.Position, analyzer string) bool {
-	m := ix[pos.Filename]
-	if m == nil {
-		return false
-	}
-	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		for _, n := range m[line] {
-			if n == "*" || n == analyzer {
-				return true
-			}
-		}
-	}
-	return false
+func (ix *nolintIndex) suppressed(pos token.Position, analyzer string) bool {
+	return ix.suppressor(pos, analyzer) != nil
 }

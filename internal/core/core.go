@@ -100,6 +100,8 @@ func (r Requirements) Validate() error {
 // alone would alias same-named but differently-parameterized custom
 // processes) in declared order (order changes the sweep's enumeration
 // sequence, so it is part of the identity).
+//
+//cachekey:fields v2 BandwidthGBps,CapacityMbit,DefectsPerCm2,HitRate,MaxAreaMm2,MaxPowerMW,MinClockMHz,Processes
 func (r Requirements) CanonicalKey() string {
 	var b strings.Builder
 	b.WriteString("req/v2")

@@ -148,6 +148,8 @@ type Spec struct {
 // process by its full parameter fingerprint (tech.Process.CanonicalKey;
 // absent = default) — the name alone would alias same-named custom
 // processes with different parameters.
+//
+//cachekey:fields v2 Banks,BlockBits,CapacityMbit,ECC,InterfaceBits,PageBits,Process,Redundancy,SkipBIST,TargetClockMHz
 func (s Spec) CanonicalKey() string {
 	var b strings.Builder
 	b.WriteString("spec/v2")

@@ -181,6 +181,7 @@ func NewStore(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
 		}
 	}
+	//nolint:edramvet/ctxflow // store-owned root: async jobs outlive the submitting request by design; Close cancels this ctx on drain
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Store{
 		cfg:     cfg,
@@ -213,18 +214,27 @@ func (s *Store) Submit(id, kind, key string, req json.RawMessage, run RunFunc) (
 		s.mu.Unlock()
 		return Snapshot{}, false, fmt.Errorf("%w: %d jobs already running", ErrOverloaded, s.cfg.MaxActive)
 	}
-	if len(s.jobs) >= s.cfg.MaxJobs && !s.evictLocked() {
-		s.mu.Unlock()
-		return Snapshot{}, false, fmt.Errorf("%w: %d jobs stored, none evictable", ErrOverloaded, s.cfg.MaxJobs)
+	var evicted string
+	if len(s.jobs) >= s.cfg.MaxJobs {
+		victim, ok := s.evictLocked()
+		if !ok {
+			s.mu.Unlock()
+			return Snapshot{}, false, fmt.Errorf("%w: %d jobs stored, none evictable", ErrOverloaded, s.cfg.MaxJobs)
+		}
+		evicted = victim
 	}
 	j := s.newJobLocked(id, kind, key, req, nil)
 	s.launchLocked(j, run)
 	snap := j.snapshotLocked()
 	s.mu.Unlock()
 
-	// Persist the birth record outside the lock: a fresh running job
+	// Disk work happens outside the lock: drop the evicted job's
+	// checkpoint, then persist the birth record — a fresh running job
 	// with no state yet, so a crash before the first checkpoint still
 	// restarts the job after resume.
+	if evicted != "" {
+		s.removeFile(evicted)
+	}
 	s.persist(j)
 	return snap, true, nil
 }
@@ -284,9 +294,12 @@ func (s *Store) launchLocked(j *Job, run RunFunc) {
 	}()
 }
 
-// evictLocked drops the oldest terminal job, reporting success. Map
-// iteration feeds a sort, so eviction order is deterministic.
-func (s *Store) evictLocked() bool {
+// evictLocked drops the oldest terminal job from the in-memory table
+// and returns its id; the caller deletes the checkpoint file after
+// releasing s.mu (disk I/O must not run under the lock — it would
+// stall every snapshot read behind the filesystem). Map iteration
+// feeds a sort, so eviction order is deterministic.
+func (s *Store) evictLocked() (string, bool) {
 	var terminal []*Job
 	for _, j := range s.jobs {
 		terminal = append(terminal, j)
@@ -296,11 +309,10 @@ func (s *Store) evictLocked() bool {
 		if j.state.Terminal() {
 			j.removed = true
 			delete(s.jobs, j.ID)
-			s.removeFile(j.ID)
-			return true
+			return j.ID, true
 		}
 	}
-	return false
+	return "", false
 }
 
 // Get returns a snapshot of the job.

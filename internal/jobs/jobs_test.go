@@ -163,6 +163,11 @@ func TestOverloadBounds(t *testing.T) {
 	if len(list) != 2 || list[0].ID != "c" || list[1].ID != "d" {
 		t.Errorf("list after eviction: %+v", list)
 	}
+	// Eviction must also reap the checkpoint file (after releasing the
+	// store lock — the disk delete no longer runs under s.mu).
+	if _, err := os.Stat(filepath.Join(s.cfg.Dir, "a.json")); !os.IsNotExist(err) {
+		t.Errorf("evicted job's checkpoint file survived: %v", err)
+	}
 }
 
 func TestInvalidID(t *testing.T) {

@@ -28,6 +28,8 @@ func canonString(s string) string {
 
 // CanonicalKey is the scenario's normalized fingerprint, the service
 // layer's cache and coalescing identity for POST /v1/scenario.
+//
+//cachekey:fields v1 Constraints,Hierarchy,Name,SchemaVersion,Workload
 func (s *Scenario) CanonicalKey() string {
 	var b strings.Builder
 	b.WriteString("scn/v1")

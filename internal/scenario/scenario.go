@@ -47,6 +47,7 @@ type Scenario struct {
 	Name string `json:"name"`
 	// Description is human documentation; it is the one field excluded
 	// from the canonical key (it cannot change any computed result).
+	//cachekey:exempt human documentation only; cannot change any computed result
 	Description string      `json:"description,omitempty"`
 	Hierarchy   Hierarchy   `json:"hierarchy"`
 	Workload    Workload    `json:"workload"`

@@ -125,7 +125,6 @@ func (a *admission) admit(ctx context.Context, endpoint string) (release func(el
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		wait := a.waitEstimateLocked(endpoint)
-		//nolint:edramvet/determinism // deadline math is intentionally wall-clock
 		remaining := time.Until(deadline)
 		if wait > remaining {
 			return nil, &overloadError{
@@ -178,7 +177,6 @@ func (s *Server) admitWorkers(ctx context.Context, endpoint string, want int) (g
 	return got, func() {
 		poolRelease()
 		s.admissionQueued.Dec()
-		//nolint:edramvet/determinism // compute-time observation feeding the wait estimator
 		admitRelease(time.Since(start))
 	}, nil
 }

@@ -37,9 +37,8 @@ func NewResultCache(maxEntries int, ttl time.Duration) *ResultCache {
 		maxEntries = 1
 	}
 	return &ResultCache{
-		max: maxEntries,
-		ttl: ttl,
-		//nolint:edramvet/determinism // TTL expiry is intentionally wall-clock; tests inject a fake clock
+		max:     maxEntries,
+		ttl:     ttl,
 		now:     time.Now,
 		order:   list.New(),
 		entries: map[string]*list.Element{},

@@ -112,6 +112,8 @@ func (r TrialsJobRequest) Violations(maxRequests int64) []string {
 }
 
 // canonicalKey is the campaign's cache/job identity.
+//
+//cachekey:fields v1 Clients,Options,Reliability,Seed,Spec,Trials
 func (r TrialsJobRequest) canonicalKey() string {
 	var b strings.Builder
 	b.WriteString("trials/v1|")
@@ -211,7 +213,10 @@ type compiledJob struct {
 // derived from the canonical identity alone, so re-POSTing the same
 // work attaches to the existing job instead of duplicating it.
 func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
-	var canonical string
+	// kind is re-stated as a server-side literal in each validated arm
+	// (never req.Kind, which is raw client JSON): it becomes the
+	// "kind" metric label, and labels must come from closed sets.
+	var kind, canonical string
 	var run jobs.RunFunc
 	switch req.Kind {
 	case "explore":
@@ -221,6 +226,7 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 		if v := req.Explore.Violations(); len(v) > 0 {
 			return compiledJob{}, violationsError(v)
 		}
+		kind = "explore"
 		canonical = "job/v1|kind=explore|" + req.Explore.CanonicalKey()
 		run = s.runExploreJob(*req.Explore)
 	case "trials":
@@ -230,6 +236,7 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 		if v := req.Trials.Violations(s.cfg.MaxSimRequests); len(v) > 0 {
 			return compiledJob{}, violationsError(v)
 		}
+		kind = "trials"
 		canonical = "job/v1|kind=trials|" + req.Trials.canonicalKey()
 		run = s.runTrialsJob(*req.Trials)
 	case "scenario":
@@ -239,6 +246,7 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 		if v := req.Scenario.Violations(s.cfg.MaxSimRequests); len(v) > 0 {
 			return compiledJob{}, scenario.ViolationsError(v)
 		}
+		kind = "scenario"
 		canonical = "job/v1|kind=scenario|" + req.Scenario.CanonicalKey()
 		run = s.runScenarioJob(req.Scenario)
 	default:
@@ -247,7 +255,7 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 	key := HashKey("job", canonical)
 	// The job id is the bare digest (path- and filename-safe).
 	id := key[strings.IndexByte(key, ':')+1:]
-	return compiledJob{id: id, kind: req.Kind, key: key, run: run}, nil
+	return compiledJob{id: id, kind: kind, key: key, run: run}, nil
 }
 
 // resolveJob rebuilds a runner from a persisted job request — the

@@ -211,6 +211,17 @@ func TestJobLifecycle(t *testing.T) {
 			st.Kind, st.Progress.Done, st.Progress.Total)
 	}
 
+	// The submission counter labels by the server-side canonical kind
+	// (compileJob re-states it as a literal; the raw req.Kind string is
+	// client-controlled and must never reach a metric label).
+	var prom strings.Builder
+	if err := srv.Metrics().WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `edramd_jobs_submitted_total{kind="trials"} 1`) {
+		t.Errorf("scrape missing jobs_submitted kind=trials series:\n%s", prom.String())
+	}
+
 	status, body, _ = do(t, client, "GET", ts.URL+"/v1/jobs")
 	if status != http.StatusOK || !strings.Contains(body, id) {
 		t.Errorf("list: status %d, contains id=%t", status, strings.Contains(body, id))

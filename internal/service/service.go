@@ -438,6 +438,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		if s.computeStarted != nil {
 			s.computeStarted(endpoint, key)
 		}
+		//nolint:edramvet/ctxflow // deliberate detach: coalesced followers must not lose the shared compute when the leader request disconnects; the timeout re-bounds it
 		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RequestTimeout)
 		defer cancel()
 		b, err := compute(ctx)
@@ -508,6 +509,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 		// past the per-request deadline, which cannot interrupt the
 		// handler's blocking body read on its own.
 		ReadTimeout: s.cfg.RequestTimeout,
+		//nolint:edramvet/ctxflow // per-connection root: request contexts must outlive the accept-loop ctx so draining can finish in-flight work
 		BaseContext: func(net.Listener) context.Context { return context.Background() },
 	}
 	done := make(chan error, 1)
@@ -517,6 +519,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 		// Flip /readyz to draining first, so load balancers stop
 		// routing here while in-flight requests finish.
 		s.markDraining()
+		//nolint:edramvet/ctxflow // the parent ctx is already cancelled here; the drain deadline needs a fresh root or Shutdown would abort instantly
 		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)

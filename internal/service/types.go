@@ -125,6 +125,8 @@ type ClientSpec = scenario.ClientSpec
 // key (pinning the version the server already speaks is
 // identity-neutral).
 type SimulateRequest struct {
+	// SchemaVersion optionally pins the wire version.
+	//cachekey:exempt version pin validated to the one supported value; cannot change the result
 	SchemaVersion int             `json:"schema_version,omitempty"`
 	Spec          edram.Spec      `json:"spec"`
 	Options       SimulateOptions `json:"options"`
@@ -180,6 +182,7 @@ type DatasheetResponse struct {
 type ExperimentsRequest struct {
 	// SchemaVersion optionally pins the wire version (absent from the
 	// canonical key, like the simulate pin).
+	//cachekey:exempt version pin validated to the one supported value; cannot change the result
 	SchemaVersion int `json:"schema_version,omitempty"`
 	// IDs filters the suite ("E1", "A3", ...); empty runs everything.
 	IDs []string `json:"ids,omitempty"`
@@ -340,6 +343,8 @@ func parsePolicy(name string) (sched.Policy, error) {
 // strings are quoted (canonString) so a name containing the ',' or '|'
 // separators cannot shift the positional fields and collide with a
 // different request.
+//
+//cachekey:fields v2 Clients,Options,Spec
 func (r SimulateRequest) canonicalKey() string {
 	var b strings.Builder
 	b.WriteString("sim/v2|")
@@ -464,6 +469,8 @@ func BuildDatasheet(spec edram.Spec) (*DatasheetResponse, error) {
 
 // canonicalKey is the experiments request's cache identity: the sorted
 // id filter, each id quoted so one containing ',' cannot render as two.
+//
+//cachekey:fields v2 IDs
 func (r ExperimentsRequest) canonicalKey() string {
 	ids := make([]string, len(r.IDs))
 	for i, id := range r.IDs {

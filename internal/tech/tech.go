@@ -147,6 +147,8 @@ type Process struct {
 // floats use the shortest exact round-trip form; the kind travels by
 // name. The surrounding braces make concatenations of process keys
 // (Requirements.Processes) self-delimiting.
+//
+//cachekey:fields v1 CellFactor,FeatureUm,Kind,LeakageRel,LogicDelayRel,LogicDensityKGatesPerMm2,MetalLayerAdderUSD,MetalLayers,Name,RefJunctionC,RetentionHalvingC,RetentionMs,VddDRAMV,VddLogicV,WaferCostUSD,WaferDiameterMm
 func (p Process) CanonicalKey() string {
 	var b strings.Builder
 	b.WriteString("proc/v1{")
