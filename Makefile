@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-audit lint-sarif lint-baseline race bench bench-compare fuzz fuzz-smoke serve-smoke load-smoke scenarios check
+.PHONY: build test vet lint lint-audit lint-sarif lint-baseline race bench bench-compare fuzz fuzz-smoke serve-smoke load-smoke shard-smoke scenarios check
 
 build:
 	$(GO) build ./...
@@ -83,21 +83,31 @@ serve-smoke:
 	$(GO) run ./cmd/edramd -smoke
 
 # load-smoke replays the deterministic SLO profile (cmd/edramload,
-# seed 1) against a self-hosted daemon whose /v1/explore budget is
-# deliberately tiny: hot-key, cache-busting, coalescing-storm,
-# slow-client, mid-flight-disconnect and deliberate-overload mixes.
-# It exits non-zero on any SLO breach or any 5xx other than the
-# overload mix's intended 503s.
+# seed 1) against a self-hosted daemon whose /v1/simulate budget is
+# deliberately tiny, with local sharding on and a pre-warmed disk
+# cache tier: hot-key, cache-busting, coalescing-storm, slow-client,
+# mid-flight-disconnect, deliberate-overload and sharded-explore
+# mixes. It exits non-zero on any SLO breach or any 5xx other than
+# the overload mix's intended 503s, and reports per-tier cache hit
+# ratios.
 load-smoke:
 	$(GO) run ./cmd/edramload -seed 1
+
+# shard-smoke is the scale-out end-to-end test: edramd re-executes
+# itself as two real peer processes on loopback ports, shards explores
+# across them from an in-process coordinator (disk cache tier and job
+# API enabled), SIGKILLs one peer mid-topology, and verifies every
+# response stays byte-identical to the single-process sweep.
+shard-smoke:
+	$(GO) run ./cmd/edramd -shard-smoke
 
 # check is the tier-1 verify path: build, vet, lint (diff-gated) plus
 # the suppression audit, then race-checked tests, so the exploration engine's, experiment runner's and
 # reliability trial pool's concurrency is exercised under the race
 # detector on every PR, plus a replay of the fuzz seed corpus, the
-# daemon's end-to-end smoke, the load/SLO smoke and the scenario-corpus
-# gate.
-check: build vet lint lint-audit race fuzz-smoke serve-smoke load-smoke scenarios
+# daemon's end-to-end smoke, the load/SLO smoke, the 3-process sharded
+# explore smoke and the scenario-corpus gate.
+check: build vet lint lint-audit race fuzz-smoke serve-smoke load-smoke shard-smoke scenarios
 
 # scenarios validates the declarative-scenario corpus: every *.json
 # under examples/scenarios/ must load and compile through the shared

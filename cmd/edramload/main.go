@@ -11,11 +11,14 @@
 //	          [-slo-max-error-frac 0]
 //
 // With no -addr, edramload self-hosts an in-process edramd configured
-// with a deliberately tiny /v1/explore concurrency budget, so the
-// schedule's overload mix actually sheds — this is the deterministic
-// profile `make load-smoke` and CI run. The exit status is the
-// verdict: 0 when every SLO held and no unexpected errors occurred,
-// 1 on any breach.
+// with a deliberately tiny /v1/simulate concurrency budget (so the
+// schedule's overload mix actually sheds), local sharding enabled (so
+// the sharded mix sweeps the partitioned explore path) and a disk
+// cache tier pre-warmed with one of the sharded mix's bodies (so the
+// run deterministically serves at least one disk hit) — this is the
+// deterministic profile `make load-smoke` and CI run. The exit status
+// is the verdict: 0 when every SLO held and no unexpected errors
+// occurred, 1 on any breach.
 //
 // The schedule is pure and replayable (same seed, same byte-exact
 // request sequence); only the measured latencies vary run to run.
@@ -89,6 +92,7 @@ func main() {
 	}
 
 	outcomes := run(base, schedule, *concurrency, *rate)
+	tiers := scrapeTiers(base)
 	if shutdown != nil {
 		if err := shutdown(); err != nil {
 			fail("shutdown: %v", err)
@@ -96,6 +100,7 @@ func main() {
 	}
 
 	report := loadgen.Summarize(outcomes)
+	report.Tiers = tiers
 	if *jsonOut {
 		b, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -115,16 +120,34 @@ func main() {
 }
 
 // selfHost starts an in-process edramd on a loopback port, configured
-// so the schedule's overload mix has something real to saturate: one
-// concurrent /v1/explore at a time, everything else generously
-// budgeted (the global queue bound is disabled so only the deliberate
-// target sheds).
+// so every mix has something real to probe: one concurrent
+// /v1/simulate at a time (the overload mix's shed target, everything
+// else generously budgeted — the global queue bound is disabled so
+// only the deliberate target sheds), two local shard partitions per
+// explore, and a disk cache tier over a temp directory that prewarm
+// has already populated — the main run's first draw of that body is a
+// warm-start disk hit, never a recomputation.
 func selfHost() (base string, shutdown func() error, err error) {
+	dir, err := os.MkdirTemp("", "edramload-cache-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	if err := prewarm(dir); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("prewarm: %v", err)
+	}
 	srv := service.NewServer(service.Config{
 		AccessLog:      io.Discard,
 		MaxQueueDepth:  -1,
-		EndpointBudget: map[string]int{"/v1/explore": 1},
+		EndpointBudget: map[string]int{"/v1/simulate": 1},
+		ShardParts:     2,
+		CacheDir:       dir,
 	})
+	if err := srv.DiskCacheErr(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("disk cache: %v", err)
+	}
 	srv.MarkReady()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrCh := make(chan net.Addr, 1)
@@ -136,12 +159,81 @@ func selfHost() (base string, shutdown func() error, err error) {
 	case a := <-addrCh:
 		return "http://" + a.String(), func() error {
 			cancel()
-			return <-errCh
+			err := <-errCh
+			cleanup()
+			return err
 		}, nil
 	case err := <-errCh:
 		cancel()
+		cleanup()
 		return "", nil, fmt.Errorf("server did not start: %v", err)
 	}
+}
+
+// prewarmBody is one of the sharded mix's rotating explore bodies
+// (loadgen cycles max_power_mw over 400.5..700.5; the first draw is
+// 500.5). Computing it into the cache directory ahead of the run
+// makes the main server's first sharded draw a deterministic
+// disk-tier hit.
+const prewarmBody = `{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5,"max_power_mw":500.5}`
+
+// prewarm computes prewarmBody into dir's disk cache via a throwaway
+// server life, then drains it so the snapshot is durable before the
+// measured server opens the same directory.
+func prewarm(dir string) error {
+	srv := service.NewServer(service.Config{AccessLog: io.Discard, CacheDir: dir})
+	if err := srv.DiskCacheErr(); err != nil {
+		return err
+	}
+	srv.MarkReady()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		cancel()
+		return fmt.Errorf("prewarm server did not start: %v", err)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Post(base+"/v1/explore", "application/json", strings.NewReader(prewarmBody))
+	if err != nil {
+		cancel()
+		<-errCh
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cancel()
+	if err := <-errCh; err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prewarm explore: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrapeTiers reads the daemon's /metrics after the run and extracts
+// the per-tier cache hit/miss counters for the report. Best-effort: a
+// daemon without metrics simply yields no tier lines.
+func scrapeTiers(base string) []loadgen.TierStat {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return loadgen.ParseTierStats(string(b))
 }
 
 // run replays the schedule. Closed loop: `concurrency` workers each

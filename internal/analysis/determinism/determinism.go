@@ -56,6 +56,15 @@ var modelPackages = map[string]bool{
 	// regression cannot be distinguished from schedule noise. The
 	// edramload driver's latency clocks carry scoped nolint escapes.
 	"loadgen": true, "edramload": true,
+	// The shard coordinator's merged frontiers must be byte-identical
+	// to the single-process sweep regardless of partition arrival
+	// order; its one wall-clock site (merge latency) carries a scoped
+	// nolint escape.
+	"shard": true,
+	// The disk cache's segment log must replay byte-identically after
+	// a restart: record framing and compaction order cannot depend on
+	// wall-clock or map iteration.
+	"diskcache": true,
 }
 
 // allowedRandFuncs are math/rand package-level constructors that do not

@@ -1,0 +1,315 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"edram/internal/testleak"
+)
+
+func TestMain(m *testing.M) { testleak.Check(m) }
+
+const gen = "test/v1"
+
+func open(t *testing.T, dir string, opt Options) *Cache {
+	t.Helper()
+	if opt.Generation == "" {
+		opt.Generation = gen
+	}
+	c, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+// writeLog crafts a raw segment file from a header plus records, so
+// replay semantics can be tested against exact byte layouts.
+func writeLog(t *testing.T, dir string, chunks ...[]byte) {
+	t.Helper()
+	header, err := encodeHeader(gen)
+	if err != nil {
+		t.Fatalf("encodeHeader: %v", err)
+	}
+	data := append([]byte(nil), header...)
+	for _, c := range chunks {
+		data = append(data, c...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
+		t.Fatalf("writing crafted log: %v", err)
+	}
+}
+
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	c.Put("alpha", []byte("one"))
+	c.Put("beta", []byte("two"))
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := open(t, dir, Options{})
+	defer c2.Close()
+	if got := c2.Stats().ReplayedEntries; got != 2 {
+		t.Fatalf("ReplayedEntries = %d, want 2", got)
+	}
+	for key, want := range map[string]string{"alpha": "one", "beta": "two"} {
+		got, ok := c2.Get(key)
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	if _, ok := c2.Get("missing"); ok {
+		t.Fatal("Get(missing) unexpectedly hit")
+	}
+}
+
+func TestReplayLaterRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir,
+		encodeRecord("k", []byte("stale")),
+		encodeRecord("other", []byte("x")),
+		encodeRecord("k", []byte("fresh")),
+	)
+	c := open(t, dir, Options{})
+	defer c.Close()
+	got, ok := c.Get("k")
+	if !ok || string(got) != "fresh" {
+		t.Fatalf("Get(k) = %q, %v; want fresh", got, ok)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	torn := encodeRecord("torn", []byte("never fully written"))
+	writeLog(t, dir,
+		encodeRecord("a", []byte("1")),
+		encodeRecord("b", []byte("2")),
+		torn[:len(torn)-5], // crash mid-append
+	)
+	c := open(t, dir, Options{})
+	st := c.Stats()
+	if st.DroppedRecords != 1 || st.ReplayedEntries != 2 {
+		t.Fatalf("stats = %+v, want 1 dropped / 2 replayed", st)
+	}
+	if _, ok := c.Get("torn"); ok {
+		t.Fatal("torn record replayed")
+	}
+	// The damaged suffix must be truncated, so appends after recovery
+	// produce a clean log that replays in full.
+	c.Put("c", []byte("3"))
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c2 := open(t, dir, Options{})
+	defer c2.Close()
+	st = c2.Stats()
+	if st.DroppedRecords != 0 || st.ReplayedEntries != 3 {
+		t.Fatalf("after recovery stats = %+v, want 0 dropped / 3 replayed", st)
+	}
+}
+
+func TestReplayCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	bad := encodeRecord("bad", []byte("payload"))
+	bad[10] ^= 0xff // flip a byte inside the record body
+	writeLog(t, dir,
+		encodeRecord("good", []byte("kept")),
+		bad,
+		encodeRecord("after", []byte("unreachable")),
+	)
+	c := open(t, dir, Options{})
+	defer c.Close()
+	// Only the suffix from the damaged record on is dropped; the
+	// CRC-verified prefix replays exactly.
+	if got, ok := c.Get("good"); !ok || string(got) != "kept" {
+		t.Fatalf("Get(good) = %q, %v", got, ok)
+	}
+	for _, key := range []string{"bad", "after"} {
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("Get(%q) replayed past a corrupt record", key)
+		}
+	}
+	if st := c.Stats(); st.DroppedRecords != 1 {
+		t.Fatalf("DroppedRecords = %d, want 1", st.DroppedRecords)
+	}
+}
+
+func TestMidCompactionKillLeavesLogAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, encodeRecord("k", []byte("v")))
+	// A compaction killed before its atomic rename leaves a tmp file of
+	// arbitrary completeness; the main segment must stay authoritative.
+	if err := os.WriteFile(filepath.Join(dir, tmpName), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatalf("writing stray tmp: %v", err)
+	}
+	c := open(t, dir, Options{})
+	defer c.Close()
+	if got, ok := c.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("Get(k) = %q, %v", got, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp not removed: %v", err)
+	}
+}
+
+func TestGenerationMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{Generation: "schema/v1"})
+	c.Put("k", []byte("old-schema bytes"))
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := open(t, dir, Options{Generation: "schema/v2"})
+	if _, ok := c2.Get("k"); ok {
+		t.Fatal("stale-generation entry replayed")
+	}
+	st := c2.Stats()
+	if st.Invalidations != 1 || st.ReplayedEntries != 0 {
+		t.Fatalf("stats = %+v, want 1 invalidation / 0 replayed", st)
+	}
+	c2.Put("k", []byte("new-schema bytes"))
+	if err := c2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c3 := open(t, dir, Options{Generation: "schema/v2"})
+	defer c3.Close()
+	if got, ok := c3.Get("k"); !ok || string(got) != "new-schema bytes" {
+		t.Fatalf("Get(k) = %q, %v", got, ok)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{MaxEntries: 2})
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // promote a over b
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived past the entry budget")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The budget also holds across a restart with a tighter limit.
+	c2 := open(t, dir, Options{MaxEntries: 1})
+	defer c2.Close()
+	if n := c2.Len(); n != 1 {
+		t.Fatalf("Len after tightened restart = %d, want 1", n)
+	}
+}
+
+func TestCompactDropsStaleRecords(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		c.Put("hot", []byte(fmt.Sprintf("version-%d", i)))
+	}
+	c.Put("cold", []byte("x"))
+	if err := c.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := c.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The compacted segment holds exactly the live set: replay applies
+	// one record per live key.
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatalf("reading segment: %v", err)
+	}
+	headerLen, ok := parseHeader(data, gen)
+	if !ok {
+		t.Fatal("compacted segment header unreadable")
+	}
+	records := 0
+	for off := headerLen; off < len(data); records++ {
+		_, _, next, ok := parseRecord(data, off)
+		if !ok {
+			t.Fatalf("compacted segment has a bad record at offset %d", off)
+		}
+		off = next
+	}
+	if records != 2 {
+		t.Fatalf("compacted segment holds %d records, want 2", records)
+	}
+	c2 := open(t, dir, Options{})
+	defer c2.Close()
+	if got, ok := c2.Get("hot"); !ok || string(got) != "version-9" {
+		t.Fatalf("Get(hot) = %q, %v; want version-9", got, ok)
+	}
+}
+
+func TestCloseSnapshotIsCompact(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		c.Put("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c2 := open(t, dir, Options{})
+	defer c2.Close()
+	st := c2.Stats()
+	if st.ReplayedEntries != 1 {
+		t.Fatalf("ReplayedEntries = %d, want 1 (graceful drain snapshots the live set)", st.ReplayedEntries)
+	}
+	if got, _ := c2.Get("k"); !bytes.Equal(got, []byte("v4")) {
+		t.Fatalf("Get(k) = %q, want v4", got)
+	}
+}
+
+func TestClosedCacheRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{})
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c.Put("k", []byte("v")) // must not panic or write
+	if err := c.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, dir, Options{MaxEntries: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%100)
+				c.Put(key, []byte(key))
+				if got, ok := c.Get(key); ok && string(got) != key {
+					t.Errorf("Get(%q) = %q", key, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

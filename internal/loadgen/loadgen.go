@@ -5,8 +5,8 @@
 // CI is a service regression, never schedule noise. The wall-clock
 // half (issuing requests, measuring latency) lives in cmd/edramload.
 //
-// A schedule interleaves six traffic mixes, each probing one overload
-// behaviour of the daemon:
+// A schedule interleaves seven traffic mixes, each probing one
+// overload behaviour of the daemon:
 //
 //   - hot: one identical request over and over — the cache-hit fast
 //     path that must stay fast under every other mix's pressure;
@@ -20,13 +20,18 @@
 //     must finish and fill the cache anyway;
 //   - overload: deliberate saturation of one tightly-budgeted endpoint
 //     — these are EXPECTED to shed with 503 + Retry-After, and their
-//     503s do not count against the error budget.
+//     503s do not count against the error budget;
+//   - sharded: explores cycling a small body set — when the driver
+//     runs the daemon with sharding enabled these sweep the
+//     partitioned fan-out path, and the repeats land in the cache
+//     tiers (first draw a miss, the rest memory or disk hits).
 package loadgen
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -69,12 +74,13 @@ func SmokeProfile(seed int64) Profile {
 		Requests: 160,
 		Seed:     seed,
 		Mixes: []MixWeight{
-			{"hot", 40},
-			{"unique", 25},
+			{"hot", 35},
+			{"unique", 22},
 			{"storm", 15},
 			{"slow", 5},
 			{"disconnect", 5},
 			{"overload", 10},
+			{"sharded", 8},
 		},
 	}
 }
@@ -105,7 +111,7 @@ func Schedule(p Profile) ([]Request, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	var reqs []Request
-	var uniqueSeq, stormSeq, disconnectSeq, overloadSeq int
+	var uniqueSeq, stormSeq, disconnectSeq, overloadSeq, shardedSeq int
 	for len(reqs) < p.Requests {
 		draw := rng.Intn(total)
 		var mix string
@@ -143,11 +149,23 @@ func Schedule(p Profile) ([]Request, error) {
 			body := fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":%d.25,"hit_rate":0.5}`, 1+disconnectSeq%4)
 			reqs = append(reqs, Request{Mix: mix, Path: "/v1/recommend", Body: body, Disconnect: true})
 		case "overload":
-			// Cache-busting explores against the endpoint the driver
-			// configures with a tiny concurrency budget.
+			// Cache-busting simulations against the endpoint the driver
+			// configures with a tiny concurrency budget. (This mix used
+			// to target /v1/explore, but explores are now the sharded
+			// mix's probe — shedding them would starve that path.)
 			overloadSeq++
-			body := fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5,"max_area_mm2":%d.5}`, 40+overloadSeq)
-			reqs = append(reqs, Request{Mix: mix, Path: "/v1/explore", Body: body, WantShed: true})
+			body := fmt.Sprintf(
+				`{"spec":{"capacity_mbit":16,"interface_bits":64},"options":{"policy":"round-robin"},`+
+					`"clients":[{"name":"cpu","kind":"sequential","rate_gbps":0.8,"count":%d}]}`,
+				500+overloadSeq)
+			reqs = append(reqs, Request{Mix: mix, Path: "/v1/simulate", Body: body, WantShed: true})
+		case "sharded":
+			// A small rotating body set: each body's first draw sweeps
+			// the (possibly sharded) explore path, the repeats measure
+			// the cache tiers.
+			shardedSeq++
+			body := fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5,"max_power_mw":%d00.5}`, 4+shardedSeq%4)
+			reqs = append(reqs, Request{Mix: mix, Path: "/v1/explore", Body: body})
 		default:
 			return nil, fmt.Errorf("loadgen: unknown mix %q", mix)
 		}
@@ -194,6 +212,67 @@ type MixStats struct {
 	Errors       int    `json:"errors"`
 }
 
+// TierStat is one cache tier's hit/miss tally, scraped from the
+// daemon's /metrics after a run. Recorded for observability, not
+// SLO-gated: hit ratios depend on mix interleaving, and gating on
+// them would make the harness flaky, not the service honest.
+type TierStat struct {
+	Tier     string  `json:"tier"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// ParseTierStats extracts the edramd_cache_tier_* series from a
+// Prometheus text exposition. Tiers come back sorted by name; tiers
+// absent from the text are absent from the result.
+func ParseTierStats(metricsText string) []TierStat {
+	byTier := map[string]*TierStat{}
+	var names []string
+	get := func(tier string) *TierStat {
+		if byTier[tier] == nil {
+			byTier[tier] = &TierStat{Tier: tier}
+			names = append(names, tier)
+		}
+		return byTier[tier]
+	}
+	for _, line := range strings.Split(metricsText, "\n") {
+		var hits bool
+		var rest string
+		switch {
+		case strings.HasPrefix(line, `edramd_cache_tier_hits_total{tier="`):
+			hits, rest = true, strings.TrimPrefix(line, `edramd_cache_tier_hits_total{tier="`)
+		case strings.HasPrefix(line, `edramd_cache_tier_misses_total{tier="`):
+			hits, rest = false, strings.TrimPrefix(line, `edramd_cache_tier_misses_total{tier="`)
+		default:
+			continue
+		}
+		tier, value, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		if err != nil {
+			continue
+		}
+		if hits {
+			get(tier).Hits = n
+		} else {
+			get(tier).Misses = n
+		}
+	}
+	sort.Strings(names)
+	var tiers []TierStat
+	for _, name := range names {
+		t := byTier[name]
+		if total := t.Hits + t.Misses; total > 0 {
+			t.HitRatio = float64(t.Hits) / float64(total)
+		}
+		tiers = append(tiers, *t)
+	}
+	return tiers
+}
+
 // Report is the harness's aggregate verdict over one run.
 type Report struct {
 	Requests     int `json:"requests"`
@@ -208,6 +287,9 @@ type Report struct {
 	P99Ns            int64      `json:"p99_ns"`
 	P999Ns           int64      `json:"p999_ns"`
 	Mixes            []MixStats `json:"mixes"`
+	// Tiers holds the daemon's per-tier cache hit ratios, scraped
+	// after the run when the driver has a /metrics endpoint to ask.
+	Tiers []TierStat `json:"tiers,omitempty"`
 }
 
 // percentile is the nearest-rank percentile of sorted latencies.
@@ -300,6 +382,10 @@ func (r Report) Format() string {
 	for _, m := range r.Mixes {
 		fmt.Fprintf(&b, "  %-12s %4d requests  %4d ok  %3d shed  %3d disconnected  %3d errors\n",
 			m.Mix, m.Requests, m.OK, m.Shed, m.Disconnected, m.Errors)
+	}
+	for _, t := range r.Tiers {
+		fmt.Fprintf(&b, "  cache tier %-8s %6d hits  %6d misses  hit-ratio %.3f\n",
+			t.Tier, t.Hits, t.Misses, t.HitRatio)
 	}
 	return b.String()
 }

@@ -43,13 +43,24 @@ func TestScheduleMixes(t *testing.T) {
 	}
 	seenMix := map[string]int{}
 	uniqueBodies := map[string]int{}
+	overloadBodies := map[string]int{}
+	shardedBodies := map[string]bool{}
 	for _, r := range reqs {
 		seenMix[r.Mix]++
 		if r.Mix == "unique" {
 			uniqueBodies[r.Body]++
 		}
-		if r.Mix == "overload" && (!r.WantShed || r.Path != "/v1/explore") {
-			t.Fatalf("overload request not marked shed-expected: %+v", r)
+		if r.Mix == "overload" {
+			if !r.WantShed || r.Path != "/v1/simulate" {
+				t.Fatalf("overload request not a shed-expected simulate: %+v", r)
+			}
+			overloadBodies[r.Body]++
+		}
+		if r.Mix == "sharded" {
+			if r.Path != "/v1/explore" || r.WantShed {
+				t.Fatalf("sharded request must be a plain explore: %+v", r)
+			}
+			shardedBodies[r.Body] = true
 		}
 		if r.Mix == "disconnect" && !r.Disconnect {
 			t.Fatalf("disconnect request not marked: %+v", r)
@@ -58,7 +69,7 @@ func TestScheduleMixes(t *testing.T) {
 			t.Fatalf("slow request not marked: %+v", r)
 		}
 	}
-	for _, mix := range []string{"hot", "unique", "storm", "slow", "disconnect", "overload"} {
+	for _, mix := range []string{"hot", "unique", "storm", "slow", "disconnect", "overload", "sharded"} {
 		if seenMix[mix] == 0 {
 			t.Errorf("smoke profile never drew mix %q", mix)
 		}
@@ -67,6 +78,20 @@ func TestScheduleMixes(t *testing.T) {
 		if n > 1 {
 			t.Errorf("unique body repeated %d times: %s", n, body)
 		}
+	}
+	for body, n := range overloadBodies {
+		if n > 1 {
+			t.Errorf("overload body repeated %d times (must cache-bust): %s", n, body)
+		}
+	}
+	// The sharded mix rotates a small set so repeats hit the cache
+	// tiers; with 8% of 160 requests every body should recur.
+	if len(shardedBodies) == 0 || len(shardedBodies) > 4 {
+		t.Errorf("sharded mix drew %d distinct bodies, want 1..4", len(shardedBodies))
+	}
+	if seenMix["sharded"] <= len(shardedBodies) {
+		t.Errorf("sharded mix drew %d requests over %d bodies — no repeats to hit the cache",
+			seenMix["sharded"], len(shardedBodies))
 	}
 }
 
@@ -126,5 +151,36 @@ func TestSummarizeAndCheck(t *testing.T) {
 	empty := Summarize(nil)
 	if empty.P50Ns != 0 || empty.ErrorFrac != 0 {
 		t.Errorf("empty run: %+v", empty)
+	}
+}
+
+// TestParseTierStats pins the /metrics scrape: tier series in any
+// order, interleaved with unrelated lines, parse to sorted stats.
+func TestParseTierStats(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP edramd_cache_tier_hits_total Cache hits by tier.`,
+		`edramd_cache_tier_misses_total{tier="memory"} 4`,
+		`edramd_requests_total{endpoint="/v1/explore"} 12`,
+		`edramd_cache_tier_hits_total{tier="memory"} 12`,
+		`edramd_cache_tier_hits_total{tier="disk"} 1`,
+		`edramd_cache_tier_misses_total{tier="disk"} 3`,
+		``,
+	}, "\n")
+	got := ParseTierStats(text)
+	want := []TierStat{
+		{Tier: "disk", Hits: 1, Misses: 3, HitRatio: 0.25},
+		{Tier: "memory", Hits: 12, Misses: 4, HitRatio: 0.75},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseTierStats:\n got %+v\nwant %+v", got, want)
+	}
+	if stats := ParseTierStats("edramd_cache_tier_hits_total{tier=\"memory\"} not-a-number\n"); len(stats) != 0 {
+		t.Errorf("garbage value parsed: %+v", stats)
+	}
+
+	r := Report{Tiers: want}
+	out := r.Format()
+	if !strings.Contains(out, "cache tier disk") || !strings.Contains(out, "hit-ratio 0.750") {
+		t.Errorf("Format missing tier lines:\n%s", out)
 	}
 }

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"edram/internal/diskcache"
+)
+
+// TestDiskWarmStartServesHitWithoutRecompute pins the tentpole
+// acceptance criterion: a replica warm-started from the cache
+// directory serves the original miss's exact bytes as a disk hit, and
+// never enters the compute path to do it.
+func TestDiskWarmStartServesHitWithoutRecompute(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewServer(Config{Workers: 2, CacheDir: dir})
+	if err := s1.DiskCacheErr(); err != nil {
+		t.Fatalf("open disk cache: %v", err)
+	}
+	ts1 := httptest.NewServer(s1)
+	status, want, hdr := post(t, ts1.Client(), ts1.URL+"/v1/explore", testReq)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first explore: status %d, X-Cache %q", status, hdr.Get("X-Cache"))
+	}
+	ts1.Close()
+	s1.Close() // graceful drain snapshots the segment log
+
+	s2 := NewServer(Config{Workers: 2, CacheDir: dir})
+	defer s2.Close()
+	if err := s2.DiskCacheErr(); err != nil {
+		t.Fatalf("warm-start disk cache: %v", err)
+	}
+	if got := s2.DiskStats().ReplayedEntries; got != 1 {
+		t.Fatalf("replayed entries = %d, want 1", got)
+	}
+	var computes atomic.Int64
+	s2.computeStarted = func(endpoint, key string) { computes.Add(1) }
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	status, got, hdr := post(t, ts2.Client(), ts2.URL+"/v1/explore", testReq)
+	if status != http.StatusOK {
+		t.Fatalf("warm explore: status %d: %s", status, got)
+	}
+	if hdr.Get("X-Cache") != "hit-disk" {
+		t.Errorf("warm explore: X-Cache %q, want hit-disk", hdr.Get("X-Cache"))
+	}
+	if got != want {
+		t.Errorf("warm-start bytes differ from original miss:\n got %d bytes %.120s\nwant %d bytes %.120s",
+			len(got), got, len(want), want)
+	}
+	if n := computes.Load(); n != 0 {
+		t.Errorf("warm-start hit ran the compute path %d times, want 0", n)
+	}
+
+	// The disk hit promoted the entry into memory: the next lookup is
+	// a plain memory hit.
+	status, again, hdr := post(t, ts2.Client(), ts2.URL+"/v1/explore", testReq)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" || again != want {
+		t.Errorf("promoted lookup: status %d, X-Cache %q, identical=%t",
+			status, hdr.Get("X-Cache"), again == want)
+	}
+}
+
+// TestCacheTierMetrics checks the closed-set tier series: both tiers
+// export hits and misses under literal label values.
+func TestCacheTierMetrics(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(Config{Workers: 2, CacheDir: dir})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	post(t, client, ts.URL+"/v1/explore", testReq) // miss both tiers
+	post(t, client, ts.URL+"/v1/explore", testReq) // memory hit
+
+	status, body, _ := do(t, client, "GET", ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	for _, series := range []string{
+		`edramd_cache_tier_hits_total{tier="memory"} 1`,
+		`edramd_cache_tier_misses_total{tier="memory"} 1`,
+		`edramd_cache_tier_hits_total{tier="disk"} 0`,
+		`edramd_cache_tier_misses_total{tier="disk"} 1`,
+		`edramd_disk_cache_entries 1`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}
+
+// TestDiskGenerationMismatchRecomputes pins self-invalidation: a
+// snapshot written under a different generation tag (older schema or
+// key-tag set) is discarded wholesale at boot instead of serving
+// stale bytes.
+func TestDiskGenerationMismatchRecomputes(t *testing.T) {
+	dir := t.TempDir()
+
+	// Simulate a snapshot left behind by a binary with different wire
+	// tags: same log format, different generation string.
+	old, err := diskcache.Open(dir, diskcache.Options{Generation: "edram/gen|schema=0|tags=stale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Put(HashKey("explore", "stale"), []byte(`{"stale":true}`))
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(Config{Workers: 2, CacheDir: dir})
+	defer srv.Close()
+	if err := srv.DiskCacheErr(); err != nil {
+		t.Fatalf("open over stale snapshot: %v", err)
+	}
+	st := srv.DiskStats()
+	if st.Invalidations != 1 || st.ReplayedEntries != 0 {
+		t.Fatalf("stats after stale snapshot: invalidations=%d replayed=%d, want 1, 0", st.Invalidations, st.ReplayedEntries)
+	}
+
+	var computes atomic.Int64
+	srv.computeStarted = func(endpoint, key string) { computes.Add(1) }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	status, _, hdr := post(t, ts.Client(), ts.URL+"/v1/explore", testReq)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Errorf("explore over invalidated snapshot: status %d, X-Cache %q, want 200 miss", status, hdr.Get("X-Cache"))
+	}
+	if computes.Load() == 0 {
+		t.Error("invalidated snapshot did not trigger recomputation")
+	}
+}

@@ -61,6 +61,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.jobsStore != nil {
 		s.jobsActive.Set(int64(s.jobsStore.Active()))
 	}
+	if s.disk != nil {
+		// Scrape-time sync, like the jobs gauge: the disk tier keeps its
+		// own counters and the registry mirrors them on read.
+		st := s.disk.Stats()
+		s.metrics.Gauge("edramd_disk_cache_entries", "Live entries in the disk cache tier.").Set(int64(st.Entries))
+		s.metrics.Gauge("edramd_disk_cache_live_bytes", "Live value bytes in the disk cache tier.").Set(st.LiveBytes)
+		s.metrics.Gauge("edramd_disk_cache_evictions", "Disk-tier entries evicted by the size/entry budget.").Set(st.Evictions)
+		s.metrics.Gauge("edramd_disk_cache_replayed_entries", "Entries recovered from the segment log at boot.").Set(st.ReplayedEntries)
+		s.metrics.Gauge("edramd_disk_cache_dropped_records", "Damaged log suffixes truncated at boot.").Set(st.DroppedRecords)
+		s.metrics.Gauge("edramd_disk_cache_invalidations", "Whole-segment discards (generation mismatch).").Set(st.Invalidations)
+		s.metrics.Gauge("edramd_disk_cache_compactions", "Segment log compactions.").Set(st.Compactions)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteProm(w)
 }
@@ -84,9 +96,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// request/response cycle is converted into a job (202 + job id)
 	// unless the cache already holds the answer.
 	if t := s.cfg.AsyncPointThreshold; t > 0 && core.SweepCount(req) > t {
-		if val, ok := s.cache.Get(key); ok {
-			s.cacheHits.Inc()
-			w.Header().Set("X-Cache", "hit")
+		if val, tag, ok := s.lookupTiered(key); ok {
+			w.Header().Set("X-Cache", tag)
 			writeBytes(w, val)
 			return
 		}
@@ -99,7 +110,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer release()
-		resp, err := BuildExplore(ctx, req, workers, nil)
+		var resp *ExploreResponse
+		if s.shardingEnabled() {
+			resp, err = s.buildExploreSharded(ctx, req, workers)
+		} else {
+			resp, err = BuildExplore(ctx, req, workers, nil)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -428,6 +428,11 @@ func candidateFromJSON(cj CandidateJSON) core.Candidate {
 // checkpoint persisted after each range.
 func (s *Server) runExploreJob(req core.Requirements) jobs.RunFunc {
 	return func(ctx context.Context, h *jobs.Handle) ([]byte, error) {
+		// The sharded runner shares the checkpoint schema, so a job can
+		// resume across a restart that toggled sharding.
+		if s.shardingEnabled() {
+			return s.runShardedExploreJob(ctx, h, req)
+		}
 		if err := req.Validate(); err != nil {
 			return nil, err
 		}
@@ -527,9 +532,9 @@ func (s *Server) runExploreJob(req core.Requirements) jobs.RunFunc {
 		if err != nil {
 			return nil, err
 		}
-		// Cross-fill the synchronous cache: a later POST /v1/explore of
+		// Cross-fill the synchronous tiers: a later POST /v1/explore of
 		// the same requirements is a hit on the job's bytes.
-		s.cacheEvicts.Add(int64(s.cache.Put(HashKey("explore", req.CanonicalKey()), b)))
+		s.fillCaches(HashKey("explore", req.CanonicalKey()), b)
 		return b, nil
 	}
 }
@@ -729,8 +734,8 @@ func (s *Server) runScenarioJob(scn *scenario.Scenario) jobs.RunFunc {
 		if err != nil {
 			return nil, err
 		}
-		// Cross-fill the synchronous scenario cache.
-		s.cacheEvicts.Add(int64(s.cache.Put(HashKey("scenario", scn.CanonicalKey()), b)))
+		// Cross-fill the synchronous scenario tiers.
+		s.fillCaches(HashKey("scenario", scn.CanonicalKey()), b)
 		return b, nil
 	}
 }

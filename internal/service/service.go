@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"edram/internal/core"
+	"edram/internal/diskcache"
 	"edram/internal/jobs"
 )
 
@@ -79,6 +80,27 @@ type Config struct {
 	// whose sweep exceeds this many design points into an async job
 	// (202 + job id). 0 disables the escape hatch.
 	AsyncPointThreshold int
+
+	// Peers lists remote edramd base URLs (e.g. "http://10.0.0.2:8080")
+	// that explore sweeps fan out to via POST /v1/internal/shard.
+	Peers []string
+	// ShardParts is the explore partition count when sharding is on
+	// (default 2*(1+len(Peers)), so every executor gets work and
+	// stragglers can be rebalanced). Setting Peers or ShardParts
+	// enables the sharded explore path.
+	ShardParts int
+	// ShardHedgeAfter re-executes a still-unfinished remote partition
+	// locally after this long (0 disables hedging).
+	ShardHedgeAfter time.Duration
+
+	// CacheDir enables the persistent disk cache tier behind the
+	// in-memory LRU ("" disables it). The segment replays synchronously
+	// in NewServer, before the daemon marks itself ready.
+	CacheDir string
+	// DiskCacheBytes / DiskCacheEntries bound the disk tier
+	// (defaults 256 MiB / 4096 entries).
+	DiskCacheBytes   int64
+	DiskCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,7 +147,7 @@ func (c Config) withDefaults() Config {
 // explicit map entries over the default for every compute endpoint.
 func (c Config) endpointBudgets() map[string]int {
 	limits := map[string]int{}
-	for _, ep := range []string{"/v1/explore", "/v1/recommend", "/v1/simulate", "/v1/experiments", "/v1/scenario"} {
+	for _, ep := range []string{"/v1/explore", "/v1/recommend", "/v1/simulate", "/v1/experiments", "/v1/scenario", "/v1/internal/shard"} {
 		limits[ep] = c.DefaultEndpointBudget
 	}
 	for ep, n := range c.EndpointBudget {
@@ -159,6 +181,15 @@ type Server struct {
 	jobsStore *jobs.Store
 	jobsErr   error
 
+	// disk is the persistent cache tier (nil unless CacheDir is set);
+	// diskErr records a failed open so the daemon can refuse to start
+	// instead of silently serving cold.
+	disk    *diskcache.Cache
+	diskErr error
+
+	// shardClient carries /v1/internal/shard sub-requests to peers.
+	shardClient *http.Client
+
 	// Metric handles resolved once at construction.
 	inFlight        *Gauge
 	workersInUse    *Gauge
@@ -169,6 +200,23 @@ type Server struct {
 	coalescedReqs   *Counter
 	admissionQueued *Gauge
 	jobsActive      *Gauge
+
+	// Tiered-cache counters: the memory pair resolves always, the disk
+	// pair only when the disk tier is configured. Tier label values are
+	// construction-time literals (closed set).
+	tierMemHits    *Counter
+	tierMemMisses  *Counter
+	tierDiskHits   *Counter
+	tierDiskMisses *Counter
+
+	// Sharded-explore counters.
+	shardExplores     *Counter
+	shardPartsLocal   *Counter
+	shardPartsRemote  *Counter
+	shardRetries      *Counter
+	shardHedges       *Counter
+	shardPeerFailures *Counter
+	shardMergeSeconds *Histogram
 
 	// computeStarted, when set (tests only), observes every cache-miss
 	// computation as it begins — the barrier the coalescing tests
@@ -200,8 +248,32 @@ func NewServer(cfg Config) *Server {
 		coalescedReqs:   m.Counter("edramd_coalesced_requests_total", "Requests that joined an in-flight identical computation."),
 		admissionQueued: m.Gauge("edramd_admission_queued", "Computations admitted and not yet released."),
 		jobsActive:      m.Gauge("edramd_jobs_active", "Async jobs currently running."),
+
+		tierMemHits:    m.Counter("edramd_cache_tier_hits_total", "Cache hits by tier.", Label{"tier", "memory"}),
+		tierMemMisses:  m.Counter("edramd_cache_tier_misses_total", "Cache misses by tier.", Label{"tier", "memory"}),
+		tierDiskHits:   m.Counter("edramd_cache_tier_hits_total", "Cache hits by tier.", Label{"tier", "disk"}),
+		tierDiskMisses: m.Counter("edramd_cache_tier_misses_total", "Cache misses by tier.", Label{"tier", "disk"}),
+
+		shardExplores:     m.Counter("edramd_shard_explores_total", "Explore sweeps served through the sharded fan-out path."),
+		shardPartsLocal:   m.Counter("edramd_shard_partitions_total", "Accepted shard partitions by executor kind.", Label{"target", "local"}),
+		shardPartsRemote:  m.Counter("edramd_shard_partitions_total", "Accepted shard partitions by executor kind.", Label{"target", "remote"}),
+		shardRetries:      m.Counter("edramd_shard_retries_total", "Shard partitions requeued after a peer failure."),
+		shardHedges:       m.Counter("edramd_shard_hedges_total", "Local hedge executions launched against straggling remote shards."),
+		shardPeerFailures: m.Counter("edramd_shard_peer_failures_total", "Remote shard executors retired by a failure."),
+		shardMergeSeconds: m.Histogram("edramd_shard_merge_seconds", "Pareto-frontier merge latency in seconds.", DefaultLatencyBuckets),
 	}
 	s.workersCap.Set(int64(cfg.Workers))
+	s.shardClient = &http.Client{Timeout: cfg.RequestTimeout}
+	if cfg.CacheDir != "" {
+		// The segment replays synchronously here, so a warm-starting
+		// daemon holds /readyz at 503 "starting" until the disk tier is
+		// fully rebuilt (MarkReady comes after NewServer returns).
+		s.disk, s.diskErr = diskcache.Open(cfg.CacheDir, diskcache.Options{
+			MaxBytes:   cfg.DiskCacheBytes,
+			MaxEntries: cfg.DiskCacheEntries,
+			Generation: CacheGeneration(),
+		})
+	}
 	s.jobsStore, s.jobsErr = jobs.NewStore(jobs.Config{
 		Dir:       cfg.JobDir,
 		MaxJobs:   cfg.MaxJobs,
@@ -222,6 +294,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasheet", s.handleDatasheet)
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/internal/shard", s.handleShard)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -234,6 +307,59 @@ func NewServer(cfg Config) *Server {
 // and cache warm-up have completed; until then load balancers keep the
 // instance out of rotation while /healthz already answers.
 func (s *Server) MarkReady() { s.readiness.CompareAndSwap(readyStarting, readyOK) }
+
+// DiskCacheErr reports a failed disk-tier open (bad CacheDir). The
+// daemon checks it at startup and refuses to serve rather than running
+// silently without the tier it was configured with.
+func (s *Server) DiskCacheErr() error { return s.diskErr }
+
+// DiskStats snapshots the disk tier's counters (zero when the tier is
+// off) — the warm-start smoke and tests read it.
+func (s *Server) DiskStats() diskcache.Stats {
+	if s.disk == nil {
+		return diskcache.Stats{}
+	}
+	return s.disk.Stats()
+}
+
+// CacheGeneration is the disk tier's generation tag: the wire schema
+// version plus every canonical-key tag version that can appear in a
+// cached response's identity. Bumping any of them (see DESIGN.md §6)
+// changes the tag, so a snapshot written under the old schema
+// self-invalidates at open instead of replaying wrong bytes.
+func CacheGeneration() string {
+	return fmt.Sprintf("edram/gen|schema=%d|tags=req/v2,spec/v2,proc/v1,sim/v2,exp/v2,scn/v1,job/v1,trials/v1,shard/v1",
+		SchemaVersion)
+}
+
+// lookupTiered consults memory then disk. A disk hit is promoted into
+// the memory LRU so the next lookup stays off the index entirely; the
+// returned tag is the X-Cache value ("hit" or "hit-disk").
+func (s *Server) lookupTiered(key string) ([]byte, string, bool) {
+	if val, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		s.tierMemHits.Inc()
+		return val, "hit", true
+	}
+	s.tierMemMisses.Inc()
+	if s.disk != nil {
+		if val, ok := s.disk.Get(key); ok {
+			s.tierDiskHits.Inc()
+			s.cacheEvicts.Add(int64(s.cache.Put(key, val)))
+			return val, "hit-disk", true
+		}
+		s.tierDiskMisses.Inc()
+	}
+	return nil, "", false
+}
+
+// fillCaches stores freshly computed response bytes in every tier.
+func (s *Server) fillCaches(key string, b []byte) {
+	s.cacheEvicts.Add(int64(s.cache.Put(key, b)))
+	if s.disk != nil {
+		s.disk.Put(key, b)
+	}
+}
 
 // Warmup primes the result cache with the explore responses for the
 // given requirement sets. The daemon runs it before MarkReady so an
@@ -252,7 +378,7 @@ func (s *Server) Warmup(ctx context.Context, reqs []core.Requirements) error {
 		if err != nil {
 			return err
 		}
-		s.cacheEvicts.Add(int64(s.cache.Put(HashKey("explore", req.CanonicalKey()), b)))
+		s.fillCaches(HashKey("explore", req.CanonicalKey()), b)
 	}
 	return nil
 }
@@ -261,15 +387,22 @@ func (s *Server) Warmup(ctx context.Context, reqs []core.Requirements) error {
 // process lifetime.
 func (s *Server) markDraining() { s.readiness.Store(readyDraining) }
 
-// Close shuts the async-job store down: running jobs are cancelled
-// cooperatively and keep their last checkpoint for the next life.
+// Close shuts the async-job store down (running jobs are cancelled
+// cooperatively and keep their last checkpoint for the next life) and
+// snapshots the disk cache tier for the next boot's warm start.
 // ListenAndServe calls it after the HTTP drain; tests that never serve
 // call it directly.
 func (s *Server) Close() error {
-	if s.jobsStore == nil {
-		return nil
+	var err error
+	if s.jobsStore != nil {
+		err = s.jobsStore.Close(s.cfg.DrainTimeout)
 	}
-	return s.jobsStore.Close(s.cfg.DrainTimeout)
+	if s.disk != nil {
+		if derr := s.disk.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // shedTotal / admittedTotal / jobsSubmitted resolve the labeled
@@ -300,16 +433,17 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // series (each a permanent counter + histogram), so unmatched paths
 // collapse into one "other" bucket.
 var knownEndpoints = map[string]bool{
-	"/healthz":        true,
-	"/readyz":         true,
-	"/metrics":        true,
-	"/v1/explore":     true,
-	"/v1/recommend":   true,
-	"/v1/simulate":    true,
-	"/v1/datasheet":   true,
-	"/v1/experiments": true,
-	"/v1/scenario":    true,
-	"/v1/jobs":        true,
+	"/healthz":           true,
+	"/readyz":            true,
+	"/metrics":           true,
+	"/v1/explore":        true,
+	"/v1/recommend":      true,
+	"/v1/simulate":       true,
+	"/v1/datasheet":      true,
+	"/v1/experiments":    true,
+	"/v1/scenario":       true,
+	"/v1/jobs":           true,
+	"/v1/internal/shard": true,
 }
 
 // endpointLabel normalizes a request path to the known route set.
@@ -427,9 +561,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // initiating request (a disconnecting initiator must not kill the
 // waiters that coalesced onto it) but still bounded by RequestTimeout.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
-	if val, ok := s.cache.Get(key); ok {
-		s.cacheHits.Inc()
-		w.Header().Set("X-Cache", "hit")
+	if val, tag, ok := s.lookupTiered(key); ok {
+		w.Header().Set("X-Cache", tag)
 		writeBytes(w, val)
 		return
 	}
@@ -445,7 +578,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		if err != nil {
 			return nil, err
 		}
-		s.cacheEvicts.Add(int64(s.cache.Put(key, b)))
+		s.fillCaches(key, b)
 		return b, nil
 	})
 	if coalesced {

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edram/internal/core"
+	"edram/internal/shard"
+)
+
+// exploreReference computes the single-process explore bytes the
+// sharded paths must reproduce exactly.
+func exploreReference(t *testing.T) string {
+	t.Helper()
+	ref := NewServer(Config{Workers: 2})
+	defer ref.Close()
+	ts := httptest.NewServer(ref)
+	defer ts.Close()
+	status, want, _ := post(t, ts.Client(), ts.URL+"/v1/explore", testReq)
+	if status != http.StatusOK {
+		t.Fatalf("reference explore: status %d: %s", status, want)
+	}
+	return want
+}
+
+// metricValue scrapes one series (by rendered prefix) out of /metrics.
+func metricValue(t *testing.T, client *http.Client, baseURL, series string) string {
+	t.Helper()
+	status, body, _ := do(t, client, "GET", baseURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			return strings.TrimPrefix(line, series+" ")
+		}
+	}
+	return ""
+}
+
+// TestShardParityLocalParts pins the tentpole guarantee: an explore
+// fanned out over N local partitions is byte-identical to the
+// undivided sweep, for N = 1 and N > 1.
+func TestShardParityLocalParts(t *testing.T) {
+	want := exploreReference(t)
+	for _, parts := range []int{1, 4} {
+		srv := NewServer(Config{Workers: 2, ShardParts: parts})
+		ts := httptest.NewServer(srv)
+		status, got, hdr := post(t, ts.Client(), ts.URL+"/v1/explore", testReq)
+		if status != http.StatusOK {
+			t.Fatalf("%d-part explore: status %d: %s", parts, status, got)
+		}
+		if hdr.Get("X-Cache") != "miss" {
+			t.Errorf("%d-part explore: X-Cache %q, want miss", parts, hdr.Get("X-Cache"))
+		}
+		if got != want {
+			t.Errorf("%d-part explore differs from single-process run:\n got %d bytes %.120s\nwant %d bytes %.120s",
+				parts, len(got), got, len(want), want)
+		}
+		if v := metricValue(t, ts.Client(), ts.URL, "edramd_shard_explores_total"); v != "1" {
+			t.Errorf("%d-part explore: edramd_shard_explores_total = %q, want 1", parts, v)
+		}
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// TestShardParityRemotePeers runs the coordinator against two real
+// peer servers and pins remote-shard byte parity.
+func TestShardParityRemotePeers(t *testing.T) {
+	want := exploreReference(t)
+	peer1 := NewServer(Config{Workers: 2})
+	tp1 := httptest.NewServer(peer1)
+	defer func() { tp1.Close(); peer1.Close() }()
+	peer2 := NewServer(Config{Workers: 2})
+	tp2 := httptest.NewServer(peer2)
+	defer func() { tp2.Close(); peer2.Close() }()
+
+	srv := NewServer(Config{Workers: 2, Peers: []string{tp1.URL, tp2.URL}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	status, got, _ := post(t, ts.Client(), ts.URL+"/v1/explore", testReq)
+	if status != http.StatusOK {
+		t.Fatalf("remote-shard explore: status %d: %s", status, got)
+	}
+	if got != want {
+		t.Errorf("remote-shard explore differs from single-process run:\n got %d bytes %.120s\nwant %d bytes %.120s",
+			len(got), got, len(want), want)
+	}
+}
+
+// TestRemoteExecutorMatchesLocal deterministically exercises the
+// remote transport: the same partition executed via a peer's
+// /v1/internal/shard and via the in-process sweep must convert to
+// identical merge inputs.
+func TestRemoteExecutorMatchesLocal(t *testing.T) {
+	peer := NewServer(Config{Workers: 2})
+	defer peer.Close()
+	tp := httptest.NewServer(peer)
+	defer tp.Close()
+
+	var req RequirementsRequest
+	if err := strictUnmarshal([]byte(testReq), &req); err != nil {
+		t.Fatal(err)
+	}
+	p := shard.Partition{From: 100, To: 700}
+	remote := &remoteShardExec{client: tp.Client(), base: tp.URL, req: req.Requirements}
+	local := &localShardExec{req: req.Requirements, workers: 2}
+
+	ctx := context.Background()
+	rr, err := remote.Execute(ctx, p)
+	if err != nil {
+		t.Fatalf("remote execute: %v", err)
+	}
+	lr, err := local.Execute(ctx, p)
+	if err != nil {
+		t.Fatalf("local execute: %v", err)
+	}
+	wrap := func(r shard.Result) string {
+		resp, err := exploreResponseFromMerged(req.Requirements, r)
+		if err != nil {
+			t.Fatalf("merge wrap: %v", err)
+		}
+		b, err := Encode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if rr.Enumerated != lr.Enumerated || rr.Built != lr.Built || rr.Infeasible != lr.Infeasible {
+		t.Fatalf("remote counters (%d,%d,%d) != local (%d,%d,%d)",
+			rr.Enumerated, rr.Built, rr.Infeasible, lr.Enumerated, lr.Built, lr.Infeasible)
+	}
+	if wrap(rr) != wrap(lr) {
+		t.Error("remote partition frontier differs from local after wire round-trip")
+	}
+}
+
+// TestShardPeerKillParity pins the fault-tolerance guarantee: with the
+// only peer dead, its partitions re-execute locally and the final
+// response is still byte-identical.
+func TestShardPeerKillParity(t *testing.T) {
+	want := exploreReference(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connections now refuse
+
+	srv := NewServer(Config{Workers: 2, Peers: []string{deadURL}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	status, got, _ := post(t, ts.Client(), ts.URL+"/v1/explore", testReq)
+	if status != http.StatusOK {
+		t.Fatalf("explore with dead peer: status %d: %s", status, got)
+	}
+	if got != want {
+		t.Errorf("explore with dead peer differs from single-process run:\n got %d bytes %.120s\nwant %d bytes %.120s",
+			len(got), got, len(want), want)
+	}
+	if v := metricValue(t, ts.Client(), ts.URL, "edramd_shard_peer_failures_total"); v == "" || v == "0" {
+		t.Errorf("edramd_shard_peer_failures_total = %q, want >= 1", v)
+	}
+}
+
+// TestShardMergeAssociativity is the property test: random partition
+// boundaries over the full sweep always merge to the canonical
+// response bytes.
+func TestShardMergeAssociativity(t *testing.T) {
+	want := exploreReference(t)
+	var req RequirementsRequest
+	if err := strictUnmarshal([]byte(testReq), &req); err != nil {
+		t.Fatal(err)
+	}
+	total := core.SweepCount(req.Requirements)
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	for trial := 0; trial < 3; trial++ {
+		// Random sorted distinct cut points over (0, total).
+		cuts := map[int]bool{}
+		for n := 1 + rng.Intn(6); len(cuts) < n; {
+			cuts[1+rng.Intn(total-1)] = true
+		}
+		bounds := []int{0}
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		bounds = append(bounds, total)
+		sort.Ints(bounds)
+
+		var prs []shard.PartResult
+		for i := 0; i+1 < len(bounds); i++ {
+			resp, err := buildShard(ctx, ShardRequest{Explore: req.Requirements, From: bounds[i], To: bounds[i+1]}, 2)
+			if err != nil {
+				t.Fatalf("trial %d partition [%d,%d): %v", trial, bounds[i], bounds[i+1], err)
+			}
+			prs = append(prs, shard.PartResult{
+				Partition: shard.Partition{Index: i, From: bounds[i], To: bounds[i+1]},
+				Result:    shardResult(resp),
+			})
+		}
+		rng.Shuffle(len(prs), func(i, j int) { prs[i], prs[j] = prs[j], prs[i] })
+		resp, err := exploreResponseFromMerged(req.Requirements, shard.Merge(prs))
+		if err != nil {
+			t.Fatalf("trial %d merge: %v", trial, err)
+		}
+		b, err := Encode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != want {
+			t.Fatalf("trial %d (bounds %v): merged bytes differ from canonical response", trial, bounds)
+		}
+	}
+}
+
+// TestShardEndpoint covers the /v1/internal/shard surface: range
+// validation, counter exactness across a split, and caching.
+func TestShardEndpoint(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	for _, bad := range []string{
+		`{"explore":` + testReq + `,"from":-1,"to":10}`,
+		`{"explore":` + testReq + `,"from":5,"to":5}`,
+		`{"explore":` + testReq + `,"from":0,"to":999999}`,
+	} {
+		status, resp, _ := post(t, client, ts.URL+"/v1/internal/shard", bad)
+		if status != http.StatusBadRequest {
+			t.Errorf("shard %s: status %d, want 400: %s", bad, status, resp)
+		}
+	}
+
+	var req RequirementsRequest
+	if err := strictUnmarshal([]byte(testReq), &req); err != nil {
+		t.Fatal(err)
+	}
+	total := core.SweepCount(req.Requirements)
+	full, err := buildShard(context.Background(), ShardRequest{Explore: req.Requirements, From: 0, To: total}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shardBody := `{"explore":` + testReq + `,"from":0,"to":1000}`
+	status, body, hdr := post(t, client, ts.URL+"/v1/internal/shard", shardBody)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("shard: status %d, X-Cache %q: %s", status, hdr.Get("X-Cache"), body)
+	}
+	var a ShardResponse
+	if err := strictUnmarshal([]byte(body), &a); err != nil {
+		t.Fatal(err)
+	}
+	status, body2, hdr := post(t, client, ts.URL+"/v1/internal/shard", shardBody)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" || body2 != body {
+		t.Errorf("shard repeat: status %d, X-Cache %q, identical=%t", status, hdr.Get("X-Cache"), body2 == body)
+	}
+
+	status, body, _ = post(t, client, ts.URL+"/v1/internal/shard", `{"explore":`+testReq+`,"from":1000,"to":`+strconv.Itoa(total)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("shard tail: status %d: %s", status, body)
+	}
+	var b ShardResponse
+	if err := strictUnmarshal([]byte(body), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Enumerated+b.Enumerated != full.Enumerated || a.Built+b.Built != full.Built || a.Infeasible+b.Infeasible != full.Infeasible {
+		t.Errorf("split counters (%d,%d,%d)+(%d,%d,%d) != full (%d,%d,%d)",
+			a.Enumerated, a.Built, a.Infeasible, b.Enumerated, b.Built, b.Infeasible,
+			full.Enumerated, full.Built, full.Infeasible)
+	}
+}
+
+// TestShardedJobAfterPeerKillParity pins the job-API acceptance
+// criterion: a sharded explore submitted as a job still produces the
+// canonical bytes after its only peer is killed mid-run, because the
+// dead peer's partitions requeue to the local executor and per-shard
+// checkpoints fold at the contiguous watermark.
+func TestShardedJobAfterPeerKillParity(t *testing.T) {
+	want := exploreReference(t)
+	peer := NewServer(Config{Workers: 2})
+	tp := httptest.NewServer(peer)
+
+	srv := NewServer(Config{Workers: 2, JobDir: t.TempDir(), Peers: []string{tp.URL}, ShardParts: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	status, body, _ := post(t, client, ts.URL+"/v1/jobs", jobTestReq)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	// Kill the peer while the job runs: its in-flight partition fails
+	// and requeues locally.
+	tp.Close()
+	peer.Close()
+
+	id := jobID(t, body)
+	st := waitJob(t, client, ts.URL, id)
+	if st.State != "succeeded" {
+		t.Fatalf("sharded job state %q (error %q), want succeeded", st.State, st.Error)
+	}
+	status, got, _ := do(t, client, "GET", ts.URL+st.ResultPath)
+	if status != http.StatusOK {
+		t.Fatalf("result: status %d: %s", status, got)
+	}
+	if got != want {
+		t.Errorf("sharded job result differs from single-process run:\n got %d bytes %.120s\nwant %d bytes %.120s",
+			len(got), got, len(want), want)
+	}
+	// Cross-fill: the sync path now serves the job's bytes from cache.
+	status, syncBody, hdr := post(t, client, ts.URL+"/v1/explore", testReq)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" || syncBody != want {
+		t.Errorf("post-job sync explore: status %d, X-Cache %q, identical=%t",
+			status, hdr.Get("X-Cache"), syncBody == want)
+	}
+}

@@ -1,0 +1,300 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edram/internal/core"
+	"edram/internal/testleak"
+)
+
+func TestMain(m *testing.M) { testleak.Check(m) }
+
+func TestPlanCoversRangeExactly(t *testing.T) {
+	cases := []struct{ from, to, parts int }{
+		{0, 2304, 1}, {0, 2304, 3}, {0, 2304, 7}, {5, 17, 4},
+		{0, 3, 8}, // parts clamp to the span
+		{100, 101, 1},
+	}
+	for _, tc := range cases {
+		parts := Plan(tc.from, tc.to, tc.parts)
+		if len(parts) == 0 {
+			t.Fatalf("Plan(%d,%d,%d) empty", tc.from, tc.to, tc.parts)
+		}
+		next := tc.from
+		for i, p := range parts {
+			if p.Index != i || p.From != next || p.To <= p.From {
+				t.Fatalf("Plan(%d,%d,%d)[%d] = %+v, want contiguous from %d",
+					tc.from, tc.to, tc.parts, i, p, next)
+			}
+			next = p.To
+		}
+		if next != tc.to {
+			t.Fatalf("Plan(%d,%d,%d) ends at %d", tc.from, tc.to, tc.parts, next)
+		}
+		// Near-equal: sizes differ by at most one.
+		min, max := tc.to-tc.from, 0
+		for _, p := range parts {
+			if s := p.To - p.From; s < min {
+				min = s
+			} else if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("Plan(%d,%d,%d) imbalanced: sizes span [%d,%d]", tc.from, tc.to, tc.parts, min, max)
+		}
+	}
+	if p := Plan(10, 10, 4); p != nil {
+		t.Fatalf("Plan over empty span = %v, want nil", p)
+	}
+	if p := Plan(0, 10, 0); p != nil {
+		t.Fatalf("Plan with zero parts = %v, want nil", p)
+	}
+}
+
+// synthetic builds a feasible candidate whose metrics place it on a
+// synthetic trade-off curve; i and the flip flag control whether it
+// lands on the front (area·power product constant) or strictly inside.
+func synthetic(seq int, dominated bool) core.Candidate {
+	c := core.Candidate{
+		Seq:           seq,
+		AreaMm2:       1 + float64(seq%13),
+		PowerMW:       100 - float64(seq%13),
+		SustainedGBps: 1,
+		Feasible:      true,
+	}
+	c.CostUSD = c.AreaMm2
+	c.CostPerMbitUSD = c.AreaMm2
+	if dominated {
+		c.AreaMm2 += 5
+		c.PowerMW += 5
+		c.CostUSD += 5
+		c.CostPerMbitUSD += 5
+	}
+	return c
+}
+
+func TestMergeMatchesSingleFrontier(t *testing.T) {
+	// Build one population, compute its front in one pass, then merge
+	// per-partition fronts over random boundaries and compare.
+	var pop []core.Candidate
+	for seq := 0; seq < 400; seq++ {
+		pop = append(pop, synthetic(seq, seq%3 == 0))
+	}
+	whole := core.NewFrontier()
+	for _, c := range pop {
+		whole.Add(c)
+	}
+	want := whole.Candidates()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nparts := 1 + rng.Intn(9)
+		parts := Plan(0, len(pop), nparts)
+		var prs []PartResult
+		for _, p := range parts {
+			local := core.NewFrontier()
+			for _, c := range pop[p.From:p.To] {
+				local.Add(c)
+			}
+			prs = append(prs, PartResult{Partition: p, Result: Result{Frontier: local.Candidates()}})
+		}
+		// Merge order must not matter either.
+		rng.Shuffle(len(prs), func(i, j int) { prs[i], prs[j] = prs[j], prs[i] })
+		got := Merge(prs).Frontier
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%d parts): merged front has %d members, want %d", trial, nparts, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Seq != want[i].Seq {
+				t.Fatalf("trial %d: merged front member %d is seq %d, want %d", trial, i, got[i].Seq, want[i].Seq)
+			}
+		}
+	}
+}
+
+type fakeExec struct {
+	kind string
+	run  func(ctx context.Context, p Partition) (Result, error)
+}
+
+func (f *fakeExec) Kind() string { return f.kind }
+func (f *fakeExec) Execute(ctx context.Context, p Partition) (Result, error) {
+	return f.run(ctx, p)
+}
+
+func sweepFake(p Partition) Result {
+	return Result{Enumerated: int64(p.To - p.From)}
+}
+
+func TestRunCompletesAcrossExecutors(t *testing.T) {
+	local := &fakeExec{kind: KindLocal, run: func(_ context.Context, p Partition) (Result, error) {
+		return sweepFake(p), nil
+	}}
+	remote := &fakeExec{kind: KindRemote, run: func(_ context.Context, p Partition) (Result, error) {
+		return sweepFake(p), nil
+	}}
+	parts := Plan(0, 100, 6)
+	var observed atomic.Int64
+	out, stats, err := Run(context.Background(), []Executor{local, remote}, parts, Options{
+		OnResult: func(Partition, Result) { observed.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != len(parts) || observed.Load() != int64(len(parts)) {
+		t.Fatalf("got %d results, %d observed; want %d", len(out), observed.Load(), len(parts))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].From < out[i-1].From {
+			t.Fatal("results not sorted by From")
+		}
+	}
+	if stats.Local+stats.Remote != int64(len(parts)) || stats.Partitions != int64(len(parts)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if total := Merge(out); total.Enumerated != 100 {
+		t.Fatalf("merged Enumerated = %d, want 100", total.Enumerated)
+	}
+}
+
+func TestRunRequeuesDeadPeerPartition(t *testing.T) {
+	// The local lane waits for the remote to grab a partition and die,
+	// so the requeue path runs on every schedule.
+	remoteFailed := make(chan struct{})
+	var failOnce sync.Once
+	local := &fakeExec{kind: KindLocal, run: func(ctx context.Context, p Partition) (Result, error) {
+		select {
+		case <-remoteFailed:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		return sweepFake(p), nil
+	}}
+	dead := &fakeExec{kind: KindRemote, run: func(_ context.Context, _ Partition) (Result, error) {
+		failOnce.Do(func() { close(remoteFailed) })
+		return Result{}, errors.New("connection refused")
+	}}
+	parts := Plan(0, 60, 4)
+	out, stats, err := Run(context.Background(), []Executor{local, dead}, parts, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != len(parts) {
+		t.Fatalf("got %d results, want %d", len(out), len(parts))
+	}
+	if stats.PeerFailures == 0 || stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want peer failure + retry recorded", stats)
+	}
+	if stats.Local != int64(len(parts)) {
+		t.Fatalf("stats = %+v, want every partition served locally", stats)
+	}
+}
+
+func TestRunFailsWhenAllExecutorsDie(t *testing.T) {
+	boom := func(_ context.Context, _ Partition) (Result, error) {
+		return Result{}, errors.New("unreachable")
+	}
+	execs := []Executor{
+		&fakeExec{kind: KindRemote, run: boom},
+		&fakeExec{kind: KindRemote, run: boom},
+	}
+	_, _, err := Run(context.Background(), execs, Plan(0, 40, 4), Options{})
+	if err == nil {
+		t.Fatal("Run succeeded with every executor failing")
+	}
+}
+
+func TestRunLocalFailureIsFatal(t *testing.T) {
+	wantErr := errors.New("model blew up")
+	local := &fakeExec{kind: KindLocal, run: func(_ context.Context, _ Partition) (Result, error) {
+		return Result{}, wantErr
+	}}
+	_, _, err := Run(context.Background(), []Executor{local}, Plan(0, 40, 4), Options{})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestRunHedgesStragglingRemote(t *testing.T) {
+	// The local lane waits until the remote is holding a partition, so
+	// at least one partition can only finish through the hedge.
+	remoteStarted := make(chan struct{})
+	var startOnce sync.Once
+	local := &fakeExec{kind: KindLocal, run: func(ctx context.Context, p Partition) (Result, error) {
+		select {
+		case <-remoteStarted:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		return sweepFake(p), nil
+	}}
+	// The remote never answers; only the hedge can finish its
+	// partitions.
+	stuck := &fakeExec{kind: KindRemote, run: func(ctx context.Context, _ Partition) (Result, error) {
+		startOnce.Do(func() { close(remoteStarted) })
+		<-ctx.Done()
+		return Result{}, ctx.Err()
+	}}
+	parts := Plan(0, 40, 4)
+	out, stats, err := Run(context.Background(), []Executor{local, stuck}, parts, Options{
+		HedgeAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != len(parts) {
+		t.Fatalf("got %d results, want %d", len(out), len(parts))
+	}
+	if stats.Hedges == 0 {
+		t.Fatalf("stats = %+v, want hedges recorded", stats)
+	}
+	if stats.Local != int64(len(parts)) || stats.Remote != 0 {
+		t.Fatalf("stats = %+v, want hedged partitions accepted from the local arm", stats)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 16)
+	slow := &fakeExec{kind: KindLocal, run: func(ctx context.Context, _ Partition) (Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return Result{}, ctx.Err()
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Run(ctx, []Executor{slow}, Plan(0, 40, 4), Options{})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+func TestMergeSumsCounters(t *testing.T) {
+	var prs []PartResult
+	for i := 0; i < 3; i++ {
+		prs = append(prs, PartResult{
+			Partition: Partition{Index: i, From: i * 10, To: i*10 + 10},
+			Result:    Result{Enumerated: 10, Built: 8, Infeasible: int64(i)},
+		})
+	}
+	got := Merge(prs)
+	want := fmt.Sprintf("%d/%d/%d", 30, 24, 3)
+	if g := fmt.Sprintf("%d/%d/%d", got.Enumerated, got.Built, got.Infeasible); g != want {
+		t.Fatalf("Merge counters = %s, want %s", g, want)
+	}
+}
