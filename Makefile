@@ -56,14 +56,19 @@ bench:
 	@echo "bench: snapshot written to $(BENCH_OUT)"
 
 # bench-compare gates a fresh snapshot against the committed trajectory
-# snapshot. The default tolerances suit the CI smoke (BENCHTIME=1x):
-# ns/op is effectively ungated (single-iteration timing is dominated by
-# warm-up), while an allocation blow-up beyond 3x still fails. For a
-# real perf gate run with BENCHTIME=1s and tight tolerances locally.
-BENCH_BASE ?= BENCH_5.json
+# snapshot. BENCH_BASE defaults to the newest committed BENCH_<n>.json
+# (baseline sidecars like BENCH_6_baseline.json are a cold-vs-warm pair
+# for one PR, not the trajectory, so they are excluded) — override it
+# to gate against an older point. The default tolerances suit the CI
+# smoke (BENCHTIME=1x): ns/op is effectively ungated (single-iteration
+# timing is dominated by warm-up), while an allocation blow-up beyond
+# 3x still fails. For a real perf gate run with BENCHTIME=1s and tight
+# tolerances locally.
+BENCH_BASE ?= $(shell ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$$' | sort -t_ -k2 -n | tail -1)
 BENCH_TIME_TOL ?= 50
 BENCH_ALLOC_TOL ?= 2.0
 bench-compare: bench
+	@echo "bench-compare: gating $(BENCH_OUT) against $(BENCH_BASE)"
 	$(GO) run ./cmd/benchdiff -compare -time-tol $(BENCH_TIME_TOL) -alloc-tol $(BENCH_ALLOC_TOL) $(BENCH_BASE) $(BENCH_OUT)
 
 # fuzz runs the cell-array fuzzer with a real time budget; fuzz-smoke

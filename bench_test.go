@@ -180,6 +180,91 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExplorePruned measures the constraint-pruned streaming
+// engine: "open" has no prunable constraint (the pruning planner's
+// overhead must be invisible), "constrained" lets the planner skip
+// whole Seq subspaces analytically.
+func BenchmarkExplorePruned(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		req  core.Requirements
+	}{
+		{"open", core.Requirements{CapacityMbit: 16, BandwidthGBps: 2, HitRate: 0.8, DefectsPerCm2: 0.8}},
+		{"constrained", core.Requirements{CapacityMbit: 16, BandwidthGBps: 2, HitRate: 0.8, DefectsPerCm2: 0.8, MaxAreaMm2: 25, MaxPowerMW: 900}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch, err := core.ExploreContext(context.Background(), tc.req, core.WithPruning())
+				if err != nil {
+					b.Fatal(err)
+				}
+				front := core.NewFrontier()
+				for c := range ch {
+					front.Add(c)
+				}
+				if front.Size() == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaExplore is the PR's headline comparison: "cold" is a
+// full sweep of the tweaked requirements, "warm" re-serves the same
+// tweak from a retained sweep of the unconstrained base through
+// DeltaExplore. The warm/cold ns/op ratio is the incremental path's
+// speedup for the tweak-one-constraint pattern.
+func BenchmarkDeltaExplore(b *testing.B) {
+	base := core.Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, DefectsPerCm2: 0.8}
+	tweaked := base
+	tweaked.MaxAreaMm2 = 25
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ch, err := core.ExploreContext(context.Background(), tweaked, core.WithPruning())
+			if err != nil {
+				b.Fatal(err)
+			}
+			front := core.NewFrontier()
+			for c := range ch {
+				front.Add(c)
+			}
+			if front.Size() == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st, err := core.NewDeltaState(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := core.ExploreContext(context.Background(), base,
+			core.WithPruning(), core.WithObserver(st.Observe))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for range ch {
+		}
+		st.Seal()
+		b.ResetTimer()
+		var reused int64
+		for i := 0; i < b.N; i++ {
+			res, err := core.DeltaExplore(context.Background(), st, tweaked, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Frontier) == 0 {
+				b.Fatal("empty frontier")
+			}
+			reused += res.Reused
+		}
+		b.ReportMetric(float64(reused)/float64(b.N), "reused/op")
+	})
+}
+
 func BenchmarkE13SRAMPartition(b *testing.B) {
 	benchExperiment(b, experiments.E13SRAMPartition, "crossover-mbit")
 }

@@ -43,10 +43,16 @@ type Result struct {
 }
 
 // Snapshot is the on-disk BENCH_<n>.json schema: benchmark name (with
-// the -GOMAXPROCS suffix stripped, so snapshots compare across
-// machines) to result.
+// the -GOMAXPROCS suffix stripped, so keys stay machine-independent)
+// to result. GOMAXPROCS records the parallelism of the run the numbers
+// came from — taken from the stripped suffix (1 when go test emitted
+// none) — and compare mode refuses to gate two snapshots whose values
+// differ: a ns/op delta between a 1-core and an 8-core run is a
+// machine change, not a regression. 0 means a pre-field snapshot of
+// unknown provenance; those compare with a warning.
 type Snapshot struct {
 	SchemaVersion int               `json:"schema_version"`
+	GOMAXPROCS    int               `json:"gomaxprocs,omitempty"`
 	Benchmarks    map[string]Result `json:"benchmarks"`
 }
 
@@ -120,6 +126,14 @@ func Parse(r io.Reader) (*Snapshot, error) {
 			continue
 		}
 		name := stripProcSuffix(fields[0])
+		if name != fields[0] {
+			if p, err := strconv.Atoi(fields[0][len(name)+1:]); err == nil {
+				snap.GOMAXPROCS = p
+			}
+		} else if snap.GOMAXPROCS == 0 {
+			// go test omits the suffix entirely when GOMAXPROCS is 1.
+			snap.GOMAXPROCS = 1
+		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			continue // e.g. "BenchmarkFoo---FAIL"
@@ -203,6 +217,9 @@ func runCompare(args []string, timeTol, allocTol float64) error {
 	if err != nil {
 		return err
 	}
+	if err := checkComparable(oldSnap, newSnap); err != nil {
+		return err
+	}
 	regs := Compare(oldSnap, newSnap, timeTol, allocTol)
 
 	names := make([]string, 0, len(newSnap.Benchmarks))
@@ -238,6 +255,21 @@ func runCompare(args []string, timeTol, allocTol float64) error {
 			r.name, r.metric, r.oldV, r.newV, (r.newV/r.oldV-1)*100, r.tol*100)
 	}
 	return fmt.Errorf("%d regression(s)", len(regs))
+}
+
+// checkComparable refuses a compare across runs of different
+// parallelism: those ns/op deltas measure the machine, not the code.
+// A snapshot predating the gomaxprocs field (0) compares with a
+// warning — the provenance is unknown, not known-mismatched.
+func checkComparable(oldSnap, newSnap *Snapshot) error {
+	switch {
+	case oldSnap.GOMAXPROCS == 0 || newSnap.GOMAXPROCS == 0:
+		fmt.Fprintln(os.Stderr, "benchdiff: warning: snapshot without gomaxprocs provenance — cross-host drift not checked")
+	case oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS:
+		return fmt.Errorf("refusing to compare snapshots from different hosts: old GOMAXPROCS %d, new %d (re-run the baseline on this machine)",
+			oldSnap.GOMAXPROCS, newSnap.GOMAXPROCS)
+	}
+	return nil
 }
 
 // Compare gates new against old: ns/op under timeTol, allocs/op and

@@ -25,6 +25,9 @@ func TestParse(t *testing.T) {
 	if len(snap.Benchmarks) != 4 {
 		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
 	}
+	if snap.GOMAXPROCS != 4 {
+		t.Fatalf("GOMAXPROCS not recorded from the -4 suffix: %d", snap.GOMAXPROCS)
+	}
 	explore, ok := snap.Benchmarks["BenchmarkDesignSpaceExplore"]
 	if !ok {
 		t.Fatal("GOMAXPROCS suffix not stripped from BenchmarkDesignSpaceExplore-4")
@@ -89,5 +92,31 @@ func TestCompareTolerances(t *testing.T) {
 	}
 	if regs := Compare(old, leaky, 0.30, 0.05); len(regs) != 0 {
 		t.Fatalf("alloc tolerance not applied: %v", regs)
+	}
+}
+
+// TestCheckComparable: same-parallelism snapshots compare, unknown
+// provenance warns through, cross-host pairs are refused.
+func TestCheckComparable(t *testing.T) {
+	if err := checkComparable(&Snapshot{GOMAXPROCS: 4}, &Snapshot{GOMAXPROCS: 4}); err != nil {
+		t.Errorf("same-host compare refused: %v", err)
+	}
+	if err := checkComparable(&Snapshot{}, &Snapshot{GOMAXPROCS: 4}); err != nil {
+		t.Errorf("unknown-provenance compare refused: %v", err)
+	}
+	if err := checkComparable(&Snapshot{GOMAXPROCS: 1}, &Snapshot{GOMAXPROCS: 8}); err == nil {
+		t.Error("cross-host compare accepted")
+	}
+	// An unsuffixed single-core run parses to GOMAXPROCS 1, so it must
+	// refuse against a multi-core baseline.
+	snap, err := Parse(strings.NewReader("BenchmarkSolo \t 10 \t 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOMAXPROCS != 1 {
+		t.Fatalf("unsuffixed run GOMAXPROCS = %d, want 1", snap.GOMAXPROCS)
+	}
+	if err := checkComparable(&Snapshot{GOMAXPROCS: 8}, snap); err == nil {
+		t.Error("1-core vs 8-core compare accepted")
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"edram/internal/core"
 	"edram/internal/loadgen"
 	"edram/internal/service"
 )
@@ -124,9 +125,11 @@ func main() {
 // /v1/simulate at a time (the overload mix's shed target, everything
 // else generously budgeted — the global queue bound is disabled so
 // only the deliberate target sheds), two local shard partitions per
-// explore, and a disk cache tier over a temp directory that prewarm
-// has already populated — the main run's first draw of that body is a
-// warm-start disk hit, never a recomputation.
+// explore, a disk cache tier over a temp directory that prewarm has
+// already populated — the main run's first draw of that body is a
+// warm-start disk hit, never a recomputation — and a warmed-up delta
+// state for the delta mix's requirement family, so its constraint
+// tweaks are served as hit-delta.
 func selfHost() (base string, shutdown func() error, err error) {
 	dir, err := os.MkdirTemp("", "edramload-cache-")
 	if err != nil {
@@ -147,6 +150,17 @@ func selfHost() (base string, shutdown func() error, err error) {
 	if err := srv.DiskCacheErr(); err != nil {
 		cleanup()
 		return "", nil, fmt.Errorf("disk cache: %v", err)
+	}
+	// Warm the delta mix's structural family (hit_rate 0.6, no
+	// constraint caps) so its rotating area-cap bodies are re-served
+	// incrementally from the retained sweep — the run deterministically
+	// exercises the hit-delta tier even though sharding is enabled
+	// (sharded sweeps never record delta states; Warmup does).
+	if err := srv.Warmup(context.Background(), []core.Requirements{
+		{CapacityMbit: 16, BandwidthGBps: 1.0, HitRate: 0.6},
+	}); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("warmup: %v", err)
 	}
 	srv.MarkReady()
 	ctx, cancel := context.WithCancel(context.Background())

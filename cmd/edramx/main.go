@@ -9,6 +9,7 @@
 // Usage:
 //
 //	edramx -capacity 16 -bandwidth 2.5 -hitrate 0.8 [-workers 8] [-maxarea 20] [-maxpower 800] [-role min-area]
+//	edramx -capacity 16 -bandwidth 1.0 -hitrate 0.5 -delta maxarea=25 [-json]
 //	edramx -scenario examples/scenarios/mpeg2-pal-decoder.json [-json]
 //	edramx -scenario-validate examples/scenarios
 //
@@ -27,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 
 	"edram/internal/core"
 	"edram/internal/profiling"
@@ -46,6 +48,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	role := flag.String("role", "", "print the datasheet of one recommendation (min-area, min-power, max-bandwidth, min-cost)")
 	pareto := flag.Bool("pareto", false, "also print the full feasible Pareto frontier")
+	prune := flag.Bool("prune", false, "skip provably infeasible subspaces analytically in the table path (same recommendations; nearest-miss diagnostics get coarser because skipped points never surface)")
+	delta := flag.String("delta", "", "incremental re-exploration: sweep the flag-built requirements once, then re-explore with one constraint changed (field=value; field is bandwidth, maxarea, maxpower or minclock) and emit the delta run's JSON on stdout")
 	jsonOut := flag.Bool("json", false, "emit the exploration as JSON on stdout (the exact POST /v1/explore schema)")
 	scenFile := flag.String("scenario", "", "evaluate a declarative scenario file instead of flag-built requirements (with -json: the exact POST /v1/scenario schema)")
 	scenDir := flag.String("scenario-validate", "", "load and compile every *.json scenario in this directory, then exit (corpus check)")
@@ -85,6 +89,11 @@ func main() {
 		fail(err)
 	}
 
+	if *delta != "" {
+		runDelta(req, *delta, *workers, *quiet)
+		return
+	}
+
 	if *jsonOut {
 		// The JSON path is the service's explore builder verbatim, so a
 		// scripted `edramx -json` and a curl of POST /v1/explore are
@@ -107,10 +116,21 @@ func main() {
 
 	// One streaming pass feeds the incremental Pareto front, the
 	// nearest-miss diagnostics and the progress line at once; the old
-	// Recommend+Explore pair walked the space twice.
-	opts := []core.ExploreOption{core.WithWorkers(*workers), core.WithProgressEvery(128)}
-	if !*quiet {
-		opts = append(opts, core.WithProgress(progressLine))
+	// Recommend+Explore pair walked the space twice. Final stats are
+	// captured so the empty-sweep check also counts points a -prune run
+	// skipped analytically (TotalBuilt folds them back in).
+	var final core.ExploreStats
+	capture := func(s core.ExploreStats) {
+		if s.Done {
+			final = s
+		}
+		if !*quiet {
+			progressLine(s)
+		}
+	}
+	opts := []core.ExploreOption{core.WithWorkers(*workers), core.WithProgressEvery(128), core.WithProgress(capture)}
+	if *prune {
+		opts = append(opts, core.WithPruning())
 	}
 	ch, err := core.ExploreContext(context.Background(), req, opts...)
 	if err != nil {
@@ -118,9 +138,8 @@ func main() {
 	}
 	front := core.NewFrontier()
 	var nearest core.Candidate
-	built, nearestSet := 0, false
+	nearestSet := false
 	for c := range ch {
-		built++
 		if c.Feasible {
 			front.Add(c)
 			continue
@@ -129,7 +148,7 @@ func main() {
 			nearest, nearestSet = c, true
 		}
 	}
-	if built == 0 {
+	if final.TotalBuilt() == 0 {
 		fail(fmt.Errorf("no buildable configuration for %+v", req))
 	}
 	if front.Size() == 0 {
@@ -175,6 +194,69 @@ func main() {
 		}
 		fail(fmt.Errorf("no recommendation with role %q", *role))
 	}
+}
+
+// runDelta is the CLI form of edramd's delta cache tier: one cold
+// recorded sweep of the flag-built requirements, then an incremental
+// re-exploration with a single constraint changed. Stdout carries the
+// delta run's response JSON — byte-identical to a cold `edramx -json`
+// of the tweaked requirements (the core parity tests pin this) —
+// and stderr reports how much of the retained sweep was reused.
+func runDelta(base core.Requirements, spec string, workers int, quiet bool) {
+	newReq, err := applyDelta(base, spec)
+	if err != nil {
+		fail(err)
+	}
+	st, err := core.NewDeltaState(base)
+	if err != nil {
+		fail(err)
+	}
+	var progress func(core.ExploreStats)
+	if !quiet {
+		progress = progressLine
+	}
+	if _, err := service.BuildExplore(context.Background(), base, workers, progress, core.WithObserver(st.Observe)); err != nil {
+		fail(err)
+	}
+	st.Seal()
+	resp, res, err := service.BuildExploreDelta(context.Background(), st, newReq, workers)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "delta: %d retained evals, %d points swept fresh, %d reused\n",
+		st.Evals(), res.Swept, res.Reused)
+	b, err := service.Encode(resp)
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(b)
+}
+
+// applyDelta parses a field=value constraint tweak. Only the four pure
+// constraint fields are legal — anything structural (capacity, hit
+// rate, defects) changes the sweep itself and has no delta form.
+func applyDelta(req core.Requirements, spec string) (core.Requirements, error) {
+	field, val, ok := strings.Cut(spec, "=")
+	if !ok {
+		return req, fmt.Errorf("-delta wants field=value, got %q", spec)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return req, fmt.Errorf("-delta value %q: %v", val, err)
+	}
+	switch field {
+	case "bandwidth":
+		req.BandwidthGBps = f
+	case "maxarea":
+		req.MaxAreaMm2 = f
+	case "maxpower":
+		req.MaxPowerMW = f
+	case "minclock":
+		req.MinClockMHz = f
+	default:
+		return req, fmt.Errorf("-delta field %q (want bandwidth, maxarea, maxpower or minclock)", field)
+	}
+	return req, req.Validate()
 }
 
 // runScenario evaluates one declarative scenario file. The loader (and
@@ -272,8 +354,11 @@ func validateCorpus(dir string) {
 // progressLine is the stderr progress reporter shared by the table and
 // JSON paths.
 func progressLine(s core.ExploreStats) {
-	fmt.Fprintf(os.Stderr, "\rexplore: %d points (%d built, %d infeasible, %d pruned) front=%d %.0f pts/s",
-		s.Enumerated, s.Built, s.Infeasible, s.Pruned, s.FrontSize, s.PointsPerSec())
+	fmt.Fprintf(os.Stderr, "\rexplore: %d points (%d built, %d infeasible, %d pruned", s.Enumerated, s.Built, s.Infeasible, s.Pruned)
+	if s.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, ", %d skipped", s.Skipped)
+	}
+	fmt.Fprintf(os.Stderr, ") front=%d %.0f pts/s", s.FrontSize, s.PointsPerSec())
 	if s.Done {
 		fmt.Fprintf(os.Stderr, " [%d workers, %.1f ms]\n", s.Workers, float64(s.WallTime.Microseconds())/1e3)
 	}

@@ -122,6 +122,31 @@ func (r Requirements) CanonicalKey() string {
 	return b.String()
 }
 
+// StructuralKey fingerprints the requirement fields that shape the
+// design space itself — the enumeration (CapacityMbit, Processes) and
+// the per-point metric values (HitRate feeds the sustained-bandwidth
+// model, DefectsPerCm2 the cost model). Two requirements with equal
+// structural keys differ at most in the four pure constraint values
+// (BandwidthGBps, MaxAreaMm2, MaxPowerMW, MinClockMHz), which only
+// re-classify feasibility of unchanged candidates — the delta
+// re-exploration eligibility rule (DESIGN.md §6). Formatting matches
+// CanonicalKey so the structural key is a sub-projection of it.
+func (r Requirements) StructuralKey() string {
+	var b strings.Builder
+	b.WriteString("reqstruct/v1")
+	fmt.Fprintf(&b, "|cap=%d", r.CapacityMbit)
+	b.WriteString("|hit=" + canonFloat(r.HitRate))
+	b.WriteString("|defects=" + canonFloat(r.DefectsPerCm2))
+	if len(r.Processes) > 0 {
+		keys := make([]string, len(r.Processes))
+		for i, p := range r.Processes {
+			keys[i] = p.CanonicalKey()
+		}
+		b.WriteString("|procs=" + strings.Join(keys, ","))
+	}
+	return b.String()
+}
+
 // canonFloat renders a float in its shortest exact round-trip form, the
 // canonical-key formatting rule shared with edram.Spec.CanonicalKey.
 func canonFloat(v float64) string {

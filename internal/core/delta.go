@@ -1,0 +1,357 @@
+// Incremental delta re-exploration. The service's common warm pattern
+// is "tweak one constraint and re-explore": the requirement set keeps
+// its structure (capacity, hit rate, defect density, processes) and
+// only constraint values move. Those four constraints never change a
+// candidate's metrics — they only re-classify feasibility — so a prior
+// run's per-point evaluations can be reused wholesale: re-filter the
+// retained evaluations under the new constraint values, sweep only the
+// Seq intervals the previous (pruned) run never enumerated and the new
+// constraints now need, and merge through a fresh Frontier. The result
+// is byte-identical to a cold full sweep of the new requirements,
+// pinned the same way shard merge parity is (see delta_test.go and the
+// service parity tests).
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"edram/internal/power"
+	"edram/internal/tech"
+)
+
+// pointEval is the retained evaluation of one built sweep point: the
+// exact metric floats every feasibility comparison and dominance test
+// reads. Everything else about the candidate is reconstructed on demand
+// from its Seq (pointAt + the unmemoized evaluate, byte-identical to
+// the sweep's memoized path).
+type pointEval struct {
+	seq                                 int
+	area, power, cost, sustained, clock float64
+}
+
+// deltaGapTolerance bounds missing-interval fragmentation: gaps of
+// already-covered points up to this long are re-swept rather than
+// spinning one explore engine per fragment (covered duplicates are
+// dropped on arrival, so over-sweeping is a pure time trade).
+const deltaGapTolerance = 1024
+
+// DeltaState retains what a completed explore learned about one
+// requirement structure: the evaluations of every built point inside
+// the covered Seq intervals. It is keyed by Requirements.StructuralKey;
+// DeltaExplore serves any requirement set with the same structure from
+// it, extending coverage as loosened constraints expose new intervals.
+//
+// A DeltaState is not safe for concurrent use — the service layer
+// serializes access per state.
+type DeltaState struct {
+	req      Requirements
+	key      string
+	procs    []tech.Process
+	total    int
+	evals    []pointEval // sorted by seq once sealed
+	coverage []seqRange  // sorted, disjoint
+	sealed   bool
+}
+
+// NewDeltaState prepares recording for one full pruned explore of req.
+// Feed every built candidate to Observe (WithObserver, or the result
+// stream) and call Seal once the run completed; the state then covers
+// exactly the intervals a pruned full sweep enumerates.
+func NewDeltaState(req Requirements) (*DeltaState, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	procs := resolveProcesses(req)
+	return &DeltaState{
+		req:   req,
+		key:   req.StructuralKey(),
+		procs: procs,
+		total: sweepCount(req, procs),
+	}, nil
+}
+
+// StructuralKey returns the requirement-structure fingerprint the state
+// serves.
+func (s *DeltaState) StructuralKey() string { return s.key }
+
+// Eligible reports whether newReq can be served by delta
+// re-exploration from this state: the structural key must match (only
+// the four pure constraint values may differ). Any structural change —
+// capacity, hit rate, defect density, process set or order — alters
+// candidate metrics or the enumeration itself and forces a cold sweep.
+func (s *DeltaState) Eligible(newReq Requirements) bool {
+	return s.sealed && newReq.StructuralKey() == s.key
+}
+
+// Observe records one built candidate of the state's own full explore.
+// It must see every built candidate of a pruned full sweep of the
+// state's requirements, in any order, before Seal.
+func (s *DeltaState) Observe(c Candidate) {
+	s.evals = append(s.evals, pointEval{
+		seq:       c.Seq,
+		area:      c.AreaMm2,
+		power:     c.PowerMW,
+		cost:      c.CostUSD,
+		sustained: c.SustainedGBps,
+		clock:     c.Macro.ClockMHz,
+	})
+}
+
+// Seal marks the recording complete: the state now covers the
+// enumerated intervals of a pruned full sweep of its requirements.
+// Call it only after the explore ran to completion.
+func (s *DeltaState) Seal() {
+	plan := newPrunePlan(s.req, s.procs)
+	s.coverage = plan.enumerated(0, s.total)
+	sort.Slice(s.evals, func(i, j int) bool { return s.evals[i].seq < s.evals[j].seq })
+	// Drop evaluations outside the coverage intervals (a recording fed
+	// from an unpruned run observes points inside skipped subspaces):
+	// evals ⊆ coverage is the invariant that keeps a later re-sweep of
+	// a missing interval from double-counting.
+	keep := s.evals[:0]
+	for _, ev := range s.evals {
+		if rangesContain(s.coverage, ev.seq) {
+			keep = append(keep, ev)
+		}
+	}
+	s.evals = keep
+	s.sealed = true
+}
+
+// Evals returns the number of retained point evaluations.
+func (s *DeltaState) Evals() int { return len(s.evals) }
+
+// DeltaResult is the outcome of a delta re-exploration, equivalent to
+// the final state of a cold pruned explore of the new requirements.
+type DeltaResult struct {
+	// Stats carries the folded counters exactly as the cold run's final
+	// progress snapshot would (Done set, timing fields zero).
+	Stats ExploreStats
+	// Frontier is the feasible Pareto front in canonical order, fully
+	// materialized — byte-identical to the cold run's.
+	Frontier []Candidate
+	// Swept counts points enumerated fresh by this call; Reused counts
+	// retained built evaluations that served the result instead of
+	// being re-computed.
+	Swept, Reused int64
+}
+
+// DeltaExplore re-explores newReq from the retained state: it
+// classifies the constraint changes implicitly through the new prune
+// plan (tightened constraints shrink the enumerated region — pure
+// re-filtering; loosened ones expose intervals the prior runs never
+// evaluated, which are swept fresh and folded into the state), then
+// re-scores every retained evaluation under the new constraint values
+// and rebuilds the Pareto front from scratch. The frontier and counters
+// are byte-identical to a cold full pruned sweep of newReq.
+//
+// The state is mutated (coverage and evaluations grow monotonically);
+// callers serialize access per state.
+func DeltaExplore(ctx context.Context, s *DeltaState, newReq Requirements, workers int) (*DeltaResult, error) {
+	if err := newReq.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Eligible(newReq) {
+		return nil, fmt.Errorf("core: requirements not delta-eligible for state %s", s.key)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	newPlan := newPrunePlan(newReq, s.procs)
+	needed := newPlan.enumerated(0, s.total)
+	missing := coalesceRanges(subtractRanges(needed, s.coverage), deltaGapTolerance)
+
+	// Sweep the intervals no prior run covered. The sweep runs under
+	// newReq, but the recorded metrics depend only on the (shared)
+	// structural fields, so the evaluations join the retained ones
+	// seamlessly. Already-covered points inside a coalesced gap are
+	// dropped on arrival.
+	var swept, freshBuilt int64
+	var fresh []pointEval
+	for _, r := range missing {
+		swept += int64(r.To - r.From)
+		ch, err := ExploreContext(ctx, newReq,
+			WithWorkers(workers), WithSeqRange(r.From, r.To))
+		if err != nil {
+			return nil, err
+		}
+		for c := range ch {
+			if rangesContain(s.coverage, c.Seq) {
+				continue
+			}
+			if rangesContain(needed, c.Seq) {
+				freshBuilt++
+			}
+			fresh = append(fresh, pointEval{
+				seq:       c.Seq,
+				area:      c.AreaMm2,
+				power:     c.PowerMW,
+				cost:      c.CostUSD,
+				sustained: c.SustainedGBps,
+				clock:     c.Macro.ClockMHz,
+			})
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err // incomplete sweep: leave the state untouched
+		}
+	}
+	if len(fresh) > 0 {
+		s.evals = append(s.evals, fresh...)
+		sort.Slice(s.evals, func(i, j int) bool { return s.evals[i].seq < s.evals[j].seq })
+	}
+	if len(missing) > 0 {
+		s.coverage = unionRanges(s.coverage, missing)
+	}
+
+	// Re-filter every retained evaluation inside the new enumerated
+	// region, replicating scoreCandidate's feasibility comparisons on
+	// the exact recorded floats, and rebuild the front. Infeasible
+	// points never enter a Frontier, so offering only the feasible ones
+	// reproduces the cold run's front and pruned counter exactly
+	// (the front is insertion-order independent).
+	front := NewFrontier()
+	var built, feasible int64
+	ri := 0
+	for _, ev := range s.evals {
+		for ri < len(needed) && needed[ri].To <= ev.seq {
+			ri++
+		}
+		if ri >= len(needed) || ev.seq < needed[ri].From {
+			continue // outside the new plan's enumerated region
+		}
+		built++
+		if ev.sustained < newReq.BandwidthGBps ||
+			(newReq.MaxAreaMm2 > 0 && ev.area > newReq.MaxAreaMm2) ||
+			(newReq.MaxPowerMW > 0 && ev.power > newReq.MaxPowerMW) ||
+			(newReq.MinClockMHz > 0 && ev.clock < newReq.MinClockMHz) {
+			continue
+		}
+		feasible++
+		front.Add(Candidate{
+			Seq:           ev.seq,
+			AreaMm2:       ev.area,
+			PowerMW:       ev.power,
+			CostUSD:       ev.cost,
+			SustainedGBps: ev.sustained,
+			Feasible:      true,
+		})
+	}
+
+	// Materialize the surviving members through the unmemoized
+	// reference evaluation — byte-identical to the sweep's memoized
+	// path (TestExploreMemoParity pins that equivalence).
+	e := tech.DefaultElectrical()
+	ce := power.DefaultCoreEnergy()
+	members := front.Candidates()
+	out := make([]Candidate, 0, len(members))
+	for _, m := range members {
+		pt := pointAt(newReq, s.procs, m.Seq)
+		c, err := evaluate(pt.Spec, pt.Macros, newReq, e, ce)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta materialization of seq %d: %v", m.Seq, err)
+		}
+		c.Seq = m.Seq
+		out = append(out, c)
+	}
+
+	skipped, skippedBuildable := newPlan.tally(0, s.total)
+	res := &DeltaResult{
+		Stats: ExploreStats{
+			Enumerated:       int64(s.total) - skipped,
+			Built:            built,
+			Infeasible:       built - feasible,
+			Skipped:          skipped,
+			SkippedBuildable: skippedBuildable,
+			Pruned:           front.Pruned(),
+			FrontSize:        front.Size(),
+			Workers:          workers,
+			Done:             true,
+		},
+		Frontier: out,
+		Swept:    swept,
+		Reused:   built - freshBuilt,
+	}
+	return res, nil
+}
+
+// rangesContain reports whether a sorted disjoint range list contains
+// seq.
+func rangesContain(rs []seqRange, seq int) bool {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case rs[mid].To <= seq:
+			lo = mid + 1
+		case rs[mid].From > seq:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// subtractRanges returns a \ b for sorted disjoint range lists.
+func subtractRanges(a, b []seqRange) []seqRange {
+	var out []seqRange
+	bi := 0
+	for _, r := range a {
+		cur := r.From
+		for bi < len(b) && b[bi].To <= cur {
+			bi++
+		}
+		j := bi
+		for cur < r.To {
+			if j >= len(b) || b[j].From >= r.To {
+				out = append(out, seqRange{From: cur, To: r.To})
+				break
+			}
+			if b[j].From > cur {
+				out = append(out, seqRange{From: cur, To: b[j].From})
+			}
+			if b[j].To > cur {
+				cur = b[j].To
+			}
+			j++
+		}
+	}
+	return out
+}
+
+// unionRanges merges two sorted disjoint range lists.
+func unionRanges(a, b []seqRange) []seqRange {
+	all := append(append([]seqRange(nil), a...), b...)
+	sort.Slice(all, func(i, j int) bool { return all[i].From < all[j].From })
+	var out []seqRange
+	for _, r := range all {
+		if n := len(out); n > 0 && r.From <= out[n-1].To {
+			if r.To > out[n-1].To {
+				out[n-1].To = r.To
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// coalesceRanges merges ranges separated by gaps of at most tol points.
+func coalesceRanges(rs []seqRange, tol int) []seqRange {
+	var out []seqRange
+	for _, r := range rs {
+		if n := len(out); n > 0 && r.From-out[n-1].To <= tol {
+			if r.To > out[n-1].To {
+				out[n-1].To = r.To
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"edram/internal/tech"
+)
+
+// coldDelta runs a cold pruned full sweep of req and returns the final
+// frontier (canonical order) plus folded stats — the reference
+// DeltaExplore must reproduce exactly. The front is folded from the
+// stream exactly as the engine folds its own (order-independent).
+func coldDelta(t *testing.T, req Requirements) ([]Candidate, ExploreStats) {
+	t.Helper()
+	stream, stats := collectSorted(t, req, WithPruning())
+	front := NewFrontier()
+	for _, c := range stream {
+		front.Add(c)
+	}
+	return front.Candidates(), stats
+}
+
+// recordedState runs one cold pruned explore of req and builds a sealed
+// DeltaState from its stream, as the service does.
+func recordedState(t *testing.T, req Requirements) *DeltaState {
+	t.Helper()
+	s, err := NewDeltaState(req)
+	if err != nil {
+		t.Fatalf("NewDeltaState: %v", err)
+	}
+	ch, err := ExploreContext(context.Background(), req, WithPruning(),
+		WithObserver(s.Observe))
+	if err != nil {
+		t.Fatalf("ExploreContext: %v", err)
+	}
+	for range ch {
+	}
+	s.Seal()
+	return s
+}
+
+// assertDeltaParity pins DeltaExplore(newReq) against a cold pruned
+// full sweep of newReq: identical frontier candidates (deep equal,
+// canonical order) and identical folded counters.
+func assertDeltaParity(t *testing.T, s *DeltaState, newReq Requirements) {
+	t.Helper()
+	res, err := DeltaExplore(context.Background(), s, newReq, 2)
+	if err != nil {
+		t.Fatalf("DeltaExplore: %v", err)
+	}
+	wantFront, wantStats := coldDelta(t, newReq)
+	if len(res.Frontier) != len(wantFront) {
+		t.Fatalf("frontier size %d != cold %d (req %+v)",
+			len(res.Frontier), len(wantFront), newReq)
+	}
+	for i := range wantFront {
+		if !reflect.DeepEqual(res.Frontier[i], wantFront[i]) {
+			t.Fatalf("frontier[%d] differs (req %+v):\ndelta %+v\ncold  %+v",
+				i, newReq, res.Frontier[i], wantFront[i])
+		}
+	}
+	rs, ws := res.Stats, wantStats
+	if rs.Enumerated != ws.Enumerated || rs.Built != ws.Built ||
+		rs.Infeasible != ws.Infeasible || rs.Skipped != ws.Skipped ||
+		rs.SkippedBuildable != ws.SkippedBuildable ||
+		rs.Pruned != ws.Pruned || rs.FrontSize != ws.FrontSize {
+		t.Fatalf("stats differ (req %+v):\ndelta %+v\ncold  %+v", newReq, rs, ws)
+	}
+	if res.Swept+res.Reused < rs.Built {
+		t.Fatalf("swept %d + reused %d cannot cover built %d",
+			res.Swept, res.Reused, rs.Built)
+	}
+}
+
+func TestDeltaExploreTightenLoosen(t *testing.T) {
+	base := Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 60}
+	s := recordedState(t, base)
+	for _, newReq := range []Requirements{
+		// Tighten area: pure re-filter, nothing swept.
+		{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 25},
+		// Loosen area fully: exposes intervals the first run pruned.
+		{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5},
+		// Tighten bandwidth and add clock floor together.
+		{CapacityMbit: 16, BandwidthGBps: 2.5, HitRate: 0.5, MinClockMHz: 90},
+		// Empty the feasible set entirely.
+		{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 0.001},
+		// Un-empty it again (state must have survived the empty round).
+		{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 40, MaxPowerMW: 1200},
+	} {
+		assertDeltaParity(t, s, newReq)
+	}
+}
+
+func TestDeltaExploreRejectsStructuralChange(t *testing.T) {
+	s := recordedState(t, Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5})
+	for name, bad := range map[string]Requirements{
+		"capacity": {CapacityMbit: 32, BandwidthGBps: 1, HitRate: 0.5},
+		"hit-rate": {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.6},
+		"defects":  {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, DefectsPerCm2: 0.9},
+		"procs": {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5,
+			Processes: tech.Processes()},
+	} {
+		if s.Eligible(bad) {
+			t.Fatalf("%s change reported delta-eligible", name)
+		}
+		if _, err := DeltaExplore(context.Background(), s, bad, 1); err == nil {
+			t.Fatalf("%s change: DeltaExplore accepted a structural delta", name)
+		}
+	}
+}
+
+// TestDeltaExploreRandomDeltas is the property test: seeded random
+// constraint deltas (tighten, loosen, drop, mixed — including rounds
+// that empty or un-empty the feasible set) applied as a sequence
+// against one evolving state, each asserted byte-equal to a cold sweep.
+func TestDeltaExploreRandomDeltas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round full-sweep property test")
+	}
+	rng := rand.New(rand.NewSource(0x6ed4a3))
+	base := Requirements{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5,
+		MaxAreaMm2: 50, MinClockMHz: 80}
+	s := recordedState(t, base)
+	pick := func(vals []float64) float64 { return vals[rng.Intn(len(vals))] }
+	for round := 0; round < 12; round++ {
+		newReq := base
+		// Each constraint independently keeps, tightens, loosens, or
+		// drops (where zero means unconstrained); the value pools span
+		// satisfiable through unsatisfiable extremes.
+		newReq.BandwidthGBps = pick([]float64{0.5, 1, 2, 3.5, 6})
+		newReq.MaxAreaMm2 = pick([]float64{0, 0.001, 20, 50, 120})
+		newReq.MaxPowerMW = pick([]float64{0, 300, 900, 2500})
+		newReq.MinClockMHz = pick([]float64{0, 70, 95, 500})
+		assertDeltaParity(t, s, newReq)
+	}
+}

@@ -100,7 +100,7 @@ func SweepCount(req Requirements) int {
 
 // sweepBatches is the batched form of Sweep the worker pool consumes.
 func sweepBatches(ctx context.Context, req Requirements) (<-chan *[]Point, error) {
-	return sweepBatchesOver(ctx, req, resolveProcesses(req), 0, maxSeq)
+	return sweepBatchesOver(ctx, req, resolveProcesses(req), 0, maxSeq, nil)
 }
 
 // maxSeq is the open upper bound of an unrestricted sweep range.
@@ -134,9 +134,12 @@ var pointBatchPool = sync.Pool{
 // only points whose Seq lies in [from, to) — Seq numbering stays
 // absolute, so a ranged sweep is exactly the corresponding slice of the
 // full enumeration (the property range-partitioned checkpoints rely
-// on). Receivers own each batch and should return it via putPointBatch
-// when done.
-func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Process, from, to int) (<-chan *[]Point, error) {
+// on). A non-nil plan lets the enumerator jump over whole skipped
+// subspaces by advancing the Seq counter analytically — the emitted
+// stream is the unpruned stream minus points the plan proved infeasible
+// (see prune.go), with numbering untouched. Receivers own each batch
+// and should return it via putPointBatch when done.
+func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Process, from, to int, plan *prunePlan) (<-chan *[]Point, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,14 +166,42 @@ func sweepBatchesOver(ctx context.Context, req Requirements, procs []tech.Proces
 				return false
 			}
 		}
+		oi := -1
 		for _, macros := range sweepMacroOrgs {
 			if req.CapacityMbit%macros != 0 {
 				continue
 			}
+			oi++
+			if plan != nil && plan.skipOrg[oi] {
+				seq += plan.perOrg
+				if seq >= to {
+					flush()
+					return
+				}
+				continue
+			}
+			ii := -1
 			for iface := sweepIfaceMin; iface <= sweepIfaceMax; iface *= 2 {
+				ii++
+				if plan != nil && plan.skipIface[oi][ii] {
+					seq += plan.perIface
+					if seq >= to {
+						flush()
+						return
+					}
+					continue
+				}
 				for banks := 1; banks <= sweepBanksMax; banks *= 2 {
 					for _, pageMult := range sweepPageMults {
-						for _, block := range sweepBlockBits {
+						for bi, block := range sweepBlockBits {
+							if plan != nil && plan.skipBlock[oi][ii][bi] {
+								seq += plan.perRun
+								if seq >= to {
+									flush()
+									return
+								}
+								continue
+							}
 							for _, red := range sweepRedLevels {
 								for _, ecc := range sweepECCModes {
 									for pi := range procs {
@@ -254,6 +285,15 @@ type ExploreStats struct {
 	// arrival); FrontSize is the current front population.
 	Pruned    int64
 	FrontSize int
+	// Skipped counts points a constraint-pruned enumeration never
+	// handed to workers (whole subspaces proven infeasible before the
+	// sweep — see prune.go); SkippedBuildable is the subset that would
+	// have produced a buildable macro, every one of them infeasible.
+	// Both stay zero without WithPruning. Enumerated/Built/Infeasible
+	// keep their exact semantics for enumerated points; use the
+	// Total* accessors for counts comparable to an unpruned run.
+	Skipped          int64
+	SkippedBuildable int64
 	// Workers is the pool size; WallTime the elapsed time since the
 	// engine started; WorkerBusy the per-worker cumulative evaluation
 	// time (populated on the final, Done snapshot).
@@ -264,6 +304,20 @@ type ExploreStats struct {
 	// (it stays false when the run was cancelled mid-sweep).
 	Done bool
 }
+
+// TotalPoints is the number of design points the run covered —
+// enumerated plus analytically skipped — matching the Enumerated count
+// of an unpruned run over the same range.
+func (s ExploreStats) TotalPoints() int64 { return s.Enumerated + s.Skipped }
+
+// TotalBuilt is the buildable-point count including skipped subspaces,
+// matching the Built count of an unpruned run over the same range.
+func (s ExploreStats) TotalBuilt() int64 { return s.Built + s.SkippedBuildable }
+
+// TotalInfeasible is the infeasible-point count including skipped
+// subspaces (every skipped buildable point is infeasible — that is
+// what justified skipping it), matching an unpruned run's Infeasible.
+func (s ExploreStats) TotalInfeasible() int64 { return s.Infeasible + s.SkippedBuildable }
 
 // PointsPerSec is the evaluation throughput of the run so far.
 func (s ExploreStats) PointsPerSec() float64 {
@@ -293,6 +347,7 @@ type exploreConfig struct {
 	observer      func(Candidate)
 	seqFrom       int
 	seqTo         int
+	pruned        bool
 }
 
 // ExploreOption configures ExploreContext / RecommendContext.
@@ -344,6 +399,18 @@ func WithSeqRange(from, to int) ExploreOption {
 	}
 }
 
+// WithPruning enables constraint-pruned enumeration: subspaces whose
+// buildable points are all provably infeasible under the requirements
+// are skipped analytically instead of evaluated (see prune.go). The
+// candidate stream is identical to an unpruned run's; ExploreStats
+// accounts the skipped points in the Skipped/SkippedBuildable counters
+// so the Total* accessors still match the unpruned totals. Off by
+// default: Explore()'s all-buildable-candidates contract and
+// RecommendContext's nearest-miss diagnostics want the full stream.
+func WithPruning() ExploreOption {
+	return func(c *exploreConfig) { c.pruned = true }
+}
+
 // ExploreContext enumerates and evaluates the design space on a worker
 // pool, streaming every buildable candidate (feasible or not) on the
 // returned channel. The channel is closed when the sweep is exhausted
@@ -365,7 +432,11 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 		return nil, fmt.Errorf("core: empty seq range [%d, %d)", cfg.seqFrom, cfg.seqTo)
 	}
 	procs := resolveProcesses(req)
-	batches, err := sweepBatchesOver(ctx, req, procs, cfg.seqFrom, cfg.seqTo)
+	var plan *prunePlan
+	if cfg.pruned {
+		plan = newPrunePlan(req, procs)
+	}
+	batches, err := sweepBatchesOver(ctx, req, procs, cfg.seqFrom, cfg.seqTo, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -423,6 +494,15 @@ func ExploreContext(ctx context.Context, req Requirements, opts ...ExploreOption
 		defer close(out)
 		front := NewFrontier()
 		stats := ExploreStats{Workers: cfg.workers}
+		if plan != nil {
+			hi := cfg.seqTo
+			if hi > plan.total {
+				hi = plan.total
+			}
+			if cfg.seqFrom < hi {
+				stats.Skipped, stats.SkippedBuildable = plan.tally(cfg.seqFrom, hi)
+			}
+		}
 		snapshot := func(done bool) ExploreStats {
 			s := stats
 			s.WallTime = time.Since(start)

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"edram/internal/core"
+	"edram/internal/scenario"
+)
+
+// TestPrunedParityScenarioCorpus sweeps every requirement set the
+// example scenario corpus compiles to, pruned and unpruned, and pins
+// the parity invariant on real workloads rather than synthetic
+// constraint matrices: the pruned stream is the unpruned stream minus
+// proven-infeasible points, and the folded totals match.
+func TestPrunedParityScenarioCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus double-sweep")
+	}
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus: %v", err)
+	}
+	levels := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		sc, err := scenario.Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		comp, err := sc.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", e.Name(), err)
+		}
+		for _, lvl := range comp.Levels {
+			if lvl.Kind != "edram" {
+				continue
+			}
+			levels++
+			req := lvl.Requirements
+			t.Run(e.Name()+"/"+lvl.Name, func(t *testing.T) {
+				plain, ps := corpusCollect(t, req)
+				pruned, qs := corpusCollect(t, req, core.WithPruning())
+				bySeq := make(map[int]core.Candidate, len(plain))
+				for _, c := range plain {
+					bySeq[c.Seq] = c
+				}
+				for _, c := range pruned {
+					want, ok := bySeq[c.Seq]
+					if !ok {
+						t.Fatalf("pruned emitted Seq %d absent unpruned", c.Seq)
+					}
+					if !reflect.DeepEqual(want, c) {
+						t.Fatalf("Seq %d differs:\nunpruned %+v\npruned   %+v", c.Seq, want, c)
+					}
+					delete(bySeq, c.Seq)
+				}
+				for seq, c := range bySeq {
+					if c.Feasible {
+						t.Fatalf("pruning removed feasible Seq %d", seq)
+					}
+				}
+				if int64(len(plain)-len(pruned)) != qs.SkippedBuildable {
+					t.Fatalf("removed %d != SkippedBuildable %d",
+						len(plain)-len(pruned), qs.SkippedBuildable)
+				}
+				if qs.TotalPoints() != ps.Enumerated || qs.TotalBuilt() != ps.Built ||
+					qs.TotalInfeasible() != ps.Infeasible ||
+					qs.Pruned != ps.Pruned || qs.FrontSize != ps.FrontSize {
+					t.Fatalf("folded stats diverge:\nunpruned %+v\npruned   %+v", ps, qs)
+				}
+			})
+		}
+	}
+	if levels == 0 {
+		t.Fatalf("corpus compiled to no edram levels — test is vacuous")
+	}
+}
+
+func corpusCollect(t *testing.T, req core.Requirements, opts ...core.ExploreOption) ([]core.Candidate, core.ExploreStats) {
+	t.Helper()
+	var final core.ExploreStats
+	opts = append(opts, core.WithProgress(func(s core.ExploreStats) {
+		if s.Done {
+			final = s
+		}
+	}))
+	ch, err := core.ExploreContext(context.Background(), req, opts...)
+	if err != nil {
+		t.Fatalf("ExploreContext: %v", err)
+	}
+	var out []core.Candidate
+	for c := range ch {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if !final.Done {
+		t.Fatalf("no final snapshot")
+	}
+	return out, final
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"edram/internal/tech"
+)
+
+// collectSorted runs ExploreContext with the options and returns the
+// candidate stream in canonical Seq order plus the final stats.
+func collectSorted(t *testing.T, req Requirements, opts ...ExploreOption) ([]Candidate, ExploreStats) {
+	t.Helper()
+	var final ExploreStats
+	opts = append(opts, WithProgress(func(s ExploreStats) {
+		if s.Done {
+			final = s
+		}
+	}))
+	ch, err := ExploreContext(context.Background(), req, opts...)
+	if err != nil {
+		t.Fatalf("ExploreContext: %v", err)
+	}
+	var out []Candidate
+	for c := range ch {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if !final.Done {
+		t.Fatalf("no final progress snapshot")
+	}
+	return out, final
+}
+
+// pruneParityReqs is the constraint matrix the parity tests sweep:
+// unconstrained, each monotone constraint alone at a pruning-relevant
+// value, all combined, a multi-process request, and an
+// over-the-concept-ceiling capacity whose whole space is skipped.
+func pruneParityReqs() map[string]Requirements {
+	return map[string]Requirements{
+		"unconstrained": {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5},
+		"tight-area":    {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 20},
+		"impossible-area": {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5,
+			MaxAreaMm2: 0.001},
+		"high-bw":   {CapacityMbit: 16, BandwidthGBps: 3.5, HitRate: 0.8},
+		"min-clock": {CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5, MinClockMHz: 95},
+		"combined": {CapacityMbit: 32, BandwidthGBps: 2.5, HitRate: 0.7,
+			MaxAreaMm2: 60, MaxPowerMW: 900, MinClockMHz: 80, DefectsPerCm2: 0.8},
+		"multi-proc": {CapacityMbit: 16, BandwidthGBps: 2, HitRate: 0.6,
+			MaxAreaMm2: 40, Processes: tech.Processes()},
+		"over-ceiling": {CapacityMbit: 1000, BandwidthGBps: 1, HitRate: 0.5},
+		"odd-capacity": {CapacityMbit: 13, BandwidthGBps: 1, HitRate: 0.5, MaxAreaMm2: 25},
+	}
+}
+
+// assertPruneParity pins the tentpole invariant between an unpruned and
+// a pruned run of the same window: the pruned stream is exactly the
+// unpruned stream minus analytically skipped points, every candidate
+// the pruning removed was infeasible (soundness), the feasible sets are
+// identical, and the folded stats totals match the unpruned counters.
+func assertPruneParity(t *testing.T, plain, pruned []Candidate, ps, qs ExploreStats) {
+	t.Helper()
+	if ps.Skipped != 0 || ps.SkippedBuildable != 0 {
+		t.Fatalf("unpruned run reported skips: %+v", ps)
+	}
+	bySeq := make(map[int]*Candidate, len(plain))
+	for i := range plain {
+		bySeq[plain[i].Seq] = &plain[i]
+	}
+	for i := range pruned {
+		c := &pruned[i]
+		want := bySeq[c.Seq]
+		if want == nil {
+			t.Fatalf("pruned run emitted Seq %d the unpruned run did not", c.Seq)
+		}
+		if !reflect.DeepEqual(*want, *c) {
+			t.Fatalf("candidate Seq %d differs:\nunpruned %+v\npruned   %+v", c.Seq, *want, *c)
+		}
+		delete(bySeq, c.Seq)
+	}
+	for seq, c := range bySeq {
+		if c.Feasible {
+			t.Fatalf("pruning removed feasible candidate Seq %d: %+v", seq, *c)
+		}
+	}
+	if int64(len(plain)-len(pruned)) != qs.SkippedBuildable {
+		t.Fatalf("pruning removed %d built candidates but SkippedBuildable is %d",
+			len(plain)-len(pruned), qs.SkippedBuildable)
+	}
+	if qs.TotalPoints() != ps.Enumerated {
+		t.Fatalf("TotalPoints %d != unpruned Enumerated %d", qs.TotalPoints(), ps.Enumerated)
+	}
+	if qs.TotalBuilt() != ps.Built {
+		t.Fatalf("TotalBuilt %d != unpruned Built %d", qs.TotalBuilt(), ps.Built)
+	}
+	if qs.TotalInfeasible() != ps.Infeasible {
+		t.Fatalf("TotalInfeasible %d != unpruned Infeasible %d", qs.TotalInfeasible(), ps.Infeasible)
+	}
+	if qs.Pruned != ps.Pruned || qs.FrontSize != ps.FrontSize {
+		t.Fatalf("front counters differ: pruned %+v vs unpruned %+v", qs, ps)
+	}
+}
+
+func TestPrunedExploreParity(t *testing.T) {
+	for name, req := range pruneParityReqs() {
+		req := req
+		t.Run(name, func(t *testing.T) {
+			plain, ps := collectSorted(t, req)
+			pruned, qs := collectSorted(t, req, WithPruning())
+			assertPruneParity(t, plain, pruned, ps, qs)
+		})
+	}
+}
+
+// TestPrunedExploreRangeParity pins byte-compatibility of Seq numbering
+// under pruning for ranged sweeps — the property shard partitions and
+// job checkpoints rely on: a window of a pruned sweep equals the same
+// window of an unpruned sweep, and the windowed tallies still fold to
+// the unpruned window totals.
+func TestPrunedExploreRangeParity(t *testing.T) {
+	req := Requirements{CapacityMbit: 32, BandwidthGBps: 2.5, HitRate: 0.7,
+		MaxAreaMm2: 60, MinClockMHz: 80}
+	total := SweepCount(req)
+	windows := [][2]int{{0, total}, {0, total / 3}, {total / 3, 2 * total / 3},
+		{2 * total / 3, total}, {total / 2, total/2 + 1}, {7, 777}}
+	for _, w := range windows {
+		plain, ps := collectSorted(t, req, WithSeqRange(w[0], w[1]))
+		pruned, qs := collectSorted(t, req, WithSeqRange(w[0], w[1]), WithPruning())
+		assertPruneParity(t, plain, pruned, ps, qs)
+	}
+}
+
+// TestPointAtInvertsSweep pins pointAt as the exact inverse of the
+// sweep enumeration, including for multi-process requests.
+func TestPointAtInvertsSweep(t *testing.T) {
+	for _, req := range []Requirements{
+		{CapacityMbit: 16, BandwidthGBps: 1, HitRate: 0.5},
+		{CapacityMbit: 13, BandwidthGBps: 1, HitRate: 0.5},
+		{CapacityMbit: 8, BandwidthGBps: 1, HitRate: 0.5, Processes: tech.Processes()},
+	} {
+		procs := resolveProcesses(req)
+		batches, err := sweepBatchesOver(context.Background(), req, procs, 0, maxSeq, nil)
+		if err != nil {
+			t.Fatalf("sweepBatchesOver: %v", err)
+		}
+		n := 0
+		for bp := range batches {
+			for _, want := range *bp {
+				got := pointAt(req, procs, want.Seq)
+				if got.Seq != want.Seq || got.Macros != want.Macros ||
+					got.Spec != want.Spec {
+					t.Fatalf("pointAt(%d) = %+v, sweep emitted %+v", want.Seq, got, want)
+				}
+				n++
+			}
+			putPointBatch(bp)
+		}
+		if n != SweepCount(req) {
+			t.Fatalf("sweep emitted %d points, SweepCount says %d", n, SweepCount(req))
+		}
+	}
+}
+
+// TestPlanEnumeratedComplementsTally pins the two plan views against
+// each other: over any window, enumerated intervals plus tallied skips
+// cover the window exactly.
+func TestPlanEnumeratedComplementsTally(t *testing.T) {
+	req := Requirements{CapacityMbit: 16, BandwidthGBps: 3, HitRate: 0.6, MaxAreaMm2: 30}
+	procs := resolveProcesses(req)
+	plan := newPrunePlan(req, procs)
+	if plan == nil {
+		t.Fatalf("expected a plan for the default process")
+	}
+	total := plan.total
+	for _, w := range [][2]int{{0, total}, {5, total - 5}, {total / 2, total/2 + 100}} {
+		skipped, _ := plan.tally(w[0], w[1])
+		enum := 0
+		last := w[0]
+		for _, r := range plan.enumerated(w[0], w[1]) {
+			if r.From < last || r.To <= r.From || r.To > w[1] {
+				t.Fatalf("window %v: bad interval %+v", w, r)
+			}
+			last = r.To
+			enum += r.To - r.From
+		}
+		if int64(enum)+skipped != int64(w[1]-w[0]) {
+			t.Fatalf("window %v: enumerated %d + skipped %d != %d", w, enum, skipped, w[1]-w[0])
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // CI is a service regression, never schedule noise. The wall-clock
 // half (issuing requests, measuring latency) lives in cmd/edramload.
 //
-// A schedule interleaves seven traffic mixes, each probing one
+// A schedule interleaves eight traffic mixes, each probing one
 // overload behaviour of the daemon:
 //
 //   - hot: one identical request over and over — the cache-hit fast
@@ -24,7 +24,12 @@
 //   - sharded: explores cycling a small body set — when the driver
 //     runs the daemon with sharding enabled these sweep the
 //     partitioned fan-out path, and the repeats land in the cache
-//     tiers (first draw a miss, the rest memory or disk hits).
+//     tiers (first draw a miss, the rest memory or disk hits);
+//   - delta: explores rotating one constraint (the area cap) over an
+//     otherwise fixed requirement structure — the first draw is the
+//     cold sweep that records the daemon's retained state, each later
+//     distinct cap is re-served incrementally (X-Cache: hit-delta),
+//     and exact repeats land in the byte caches.
 package loadgen
 
 import (
@@ -81,6 +86,7 @@ func SmokeProfile(seed int64) Profile {
 			{"disconnect", 5},
 			{"overload", 10},
 			{"sharded", 8},
+			{"delta", 8},
 		},
 	}
 }
@@ -111,7 +117,7 @@ func Schedule(p Profile) ([]Request, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	var reqs []Request
-	var uniqueSeq, stormSeq, disconnectSeq, overloadSeq, shardedSeq int
+	var uniqueSeq, stormSeq, disconnectSeq, overloadSeq, shardedSeq, deltaSeq int
 	for len(reqs) < p.Requests {
 		draw := rng.Intn(total)
 		var mix string
@@ -165,6 +171,14 @@ func Schedule(p Profile) ([]Request, error) {
 			// the cache tiers.
 			shardedSeq++
 			body := fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.5,"max_power_mw":%d00.5}`, 4+shardedSeq%4)
+			reqs = append(reqs, Request{Mix: mix, Path: "/v1/explore", Body: body})
+		case "delta":
+			// One structural requirement family, rotating only the area
+			// cap (hit_rate 0.6 keeps the family's structural key disjoint
+			// from the hot and sharded mixes' 0.5 bodies, so this mix
+			// alone decides whether the delta tier fires).
+			deltaSeq++
+			body := fmt.Sprintf(`{"capacity_mbit":16,"bandwidth_gbps":1.0,"hit_rate":0.6,"max_area_mm2":%d.5}`, 20+10*(deltaSeq%4))
 			reqs = append(reqs, Request{Mix: mix, Path: "/v1/explore", Body: body})
 		default:
 			return nil, fmt.Errorf("loadgen: unknown mix %q", mix)

@@ -45,6 +45,7 @@ func TestScheduleMixes(t *testing.T) {
 	uniqueBodies := map[string]int{}
 	overloadBodies := map[string]int{}
 	shardedBodies := map[string]bool{}
+	deltaBodies := map[string]bool{}
 	for _, r := range reqs {
 		seenMix[r.Mix]++
 		if r.Mix == "unique" {
@@ -62,6 +63,15 @@ func TestScheduleMixes(t *testing.T) {
 			}
 			shardedBodies[r.Body] = true
 		}
+		if r.Mix == "delta" {
+			if r.Path != "/v1/explore" || r.WantShed {
+				t.Fatalf("delta request must be a plain explore: %+v", r)
+			}
+			if !strings.Contains(r.Body, `"hit_rate":0.6`) || !strings.Contains(r.Body, `"max_area_mm2":`) {
+				t.Fatalf("delta body must rotate the area cap over the 0.6 hit-rate family: %s", r.Body)
+			}
+			deltaBodies[r.Body] = true
+		}
 		if r.Mix == "disconnect" && !r.Disconnect {
 			t.Fatalf("disconnect request not marked: %+v", r)
 		}
@@ -69,7 +79,7 @@ func TestScheduleMixes(t *testing.T) {
 			t.Fatalf("slow request not marked: %+v", r)
 		}
 	}
-	for _, mix := range []string{"hot", "unique", "storm", "slow", "disconnect", "overload", "sharded"} {
+	for _, mix := range []string{"hot", "unique", "storm", "slow", "disconnect", "overload", "sharded", "delta"} {
 		if seenMix[mix] == 0 {
 			t.Errorf("smoke profile never drew mix %q", mix)
 		}
@@ -92,6 +102,12 @@ func TestScheduleMixes(t *testing.T) {
 	if seenMix["sharded"] <= len(shardedBodies) {
 		t.Errorf("sharded mix drew %d requests over %d bodies — no repeats to hit the cache",
 			seenMix["sharded"], len(shardedBodies))
+	}
+	// The delta mix needs at least two distinct caps in one run: the
+	// first records the retained state, the second exercises the
+	// incremental re-serve.
+	if len(deltaBodies) < 2 || len(deltaBodies) > 4 {
+		t.Errorf("delta mix drew %d distinct bodies, want 2..4", len(deltaBodies))
 	}
 }
 

@@ -104,22 +104,37 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.submitJob(w, JobRequest{Kind: "explore", Explore: &req})
 		return
 	}
-	s.serveCached(w, r, "/v1/explore", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCachedTagged(w, r, "/v1/explore", key, func(ctx context.Context) ([]byte, string, error) {
 		workers, release, err := s.admitWorkers(ctx, "/v1/explore", s.cfg.Workers)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		defer release()
 		var resp *ExploreResponse
-		if s.shardingEnabled() {
-			resp, err = s.buildExploreSharded(ctx, req, workers)
+		tag := ""
+		// The delta tier outranks the sharded fan-out: a byte-identity
+		// miss whose requirement structure matches a retained sweep is
+		// re-served incrementally (byte-identical to the cold
+		// computation, cheaper than partitioning it across peers).
+		// States are recorded by Warmup and by non-sharded cold sweeps;
+		// sharded sweeps never record (partial per-lane coverage would
+		// break the evals ⊆ coverage invariant).
+		if e := s.deltaStates.lookup(req); e != nil {
+			resp, err = s.serveExploreDelta(ctx, e, req, workers)
+			tag = "hit-delta"
 		} else {
-			resp, err = BuildExplore(ctx, req, workers, nil)
+			s.tierDeltaMisses.Inc()
+			if s.shardingEnabled() {
+				resp, err = s.buildExploreSharded(ctx, req, workers)
+			} else {
+				resp, err = s.buildExploreRecorded(ctx, req, workers)
+			}
 		}
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return Encode(resp)
+		b, err := Encode(resp)
+		return b, tag, err
 	})
 }
 

@@ -32,11 +32,18 @@ import (
 // matching payload.
 type JobRequest struct {
 	SchemaVersion int `json:"schema_version,omitempty"`
-	// Kind selects the computation: "explore", "trials" or "scenario".
+	// Kind selects the computation: "explore", "delta", "trials" or
+	// "scenario".
 	Kind string `json:"kind"`
 	// Explore runs the full design-space exploration (the async form
 	// of POST /v1/explore, sharing its result bytes and cache key).
 	Explore *core.Requirements `json:"explore,omitempty"`
+	// Delta re-explores requirements preferring the incremental delta
+	// path: when the daemon retains an eligible same-structure state,
+	// only newly exposed Seq intervals are swept; otherwise the job
+	// falls back to the checkpointed explore runner. The result bytes
+	// and the explore cache key are shared with kind "explore".
+	Delta *core.Requirements `json:"delta,omitempty"`
 	// Trials runs a Monte-Carlo fault-injection campaign over the
 	// controller simulation.
 	Trials *TrialsJobRequest `json:"trials,omitempty"`
@@ -229,6 +236,16 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 		kind = "explore"
 		canonical = "job/v1|kind=explore|" + req.Explore.CanonicalKey()
 		run = s.runExploreJob(*req.Explore)
+	case "delta":
+		if req.Delta == nil {
+			return compiledJob{}, errors.New(`job kind "delta" requires the delta payload`)
+		}
+		if v := req.Delta.Violations(); len(v) > 0 {
+			return compiledJob{}, violationsError(v)
+		}
+		kind = "delta"
+		canonical = "job/v1|kind=delta|" + req.Delta.CanonicalKey()
+		run = s.runDeltaJob(*req.Delta)
 	case "trials":
 		if req.Trials == nil {
 			return compiledJob{}, errors.New(`job kind "trials" requires the trials payload`)
@@ -250,7 +267,7 @@ func (s *Server) compileJob(req JobRequest) (compiledJob, error) {
 		canonical = "job/v1|kind=scenario|" + req.Scenario.CanonicalKey()
 		run = s.runScenarioJob(req.Scenario)
 	default:
-		return compiledJob{}, fmt.Errorf("unknown job kind %q (want explore, trials or scenario)", req.Kind)
+		return compiledJob{}, fmt.Errorf("unknown job kind %q (want explore, delta, trials or scenario)", req.Kind)
 	}
 	key := HashKey("job", canonical)
 	// The job id is the bare digest (path- and filename-safe).
@@ -464,6 +481,7 @@ func (s *Server) runExploreJob(req core.Requirements) jobs.RunFunc {
 			var chunkFinal core.ExploreStats
 			ch, err := core.ExploreContext(ctx, req,
 				core.WithWorkers(workers),
+				core.WithPruning(),
 				core.WithSeqRange(st.NextSeq, to),
 				core.WithProgress(func(cs core.ExploreStats) {
 					if cs.Done {
@@ -482,9 +500,11 @@ func (s *Server) runExploreJob(req core.Requirements) jobs.RunFunc {
 				return nil, err
 			}
 			st.NextSeq = to
-			st.Enumerated += chunkFinal.Enumerated
-			st.Built += chunkFinal.Built
-			st.Infeasible += chunkFinal.Infeasible
+			// Folded Total* counters: the checkpoint schema and the
+			// final response stay byte-identical to an unpruned run.
+			st.Enumerated += chunkFinal.TotalPoints()
+			st.Built += chunkFinal.TotalBuilt()
+			st.Infeasible += chunkFinal.TotalInfeasible()
 			st.Pruned = prunedBase + front.Pruned()
 			cands := front.Candidates()
 			st.Frontier = make([]CandidateJSON, len(cands))
@@ -534,6 +554,53 @@ func (s *Server) runExploreJob(req core.Requirements) jobs.RunFunc {
 		}
 		// Cross-fill the synchronous tiers: a later POST /v1/explore of
 		// the same requirements is a hit on the job's bytes.
+		s.fillCaches(HashKey("explore", req.CanonicalKey()), b)
+		return b, nil
+	}
+}
+
+// runDeltaJob returns the delta-preferring explore runner. A fresh job
+// with an eligible retained state serves through DeltaExplore in one
+// step (no intermediate checkpoints — the delta path is orders of
+// magnitude shorter than the sweep it replaces); everything else —
+// resumed checkpoints, sharded configurations, no eligible state —
+// delegates to the checkpointed explore runner, whose schema the job
+// shares, so a restart can always resume it as a plain explore.
+func (s *Server) runDeltaJob(req core.Requirements) jobs.RunFunc {
+	exploreRun := s.runExploreJob(req)
+	return func(ctx context.Context, h *jobs.Handle) ([]byte, error) {
+		if len(h.Resumed()) > 0 || s.shardingEnabled() {
+			return exploreRun(ctx, h)
+		}
+		e := s.deltaStates.lookup(req)
+		if e == nil {
+			s.tierDeltaMisses.Inc()
+			return exploreRun(ctx, h)
+		}
+		workers, release, err := s.acquireWorkers(ctx, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.serveExploreDelta(ctx, e, req, workers)
+		release()
+		if err != nil {
+			return nil, err
+		}
+		total := int64(core.SweepCount(req))
+		h.SetProgress(jobs.Progress{
+			Done:       total,
+			Total:      total,
+			Built:      resp.Built,
+			Infeasible: resp.Infeasible,
+			Pruned:     resp.Pruned,
+			FrontSize:  len(resp.Frontier),
+		})
+		b, err := Encode(resp)
+		if err != nil {
+			return nil, err
+		}
+		// Cross-fill the synchronous tiers under the explore key the
+		// response bytes belong to.
 		s.fillCaches(HashKey("explore", req.CanonicalKey()), b)
 		return b, nil
 	}

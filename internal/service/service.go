@@ -209,6 +209,15 @@ type Server struct {
 	tierDiskHits   *Counter
 	tierDiskMisses *Counter
 
+	// Delta-tier state and counters (see deltaserve.go): explore
+	// requests whose byte-identity misses but whose requirement
+	// structure matches a retained sweep are re-served incrementally.
+	deltaStates     *deltaIndex
+	tierDeltaHits   *Counter
+	tierDeltaMisses *Counter
+	deltaSwept      *Counter
+	deltaReused     *Counter
+
 	// Sharded-explore counters.
 	shardExplores     *Counter
 	shardPartsLocal   *Counter
@@ -253,6 +262,12 @@ func NewServer(cfg Config) *Server {
 		tierMemMisses:  m.Counter("edramd_cache_tier_misses_total", "Cache misses by tier.", Label{"tier", "memory"}),
 		tierDiskHits:   m.Counter("edramd_cache_tier_hits_total", "Cache hits by tier.", Label{"tier", "disk"}),
 		tierDiskMisses: m.Counter("edramd_cache_tier_misses_total", "Cache misses by tier.", Label{"tier", "disk"}),
+
+		deltaStates:     newDeltaIndex(),
+		tierDeltaHits:   m.Counter("edramd_cache_tier_hits_total", "Cache hits by tier.", Label{"tier", "delta"}),
+		tierDeltaMisses: m.Counter("edramd_cache_tier_misses_total", "Cache misses by tier.", Label{"tier", "delta"}),
+		deltaSwept:      m.Counter("edramd_delta_swept_points_total", "Design points swept fresh by delta re-explorations."),
+		deltaReused:     m.Counter("edramd_delta_reused_evals_total", "Retained evaluations reused by delta re-explorations."),
 
 		shardExplores:     m.Counter("edramd_shard_explores_total", "Explore sweeps served through the sharded fan-out path."),
 		shardPartsLocal:   m.Counter("edramd_shard_partitions_total", "Accepted shard partitions by executor kind.", Label{"target", "local"}),
@@ -370,7 +385,9 @@ func (s *Server) Warmup(ctx context.Context, reqs []core.Requirements) error {
 		if err := req.Validate(); err != nil {
 			return fmt.Errorf("warmup %s: %w", req.CanonicalKey(), err)
 		}
-		resp, err := BuildExplore(ctx, req, s.cfg.Workers, nil)
+		// The recording path: a warmed instance can serve constraint
+		// tweaks of its warm keys through the delta tier immediately.
+		resp, err := s.buildExploreRecorded(ctx, req, s.cfg.Workers)
 		if err != nil {
 			return fmt.Errorf("warmup %s: %w", req.CanonicalKey(), err)
 		}
@@ -561,11 +578,26 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // initiating request (a disconnecting initiator must not kill the
 // waiters that coalesced onto it) but still bounded by RequestTimeout.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
+	s.serveCachedTagged(w, r, endpoint, key, func(ctx context.Context) ([]byte, string, error) {
+		b, err := compute(ctx)
+		return b, "", err
+	})
+}
+
+// serveCachedTagged is serveCached for computations that can report a
+// serving tier of their own: a non-empty tag from compute replaces the
+// leader's default "miss" X-Cache value (the delta tier's "hit-delta").
+// Coalesced followers keep "coalesced" — they did not compute.
+func (s *Server) serveCachedTagged(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, string, error)) {
 	if val, tag, ok := s.lookupTiered(key); ok {
 		w.Header().Set("X-Cache", tag)
 		writeBytes(w, val)
 		return
 	}
+	// Written only inside the leader's closure, read only after Do
+	// returns in the leader's own call — followers never run the
+	// closure and never read it.
+	leaderTag := ""
 	val, err, coalesced := s.flights.Do(r.Context(), key, func() ([]byte, error) {
 		s.cacheMisses.Inc()
 		if s.computeStarted != nil {
@@ -574,17 +606,21 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		//nolint:edramvet/ctxflow // deliberate detach: coalesced followers must not lose the shared compute when the leader request disconnects; the timeout re-bounds it
 		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RequestTimeout)
 		defer cancel()
-		b, err := compute(ctx)
+		b, tag, err := compute(ctx)
 		if err != nil {
 			return nil, err
 		}
+		leaderTag = tag
 		s.fillCaches(key, b)
 		return b, nil
 	})
-	if coalesced {
+	switch {
+	case coalesced:
 		s.coalescedReqs.Inc()
 		w.Header().Set("X-Cache", "coalesced")
-	} else {
+	case leaderTag != "":
+		w.Header().Set("X-Cache", leaderTag)
+	default:
 		w.Header().Set("X-Cache", "miss")
 	}
 	if err != nil {

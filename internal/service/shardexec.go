@@ -97,11 +97,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// buildShard runs the ranged sweep for one partition.
+// buildShard runs the ranged sweep for one partition. The sweep is
+// constraint-pruned like the undivided path; the folded Total*
+// counters keep the wire response byte-identical to an unpruned
+// partition (Seq numbering is absolute, so pruning never moves
+// partition boundaries).
 func buildShard(ctx context.Context, req ShardRequest, workers int) (*ShardResponse, error) {
 	var final core.ExploreStats
 	ch, err := core.ExploreContext(ctx, req.Explore,
 		core.WithWorkers(workers),
+		core.WithPruning(),
 		core.WithSeqRange(req.From, req.To),
 		core.WithProgress(func(cs core.ExploreStats) {
 			if cs.Done {
@@ -123,9 +128,9 @@ func buildShard(ctx context.Context, req ShardRequest, workers int) (*ShardRespo
 		Key:           HashKey("shard", req.canonicalKey()),
 		From:          req.From,
 		To:            req.To,
-		Enumerated:    final.Enumerated,
-		Built:         final.Built,
-		Infeasible:    final.Infeasible,
+		Enumerated:    final.TotalPoints(),
+		Built:         final.TotalBuilt(),
+		Infeasible:    final.TotalInfeasible(),
 		Frontier:      []CandidateJSON{},
 	}
 	for _, c := range front.Candidates() {

@@ -254,14 +254,21 @@ func candidateJSON(c core.Candidate) CandidateJSON {
 // deterministic sweep counters, the feasible Pareto frontier in
 // canonical order, and the quantized recommendations. progress, when
 // non-nil, receives the engine's periodic ExploreStats snapshots (the
-// CLI's progress line).
-func BuildExplore(ctx context.Context, req core.Requirements, workers int, progress func(core.ExploreStats)) (*ExploreResponse, error) {
+// CLI's progress line). extra options are appended to the engine's
+// (the delta recorder passes its observer through here).
+//
+// The sweep runs constraint-pruned: subspaces the engine can prove
+// infeasible are skipped analytically and folded back through the
+// ExploreStats Total* accessors, so the response stays byte-identical
+// to an unpruned run (the parity tests pin this).
+func BuildExplore(ctx context.Context, req core.Requirements, workers int, progress func(core.ExploreStats), extra ...core.ExploreOption) (*ExploreResponse, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	var final core.ExploreStats
 	opts := []core.ExploreOption{
 		core.WithWorkers(workers),
+		core.WithPruning(),
 		core.WithProgress(func(s core.ExploreStats) {
 			if s.Done {
 				final = s
@@ -271,6 +278,7 @@ func BuildExplore(ctx context.Context, req core.Requirements, workers int, progr
 			}
 		}),
 	}
+	opts = append(opts, extra...)
 	ch, err := core.ExploreContext(ctx, req, opts...)
 	if err != nil {
 		return nil, err
@@ -282,19 +290,21 @@ func BuildExplore(ctx context.Context, req core.Requirements, workers int, progr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if final.Built == 0 {
+	if final.TotalBuilt() == 0 {
 		return nil, fmt.Errorf("no buildable configuration for %+v", req)
 	}
 	resp := &ExploreResponse{
 		SchemaVersion: SchemaVersion,
 		Request:       req,
 		Key:           HashKey("explore", req.CanonicalKey()),
-		Points:        final.Enumerated,
-		Built:         final.Built,
-		Infeasible:    final.Infeasible,
+		Points:        final.TotalPoints(),
+		Built:         final.TotalBuilt(),
+		Infeasible:    final.TotalInfeasible(),
 		// Pruned is deterministic even though arrival order is not:
 		// every feasible candidate either survives in the front or was
-		// discarded exactly once.
+		// discarded exactly once. Analytic skips never touch it — a
+		// skipped candidate is infeasible and would never have entered
+		// the front.
 		Pruned:   final.Pruned,
 		Frontier: []CandidateJSON{},
 		Picks:    []RecommendationJSON{},
@@ -307,6 +317,40 @@ func BuildExplore(ctx context.Context, req core.Requirements, workers int, progr
 		resp.Picks = append(resp.Picks, RecommendationJSON{Role: r.Role, CandidateJSON: candidateJSON(r.Candidate)})
 	}
 	return resp, nil
+}
+
+// BuildExploreDelta assembles the /v1/explore response for req from a
+// retained delta state instead of a cold sweep: only the Seq intervals
+// the state never covered are evaluated fresh, everything else is
+// re-filtered under req's constraint values. The response is
+// byte-identical to BuildExplore's (the delta parity tests pin this);
+// the DeltaResult carries the swept/reused accounting for metrics.
+func BuildExploreDelta(ctx context.Context, st *core.DeltaState, req core.Requirements, workers int) (*ExploreResponse, *core.DeltaResult, error) {
+	res, err := core.DeltaExplore(ctx, st, req, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Stats.TotalBuilt() == 0 {
+		return nil, nil, fmt.Errorf("no buildable configuration for %+v", req)
+	}
+	resp := &ExploreResponse{
+		SchemaVersion: SchemaVersion,
+		Request:       req,
+		Key:           HashKey("explore", req.CanonicalKey()),
+		Points:        res.Stats.TotalPoints(),
+		Built:         res.Stats.TotalBuilt(),
+		Infeasible:    res.Stats.TotalInfeasible(),
+		Pruned:        res.Stats.Pruned,
+		Frontier:      []CandidateJSON{},
+		Picks:         []RecommendationJSON{},
+	}
+	for _, c := range res.Frontier {
+		resp.Frontier = append(resp.Frontier, candidateJSON(c))
+	}
+	for _, r := range core.Quantize(res.Frontier) {
+		resp.Picks = append(resp.Picks, RecommendationJSON{Role: r.Role, CandidateJSON: candidateJSON(r.Candidate)})
+	}
+	return resp, res, nil
 }
 
 // BuildRecommend runs the exploration and returns only the quantized
